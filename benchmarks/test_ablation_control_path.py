@@ -1,0 +1,60 @@
+"""Ablation: GPU-resident vs CPU-mediated communication control path
+(design decision: "do not involve the CPU in the communication control
+path").
+
+Runs the same asynchronous BFS with the control path on the GPU
+(Atos) and through the host (what Groute/Gunrock/Galois do), isolating
+the single knob — every other parameter identical.
+"""
+
+import numpy as np
+
+from conftest import write_artifact
+from repro.config import daisy
+from repro.graph import bfs_source, load
+from repro.harness import get_partition
+from repro.apps import AtosBFS, reference_bfs
+from repro.metrics.tables import format_generic_table
+from repro.runtime import AtosConfig, AtosExecutor
+
+
+def _run(dataset: str, control_path: str, n_gpus: int = 4) -> float:
+    graph = load(dataset)
+    partition = get_partition(dataset, n_gpus)
+    app = AtosBFS(graph, partition, bfs_source(dataset))
+    config = AtosConfig(control_path=control_path, fetch_size=1)
+    makespan, _ = AtosExecutor(daisy(n_gpus), app, config).run()
+    assert np.array_equal(
+        app.result(), reference_bfs(graph, bfs_source(dataset))
+    )
+    return makespan / 1000
+
+
+def _collect():
+    rows = []
+    for dataset in ("road-usa", "soc-livejournal1"):
+        gpu = _run(dataset, "gpu")
+        cpu = _run(dataset, "cpu")
+        rows.append([dataset, f"{gpu:.3f}", f"{cpu:.3f}",
+                     f"{cpu / gpu:.2f}"])
+    return rows
+
+
+def test_ablation_control_path(benchmark):
+    rows = benchmark.pedantic(
+        _collect, rounds=1, iterations=1, warmup_rounds=0
+    )
+    write_artifact(
+        "ablation_control_path.txt",
+        format_generic_table(
+            "Ablation: async BFS (ms) by control path location, 4 GPUs",
+            ["dataset", "gpu-path", "cpu-path", "cpu/gpu"],
+            rows,
+        ),
+    )
+    for row in rows:
+        # The CPU hop always costs.  (At paper scale it costs *most*
+        # on latency-bound mesh graphs; at 1/200 scale the mesh's
+        # speculation redundancy partly masks the latency term, so we
+        # assert only the sign here — see EXPERIMENTS.md.)
+        assert float(row[3]) > 1.0, row[0]

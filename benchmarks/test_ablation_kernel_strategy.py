@@ -1,0 +1,49 @@
+"""Ablation: persistent vs discrete kernels (design decision 1).
+
+The paper's claim: persistent kernels win when kernel-launch overhead
+dominates (mesh-like BFS: thousands of tiny frontiers); discrete
+kernels are competitive when rounds are few and fat (scale-free).
+Sweeps both strategies on one mesh and one scale-free dataset.
+"""
+
+from conftest import write_artifact
+from repro.harness import run
+from repro.metrics.tables import format_generic_table
+
+
+def _collect():
+    rows = []
+    for dataset in ("road-usa", "soc-livejournal1"):
+        persistent = run(
+            "atos-standard-persistent", "bfs", dataset, "daisy", 4
+        ).time_ms
+        discrete = run(
+            "atos-standard-discrete", "bfs", dataset, "daisy", 4
+        ).time_ms
+        rows.append(
+            [dataset, f"{persistent:.3f}", f"{discrete:.3f}",
+             f"{discrete / persistent:.2f}"]
+        )
+    return rows
+
+
+def test_ablation_kernel_strategy(benchmark):
+    rows = benchmark.pedantic(
+        _collect, rounds=1, iterations=1, warmup_rounds=0
+    )
+    write_artifact(
+        "ablation_kernel_strategy.txt",
+        format_generic_table(
+            "Ablation: BFS runtime (ms) by kernel strategy, 4 GPUs",
+            ["dataset", "persistent", "discrete", "discrete/persistent"],
+            rows,
+        ),
+    )
+    by_dataset = {r[0]: r for r in rows}
+    # Mesh: persistent wins big (launch overhead x diameter).
+    assert float(by_dataset["road-usa"][3]) > 2.0
+    # Scale-free: the gap shrinks by an order of magnitude.
+    assert (
+        float(by_dataset["soc-livejournal1"][3])
+        < float(by_dataset["road-usa"][3]) / 2
+    )

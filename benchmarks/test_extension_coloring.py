@@ -1,0 +1,81 @@
+"""Extension experiment: speculative graph coloring.
+
+The Atos single-GPU paper (the paper's reference [16]) evaluates
+speculative greedy coloring; this bench runs its distributed analogue:
+vertices color themselves against possibly-stale neighbor state,
+conflicts re-queue the higher-id endpoint, and boundary colors
+propagate via one-sided mirror announcements.
+
+Measured: conflict rate and color quality vs the serial greedy
+baseline, on one scale-free and one mesh dataset, 4 GPUs.  Proper
+colorings are asserted (the hard invariant); quality stays within 2x
+of greedy.
+"""
+
+from conftest import write_artifact
+from repro.config import daisy
+from repro.graph import load
+from repro.harness import get_partition
+from repro.apps import AtosColoring, greedy_coloring, is_proper_coloring
+from repro.metrics.tables import format_generic_table
+from repro.runtime import AtosConfig, AtosExecutor
+
+N_GPUS = 4
+
+
+def _run(dataset: str):
+    graph = load(dataset)
+    partition = get_partition(dataset, N_GPUS)
+    app = AtosColoring(graph, partition)
+    makespan, counters = AtosExecutor(
+        daisy(N_GPUS), app, AtosConfig(fetch_size=1)
+    ).run()
+    colors = app.result()
+    assert is_proper_coloring(graph, colors)
+    greedy = greedy_coloring(graph)
+    return {
+        "time_ms": makespan / 1000,
+        "colors": int(colors.max() + 1),
+        "greedy_colors": int(greedy.max() + 1),
+        "attempts": int(counters["color_attempts"]),
+        "conflicts": int(counters["conflicts"]),
+        "n": graph.n_vertices,
+    }
+
+
+def test_extension_coloring(benchmark):
+    def collect():
+        return {
+            d: _run(d)
+            for d in ("hollywood-2009", "road-usa")
+        }
+
+    results = benchmark.pedantic(
+        collect, rounds=1, iterations=1, warmup_rounds=0
+    )
+    rows = [
+        [
+            dataset,
+            f"{m['time_ms']:.3f}",
+            m["colors"],
+            m["greedy_colors"],
+            m["attempts"],
+            m["conflicts"],
+            f"{m['conflicts'] / m['n']:.2f}",
+        ]
+        for dataset, m in results.items()
+    ]
+    write_artifact(
+        "extension_coloring.txt",
+        format_generic_table(
+            f"Extension: speculative coloring, {N_GPUS} GPUs",
+            ["dataset", "time_ms", "colors", "greedy", "attempts",
+             "conflicts", "conflicts/vertex"],
+            rows,
+        ),
+    )
+    for dataset, m in results.items():
+        # Proper coloring asserted inside _run; quality within 2x.
+        assert m["colors"] <= 2 * m["greedy_colors"], dataset
+        # Speculation is real: conflicts occurred and were resolved.
+        assert m["conflicts"] > 0, dataset

@@ -1,0 +1,53 @@
+"""Figure 2: bandwidth efficiency vs requested bytes (PCIe gen3, NVLink).
+
+Regenerates the efficiency curves over the paper's 1-128 byte sweep
+and asserts the claims the paper draws from the figure:
+
+* a 32-byte NVLink payload exceeds 50% efficiency,
+* NVLink sits above PCIe gen3 throughout the plotted 25-125 B range,
+* the NVLink curve is a 32-byte-sector staircase capped at 4 sectors.
+"""
+
+import numpy as np
+
+from conftest import write_artifact
+from repro.interconnect import default_nvlink, default_pcie
+from repro.interconnect.nvlink import SECTOR_BYTES
+from repro.metrics.tables import format_generic_table
+
+
+def _curves():
+    nvlink, pcie = default_nvlink(), default_pcie()
+    sizes = np.arange(1, 129)
+    return (
+        sizes,
+        np.array([nvlink.efficiency(int(s)) for s in sizes]),
+        np.array([pcie.efficiency(int(s)) for s in sizes]),
+    )
+
+
+def test_fig2_efficiency_curves(benchmark):
+    sizes, nvlink_eff, pcie_eff = benchmark(_curves)
+    rows = [
+        [int(s), f"{n:.3f}", f"{p:.3f}"]
+        for s, n, p in zip(sizes[::8], nvlink_eff[::8], pcie_eff[::8])
+    ]
+    write_artifact(
+        "fig2_bandwidth_efficiency.txt",
+        format_generic_table(
+            "Figure 2: bandwidth efficiency vs requested bytes",
+            ["bytes", "NVLink", "PCIe gen3"],
+            rows,
+        ),
+    )
+    # Paper claim: 32 B payload > 50% efficient on NVLink.
+    assert nvlink_eff[31] > 0.5
+    # NVLink above PCIe across the plotted range (25-125 B).
+    plotted = slice(24, 125)
+    assert np.all(nvlink_eff[plotted] > pcie_eff[plotted])
+    # Sector staircase: efficiency locally peaks at sector multiples.
+    for k in (1, 2, 3, 4):
+        idx = k * SECTOR_BYTES - 1
+        assert nvlink_eff[idx] == max(nvlink_eff[max(0, idx - 8) : idx + 1])
+    # Efficiency never reaches 1 (framing always costs something).
+    assert nvlink_eff.max() < 1.0 and pcie_eff.max() < 1.0

@@ -1,0 +1,91 @@
+"""Figure 3: the communication aggregator workflow.
+
+Figure 3 is a schematic (steps 1-5 of the aggregation path); the
+reproducible content is behavioural: workers return immediately after
+buffering (step 2), the aggregator flushes on BATCH_SIZE (step 4) or
+on the WAIT_TIME timeout (step 5), and aggregation turns many small
+application messages into few large wire messages.
+"""
+
+import numpy as np
+
+from conftest import write_artifact
+from repro.config import summit_ib
+from repro.interconnect import NetworkFabric
+from repro.metrics.tables import format_generic_table
+from repro.runtime import Aggregator
+from repro.sim import Environment
+
+
+def _aggregation_run(n_updates: int, update_bytes: int, batch_size: int,
+                     wait_time: int):
+    env = Environment()
+    fabric = NetworkFabric(env, summit_ib(2))
+    agg = Aggregator(
+        0,
+        2,
+        lambda dst, payloads, n_bytes: fabric.send(
+            0, dst, n_bytes, payloads, lambda m: None
+        ),
+        batch_size=batch_size,
+        wait_time=wait_time,
+    )
+    for i in range(n_updates):
+        agg.add(1, i, update_bytes)
+        if i % 64 == 63:
+            agg.tick()
+    agg.flush_all()
+    env.run()
+    return fabric.stats(), agg
+
+
+def test_fig3_aggregation_reduces_message_count(benchmark):
+    stats, agg = benchmark(
+        _aggregation_run, 4096, 8, 1 << 10, 1 << 20
+    )
+    # 4096 application updates -> ~32 wire messages of ~1 KiB.
+    assert stats["messages"] <= 4096 / 16
+    assert agg.flushes_on_size >= 1
+    write_artifact(
+        "fig3_aggregator_behavior.txt",
+        format_generic_table(
+            "Figure 3: aggregator behaviour (4096 x 8 B updates, "
+            "1 KiB batches)",
+            ["metric", "value"],
+            [
+                ["application updates", 4096],
+                ["wire messages", int(stats["messages"])],
+                ["flushes on batch size", agg.flushes_on_size],
+                ["flushes on timeout", agg.flushes_on_timeout],
+            ],
+        ),
+    )
+
+
+def test_fig3_timeout_path_fires_for_stragglers(benchmark):
+    _, agg = benchmark.pedantic(
+        _aggregation_run, args=(128, 8, 1 << 20), kwargs={"wait_time": 1},
+        rounds=1, iterations=1, warmup_rounds=0,
+    )
+    # Far below batch size: only the timeout (or final drain) sends.
+    assert agg.flushes_on_size == 0
+    assert agg.flushes_on_timeout >= 1
+
+
+def test_fig3_workers_never_block(benchmark):
+    # add() must complete without advancing simulated time: the worker
+    # "returns immediately" (step 2).
+    env = Environment()
+    fabric = NetworkFabric(env, summit_ib(2))
+    agg = Aggregator(
+        0, 2,
+        lambda dst, payloads, n_bytes: fabric.send(
+            0, dst, n_bytes, payloads, lambda m: None),
+        batch_size=1 << 20, wait_time=64,
+    )
+    def add_many():
+        for i in range(1000):
+            agg.add(1, i, 8)
+        return env.now
+
+    assert benchmark(add_many) == 0.0

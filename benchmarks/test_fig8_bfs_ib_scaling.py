@@ -1,0 +1,30 @@
+"""Figure 8: strong scaling of BFS on the 8-node InfiniBand system.
+
+Replots Table V's BFS runs as self-relative speedups.  Asserted:
+Atos's scaling curve dominates Galois's on every dataset, and Galois
+cannot strong-scale BFS at all (its 8-GPU self-speedup stays below 1).
+"""
+
+from conftest import write_artifact
+from repro.harness import figure5_scaling
+
+
+def test_fig8_bfs_ib_scaling(benchmark, table5_bfs_grid):
+    text = benchmark.pedantic(
+        lambda: figure5_scaling(
+            table5_bfs_grid, list(table5_bfs_grid.times["galois"])
+        ),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    write_artifact("fig8_bfs_ib_scaling.txt", text)
+
+    galois = table5_bfs_grid.times["galois"]
+    atos = table5_bfs_grid.times["atos"]
+    for dataset in galois:
+        atos_speedup = atos[dataset][0] / atos[dataset][-1]
+        galois_speedup = galois[dataset][0] / galois[dataset][-1]
+        assert atos_speedup > galois_speedup, dataset
+        # Paper Fig 8: Galois's BFS does not strong-scale on IB.
+        assert galois_speedup < 1.0, dataset

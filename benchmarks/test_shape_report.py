@@ -1,0 +1,70 @@
+"""Paper-vs-measured shape report across all runtime tables.
+
+Aggregates the session's Table II / IV / V grids against the paper's
+transcribed numbers (repro.harness.paper_data) and asserts global
+shape quality: most framework-pair speedup *directions* match the
+paper, and the median factor disagreement stays within one order of
+magnitude.  The rendered report feeds EXPERIMENTS.md.
+"""
+
+import numpy as np
+
+from conftest import write_artifact
+from repro.harness import (
+    PAPER_TABLE2_BFS_NVLINK,
+    PAPER_TABLE4_PR_NVLINK,
+    PAPER_TABLE5_BFS_IB,
+    PAPER_TABLE5_PR_IB,
+    compare_grid,
+)
+
+
+def test_shape_report(
+    benchmark, table2_grid, table4_grid, table5_bfs_grid, table5_pr_grid
+):
+    def build():
+        return [
+            compare_grid(
+                "Table II (BFS, NVLink)",
+                table2_grid,
+                PAPER_TABLE2_BFS_NVLINK,
+                (1, 2, 3, 4),
+            ),
+            compare_grid(
+                "Table IV (PageRank, NVLink)",
+                table4_grid,
+                PAPER_TABLE4_PR_NVLINK,
+                (1, 2, 3, 4),
+            ),
+            compare_grid(
+                "Table V (BFS, InfiniBand)",
+                table5_bfs_grid,
+                PAPER_TABLE5_BFS_IB,
+                (1, 2, 3, 4, 5, 6, 7, 8),
+            ),
+            compare_grid(
+                "Table V (PageRank, InfiniBand)",
+                table5_pr_grid,
+                PAPER_TABLE5_PR_IB,
+                (1, 2, 3, 4, 5, 6, 7, 8),
+            ),
+        ]
+
+    reports = benchmark.pedantic(
+        build, rounds=1, iterations=1, warmup_rounds=0
+    )
+    write_artifact(
+        "paper_vs_measured_shapes.txt",
+        "\n\n".join(r.render() for r in reports),
+    )
+    total_pairs = sum(r.direction_pairs for r in reports)
+    total_matches = sum(r.direction_matches for r in reports)
+    assert total_pairs > 0
+    # Across every compared cell pair, >= 70% of "who is faster"
+    # relations match the paper.
+    assert total_matches / total_pairs >= 0.70
+    # Median factor disagreement within one order of magnitude.
+    all_errors = np.abs(
+        np.concatenate([r.log_factor_errors for r in reports])
+    )
+    assert float(np.median(all_errors)) < 1.0

@@ -1,0 +1,42 @@
+"""Table I: dataset summary (scaled), with the paper's sizes alongside.
+
+Asserts that the scaled datasets preserve the characteristics the
+evaluation depends on: family membership (skewed-degree scale-free vs.
+flat-degree high-diameter mesh), relative ordering, and density.
+"""
+
+import numpy as np
+
+from conftest import write_artifact
+from repro.graph import MESH_LIKE, SCALE_FREE, dataset_stats, load
+from repro.harness import table1_datasets
+
+
+def test_table1(benchmark):
+    text = benchmark.pedantic(
+        table1_datasets, rounds=1, iterations=1, warmup_rounds=0
+    )
+    write_artifact("table1_datasets.txt", text)
+
+    stats = {n: dataset_stats(n) for n in SCALE_FREE + MESH_LIKE}
+    # Scale-free: skewed degrees, tiny diameter.
+    for name in SCALE_FREE:
+        s = stats[name]
+        graph = load(name)
+        deg = np.asarray(graph.out_degree())
+        assert deg.max() > 5 * deg.mean(), name
+        assert s.diameter <= 30, name
+    # Mesh-like: flat degrees, large diameter.
+    for name in MESH_LIKE:
+        s = stats[name]
+        assert s.avg_degree < 5, name
+        assert s.max_out_degree <= 12, name
+        assert s.diameter > 100, name
+    # Relative ordering matches the paper.
+    assert stats["twitter50"].n_edges == max(
+        s.n_edges for s in stats.values()
+    )
+    assert stats["osm-eur"].n_vertices > stats["road-usa"].n_vertices
+    assert stats["osm-eur"].diameter > stats["road-usa"].diameter
+    hollywood_density = stats["hollywood-2009"].avg_degree
+    assert hollywood_density == max(s.avg_degree for s in stats.values())

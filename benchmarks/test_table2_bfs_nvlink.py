@@ -1,0 +1,64 @@
+"""Table II: BFS runtimes on Daisy (NVLink), 4 frameworks x 6 datasets
+x 1-4 GPUs, with speedups vs Gunrock.
+
+Shape criteria asserted (vs the paper's Table II):
+
+* On mesh-like datasets, Atos-standard-persistent beats Gunrock by a
+  large factor (paper: 13-16x; we require >= 5x) and beats Groute
+  (paper: ~2.4x; we require >).
+* Groute beats Gunrock on mesh-like datasets (paper: 4-6x).
+* On scale-free datasets, the best Atos configuration beats Gunrock
+  at 4 GPUs (paper: 1.3-2.3x, except twitter50 where Gunrock holds).
+* Atos-priority-discrete beats Atos-standard-persistent... only at
+  paper scale; at 1/200 scale the launch overhead outweighs the
+  smaller speculation savings, so we assert the workload ordering in
+  Table III instead (see DESIGN.md / EXPERIMENTS.md).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import write_artifact
+from repro.graph import MESH_LIKE, SCALE_FREE
+
+
+def _geomean(values):
+    return float(np.exp(np.mean(np.log(values))))
+
+
+def test_table2_bfs_nvlink(benchmark, table2_grid):
+    grid = benchmark.pedantic(
+        lambda: table2_grid, rounds=1, iterations=1, warmup_rounds=0
+    )
+    write_artifact("table2_bfs_nvlink.txt", grid.render(baseline="gunrock"))
+
+    gunrock = grid.times["gunrock"]
+    groute = grid.times["groute"]
+    atos_sp = grid.times["atos-standard-persistent"]
+    atos_pd = grid.times["atos-priority-discrete"]
+
+    mesh = [d for d in MESH_LIKE if d in gunrock]
+    assert mesh, "no mesh datasets in grid"
+    for dataset in mesh:
+        for i in range(len(grid.gpu_counts)):
+            # Atos-persistent dominates mesh BFS.
+            assert atos_sp[dataset][i] < gunrock[dataset][i] / 5, dataset
+            assert atos_sp[dataset][i] < groute[dataset][i], dataset
+            # Groute (async, persistent) also beats BSP Gunrock.
+            assert groute[dataset][i] < gunrock[dataset][i], dataset
+            # Persistent beats discrete+priority on mesh.
+            assert atos_sp[dataset][i] < atos_pd[dataset][i], dataset
+
+    scale_free = [d for d in SCALE_FREE if d in gunrock and d != "twitter50"]
+    last = len(grid.gpu_counts) - 1
+    for dataset in scale_free:
+        best_atos = min(atos_sp[dataset][last], atos_pd[dataset][last])
+        assert best_atos < gunrock[dataset][last], dataset
+
+    # Geomean speedup of Atos-persistent over Gunrock on mesh is large.
+    factors = [
+        gunrock[d][i] / atos_sp[d][i]
+        for d in mesh
+        for i in range(len(grid.gpu_counts))
+    ]
+    assert _geomean(factors) > 6.0

@@ -1,0 +1,52 @@
+"""Table III: normalized BFS workload without -> with the priority queue.
+
+The paper's Table III measures total vertices visited normalized to an
+ideal single-visit traversal, on the scale-free datasets: FIFO
+speculation re-visits vertices (factors up to 1.57), the priority
+queue suppresses most of it.  Asserted shapes:
+
+* at 1 GPU both configurations are near-ideal,
+* without the priority queue the factor grows with GPU count,
+* the priority queue's factor is <= the FIFO factor everywhere,
+* the priority queue stays near 1.0.
+"""
+
+import pytest
+
+from conftest import grid_datasets, nvlink_gpus, write_artifact
+from repro.graph import SCALE_FREE
+from repro.harness import table3_priority_workload
+
+
+def test_table3_priority_workload(benchmark):
+    datasets = grid_datasets()
+    if datasets is not None:
+        datasets = [d for d in datasets if d in SCALE_FREE]
+    gpus = nvlink_gpus()
+    text, data = benchmark.pedantic(
+        table3_priority_workload,
+        args=(datasets, gpus),
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    write_artifact("table3_priority_workload.txt", text)
+
+    for dataset, per_gpu in data.items():
+        without_1, with_1 = per_gpu[gpus[0]]
+        assert without_1 < 1.1, dataset  # near-ideal single GPU
+        without_max, with_max = per_gpu[gpus[-1]]
+        # Redundancy appears with more GPUs (speculation across links).
+        assert without_max >= without_1 - 1e-9, dataset
+        for n in gpus:
+            without, with_pq = per_gpu[n]
+            assert with_pq <= without + 1e-9, (dataset, n)
+            assert with_pq < 1.15, (dataset, n)
+
+    # At the largest GPU count, at least one dataset shows measurable
+    # FIFO redundancy that the priority queue then removes.
+    reductions = [
+        per_gpu[gpus[-1]][0] - per_gpu[gpus[-1]][1]
+        for per_gpu in data.values()
+    ]
+    assert max(reductions) > 0.02

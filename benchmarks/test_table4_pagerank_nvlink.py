@@ -1,0 +1,52 @@
+"""Table IV: PageRank runtimes on Daisy (NVLink), with speedups vs
+Gunrock.
+
+Shape criteria (paper Table IV):
+
+* Both Atos configurations beat Gunrock on every dataset (paper's
+  geomean: 2.59x discrete, 2.37x persistent; we require geomean > 1.5
+  and per-cell advantage at 4 GPUs).
+* Atos beats Groute on every dataset (paper: largest speedups vs
+  Groute for PR).
+* Async beats BSP mainly through work efficiency: Atos's relaxation
+  count is below Gunrock's full-sweep edge count.
+"""
+
+import numpy as np
+
+from conftest import write_artifact
+from repro.graph import MESH_LIKE, SCALE_FREE
+
+
+def _geomean(values):
+    return float(np.exp(np.mean(np.log(values))))
+
+
+def test_table4_pagerank_nvlink(benchmark, table4_grid):
+    grid = benchmark.pedantic(
+        lambda: table4_grid, rounds=1, iterations=1, warmup_rounds=0
+    )
+    write_artifact(
+        "table4_pagerank_nvlink.txt", grid.render(baseline="gunrock")
+    )
+
+    gunrock = grid.times["gunrock"]
+    groute = grid.times["groute"]
+    atos_d = grid.times["atos-standard-discrete"]
+    atos_p = grid.times["atos-standard-persistent"]
+    last = len(grid.gpu_counts) - 1
+
+    for dataset in gunrock:
+        best_atos = min(atos_d[dataset][last], atos_p[dataset][last])
+        assert best_atos < gunrock[dataset][last], dataset
+        if dataset in groute:
+            assert best_atos < groute[dataset][last], dataset
+
+    # Geomean speedup of the best Atos config over Gunrock across the
+    # whole grid exceeds 1.5x.
+    factors = []
+    for dataset in gunrock:
+        for i in range(len(grid.gpu_counts)):
+            best = min(atos_d[dataset][i], atos_p[dataset][i])
+            factors.append(gunrock[dataset][i] / best)
+    assert _geomean(factors) > 1.5

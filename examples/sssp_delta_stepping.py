@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Shortest paths with the distributed priority queue (delta-stepping).
+
+The paper's priority queue gives vertices with lower depth higher
+processing priority; for *weighted* shortest paths the same structure
+becomes distributed delta-stepping — each discrete kernel launch
+settles one distance band.  This example routes across a weighted
+road-network mesh with a FIFO queue and with the priority queue and
+shows the work collapse, validating both against scipy's Dijkstra.
+
+Run:  python examples/sssp_delta_stepping.py
+"""
+
+import numpy as np
+
+from repro.config import daisy
+from repro.gpu.kernel import KernelStrategy
+from repro.graph import bfs_grow_partition, geometric_weights, grid_mesh
+from repro.apps import AtosSSSP, reference_sssp
+from repro.runtime import AtosConfig, AtosExecutor
+
+
+def run(weighted, partition, source, config, label):
+    app = AtosSSSP(weighted, partition, source)
+    makespan, counters = AtosExecutor(daisy(4), app, config).run()
+    dist = app.result()
+    ref = reference_sssp(weighted, source)
+    finite = np.isfinite(ref)
+    assert np.array_equal(np.isfinite(dist), finite)
+    assert np.allclose(dist[finite], ref[finite])
+    relaxations = int(counters["vertices_relaxed"])
+    print(f"{label:<22} {makespan / 1000:>9.3f} ms "
+          f"{relaxations:>9} relaxations")
+    return relaxations
+
+
+def main() -> None:
+    # A 60x60 road mesh with euclidean-ish edge costs.
+    graph = grid_mesh(60, 60, seed=11)
+    weighted = geometric_weights(graph, width=60, seed=11)
+    partition = bfs_grow_partition(graph, 4, seed=0)
+    source = 0
+    print(f"weighted mesh: {graph.n_vertices} vertices, "
+          f"{graph.n_edges} edges\n")
+    print(f"{'configuration':<22} {'time':>12} {'work':>21}")
+
+    fifo = run(
+        weighted, partition, source,
+        AtosConfig(fetch_size=1),
+        "FIFO queue",
+    )
+    prio = run(
+        weighted, partition, source,
+        AtosConfig(
+            kernel=KernelStrategy.DISCRETE,
+            priority=True,
+            threshold_delta=2.0,
+            fetch_size=1,
+        ),
+        "priority queue (d=2)",
+    )
+
+    print(f"\nwork reduction from the priority queue: {fifo / prio:.1f}x")
+    assert prio < fifo
+    ideal = graph.n_vertices
+    print(f"priority-queue relaxations vs ideal (|V|): "
+          f"{prio / ideal:.2f}x")
+    print("OK: delta-stepping pruned the Bellman-Ford re-relaxation storm")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Applications: BFS, PageRank, and connected components."""
+
+from repro.apps.bfs import UNREACHED, AtosBFS
+from repro.apps.coloring import (
+    AtosColoring,
+    greedy_coloring,
+    is_proper_coloring,
+)
+from repro.apps.connected_components import (
+    AtosConnectedComponents,
+    reference_components,
+)
+from repro.apps.pagerank import AtosPageRank
+from repro.apps.sssp import UNREACHED_DIST, AtosSSSP, reference_sssp
+from repro.apps.validation import (
+    pagerank_close,
+    reference_bfs,
+    reference_pagerank,
+)
+
+__all__ = [
+    "AtosBFS",
+    "AtosPageRank",
+    "AtosColoring",
+    "AtosConnectedComponents",
+    "AtosSSSP",
+    "greedy_coloring",
+    "is_proper_coloring",
+    "UNREACHED",
+    "UNREACHED_DIST",
+    "reference_sssp",
+    "reference_bfs",
+    "reference_pagerank",
+    "reference_components",
+    "pagerank_close",
+]

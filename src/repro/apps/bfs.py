@@ -1,0 +1,156 @@
+"""Asynchronous push BFS on the Atos runtime (paper Listing 5 / §IV).
+
+Workers pop vertices, propagate ``depth+1`` to all neighbors with
+``atomicMin``, and push any neighbor whose depth improved — into the
+local queue if owned locally, otherwise as a one-sided update to the
+owner PE (which applies the atomicMin on arrival and enqueues the
+vertex if it improved).
+
+Speculation: out-of-order processing can visit a vertex at a
+non-final depth, requiring a re-visit — the redundant work Table III
+measures.  The priority configuration pushes with ``priority = depth``
+so low-depth vertices process first, suppressing most re-visits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.gpu.atomics import atomic_min_relaxed, duplicate_conflicts
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import Partition
+from repro.metrics.counters import Counters
+from repro.runtime.executor import AtosApplication, RoundOutcome
+
+__all__ = ["AtosBFS", "UNREACHED"]
+
+UNREACHED = np.iinfo(np.int32).max
+
+
+class AtosBFS(AtosApplication):
+    """Push BFS as an Atos application.
+
+    Tasks are *global* vertex ids; each PE only ever pops vertices it
+    owns.  Remote payloads are ``int64[k, 2]`` arrays of (vertex,
+    candidate depth) pairs, pre-reduced per destination (the worker's
+    collective aggregation).
+    """
+
+    name = "bfs"
+
+    def __init__(
+        self, graph: CSRGraph, partition: Partition, source: int
+    ):
+        if not 0 <= source < graph.n_vertices:
+            raise ValueError("source out of range")
+        self.graph = graph
+        self.partition = partition
+        self.source = source
+        self.depth_slices: list[np.ndarray] = []
+        self._counters = Counters()
+
+    # ------------------------------------------------------------- setup
+    def setup(self, n_pes: int):
+        if n_pes != self.partition.n_parts:
+            raise ValueError("partition does not match PE count")
+        self.depth_slices = [
+            np.full(self.partition.part_size(pe), UNREACHED, dtype=np.int64)
+            for pe in range(n_pes)
+        ]
+        src_pe = int(self.partition.owner[self.source])
+        self.depth_slices[src_pe][
+            self.partition.local_index[self.source]
+        ] = 0
+        seeds: list[tuple[np.ndarray, Optional[np.ndarray]]] = [
+            (np.empty(0, dtype=np.int64), None) for _ in range(n_pes)
+        ]
+        seeds[src_pe] = (
+            np.array([self.source], dtype=np.int64),
+            np.array([0.0]),
+        )
+        return seeds
+
+    # ----------------------------------------------------------- process
+    def process(self, pe: int, tasks: np.ndarray) -> RoundOutcome:
+        part = self.partition
+        depth_pe = self.depth_slices[pe]
+        rows = part.local_index[tasks]
+        self._counters["vertices_visited"] += len(tasks)
+
+        targets, origin = part.subgraphs[pe].expand_batch(rows)
+        if len(targets) == 0:
+            return RoundOutcome(edges_processed=0)
+        new_depth = depth_pe[rows][origin] + 1
+        owners = part.owner[targets]
+        local_mask = owners == pe
+
+        outcome = RoundOutcome(edges_processed=len(targets))
+
+        # Local neighbors: in-place atomicMin + push improved.
+        local_targets = targets[local_mask].astype(np.int64)
+        if len(local_targets):
+            local_rows = part.local_index[local_targets]
+            candidate = new_depth[local_mask]
+            outcome.conflicts = duplicate_conflicts(local_rows)
+            old = atomic_min_relaxed(depth_pe, local_rows, candidate)
+            improved = candidate < old
+            pushes, keep = np.unique(
+                local_targets[improved], return_index=True
+            )
+            outcome.local_pushes = pushes
+            outcome.local_priorities = candidate[improved][keep].astype(
+                np.float64
+            )
+
+        # Remote neighbors: one-sided (vertex, depth) updates to owners,
+        # reduced per vertex before leaving the worker (coalescing).
+        remote_mask = ~local_mask
+        if remote_mask.any():
+            r_targets = targets[remote_mask].astype(np.int64)
+            r_depth = new_depth[remote_mask]
+            r_owners = owners[remote_mask]
+            for dst in np.unique(r_owners):
+                sel = r_owners == dst
+                verts, vert_pos = np.unique(
+                    r_targets[sel], return_inverse=True
+                )
+                best = np.full(len(verts), np.iinfo(np.int64).max)
+                np.minimum.at(best, vert_pos, r_depth[sel])
+                outcome.remote_updates[int(dst)] = np.column_stack(
+                    [verts, best]
+                )
+        return outcome
+
+    # ------------------------------------------------------ remote side
+    def handle_remote(self, pe: int, payload: np.ndarray):
+        verts = payload[:, 0]
+        candidate = payload[:, 1]
+        if len(verts) > 1:
+            # Merged aggregated batches can repeat a vertex: keep the
+            # minimum candidate depth per vertex before applying.
+            uniq, inverse = np.unique(verts, return_inverse=True)
+            if len(uniq) < len(verts):
+                best = np.full(len(uniq), np.iinfo(np.int64).max)
+                np.minimum.at(best, inverse, candidate)
+                verts, candidate = uniq, best
+        rows = self.partition.local_index[verts]
+        old = atomic_min_relaxed(self.depth_slices[pe], rows, candidate)
+        improved = candidate < old
+        self._counters["remote_updates_applied"] += len(verts)
+        return (
+            verts[improved],
+            candidate[improved].astype(np.float64),
+        )
+
+    # ------------------------------------------------------------ output
+    def result(self) -> np.ndarray:
+        """Global depth array (UNREACHED where BFS never arrived)."""
+        out = np.full(self.graph.n_vertices, UNREACHED, dtype=np.int64)
+        for pe in range(self.partition.n_parts):
+            out[self.partition.part_vertices[pe]] = self.depth_slices[pe]
+        return out
+
+    def counters(self) -> Counters:
+        return self._counters

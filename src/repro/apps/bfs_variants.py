@@ -1,0 +1,193 @@
+"""Level-synchronous BFS formulations used by the baseline frameworks.
+
+Gunrock runs BSP push BFS: one advance kernel per level, a host-side
+synchronization, then a bulk exchange of remote frontier updates.
+Galois runs direction-optimized BFS (push when the frontier is small,
+pull when it is large) with a bulk Gluon sync per round.
+
+These functions execute the *algorithm* exactly (on the real graph,
+producing the real depth array for validation) while recording the
+per-level quantities — frontier and edge work per PE, remote update
+matrix — that the frameworks' cost models turn into time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import Partition
+
+__all__ = ["LevelTrace", "BFSTraceResult", "bsp_bfs_trace",
+           "direction_optimized_bfs_trace"]
+
+UNREACHED = np.iinfo(np.int32).max
+
+
+@dataclass
+class LevelTrace:
+    """Work and communication of one BSP level."""
+
+    level: int
+    direction: str  # "push" | "pull"
+    frontier_per_pe: np.ndarray  # int64[n_pes]
+    edges_per_pe: np.ndarray  # int64[n_pes]
+    #: remote_updates[i, j] = update count PE i sends PE j this level.
+    remote_updates: np.ndarray  # int64[n_pes, n_pes]
+
+
+@dataclass
+class BFSTraceResult:
+    """The whole run: final depths plus the per-level cost inputs."""
+
+    depth: np.ndarray
+    levels: list[LevelTrace] = field(default_factory=list)
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.levels)
+
+    def total_edges(self) -> int:
+        return int(sum(t.edges_per_pe.sum() for t in self.levels))
+
+
+def _remote_update_matrix(
+    partition: Partition,
+    src_pe_of_update: np.ndarray,
+    dst_vertex: np.ndarray,
+) -> np.ndarray:
+    """Count deduplicated (src PE -> dst vertex) updates per PE pair."""
+    n = partition.n_parts
+    matrix = np.zeros((n, n), dtype=np.int64)
+    if len(dst_vertex) == 0:
+        return matrix
+    dst_pe = partition.owner[dst_vertex]
+    keys = (
+        src_pe_of_update.astype(np.int64) * n + dst_pe
+    ) * partition.n_vertices + dst_vertex
+    unique_keys = np.unique(keys)
+    pair = unique_keys // partition.n_vertices
+    np.add.at(
+        matrix, (pair // n, pair % n), 1
+    )
+    return matrix
+
+
+def bsp_bfs_trace(
+    graph: CSRGraph, partition: Partition, source: int
+) -> BFSTraceResult:
+    """Classic BSP push BFS (the Gunrock formulation)."""
+    depth = np.full(graph.n_vertices, UNREACHED, dtype=np.int64)
+    depth[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    result = BFSTraceResult(depth=depth)
+    level = 0
+    n_pes = partition.n_parts
+    while len(frontier):
+        frontier_per_pe = np.bincount(
+            partition.owner[frontier], minlength=n_pes
+        ).astype(np.int64)
+        targets, origin = graph.expand_batch(frontier)
+        src_pe = partition.owner[frontier[origin]]
+        edges_per_pe = np.bincount(src_pe, minlength=n_pes).astype(np.int64)
+        improved = depth[targets] == UNREACHED
+        new_frontier = np.unique(targets[improved]).astype(np.int64)
+        # Remote updates: improved targets owned by another PE.
+        cross = improved & (src_pe != partition.owner[targets])
+        remote = _remote_update_matrix(
+            partition, src_pe[cross], targets[cross].astype(np.int64)
+        )
+        result.levels.append(
+            LevelTrace(
+                level=level,
+                direction="push",
+                frontier_per_pe=frontier_per_pe,
+                edges_per_pe=edges_per_pe,
+                remote_updates=remote,
+            )
+        )
+        level += 1
+        depth[new_frontier] = level
+        frontier = new_frontier
+    return result
+
+
+def direction_optimized_bfs_trace(
+    graph: CSRGraph,
+    partition: Partition,
+    source: int,
+    pull_threshold: float = 0.05,
+    reverse: CSRGraph | None = None,
+) -> BFSTraceResult:
+    """Direction-optimized BFS (the Galois formulation).
+
+    Levels whose frontier exceeds ``pull_threshold * n`` run in pull
+    direction: every unvisited vertex scans its in-edges for a visited
+    parent.  Pull levels exchange frontier membership bitmaps instead
+    of per-edge updates (Gluon's bitvector sync).
+    """
+    if reverse is None:
+        reverse = graph.reverse()
+    depth = np.full(graph.n_vertices, UNREACHED, dtype=np.int64)
+    depth[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    result = BFSTraceResult(depth=depth)
+    level = 0
+    n_pes = partition.n_parts
+    n = graph.n_vertices
+    while len(frontier):
+        use_pull = len(frontier) > pull_threshold * n
+        frontier_per_pe = np.bincount(
+            partition.owner[frontier], minlength=n_pes
+        ).astype(np.int64)
+        if use_pull:
+            unvisited = np.flatnonzero(depth == UNREACHED)
+            targets, origin = reverse.expand_batch(unvisited)
+            # Each unvisited vertex scans in-neighbors until one is in
+            # the frontier; cost model charges the full scan (upper
+            # bound, as Galois's bitvector test is per-edge anyway).
+            edges_per_pe = np.bincount(
+                partition.owner[unvisited[origin]], minlength=n_pes
+            ).astype(np.int64)
+            found = depth[targets] == level
+            new_frontier = np.unique(unvisited[origin[found]]).astype(
+                np.int64
+            )
+            # Pull sync: every PE broadcasts its frontier bitmap slice.
+            remote = np.zeros((n_pes, n_pes), dtype=np.int64)
+            for i in range(n_pes):
+                for j in range(n_pes):
+                    if i != j:
+                        # bitmap of owned vertices, in "updates" (bits/64)
+                        remote[i, j] = max(
+                            1, partition.part_size(i) // 64
+                        )
+            direction = "pull"
+        else:
+            targets, origin = graph.expand_batch(frontier)
+            src_pe = partition.owner[frontier[origin]]
+            edges_per_pe = np.bincount(
+                src_pe, minlength=n_pes
+            ).astype(np.int64)
+            improved = depth[targets] == UNREACHED
+            new_frontier = np.unique(targets[improved]).astype(np.int64)
+            cross = improved & (src_pe != partition.owner[targets])
+            remote = _remote_update_matrix(
+                partition, src_pe[cross], targets[cross].astype(np.int64)
+            )
+            direction = "push"
+        result.levels.append(
+            LevelTrace(
+                level=level,
+                direction=direction,
+                frontier_per_pe=frontier_per_pe,
+                edges_per_pe=edges_per_pe,
+                remote_updates=remote,
+            )
+        )
+        level += 1
+        depth[new_frontier] = level
+        frontier = new_frontier
+    return result

@@ -1,0 +1,200 @@
+"""Speculative greedy graph coloring on the Atos runtime.
+
+The Atos single-GPU paper (ICPP'22, reference [16]) evaluates
+speculative greedy coloring alongside BFS and PageRank; this module
+brings it to the distributed runtime.  The asynchronous formulation:
+
+* every vertex starts queued; a worker popping vertex ``v`` reads its
+  neighbors' current colors and assigns ``v`` the smallest color not
+  present among them (first-fit);
+* speculation: two adjacent vertices may color themselves
+  concurrently (or across PEs, with stale remote views) and collide.
+  Conflicts are detected afterwards and the *lower-id* endpoint keeps
+  its color while the other re-queues — guaranteeing progress (a
+  vertex only re-colors when a strictly lower-id neighbor forced it,
+  and ids are well-ordered).
+
+Remote wrinkle: a PE does not hold remote neighbors' colors.  Each PE
+keeps a *mirror* of its boundary neighbors' colors, updated by the
+one-sided color announcements owners push on every (re-)coloring —
+eventually-consistent state, exactly the PGAS pattern the runtime
+exists to support.  Termination: quiescence of the distributed queue
+(no conflicts left, every announcement delivered).
+
+The graph must be symmetric (coloring is defined on undirected
+adjacency).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import Partition
+from repro.metrics.counters import Counters
+from repro.runtime.executor import AtosApplication, RoundOutcome
+
+__all__ = ["AtosColoring", "greedy_coloring", "is_proper_coloring"]
+
+UNCOLORED = -1
+
+
+def greedy_coloring(graph: CSRGraph) -> np.ndarray:
+    """Serial first-fit coloring in vertex order (quality reference)."""
+    colors = np.full(graph.n_vertices, UNCOLORED, dtype=np.int64)
+    for v in range(graph.n_vertices):
+        used = set(
+            int(c) for c in colors[graph.neighbors(v)] if c != UNCOLORED
+        )
+        color = 0
+        while color in used:
+            color += 1
+        colors[v] = color
+    return colors
+
+
+def is_proper_coloring(graph: CSRGraph, colors: np.ndarray) -> bool:
+    """No edge connects two vertices of the same color; none uncolored."""
+    if np.any(colors == UNCOLORED):
+        return False
+    src, dst = graph.to_edges()
+    return not bool(np.any(colors[src] == colors[dst]))
+
+
+def _first_fit(neighbor_colors: np.ndarray) -> int:
+    """Smallest non-negative integer absent from ``neighbor_colors``."""
+    used = np.unique(neighbor_colors[neighbor_colors >= 0])
+    for color, candidate in enumerate(used):
+        if candidate != color:
+            return color
+    return len(used)
+
+
+class AtosColoring(AtosApplication):
+    """Asynchronous speculative first-fit coloring."""
+
+    name = "coloring"
+
+    def __init__(self, graph: CSRGraph, partition: Partition):
+        self.graph = graph
+        self.partition = partition
+        #: Per-PE view of *every* vertex's color: authoritative for
+        #: owned vertices, a mirror for remote ones.
+        self.color_views: list[np.ndarray] = []
+        self._counters = Counters()
+
+    def setup(self, n_pes: int):
+        if n_pes != self.partition.n_parts:
+            raise ValueError("partition does not match PE count")
+        self.color_views = [
+            np.full(self.graph.n_vertices, UNCOLORED, dtype=np.int64)
+            for _ in range(n_pes)
+        ]
+        return [
+            (self.partition.part_vertices[pe].astype(np.int64), None)
+            for pe in range(n_pes)
+        ]
+
+    def _color_batch(
+        self, pe: int, tasks: np.ndarray
+    ) -> RoundOutcome:
+        part = self.partition
+        view = self.color_views[pe]
+        rows = part.local_index[tasks]
+        outcome = RoundOutcome()
+        self._counters["color_attempts"] += len(tasks)
+
+        # Speculative: color the whole batch against the pre-round view
+        # (concurrent workers cannot see each other's writes).
+        new_colors = np.empty(len(tasks), dtype=np.int64)
+        subgraph = part.subgraphs[pe]
+        for i, row in enumerate(rows):
+            neighbors = subgraph.neighbors(int(row))
+            new_colors[i] = _first_fit(view[neighbors])
+        view[tasks] = new_colors
+
+        # Intra-batch + local conflicts: adjacent same-color pairs.
+        targets, origin = subgraph.expand_batch(rows)
+        if len(targets):
+            conflict = view[targets] == new_colors[origin]
+            # Lower id keeps its color; the higher-id endpoint redoes.
+            loser_is_task = tasks[origin] > targets
+            redo_tasks = np.unique(
+                tasks[origin[conflict & loser_is_task]]
+            )
+            redo_neighbors = targets[conflict & ~loser_is_task]
+            # A conflicting neighbor only re-queues if we own it (a
+            # remote one will detect the conflict when our announcement
+            # arrives at its owner).
+            local_redo_neighbors = np.unique(
+                redo_neighbors[part.owner[redo_neighbors] == pe]
+            ).astype(np.int64)
+            redo = np.union1d(redo_tasks, local_redo_neighbors)
+            view[redo] = UNCOLORED
+            outcome.local_pushes = redo
+            self._counters["conflicts"] += len(redo)
+            outcome.edges_processed = len(targets)
+
+        # Announce (vertex, color) of everything still colored to every
+        # PE that owns a neighbor (one-sided mirror updates).
+        colored_mask = view[tasks] != UNCOLORED
+        announce = tasks[colored_mask]
+        if len(announce):
+            announce_colors = view[announce]
+            targets2, origin2 = subgraph.expand_batch(
+                part.local_index[announce]
+            )
+            neighbor_owner = part.owner[targets2]
+            for dst in np.unique(neighbor_owner):
+                if dst == pe:
+                    continue
+                sel = neighbor_owner == dst
+                verts = np.unique(announce[origin2[sel]])
+                outcome.remote_updates[int(dst)] = np.column_stack(
+                    [verts, view[verts]]
+                )
+        return outcome
+
+    def process(self, pe: int, tasks: np.ndarray) -> RoundOutcome:
+        return self._color_batch(pe, tasks)
+
+    def handle_remote(self, pe: int, payload: np.ndarray):
+        """Apply mirror updates; re-queue owned vertices now in conflict."""
+        part = self.partition
+        view = self.color_views[pe]
+        verts = payload[:, 0].astype(np.int64)
+        colors = payload[:, 1]
+        view[verts] = colors
+        self._counters["mirror_updates"] += len(verts)
+
+        # Which of *our* vertices now collide with an announced color?
+        # Conflict: local vertex u (colored) adjacent to announced v
+        # with equal color and u > v (the higher id redoes; the
+        # lower's announcement is what reveals the collision).
+        targets, origin = part.subgraphs[pe].expand_batch(
+            np.arange(part.part_size(pe))
+        )
+        announced = np.zeros(self.graph.n_vertices, dtype=bool)
+        announced[verts] = True
+        local_vertices = part.part_vertices[pe][origin]
+        hits = (
+            announced[targets]
+            & (view[local_vertices] == view[targets])
+            & (view[local_vertices] != UNCOLORED)
+            & (local_vertices > targets)
+        )
+        redo_vertices = np.unique(local_vertices[hits]).astype(np.int64)
+        view[redo_vertices] = UNCOLORED
+        self._counters["conflicts"] += len(redo_vertices)
+        return redo_vertices, None
+
+    def result(self) -> np.ndarray:
+        """Final colors (authoritative per-owner values)."""
+        out = np.full(self.graph.n_vertices, UNCOLORED, dtype=np.int64)
+        for pe in range(self.partition.n_parts):
+            mine = self.partition.part_vertices[pe]
+            out[mine] = self.color_views[pe][mine]
+        return out
+
+    def counters(self) -> Counters:
+        return self._counters

@@ -1,0 +1,264 @@
+"""Command-line interface: run experiments without writing code.
+
+Mirrors the paper artifact's scripts (``figure5_prio.sh`` etc.) as
+subcommands::
+
+    python -m repro datasets                    # Table I
+    python -m repro run --framework atos-standard-persistent \\
+        --app bfs --dataset road-usa --machine daisy --gpus 4
+    python -m repro table2 [--quick]            # any table/figure
+    python -m repro fig1
+    python -m repro topology daisy
+
+Every experiment subcommand prints the paper-style table to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from repro._version import __version__
+
+__all__ = ["main", "build_parser"]
+
+QUICK_DATASETS = ["soc-livejournal1", "road-usa"]
+QUICK_NVLINK = (1, 4)
+QUICK_IB = (1, 4, 8)
+
+
+def _grid_args(quick: bool, ib: bool = False):
+    if not quick:
+        return None, None
+    return QUICK_DATASETS, (QUICK_IB if ib else QUICK_NVLINK)
+
+
+# ------------------------------------------------------------- commands
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    from repro.harness import table1_datasets
+
+    print(table1_datasets())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.harness import run
+
+    result = run(
+        args.framework, args.app, args.dataset, args.machine, args.gpus
+    )
+    print(
+        f"{result.framework} {result.app} on {result.dataset} "
+        f"({args.machine}, {result.n_gpus} GPUs): {result.time_ms:.3f} ms"
+    )
+    if args.counters:
+        for key in sorted(result.counters):
+            print(f"  {key:<28} {result.counters[key]:.0f}")
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.harness import table2_bfs_nvlink
+
+    datasets, gpus = _grid_args(args.quick)
+    grid = table2_bfs_nvlink(datasets, gpus or (1, 2, 3, 4))
+    print(grid.render(baseline="gunrock"))
+    return 0
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    from repro.graph import SCALE_FREE
+    from repro.harness import table3_priority_workload
+
+    datasets, gpus = _grid_args(args.quick)
+    if datasets is not None:
+        datasets = [d for d in datasets if d in SCALE_FREE]
+    text, _ = table3_priority_workload(datasets, gpus or (1, 2, 3, 4))
+    print(text)
+    return 0
+
+
+def _cmd_table4(args: argparse.Namespace) -> int:
+    from repro.harness import table4_pagerank_nvlink
+
+    datasets, gpus = _grid_args(args.quick)
+    grid = table4_pagerank_nvlink(datasets, gpus or (1, 2, 3, 4))
+    print(grid.render(baseline="gunrock"))
+    return 0
+
+
+def _cmd_table5(args: argparse.Namespace) -> int:
+    from repro.harness import table5_ib
+
+    datasets, gpus = _grid_args(args.quick, ib=True)
+    grid = table5_ib(args.app, datasets, gpus or tuple(range(1, 9)))
+    print(grid.render(baseline="galois"))
+    return 0
+
+
+def _cmd_fig1(args: argparse.Namespace) -> int:
+    from repro.queues import QueueContentionModel
+
+    model = QueueContentionModel()
+    threads = np.array([8192, 16384, 32768, 65536, 98304])
+    series = model.figure1_series(threads)
+    for plot, curves in series.items():
+        print(f"\nFigure 1 - concurrent {plot} (ms):")
+        header = f"{'threads':>10}" + "".join(
+            f"{name:>18}" for name in curves
+        )
+        print(header)
+        for i, n in enumerate(threads):
+            row = f"{int(n):>10}" + "".join(
+                f"{curves[name][i]:>18.4f}" for name in curves
+            )
+            print(row)
+    return 0
+
+
+def _cmd_fig2(args: argparse.Namespace) -> int:
+    from repro.interconnect import default_nvlink, default_pcie
+
+    nvlink, pcie = default_nvlink(), default_pcie()
+    print("Figure 2 - bandwidth efficiency vs requested bytes:")
+    print(f"{'bytes':>8}{'NVLink':>10}{'PCIe3':>10}")
+    for size in range(8, 129, 8):
+        print(
+            f"{size:>8}{nvlink.efficiency(size):>10.3f}"
+            f"{pcie.efficiency(size):>10.3f}"
+        )
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    from repro.interconnect import default_ib, optimal_batch_size
+
+    model = default_ib()
+    print("Figure 4 - IB latency / bandwidth vs message size:")
+    print(f"{'log2(B)':>8}{'latency_ms':>12}{'BW_GBps':>10}")
+    for log_size in range(0, 31, 2):
+        size = 1 << log_size
+        print(
+            f"{log_size:>8}{model.transfer_time(size) / 1000:>12.4f}"
+            f"{model.achieved_bandwidth(size) / 1000:>10.2f}"
+        )
+    print(f"optimal batch size: 2^{int(np.log2(optimal_batch_size(model)))} B")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.harness import (
+        PAPER_TABLE2_BFS_NVLINK,
+        PAPER_TABLE4_PR_NVLINK,
+        compare_grid,
+        table2_bfs_nvlink,
+        table4_pagerank_nvlink,
+    )
+
+    datasets, gpus = _grid_args(args.quick)
+    reports = [
+        compare_grid(
+            "Table II (BFS, NVLink)",
+            table2_bfs_nvlink(datasets, gpus or (1, 2, 3, 4)),
+            PAPER_TABLE2_BFS_NVLINK,
+            (1, 2, 3, 4),
+        ),
+        compare_grid(
+            "Table IV (PageRank, NVLink)",
+            table4_pagerank_nvlink(datasets, gpus or (1, 2, 3, 4)),
+            PAPER_TABLE4_PR_NVLINK,
+            (1, 2, 3, 4),
+        ),
+    ]
+    print("\n\n".join(r.render() for r in reports))
+    return 0
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    from repro.harness import get_machine
+    from repro.interconnect import Topology
+
+    n_gpus = {"daisy": 4, "summit-node": 6, "summit-ib": 8}[args.machine]
+    topo = Topology(get_machine(args.machine, args.gpus or n_gpus))
+    print(topo.describe())
+    print(f"\nmean pair latency: {topo.mean_pair_latency():.2f} us")
+    print(f"bisection bandwidth: {topo.bisection_bandwidth() / 1000:.1f} GB/s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Atos (SC22) reproduction: simulated multi-GPU "
+        "irregular graph processing.",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="Table I dataset summary").set_defaults(
+        func=_cmd_datasets
+    )
+
+    run_parser = sub.add_parser("run", help="run one experiment cell")
+    run_parser.add_argument("--framework", required=True)
+    run_parser.add_argument("--app", required=True,
+                            choices=["bfs", "pagerank"])
+    run_parser.add_argument("--dataset", required=True)
+    run_parser.add_argument("--machine", default="daisy")
+    run_parser.add_argument("--gpus", type=int, default=1)
+    run_parser.add_argument("--counters", action="store_true",
+                            help="print run counters")
+    run_parser.set_defaults(func=_cmd_run)
+
+    for name, fn, help_text in [
+        ("table2", _cmd_table2, "Table II: BFS on NVLink"),
+        ("table3", _cmd_table3, "Table III: priority-queue workload"),
+        ("table4", _cmd_table4, "Table IV: PageRank on NVLink"),
+    ]:
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--quick", action="store_true")
+        p.set_defaults(func=fn)
+
+    table5 = sub.add_parser("table5", help="Table V: Galois vs Atos on IB")
+    table5.add_argument("--app", default="bfs", choices=["bfs", "pagerank"])
+    table5.add_argument("--quick", action="store_true")
+    table5.set_defaults(func=_cmd_table5)
+
+    report = sub.add_parser(
+        "report", help="paper-vs-measured shape report (NVLink tables)"
+    )
+    report.add_argument("--quick", action="store_true")
+    report.set_defaults(func=_cmd_report)
+
+    sub.add_parser("fig1", help="queue microbenchmarks").set_defaults(
+        func=_cmd_fig1
+    )
+    sub.add_parser("fig2", help="bandwidth efficiency").set_defaults(
+        func=_cmd_fig2
+    )
+    sub.add_parser("fig4", help="IB message-size sweep").set_defaults(
+        func=_cmd_fig4
+    )
+
+    topo = sub.add_parser("topology", help="show a machine topology")
+    topo.add_argument("machine",
+                      choices=["daisy", "summit-node", "summit-ib"])
+    topo.add_argument("--gpus", type=int, default=None)
+    topo.set_defaults(func=_cmd_topology)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,253 @@
+"""Machine and cost-model configuration.
+
+All simulated-time quantities are **microseconds**; all sizes are
+**bytes**; bandwidths are **bytes per microsecond** (1 GB/s == 1000 B/us).
+The constants below come from the paper where it states them (link
+speeds, topologies, batch sizes) and from public V100 / EDR-IB
+characteristics otherwise.  They are deliberately centralized so the
+ablation benchmarks can sweep them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Literal
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "GB_PER_S",
+    "GPUSpec",
+    "LinkSpec",
+    "CostModel",
+    "MachineConfig",
+    "daisy",
+    "summit_node",
+    "summit_ib",
+    "V100_32GB",
+    "V100_16GB",
+]
+
+#: Conversion: 1 GB/s expressed in bytes per microsecond.
+GB_PER_S = 1000.0
+
+
+@dataclass(frozen=True, slots=True)
+class GPUSpec:
+    """Static description of one GPU device."""
+
+    name: str
+    n_sms: int
+    max_threads_per_sm: int
+    max_ctas_per_sm: int
+    registers_per_sm: int
+    shared_mem_per_sm: int  # bytes
+    memory_bandwidth: float  # bytes/us
+    memory_capacity: int  # bytes
+    #: Sustained irregular edge-update throughput (edge updates per us).
+    #: ~2 GTEPS for V100 graph traversal (memory-bound, scattered atomics).
+    edge_throughput: float = 2000.0
+    #: Latency of one global-memory atomic (us).
+    atomic_latency: float = 0.0006
+    #: Additional serialization cost per conflicting atomic on the same
+    #: address/cache line (us).  Zero by default: L2 same-address
+    #: combining makes hub-update serialization a second-order effect,
+    #: and the sustained ``edge_throughput`` is calibrated with it
+    #: folded in.  The contention ablation bench raises it.
+    atomic_conflict_penalty: float = 0.0
+
+    def resident_threads(self) -> int:
+        return self.n_sms * self.max_threads_per_sm
+
+
+V100_32GB = GPUSpec(
+    name="V100-SXM2-32GB",
+    n_sms=80,
+    max_threads_per_sm=2048,
+    max_ctas_per_sm=32,
+    registers_per_sm=65536,
+    shared_mem_per_sm=96 * 1024,
+    memory_bandwidth=900.0 * GB_PER_S,
+    memory_capacity=32 * 1024**3,
+)
+
+V100_16GB = replace(V100_32GB, name="V100-SXM2-16GB",
+                    memory_capacity=16 * 1024**3)
+
+
+@dataclass(frozen=True, slots=True)
+class LinkSpec:
+    """One directed interconnect link."""
+
+    kind: Literal["nvlink", "pcie", "ib"]
+    bandwidth: float  # bytes/us
+    latency: float  # us, one-way, excluding serialization
+    #: Max payload per packet/message unit (bytes); None = unbounded.
+    max_payload: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class CostModel:
+    """Execution-model cost constants shared by all framework drivers."""
+
+    #: Host-side CUDA kernel launch overhead (us per launch).
+    kernel_launch_overhead: float = 6.0
+    #: cudaStreamSynchronize + host logic at a BSP phase boundary (us).
+    cpu_sync_overhead: float = 12.0
+    #: Extra one-way latency when the *communication control path* runs
+    #: on the CPU (Groute/Gunrock/Galois) instead of the GPU (Atos).
+    cpu_control_path_latency: float = 10.0
+    #: GPU-resident control path cost for initiating one send (us).
+    gpu_control_path_latency: float = 0.8
+    #: Per-message NIC processing cost for InfiniBand (us).
+    ib_message_overhead: float = 2.0
+    #: Base one-way latency of a GPU-initiated IB message (us).
+    ib_base_latency: float = 6.0
+    #: Per-task queue pop/push bookkeeping amortized per task (us).
+    queue_op_cost: float = 0.002
+    #: Bytes moved per processed edge update (index + depth/residual).
+    bytes_per_edge_update: int = 12
+    #: Bytes on the wire per remote vertex update message payload.
+    bytes_per_remote_update: int = 8
+    #: Polling interval of an idle persistent worker (us).
+    idle_poll_interval: float = 1.0
+
+
+@dataclass(frozen=True, slots=True)
+class MachineConfig:
+    """A whole machine: GPUs plus the interconnect layout.
+
+    ``links[(i, j)]`` gives the link spec used from GPU ``i`` to GPU
+    ``j``.  Multi-node IB machines additionally set ``inter_node=True``
+    so the runtime enables the communication aggregator by default.
+    """
+
+    name: str
+    gpu: GPUSpec
+    n_gpus: int
+    links: dict[tuple[int, int], LinkSpec]
+    cost: CostModel = field(default_factory=CostModel)
+    inter_node: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_gpus < 1:
+            raise ConfigurationError("machine needs at least one GPU")
+        for (i, j) in self.links:
+            if not (0 <= i < self.n_gpus and 0 <= j < self.n_gpus):
+                raise ConfigurationError(f"link ({i},{j}) out of range")
+            if i == j:
+                raise ConfigurationError("self-links are not allowed")
+
+    def link(self, src: int, dst: int) -> LinkSpec:
+        try:
+            return self.links[(src, dst)]
+        except KeyError:
+            raise ConfigurationError(
+                f"no link {src}->{dst} on {self.name}"
+            ) from None
+
+    def subset(self, n_gpus: int) -> "MachineConfig":
+        """Restrict the machine to its first ``n_gpus`` GPUs."""
+        if not 1 <= n_gpus <= self.n_gpus:
+            raise ConfigurationError(
+                f"cannot take {n_gpus} GPUs from {self.n_gpus}-GPU machine"
+            )
+        links = {
+            (i, j): spec
+            for (i, j), spec in self.links.items()
+            if i < n_gpus and j < n_gpus
+        }
+        return replace(self, n_gpus=n_gpus, links=links)
+
+
+def _nvlink(bandwidth_gbs: float, latency: float = 1.8) -> LinkSpec:
+    return LinkSpec(
+        kind="nvlink",
+        bandwidth=bandwidth_gbs * GB_PER_S,
+        latency=latency,
+        max_payload=128,
+    )
+
+
+def daisy(n_gpus: int = 4) -> MachineConfig:
+    """The paper's "Daisy" DGX Station: 4 V100s, all-to-all NVLink.
+
+    Topology from the paper's appendix: each GPU has one dual-link
+    (50 GB/s) connection to one peer and single-link (25 GB/s)
+    connections to the others::
+
+              GPU0  GPU1  GPU2  GPU3
+        GPU0    X    NV1   NV1   NV2
+        GPU1   NV1    X    NV2   NV1
+        GPU2   NV1   NV2    X    NV1
+        GPU3   NV2   NV1   NV1    X
+    """
+    dual_pairs = {(0, 3), (3, 0), (1, 2), (2, 1)}
+    links: dict[tuple[int, int], LinkSpec] = {}
+    for i in range(4):
+        for j in range(4):
+            if i == j:
+                continue
+            gbs = 50.0 if (i, j) in dual_pairs else 25.0
+            links[(i, j)] = _nvlink(gbs)
+    return MachineConfig(
+        name="daisy", gpu=V100_32GB, n_gpus=4, links=links
+    ).subset(n_gpus)
+
+
+def summit_node(n_gpus: int = 6) -> MachineConfig:
+    """One Summit node: 6 V100s, 3 per socket, NVLink within a socket.
+
+    GPUs {0,1,2} share socket 0 and {3,4,5} share socket 1.  Within a
+    socket, GPUs are connected by 50 GB/s NVLink.  Across sockets,
+    traffic crosses the X-bus, with much higher latency and lower
+    bandwidth — the topology the paper uses for the latency-hiding
+    experiment (Figs 6-7).
+    """
+    links: dict[tuple[int, int], LinkSpec] = {}
+    for i in range(6):
+        for j in range(6):
+            if i == j:
+                continue
+            same_socket = (i < 3) == (j < 3)
+            if same_socket:
+                links[(i, j)] = _nvlink(50.0)
+            else:
+                links[(i, j)] = LinkSpec(
+                    kind="nvlink",
+                    bandwidth=32.0 * GB_PER_S,
+                    latency=7.0,  # cross-socket hop penalty
+                    max_payload=128,
+                )
+    return MachineConfig(
+        name="summit-node", gpu=V100_16GB, n_gpus=6, links=links
+    ).subset(n_gpus)
+
+
+def summit_ib(n_gpus: int = 8) -> MachineConfig:
+    """Multi-node Summit: one GPU per node, dual-rail EDR InfiniBand.
+
+    Each rail provides 12.5 GB/s of unidirectional injection bandwidth
+    (paper Section IV); latency is the GPU-initiated IB latency.
+    """
+    cost = CostModel()
+    ib = LinkSpec(
+        kind="ib",
+        bandwidth=12.5 * GB_PER_S,
+        latency=cost.ib_base_latency,
+        max_payload=None,
+    )
+    links = {
+        (i, j): ib
+        for i in range(n_gpus)
+        for j in range(n_gpus)
+        if i != j
+    }
+    return MachineConfig(
+        name="summit-ib",
+        gpu=V100_16GB,
+        n_gpus=n_gpus,
+        links=links,
+        cost=cost,
+        inter_node=True,
+    )

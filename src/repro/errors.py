@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """The event loop ran out of events while processes were still waiting."""
+
+
+class ProcessInterrupt(ReproError):
+    """Raised inside a process generator when it is interrupted."""
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class QueueFullError(ReproError):
+    """A bounded concurrent queue overflowed its capacity."""
+
+
+class QueueEmptyError(ReproError):
+    """A pop was attempted on a queue with no committed items."""
+
+
+class PartitionError(ReproError):
+    """A graph partitioning request was invalid or infeasible."""
+
+
+class TopologyError(ReproError):
+    """An interconnect topology was malformed or a route was missing."""
+
+
+class ConfigurationError(ReproError):
+    """A system/machine configuration was inconsistent."""
+
+
+class PGASError(ReproError):
+    """An invalid one-sided memory operation (bad PE, bad offset, ...)."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative application failed to converge within its budget."""

@@ -1,0 +1,16 @@
+"""Framework drivers: Atos and the three baselines it is compared to."""
+
+from repro.frameworks.atos import AtosDriver
+from repro.frameworks.async_cpu import GrouteLikeDriver
+from repro.frameworks.base import FrameworkDriver, bulk_exchange_time
+from repro.frameworks.bsp import GunrockLikeDriver
+from repro.frameworks.bulk_async import GaloisLikeDriver
+
+__all__ = [
+    "FrameworkDriver",
+    "bulk_exchange_time",
+    "AtosDriver",
+    "GunrockLikeDriver",
+    "GrouteLikeDriver",
+    "GaloisLikeDriver",
+]

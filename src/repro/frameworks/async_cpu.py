@@ -1,0 +1,51 @@
+"""Groute-like driver: asynchronous, but with a CPU control path.
+
+Groute runs the same asynchronous algorithms as Atos with persistent
+kernels (paper §IV-A1a: "Groute and Atos use the same algorithm ...
+and kernel strategy, so these factors do not contribute to the
+performance difference").  The differences the paper identifies — and
+the only knobs this driver turns — are:
+
+1. **CPU control path**: every transfer is triggered and signaled
+   through the host, adding ``cpu_control_path_latency`` per send.
+2. **Segment-boundary communication**: outgoing updates leave only at
+   kernel-segment boundaries instead of immediately, coarsening the
+   message pipeline (``segment_rounds``).
+
+No priority queue, no aggregator (Groute is single-node/NVLink only).
+"""
+
+from __future__ import annotations
+
+from repro.frameworks.atos import AtosDriver
+from repro.gpu.kernel import KernelStrategy
+from repro.runtime.executor import AtosConfig
+
+__all__ = ["GrouteLikeDriver", "GROUTE_SEGMENT_ROUNDS"]
+
+#: Rounds per kernel segment: Groute pipelines its input in a handful
+#: of chunks per iteration, so updates wait several scheduling rounds.
+GROUTE_SEGMENT_ROUNDS = 4
+#: Host-side router/link coordination per scheduling round (us): the
+#: Groute runtime's soft-RR scheduler and distributed worklist router
+#: run on the CPU and signal the GPU between segments, a cost Atos's
+#: GPU-resident scheduling avoids even at one GPU (Table II shows
+#: Groute ~3x slower than Atos on single-GPU road graphs).
+GROUTE_ROUND_HOST_US = 3.0
+
+
+class GrouteLikeDriver(AtosDriver):
+    """Async engine with host-mediated, segment-granular communication."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            kernel=KernelStrategy.PERSISTENT,
+            priority=False,
+            variant_name="groute",
+            base_config=AtosConfig(
+                control_path="cpu",
+                segment_rounds=GROUTE_SEGMENT_ROUNDS,
+                use_aggregator=False,
+                round_host_overhead=GROUTE_ROUND_HOST_US,
+            ),
+        )

@@ -1,0 +1,87 @@
+"""Common driver interface for all frameworks under evaluation.
+
+A driver turns (graph, partition, machine) into a validated
+:class:`~repro.metrics.counters.RunResult`.  The four drivers mirror
+the paper's comparison set:
+
+* ``atos`` — the contribution (DES execution of the real async apps).
+* ``gunrock`` — BSP, CPU control path (analytic cost over BSP traces).
+* ``groute`` — asynchronous, CPU control path, kernel-segment comms
+  (DES execution with the control-path knobs flipped).
+* ``galois`` — bulk-asynchronous Gluon-style rounds, direction-
+  optimized BFS (analytic cost over DO traces).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.config import MachineConfig
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import Partition
+from repro.metrics.counters import RunResult
+
+__all__ = ["FrameworkDriver", "bulk_exchange_time"]
+
+
+class FrameworkDriver(ABC):
+    """One framework's way of running the two applications."""
+
+    name: str = "framework"
+
+    @abstractmethod
+    def run_bfs(
+        self,
+        graph: CSRGraph,
+        partition: Partition,
+        source: int,
+        machine: MachineConfig,
+        dataset: str = "",
+    ) -> RunResult:
+        ...
+
+    @abstractmethod
+    def run_pagerank(
+        self,
+        graph: CSRGraph,
+        partition: Partition,
+        machine: MachineConfig,
+        alpha: float = 0.85,
+        epsilon: float = 1e-4,
+        dataset: str = "",
+    ) -> RunResult:
+        ...
+
+
+def bulk_exchange_time(
+    machine: MachineConfig,
+    update_matrix: np.ndarray,
+    bytes_per_update: int,
+    control_latency: float,
+    per_message_overhead: float = 0.0,
+) -> float:
+    """Time for one BSP all-pairs boundary exchange (us).
+
+    Every PE pair's bulk message moves concurrently on its own link;
+    the phase completes when the slowest transfer lands.  Each active
+    pair pays the control-path latency (CPU-mediated for the baseline
+    frameworks) plus optional per-message overhead (IB NIC cost).
+    """
+    n = machine.n_gpus
+    worst = 0.0
+    for i in range(n):
+        for j in range(n):
+            if i == j or update_matrix[i, j] == 0:
+                continue
+            spec = machine.link(i, j)
+            n_bytes = int(update_matrix[i, j]) * bytes_per_update
+            t = (
+                spec.latency
+                + control_latency
+                + per_message_overhead
+                + n_bytes / spec.bandwidth
+            )
+            worst = max(worst, t)
+    return worst

@@ -1,0 +1,31 @@
+"""GPU device model: atomics, occupancy, workers, kernels, memory."""
+
+from repro.gpu.atomics import (
+    atomic_add_exact,
+    atomic_add_relaxed,
+    atomic_min_exact,
+    atomic_min_relaxed,
+    duplicate_conflicts,
+)
+from repro.gpu.device import Occupancy, resident_ctas, resident_workers
+from repro.gpu.kernel import KernelModel, KernelStrategy
+from repro.gpu.memory import MemoryModel
+from repro.gpu.worker import CTA, THREAD, WARP, WorkerConfig
+
+__all__ = [
+    "atomic_min_relaxed",
+    "atomic_min_exact",
+    "atomic_add_relaxed",
+    "atomic_add_exact",
+    "duplicate_conflicts",
+    "Occupancy",
+    "resident_ctas",
+    "resident_workers",
+    "KernelStrategy",
+    "KernelModel",
+    "MemoryModel",
+    "WorkerConfig",
+    "THREAD",
+    "WARP",
+    "CTA",
+]

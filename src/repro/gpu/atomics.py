@@ -1,0 +1,129 @@
+"""Simulated device atomics over numpy arrays.
+
+Two flavors of batched atomic, matching two ways a GPU batch can
+legally execute:
+
+* ``*_exact`` — fully serialized semantics: every operation observes
+  all earlier operations in the batch (on the same address).  This is
+  one legal linearization and is the validation/reference flavor.
+* ``*_relaxed`` — every operation reads the pre-batch value, all
+  writes then land combined.  This is the other extreme legal under a
+  relaxed memory model when operations race; it *over-reports*
+  successes for duplicate addresses, which models the worst-case
+  speculation of an asynchronous traversal (duplicate pushes are
+  redundant work the algorithm must tolerate anyway — exactly the
+  effect Table III quantifies).
+
+Both return the per-operation "old" value like CUDA's ``atomicMin`` /
+``atomicAdd`` so callers can detect success.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "atomic_min_relaxed",
+    "atomic_min_exact",
+    "atomic_add_relaxed",
+    "atomic_add_exact",
+    "duplicate_conflicts",
+]
+
+
+def _validate(array: np.ndarray, idx: np.ndarray, vals: np.ndarray) -> tuple:
+    idx = np.asarray(idx, dtype=np.int64)
+    vals = np.asarray(vals, dtype=array.dtype)
+    if idx.shape != vals.shape:
+        raise ValueError("idx and vals must have the same shape")
+    if len(idx) and (idx.min() < 0 or idx.max() >= len(array)):
+        raise IndexError("atomic index out of range")
+    return idx, vals
+
+
+def _occurrence_ranks(idx: np.ndarray) -> np.ndarray:
+    """rank[k] = how many earlier batch ops target the same index."""
+    order = np.argsort(idx, kind="stable")
+    sorted_idx = idx[order]
+    new_group = np.ones(len(idx), dtype=bool)
+    new_group[1:] = sorted_idx[1:] != sorted_idx[:-1]
+    group_start = np.flatnonzero(new_group)
+    group_sizes = np.diff(np.append(group_start, len(idx)))
+    ranks_sorted = np.arange(len(idx)) - np.repeat(group_start, group_sizes)
+    ranks = np.empty(len(idx), dtype=np.int64)
+    ranks[order] = ranks_sorted
+    return ranks
+
+
+def atomic_min_relaxed(
+    array: np.ndarray, idx: np.ndarray, vals: np.ndarray
+) -> np.ndarray:
+    """Batched atomicMin; every op observes the pre-batch value."""
+    idx, vals = _validate(array, idx, vals)
+    if len(idx) == 0:
+        return vals.copy()
+    old = array[idx].copy()
+    np.minimum.at(array, idx, vals)
+    return old
+
+
+def atomic_min_exact(
+    array: np.ndarray, idx: np.ndarray, vals: np.ndarray
+) -> np.ndarray:
+    """Batched atomicMin; ops on one address serialize in batch order."""
+    idx, vals = _validate(array, idx, vals)
+    if len(idx) == 0:
+        return vals.copy()
+    old = np.empty(len(idx), dtype=array.dtype)
+    ranks = _occurrence_ranks(idx)
+    for r in range(int(ranks.max()) + 1):
+        sel = ranks == r  # indices are unique within one round
+        sel_idx = idx[sel]
+        old[sel] = array[sel_idx]
+        array[sel_idx] = np.minimum(array[sel_idx], vals[sel])
+    return old
+
+
+def atomic_add_relaxed(
+    array: np.ndarray, idx: np.ndarray, vals: np.ndarray
+) -> np.ndarray:
+    """Batched atomicAdd; every op observes the pre-batch value.
+
+    The *sum* is still exact (``np.add.at`` accumulates all
+    operations); only the returned old values are pre-batch.
+    """
+    idx, vals = _validate(array, idx, vals)
+    if len(idx) == 0:
+        return vals.copy()
+    old = array[idx].copy()
+    np.add.at(array, idx, vals)
+    return old
+
+
+def atomic_add_exact(
+    array: np.ndarray, idx: np.ndarray, vals: np.ndarray
+) -> np.ndarray:
+    """Batched atomicAdd with serialized per-address old values."""
+    idx, vals = _validate(array, idx, vals)
+    if len(idx) == 0:
+        return vals.copy()
+    old = np.empty(len(idx), dtype=array.dtype)
+    ranks = _occurrence_ranks(idx)
+    for r in range(int(ranks.max()) + 1):
+        sel = ranks == r
+        sel_idx = idx[sel]
+        old[sel] = array[sel_idx]
+        array[sel_idx] = array[sel_idx] + vals[sel]
+    return old
+
+
+def duplicate_conflicts(idx: np.ndarray) -> int:
+    """Number of batch ops hitting an already-targeted address.
+
+    Feeds the memory model's atomic-contention cost: conflicting
+    atomics on one address serialize on the GPU.
+    """
+    idx = np.asarray(idx)
+    if len(idx) == 0:
+        return 0
+    return int(len(idx) - len(np.unique(idx)))

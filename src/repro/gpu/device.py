@@ -1,0 +1,91 @@
+"""GPU device model: occupancy and worker-count derivation.
+
+The Atos launch APIs size persistent grids to "the maximum number of
+threads that can concurrently reside on the GPU based on the
+application's register and shared memory usage" (paper Section III).
+:func:`resident_ctas` reproduces the CUDA occupancy calculation at the
+granularity this simulation needs: per-SM limits from threads, CTA
+slots, registers, and shared memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import GPUSpec
+from repro.errors import ConfigurationError
+
+__all__ = ["resident_ctas", "resident_workers", "Occupancy"]
+
+
+@dataclass(frozen=True, slots=True)
+class Occupancy:
+    """Result of an occupancy query."""
+
+    ctas_per_sm: int
+    total_ctas: int
+    total_threads: int
+    limiting_factor: str
+
+
+def resident_ctas(
+    spec: GPUSpec,
+    threads_per_cta: int,
+    registers_per_thread: int = 32,
+    shared_mem_per_cta: int = 0,
+) -> Occupancy:
+    """How many CTAs of this shape fit on the whole GPU at once."""
+    if threads_per_cta < 1:
+        raise ConfigurationError("threads_per_cta must be >= 1")
+    if threads_per_cta > spec.max_threads_per_sm:
+        raise ConfigurationError(
+            f"CTA of {threads_per_cta} threads exceeds the per-SM limit"
+        )
+    limits = {
+        "threads": spec.max_threads_per_sm // threads_per_cta,
+        "cta_slots": spec.max_ctas_per_sm,
+    }
+    if registers_per_thread > 0:
+        limits["registers"] = spec.registers_per_sm // (
+            registers_per_thread * threads_per_cta
+        )
+    if shared_mem_per_cta > 0:
+        limits["shared_memory"] = spec.shared_mem_per_sm // shared_mem_per_cta
+    factor = min(limits, key=lambda k: limits[k])
+    per_sm = limits[factor]
+    if per_sm < 1:
+        raise ConfigurationError(
+            f"CTA shape does not fit on an SM (limited by {factor})"
+        )
+    total = per_sm * spec.n_sms
+    return Occupancy(
+        ctas_per_sm=per_sm,
+        total_ctas=total,
+        total_threads=total * threads_per_cta,
+        limiting_factor=factor,
+    )
+
+
+def resident_workers(
+    spec: GPUSpec,
+    worker_kind: str,
+    cta_threads: int = 512,
+    registers_per_thread: int = 32,
+    shared_mem_per_cta: int = 0,
+) -> int:
+    """Number of concurrently resident workers of a given kind.
+
+    ``thread`` and ``warp`` workers subdivide resident CTAs; ``cta``
+    workers are the CTAs themselves.  512-thread CTAs are the paper's
+    best-performing worker size for both BFS and PageRank.
+    """
+    occ = resident_ctas(
+        spec, cta_threads, registers_per_thread, shared_mem_per_cta
+    )
+    if worker_kind == "cta":
+        return occ.total_ctas
+    if worker_kind == "warp":
+        return occ.total_threads // 32
+    if worker_kind == "thread":
+        return occ.total_threads
+    raise ConfigurationError(f"unknown worker kind {worker_kind!r}")

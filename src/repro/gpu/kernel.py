@@ -1,0 +1,53 @@
+"""Kernel execution strategies: discrete vs. persistent (paper §III).
+
+Atos can run workers inside *discrete* kernels (one launch per
+scheduling round, paying launch overhead each time) or a *persistent*
+kernel (one launch for the whole run; workers loop on the queue).
+Persistent kernels win when launch overhead dominates — BFS on
+mesh-like graphs, whose tiny frontiers mean thousands of near-empty
+rounds (paper Table II discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.config import CostModel
+
+__all__ = ["KernelStrategy", "KernelModel"]
+
+
+class KernelStrategy(str, Enum):
+    """How worker kernels are scheduled: one launch per round, or one
+    persistent launch for the whole run."""
+
+    DISCRETE = "discrete"
+    PERSISTENT = "persistent"
+
+
+@dataclass(frozen=True, slots=True)
+class KernelModel:
+    """Per-round overhead accounting for one kernel strategy."""
+
+    strategy: KernelStrategy
+    cost: CostModel
+
+    def startup_overhead(self) -> float:
+        """One-time cost before the first round (us)."""
+        # Both strategies pay one launch to get going.
+        return self.cost.kernel_launch_overhead
+
+    def round_overhead(self) -> float:
+        """Cost added to every scheduling round (us)."""
+        if self.strategy is KernelStrategy.PERSISTENT:
+            return 0.0
+        # Discrete: relaunch + host-side synchronization per round.
+        return self.cost.kernel_launch_overhead + self.cost.cpu_sync_overhead
+
+    def teardown_overhead(self) -> float:
+        """Cost after the final round (us)."""
+        if self.strategy is KernelStrategy.PERSISTENT:
+            # Final stop-condition propagation + host sync.
+            return self.cost.cpu_sync_overhead
+        return 0.0

@@ -1,0 +1,67 @@
+"""Worker abstraction (paper Section II).
+
+A *worker* is "a set of GPU resources, including a configurable number
+of CUDA threads, shared memory, coupled with the number of tasks that
+this worker will target".  Applications declare the worker size that
+fits their task granularity; the launch APIs (launchThread /
+launchWarp / launchCTA) correspond to the three kinds here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import GPUSpec
+from repro.errors import ConfigurationError
+from repro.gpu.device import resident_workers
+
+__all__ = ["WorkerConfig", "THREAD", "WARP", "CTA"]
+
+
+@dataclass(frozen=True, slots=True)
+class WorkerConfig:
+    """Shape of the workers an application launches.
+
+    ``fetch_size`` is how many tasks one worker pops per queue visit
+    (the FETCH_SIZE template parameter of ``launchCTA``).
+    """
+
+    kind: str  # "thread" | "warp" | "cta"
+    cta_threads: int = 512
+    fetch_size: int = 1
+    registers_per_thread: int = 32
+    shared_mem_per_cta: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("thread", "warp", "cta"):
+            raise ConfigurationError(f"unknown worker kind {self.kind!r}")
+        if self.fetch_size < 1:
+            raise ConfigurationError("fetch_size must be >= 1")
+        if self.cta_threads < 1:
+            raise ConfigurationError("cta_threads must be >= 1")
+        if self.kind == "warp" and self.cta_threads % 32:
+            raise ConfigurationError("warp workers need a multiple of 32")
+
+    @property
+    def threads_per_worker(self) -> int:
+        return {"thread": 1, "warp": 32, "cta": self.cta_threads}[self.kind]
+
+    def n_workers(self, spec: GPUSpec) -> int:
+        """Concurrently resident workers of this shape on one GPU."""
+        return resident_workers(
+            spec,
+            self.kind,
+            cta_threads=self.cta_threads,
+            registers_per_thread=self.registers_per_thread,
+            shared_mem_per_cta=self.shared_mem_per_cta,
+        )
+
+    def tasks_per_round(self, spec: GPUSpec) -> int:
+        """Tasks the whole GPU consumes per scheduling round."""
+        return self.n_workers(spec) * self.fetch_size
+
+
+#: The paper's evaluated configuration: 512-thread CTA workers.
+CTA = WorkerConfig(kind="cta", cta_threads=512, fetch_size=1)
+WARP = WorkerConfig(kind="warp", cta_threads=512, fetch_size=1)
+THREAD = WorkerConfig(kind="thread", cta_threads=512, fetch_size=1)

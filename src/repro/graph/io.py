@@ -1,0 +1,170 @@
+"""Graph file I/O: edge lists and Matrix Market.
+
+Lets a downstream user run the framework on real datasets (the
+paper's soc-LiveJournal1 etc. are distributed as Matrix Market /
+edge-list files) instead of the synthetic stand-ins.
+
+Formats:
+
+* **edge list** — one ``src dst [weight]`` pair per line, ``#``
+  comments; vertex ids are arbitrary non-negative integers and are
+  kept as-is (the vertex count is ``max id + 1`` unless given).
+* **Matrix Market** — ``%%MatrixMarket matrix coordinate`` headers,
+  1-based indices, ``pattern`` (unweighted) or ``real`` entries, with
+  ``symmetric`` expansion.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.graph.csr import CSRGraph
+from repro.graph.weights import WeightedGraph
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "read_matrix_market",
+    "write_matrix_market",
+]
+
+
+class GraphIOError(ReproError):
+    """A graph file could not be parsed."""
+
+
+def read_edge_list(
+    path: str | Path,
+    n_vertices: int | None = None,
+    weighted: bool = False,
+) -> CSRGraph | WeightedGraph:
+    """Parse a whitespace-separated edge list file."""
+    src: list[int] = []
+    dst: list[int] = []
+    weights: list[float] = []
+    for lineno, line in enumerate(Path(path).read_text().splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith(("#", "%")):
+            continue
+        parts = line.split()
+        if len(parts) < 2:
+            raise GraphIOError(f"{path}:{lineno}: need 'src dst [w]'")
+        try:
+            src.append(int(parts[0]))
+            dst.append(int(parts[1]))
+            if weighted:
+                weights.append(float(parts[2]) if len(parts) > 2 else 1.0)
+        except (ValueError, IndexError) as exc:
+            raise GraphIOError(f"{path}:{lineno}: {exc}") from exc
+    if not src:
+        raise GraphIOError(f"{path}: no edges found")
+    if min(min(src), min(dst)) < 0:
+        raise GraphIOError(f"{path}: negative vertex id")
+    n = n_vertices if n_vertices is not None else max(max(src), max(dst)) + 1
+    if weighted:
+        # Weighted: keep duplicates out, weights aligned via lexsort
+        # (mirror CSRGraph.from_edges's ordering without dedup).
+        src_a = np.asarray(src, dtype=np.int64)
+        dst_a = np.asarray(dst, dtype=np.int64)
+        w_a = np.asarray(weights)
+        keep = src_a != dst_a
+        src_a, dst_a, w_a = src_a[keep], dst_a[keep], w_a[keep]
+        order = np.lexsort((dst_a, src_a))
+        graph = CSRGraph.from_edges(
+            src_a[order], dst_a[order], n, dedup=False,
+            drop_self_loops=False,
+        )
+        return WeightedGraph(graph, w_a[order])
+    return CSRGraph.from_edges(src, dst, n)
+
+
+def write_edge_list(
+    graph: CSRGraph | WeightedGraph, path: str | Path
+) -> None:
+    """Write a graph as an edge list (with weights if present)."""
+    weighted = isinstance(graph, WeightedGraph)
+    csr = graph.graph if weighted else graph
+    src, dst = csr.to_edges()
+    lines = [f"# {csr.n_vertices} vertices, {csr.n_edges} edges"]
+    if weighted:
+        lines.extend(
+            f"{s} {d} {w:.17g}"
+            for s, d, w in zip(src, dst, graph.weights)
+        )
+    else:
+        lines.extend(f"{s} {d}" for s, d in zip(src, dst))
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_matrix_market(path: str | Path) -> CSRGraph | WeightedGraph:
+    """Parse a Matrix Market coordinate file into a graph."""
+    lines = Path(path).read_text().splitlines()
+    if not lines or not lines[0].startswith("%%MatrixMarket"):
+        raise GraphIOError(f"{path}: missing MatrixMarket header")
+    header = lines[0].split()
+    if len(header) < 5 or header[1] != "matrix" or header[2] != "coordinate":
+        raise GraphIOError(f"{path}: only coordinate matrices supported")
+    field, symmetry = header[3], header[4]
+    if field not in ("pattern", "real", "integer"):
+        raise GraphIOError(f"{path}: unsupported field {field!r}")
+
+    body = [
+        line for line in lines[1:]
+        if line.strip() and not line.startswith("%")
+    ]
+    try:
+        rows, cols, _nnz = map(int, body[0].split())
+    except (ValueError, IndexError) as exc:
+        raise GraphIOError(f"{path}: bad size line") from exc
+    n = max(rows, cols)
+    src, dst, weights = [], [], []
+    for entry in body[1:]:
+        parts = entry.split()
+        i, j = int(parts[0]) - 1, int(parts[1]) - 1  # 1-based
+        w = float(parts[2]) if field != "pattern" and len(parts) > 2 else 1.0
+        src.append(i)
+        dst.append(j)
+        weights.append(w)
+        if symmetry == "symmetric" and i != j:
+            src.append(j)
+            dst.append(i)
+            weights.append(w)
+    if not src:
+        raise GraphIOError(f"{path}: no entries")
+    if field == "pattern":
+        return CSRGraph.from_edges(src, dst, n)
+    src_a = np.asarray(src, dtype=np.int64)
+    dst_a = np.asarray(dst, dtype=np.int64)
+    w_a = np.asarray(weights)
+    keep = src_a != dst_a
+    src_a, dst_a, w_a = src_a[keep], dst_a[keep], w_a[keep]
+    order = np.lexsort((dst_a, src_a))
+    graph = CSRGraph.from_edges(
+        src_a[order], dst_a[order], n, dedup=False, drop_self_loops=False
+    )
+    return WeightedGraph(graph, w_a[order])
+
+
+def write_matrix_market(
+    graph: CSRGraph | WeightedGraph, path: str | Path
+) -> None:
+    """Write a graph as a (general, 1-based) Matrix Market file."""
+    weighted = isinstance(graph, WeightedGraph)
+    csr = graph.graph if weighted else graph
+    src, dst = csr.to_edges()
+    field = "real" if weighted else "pattern"
+    lines = [
+        f"%%MatrixMarket matrix coordinate {field} general",
+        f"{csr.n_vertices} {csr.n_vertices} {csr.n_edges}",
+    ]
+    if weighted:
+        lines.extend(
+            f"{s + 1} {d + 1} {w:.17g}"
+            for s, d, w in zip(src, dst, graph.weights)
+        )
+    else:
+        lines.extend(f"{s + 1} {d + 1}" for s, d in zip(src, dst))
+    Path(path).write_text("\n".join(lines) + "\n")

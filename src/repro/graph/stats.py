@@ -1,0 +1,119 @@
+"""Graph statistics used to build (scaled) Table I.
+
+Diameter is estimated with the standard double-sweep lower bound (BFS
+from an arbitrary vertex, then BFS from the farthest vertex found);
+exact diameters of the paper's datasets are themselves approximate
+("Diam." column of Table I), so a lower-bound estimate is appropriate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["GraphStats", "bfs_levels", "estimate_diameter", "graph_stats",
+           "largest_component_vertex", "connected_component_sizes"]
+
+UNREACHED = np.iinfo(np.int32).max
+
+
+def bfs_levels(graph: CSRGraph, source: int) -> np.ndarray:
+    """Level-synchronous CPU BFS; returns per-vertex depth (UNREACHED if not).
+
+    Serves as the validation oracle for every simulated BFS.
+    """
+    depth = np.full(graph.n_vertices, UNREACHED, dtype=np.int32)
+    depth[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    level = 0
+    while len(frontier):
+        targets, _ = graph.expand_batch(frontier)
+        targets = targets[depth[targets] == UNREACHED]
+        if len(targets) == 0:
+            break
+        frontier = np.unique(targets).astype(np.int64)
+        level += 1
+        depth[frontier] = level
+    return depth
+
+
+def estimate_diameter(graph: CSRGraph, source: int = 0) -> int:
+    """Double-sweep diameter lower bound within source's component."""
+    depth = bfs_levels(graph, source)
+    reached = depth != UNREACHED
+    if not reached.any():
+        return 0
+    far = int(np.argmax(np.where(reached, depth, -1)))
+    depth2 = bfs_levels(graph, far)
+    reached2 = depth2 != UNREACHED
+    return int(np.max(depth2[reached2]))
+
+
+def connected_component_sizes(graph: CSRGraph) -> list[int]:
+    """Sizes of weakly-connected components (graph treated undirected)."""
+    und = graph.symmetrized()
+    seen = np.zeros(und.n_vertices, dtype=bool)
+    sizes = []
+    for start in range(und.n_vertices):
+        if seen[start]:
+            continue
+        depth = bfs_levels(und, start)
+        comp = depth != UNREACHED
+        comp &= ~seen
+        sizes.append(int(comp.sum()))
+        seen |= depth != UNREACHED
+    return sorted(sizes, reverse=True)
+
+
+def largest_component_vertex(graph: CSRGraph, sample: int = 8) -> int:
+    """A vertex inside (very likely) the largest weakly-connected component.
+
+    BFS sources for experiments must reach most of the graph; sampling a
+    few candidate sources and keeping the one reaching farthest is cheap
+    and deterministic.
+    """
+    best_vertex, best_reach = 0, -1
+    degrees = np.asarray(graph.out_degree())
+    candidates = np.argsort(degrees)[::-1][:sample]
+    und = graph.symmetrized()
+    for v in candidates:
+        reach = int((bfs_levels(und, int(v)) != UNREACHED).sum())
+        if reach > best_reach:
+            best_vertex, best_reach = int(v), reach
+    return best_vertex
+
+
+@dataclass(frozen=True, slots=True)
+class GraphStats:
+    """The Table I columns for one dataset."""
+
+    name: str
+    n_vertices: int
+    n_edges: int
+    diameter: int
+    max_in_degree: int
+    max_out_degree: int
+    avg_degree: float
+    graph_type: str  # "scale-free" | "mesh-like"
+
+
+def graph_stats(
+    name: str, graph: CSRGraph, graph_type: str, source: int = 0
+) -> GraphStats:
+    """Compute the Table I row for ``graph``."""
+    out_deg = np.asarray(graph.out_degree())
+    in_deg = np.zeros(graph.n_vertices, dtype=np.int64)
+    np.add.at(in_deg, graph.indices, 1)
+    return GraphStats(
+        name=name,
+        n_vertices=graph.n_vertices,
+        n_edges=graph.n_edges,
+        diameter=estimate_diameter(graph, source),
+        max_in_degree=int(in_deg.max()) if graph.n_edges else 0,
+        max_out_degree=int(out_deg.max()) if graph.n_edges else 0,
+        avg_degree=float(graph.n_edges / max(1, graph.n_vertices)),
+        graph_type=graph_type,
+    )

@@ -1,0 +1,122 @@
+"""Edge weights for CSR graphs.
+
+Weights live in a parallel array aligned with ``CSRGraph.indices`` so
+the unweighted hot paths stay untouched.  :class:`WeightedGraph`
+bundles a graph with its weights and provides the weighted analogue of
+``expand_batch``; generators attach deterministic pseudo-random
+weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+__all__ = ["WeightedGraph", "uniform_weights", "geometric_weights"]
+
+
+class WeightedGraph:
+    """A CSR graph plus per-edge positive weights."""
+
+    __slots__ = ("graph", "weights")
+
+    def __init__(self, graph: CSRGraph, weights: np.ndarray):
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (graph.n_edges,):
+            raise ValueError(
+                f"need {graph.n_edges} weights, got {weights.shape}"
+            )
+        if len(weights) and weights.min() <= 0:
+            raise ValueError("weights must be positive")
+        self.graph = graph
+        self.weights = weights
+
+    @property
+    def n_vertices(self) -> int:
+        return self.graph.n_vertices
+
+    @property
+    def n_edges(self) -> int:
+        return self.graph.n_edges
+
+    def expand_batch(
+        self, vertices: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(targets, origin, edge weights) for a batch of rows."""
+        vertices = np.asarray(vertices, dtype=np.int64)
+        starts = self.graph.indptr[vertices]
+        degrees = self.graph.indptr[vertices + 1] - starts
+        total = int(degrees.sum())
+        if total == 0:
+            empty = np.empty(0)
+            return (
+                np.empty(0, dtype=np.int32),
+                np.empty(0, dtype=np.int64),
+                empty,
+            )
+        row_starts = np.zeros(len(vertices), dtype=np.int64)
+        np.cumsum(degrees[:-1], out=row_starts[1:])
+        positions = np.arange(total, dtype=np.int64) + np.repeat(
+            starts - row_starts, degrees
+        )
+        origin = np.repeat(np.arange(len(vertices)), degrees)
+        return self.graph.indices[positions], origin, self.weights[positions]
+
+    def row_subweights(self, rows: np.ndarray) -> "WeightedGraph":
+        """Weighted analogue of :meth:`CSRGraph.row_subgraph`."""
+        rows = np.asarray(rows, dtype=np.int64)
+        sub = self.graph.row_subgraph(rows)
+        _, _, weights = self.expand_batch(rows)
+        return WeightedGraph(sub, weights)
+
+    def symmetric_weights_ok(self) -> bool:
+        """True if w(u,v) == w(v,u) wherever both edges exist."""
+        src, dst = self.graph.to_edges()
+        table = {
+            (int(s), int(d)): w
+            for s, d, w in zip(src, dst, self.weights)
+        }
+        return all(
+            table.get((d, s), w) == w for (s, d), w in table.items()
+        )
+
+
+def uniform_weights(
+    graph: CSRGraph, low: float = 1.0, high: float = 10.0, seed: int = 0
+) -> WeightedGraph:
+    """Uniformly random weights, symmetric on symmetric graphs.
+
+    The weight of edge (u, v) is derived from the unordered pair so
+    that (v, u), if present, gets the same value — shortest paths on
+    symmetrized road networks need symmetric costs.
+    """
+    if low <= 0 or high < low:
+        raise ValueError("need 0 < low <= high")
+    src, dst = graph.to_edges()
+    lo = np.minimum(src, dst)
+    hi = np.maximum(src, dst)
+    # Per-pair deterministic hash -> uniform in [low, high].
+    mix = (lo * np.int64(2654435761) ^ hi * np.int64(40503)) + seed
+    mix = (mix ^ (mix >> 16)) * np.int64(73244475)
+    mix = (mix ^ (mix >> 16)) & np.int64(0x7FFFFFFF)
+    unit = mix.astype(np.float64) / float(0x7FFFFFFF)
+    return WeightedGraph(graph, low + unit * (high - low))
+
+
+def geometric_weights(
+    graph: CSRGraph, width: int, seed: int = 0
+) -> WeightedGraph:
+    """Grid-style weights: euclidean-ish distance between endpoints.
+
+    For mesh graphs built by :func:`repro.graph.generators.grid_mesh`
+    (vertex id = y * width + x) this yields road-length-like costs.
+    """
+    src, dst = graph.to_edges()
+    sx, sy = src % width, src // width
+    dx, dy = dst % width, dst // width
+    dist = np.sqrt((sx - dx) ** 2.0 + (sy - dy) ** 2.0)
+    rng = np.random.default_rng(seed)
+    jitter_src = rng.random(graph.n_vertices) * 0.2
+    jitter = 1.0 + (jitter_src[src] + jitter_src[dst]) / 2.0
+    return WeightedGraph(graph, np.maximum(dist, 0.5) * jitter)

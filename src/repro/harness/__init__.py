@@ -1,0 +1,60 @@
+"""Experiment harness: cached grid runner + table/figure definitions."""
+
+from repro.harness.runner import (
+    FRAMEWORKS,
+    PR_EPSILON,
+    get_driver,
+    get_machine,
+    get_partition,
+    run,
+)
+from repro.harness.paper_data import (
+    PAPER_TABLE2_BFS_NVLINK,
+    PAPER_TABLE3_WORKLOAD,
+    PAPER_TABLE4_PR_NVLINK,
+    PAPER_TABLE5_BFS_IB,
+    PAPER_TABLE5_PR_IB,
+)
+from repro.harness.report import ShapeReport, compare_grid
+from repro.harness.experiments import (
+    ALL_DATASETS,
+    IB_GPUS,
+    NVLINK_GPUS,
+    GridResult,
+    figure5_scaling,
+    figure7_latency_hiding,
+    runtime_grid,
+    table1_datasets,
+    table2_bfs_nvlink,
+    table3_priority_workload,
+    table4_pagerank_nvlink,
+    table5_ib,
+)
+
+__all__ = [
+    "run",
+    "get_driver",
+    "get_machine",
+    "get_partition",
+    "FRAMEWORKS",
+    "PR_EPSILON",
+    "GridResult",
+    "runtime_grid",
+    "table1_datasets",
+    "table2_bfs_nvlink",
+    "table3_priority_workload",
+    "table4_pagerank_nvlink",
+    "table5_ib",
+    "figure5_scaling",
+    "figure7_latency_hiding",
+    "ALL_DATASETS",
+    "NVLINK_GPUS",
+    "IB_GPUS",
+    "ShapeReport",
+    "compare_grid",
+    "PAPER_TABLE2_BFS_NVLINK",
+    "PAPER_TABLE3_WORKLOAD",
+    "PAPER_TABLE4_PR_NVLINK",
+    "PAPER_TABLE5_BFS_IB",
+    "PAPER_TABLE5_PR_IB",
+]

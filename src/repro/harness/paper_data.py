@@ -1,0 +1,166 @@
+"""The paper's reported measurements, transcribed as data.
+
+Used by :mod:`repro.harness.report` to compare reproduction *shapes*
+(who wins, rough factors, scaling directions) against the original
+tables.  Runtimes are in milliseconds, exactly as printed in the
+paper; ``None`` marks cells the paper could not produce (Groute OOMs
+on twitter50).
+
+Dataset keys use this repository's names (``repro.graph.datasets``).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "PAPER_TABLE2_BFS_NVLINK",
+    "PAPER_TABLE3_WORKLOAD",
+    "PAPER_TABLE4_PR_NVLINK",
+    "PAPER_TABLE5_BFS_IB",
+    "PAPER_TABLE5_PR_IB",
+    "NVLINK_GPU_COUNTS",
+    "IB_GPU_COUNTS",
+]
+
+NVLINK_GPU_COUNTS = (1, 2, 3, 4)
+IB_GPU_COUNTS = (1, 2, 3, 4, 5, 6, 7, 8)
+
+#: Table II — BFS runtimes (ms) on Daisy (NVLink), 1-4 GPUs.
+PAPER_TABLE2_BFS_NVLINK: dict[str, dict[str, tuple]] = {
+    "gunrock": {
+        "soc-livejournal1": (13.4, 10.0, 8.15, 8.03),
+        "hollywood-2009": (6.28, 5.38, 5.62, 5.39),
+        "indochina-2004": (11.0, 12.8, 13.6, 14.9),
+        "twitter50": (906, 477, 330, 258),
+        "road-usa": (604, 917, 963, 1009),
+        "osm-eur": (2094, 3163, 3282, 3442),
+    },
+    "groute": {
+        "soc-livejournal1": (19.0, 10.8, 10.2, 12.6),
+        "hollywood-2009": (7.17, 5.81, 5.82, 8.63),
+        "indochina-2004": (7.55, 7.43, 23.2, 29.7),
+        "twitter50": None,  # out-of-memory in the paper
+        "road-usa": (144, 145, 152, 163),
+        "osm-eur": (570, 507, 502, 512),
+    },
+    "atos-standard-persistent": {
+        "soc-livejournal1": (12.4, 9.00, 6.87, 6.33),
+        "hollywood-2009": (6.27, 7.90, 6.86, 6.77),
+        "indochina-2004": (8.03, 9.44, 8.43, 7.38),
+        "twitter50": (1412, 841, 587, 452),
+        "road-usa": (46.5, 57.5, 63.6, 62.0),
+        "osm-eur": (247, 218, 236, 227),
+    },
+    "atos-priority-discrete": {
+        "soc-livejournal1": (11.3, 6.45, 5.01, 4.01),
+        "hollywood-2009": (5.77, 5.14, 4.69, 3.84),
+        "indochina-2004": (9.68, 9.21, 7.23, 6.48),
+        "twitter50": (1052, 506, 348, 270),
+        "road-usa": (189, 181, 200, 207),
+        "osm-eur": (518, 617, 623, 709),
+    },
+}
+
+#: Table III — normalized BFS workload (without pq, with pq) per GPUs.
+PAPER_TABLE3_WORKLOAD: dict[str, dict[int, tuple[float, float]]] = {
+    "soc-livejournal1": {
+        1: (1.063, 1.003), 2: (1.26, 1.06), 3: (1.34, 1.10),
+        4: (1.42, 1.141),
+    },
+    "hollywood-2009": {
+        1: (1.168, 1.197), 2: (1.36, 1.11), 3: (1.42, 1.21),
+        4: (1.57, 1.248),
+    },
+    "indochina-2004": {
+        1: (1.004, 1.00), 2: (1.03, 1.03), 3: (1.03, 1.04),
+        4: (1.05, 1.047),
+    },
+    "twitter50": {
+        1: (1.237, 1.008), 2: (1.29, 1.16), 3: (1.31, 1.26),
+        4: (1.34, 1.305),
+    },
+}
+
+#: Table IV — PageRank runtimes (ms) on Daisy (NVLink).
+PAPER_TABLE4_PR_NVLINK: dict[str, dict[str, tuple]] = {
+    "gunrock": {
+        "soc-livejournal1": (262, 188, 89.8, 75.3),
+        "hollywood-2009": (87.3, 51.7, 44.8, 33.8),
+        "indochina-2004": (159, 120, 105, 100),
+        "twitter50": (25483, 15075, 8996, 6998),
+        "road-usa": (220, 189, 143, 122),
+        "osm-eur": (2784, 2253, 1650, 1373),
+    },
+    "groute": {
+        "soc-livejournal1": (259, 165, 132, 132),
+        "hollywood-2009": (115, 109, 102, 105),
+        "indochina-2004": (31933, 31845, 31396, 31360),
+        "twitter50": None,
+        "road-usa": (479, 232, 150, 114),
+        "osm-eur": (2414, 1224, 829, 661),
+    },
+    "atos-standard-discrete": {
+        "soc-livejournal1": (116, 58.8, 35.6, 26.3),
+        "hollywood-2009": (75.1, 27.9, 21.75, 18.9),
+        "indochina-2004": (50.8, 30.8, 24.1, 19.8),
+        "twitter50": (11291, 6332, 4521, 3582),
+        "road-usa": (111, 76.0, 51.2, 38.9),
+        "osm-eur": (991, 785, 525, 408),
+    },
+    "atos-standard-persistent": {
+        "soc-livejournal1": (117, 58.4, 40.0, 32.2),
+        "hollywood-2009": (90.8, 33.3, 31.4, 26.2),
+        "indochina-2004": (53.4, 37.0, 35.0, 30.1),
+        "twitter50": (11037, 5802, 4016, 3077),
+        "road-usa": (128, 69.5, 47.3, 36.2),
+        "osm-eur": (923, 729, 590, 508),
+    },
+}
+
+#: Table V — BFS runtimes (ms) on Summit (InfiniBand), 1-8 GPUs.
+PAPER_TABLE5_BFS_IB: dict[str, dict[str, tuple]] = {
+    "galois": {
+        "soc-livejournal1": (19.8, 19.1, 361, 382, 476, 470, 587, 636),
+        "hollywood-2009": (24.6, 204, 263, 403, 466, 499, 542, 545),
+        "indochina-2004": (49.0, 88.4, 667, 724, 858, 931, 953, 985),
+        "twitter50": (465, 533, 500, 591, 638, 699, 809, 702),
+        "road-usa": (4392, 24661, 36891, 37258, 143830, 53299, 173400,
+                     65332),
+        "osm-eur": (86516, 76359, 105660, 135425, 148622, 165393,
+                    176689, 180735),
+    },
+    "atos": {
+        "soc-livejournal1": (11.3, 7.34, 5.69, 4.87, 4.29, 3.97, 3.69,
+                             3.72),
+        "hollywood-2009": (5.77, 4.19, 4.22, 3.61, 3.11, 2.94, 3.31,
+                           3.17),
+        "indochina-2004": (9.68, 9.35, 7.71, 6.77, 7.14, 6.97, 6.75,
+                           7.12),
+        "twitter50": (1052, 539, 366, 338, 298, 286, 329, 286),
+        "road-usa": (46.5, 40.3, 49.0, 49.4, 57.1, 64.2, 74.2, 79.0),
+        "osm-eur": (247, 220, 226, 253, 278, 260, 268, 269),
+    },
+}
+
+#: Table V — PageRank runtimes (ms) on Summit (InfiniBand).
+PAPER_TABLE5_PR_IB: dict[str, dict[str, tuple]] = {
+    "galois": {
+        "soc-livejournal1": (1066, 1059, 661, 662, 669, 672, 666, 634),
+        "hollywood-2009": (454, 702, 796, 808, 814, 810, 1042, 997),
+        "indochina-2004": (2950, 2614, 2926, 2657, 1995, 2957, 2133,
+                           2208),
+        "twitter50": (15103, 14626, 8396, 7349, 6466, 6176, 5869, 5547),
+        "road-usa": (133, 795, 816, 805, 1024, 927, 907, 900),
+        "osm-eur": (1010, 2688, 2254, 2199, 2090, 2110, 2109, 2029),
+    },
+    "atos": {
+        "soc-livejournal1": (112, 55.8, 41.5, 36.6, 34.1, 28.7, 30.0,
+                             30.7),
+        "hollywood-2009": (74.1, 39.7, 35.2, 30.6, 30.3, 29.0, 28.8,
+                           29.8),
+        "indochina-2004": (51.2, 66.0, 48.2, 32.3, 36.8, 36.2, 34.1,
+                           30.2),
+        "twitter50": (11046, 5535, 3894, 3022, 2496, 2144, 1887, 1688),
+        "road-usa": (101, 62.1, 42.8, 33.0, 26.9, 22.3, 22.2, 22.3),
+        "osm-eur": (991, 874, 659, 512, 335, 294, 199, 251),
+    },
+}

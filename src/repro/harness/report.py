@@ -1,0 +1,140 @@
+"""Paper-vs-measured shape comparison.
+
+Given a measured grid and the paper's transcribed numbers
+(:mod:`repro.harness.paper_data`), compute per-cell *shape agreement*:
+for every (dataset, GPU count) pair present in both, compare
+
+* **winner agreement** — does the same framework win the cell?
+* **speedup direction** — for each framework pair, is the sign of the
+  speedup (who is faster) the same as in the paper?
+* **factor ratio** — measured speedup factor over paper speedup factor
+  (log-scale distance; absolute scale is not expected to match, but
+  the direction and rough magnitude should).
+
+The report is what EXPERIMENTS.md summarizes per experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+
+import numpy as np
+
+from repro.harness.experiments import GridResult
+
+__all__ = ["ShapeReport", "compare_grid"]
+
+
+@dataclass
+class ShapeReport:
+    """Aggregate shape agreement for one table."""
+
+    title: str
+    cells: int = 0
+    winner_matches: int = 0
+    direction_pairs: int = 0
+    direction_matches: int = 0
+    log_factor_errors: list[float] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def winner_agreement(self) -> float:
+        return self.winner_matches / self.cells if self.cells else 1.0
+
+    @property
+    def direction_agreement(self) -> float:
+        if not self.direction_pairs:
+            return 1.0
+        return self.direction_matches / self.direction_pairs
+
+    @property
+    def median_log10_factor_error(self) -> float:
+        if not self.log_factor_errors:
+            return 0.0
+        return float(np.median(np.abs(self.log_factor_errors)))
+
+    def render(self) -> str:
+        lines = [
+            self.title,
+            f"  cells compared:        {self.cells}",
+            f"  winner agreement:      {self.winner_agreement:.0%}",
+            f"  speedup-direction agreement: "
+            f"{self.direction_agreement:.0%} "
+            f"({self.direction_matches}/{self.direction_pairs} pairs)",
+            f"  median |log10(measured factor / paper factor)|: "
+            f"{self.median_log10_factor_error:.2f}",
+        ]
+        lines.extend(f"  note: {n}" for n in self.notes)
+        return "\n".join(lines)
+
+
+def _series(table: dict, framework: str, dataset: str):
+    rows = table.get(framework)
+    if rows is None:
+        return None
+    return rows.get(dataset)
+
+
+def compare_grid(
+    title: str,
+    grid: GridResult,
+    paper: dict[str, dict[str, tuple]],
+    paper_gpu_counts: tuple[int, ...],
+    framework_map: dict[str, str] | None = None,
+) -> ShapeReport:
+    """Compare a measured :class:`GridResult` against paper numbers.
+
+    ``framework_map`` translates measured framework names to the
+    paper-table keys when they differ (e.g. the Table V "atos" row
+    is this repo's best-of-two-variants).
+    """
+    framework_map = framework_map or {}
+    report = ShapeReport(title=title)
+    frameworks = [
+        fw for fw in grid.times
+        if framework_map.get(fw, fw) in paper
+    ]
+    shared_counts = [
+        (i, paper_gpu_counts.index(n))
+        for i, n in enumerate(grid.gpu_counts)
+        if n in paper_gpu_counts
+    ]
+    datasets = sorted(
+        {d for fw in frameworks for d in grid.times[fw]}
+    )
+    for dataset in datasets:
+        for mi, pi in shared_counts:
+            measured_cell = {}
+            paper_cell = {}
+            for fw in frameworks:
+                if dataset not in grid.times[fw]:
+                    continue
+                paper_series = _series(
+                    paper, framework_map.get(fw, fw), dataset
+                )
+                if paper_series is None:
+                    continue
+                measured_cell[fw] = grid.times[fw][dataset][mi]
+                paper_cell[fw] = paper_series[pi]
+            if len(measured_cell) < 2:
+                continue
+            report.cells += 1
+            measured_winner = min(measured_cell, key=measured_cell.get)
+            paper_winner = min(paper_cell, key=paper_cell.get)
+            if measured_winner == paper_winner:
+                report.winner_matches += 1
+            for fw_a, fw_b in combinations(sorted(measured_cell), 2):
+                measured_factor = (
+                    measured_cell[fw_b] / measured_cell[fw_a]
+                )
+                paper_factor = paper_cell[fw_b] / paper_cell[fw_a]
+                report.direction_pairs += 1
+                if (measured_factor > 1) == (paper_factor > 1):
+                    report.direction_matches += 1
+                report.log_factor_errors.append(
+                    float(
+                        np.log10(measured_factor) - np.log10(paper_factor)
+                    )
+                )
+    return report

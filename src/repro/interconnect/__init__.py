@@ -1,0 +1,37 @@
+"""Interconnect substrate: link cost models, topologies, DES transport."""
+
+from repro.interconnect.infiniband import (
+    InfiniBandModel,
+    default_ib,
+    optimal_batch_size,
+)
+from repro.interconnect.link import LinkModel
+from repro.interconnect.nvlink import (
+    MAX_SECTORS_PER_PACKET,
+    PACKET_HEADER_BYTES,
+    SECTOR_BYTES,
+    NVLinkModel,
+    default_nvlink,
+)
+from repro.interconnect.pcie import PCIeModel, default_pcie
+from repro.interconnect.topology import Topology, link_model_for
+from repro.interconnect.transfer import LinkChannel, Message, NetworkFabric
+
+__all__ = [
+    "LinkModel",
+    "NVLinkModel",
+    "PCIeModel",
+    "InfiniBandModel",
+    "default_nvlink",
+    "default_pcie",
+    "default_ib",
+    "optimal_batch_size",
+    "SECTOR_BYTES",
+    "MAX_SECTORS_PER_PACKET",
+    "PACKET_HEADER_BYTES",
+    "Topology",
+    "link_model_for",
+    "LinkChannel",
+    "Message",
+    "NetworkFabric",
+]

@@ -1,0 +1,95 @@
+"""InfiniBand link model (paper Figure 4 and Section III-A3b).
+
+IB messages pass through the NIC: each message pays a fixed
+GPU-initiated base latency (doorbell + WQE processing + fence) plus a
+per-message NIC overhead, then serializes at rail bandwidth.  Unlike
+NVLink, these costs cannot be hidden by instruction-level parallelism,
+which is why Atos aggregates small messages into ~1 MiB batches on IB.
+
+The two functions the paper sweeps in Figure 4:
+
+* ``transfer_time(n)`` — latency vs. message size (left plot);
+* ``achieved_bandwidth(n)`` — bandwidth vs. message size (right plot).
+
+With EDR-rail constants the bandwidth knee sits right around 2**20
+bytes, reproducing the paper's choice of a 1 MiB BATCH_SIZE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import CostModel, GB_PER_S, LinkSpec
+from repro.interconnect.link import LinkModel
+
+__all__ = ["InfiniBandModel", "default_ib", "optimal_batch_size"]
+
+#: IB MTU: each message is segmented into packets of this size, each
+#: carrying local/global route + transport headers.
+IB_MTU_BYTES = 4096
+IB_PACKET_OVERHEAD_BYTES = 66  # LRH+GRH+BTH+ICRC+VCRC
+
+
+@dataclass(frozen=True)
+class InfiniBandModel(LinkModel):
+    """NIC-mediated message cost over an IB :class:`LinkSpec`."""
+
+    cost: CostModel = field(default_factory=CostModel)
+
+    def wire_bytes(self, payload: int) -> int:
+        if payload < 0:
+            raise ValueError("payload must be non-negative")
+        if payload == 0:
+            return 0
+        packets = -(-payload // IB_MTU_BYTES)
+        return payload + packets * IB_PACKET_OVERHEAD_BYTES
+
+    def transfer_time(self, payload: int) -> float:
+        """One-way GPU-initiated message time (us): Figure 4, left."""
+        return (
+            self.cost.ib_base_latency
+            + self.cost.ib_message_overhead
+            + self.serialization_time(payload)
+        )
+
+    def sender_occupancy(self, payload: int) -> float:
+        """Time the sending side is busy issuing the message (us).
+
+        The GPU thread issues a doorbell and fence; the NIC serializes
+        the bytes.  Back-to-back messages are limited by this, not by
+        the one-way latency.
+        """
+        return self.cost.ib_message_overhead + self.serialization_time(payload)
+
+
+def default_ib(bandwidth_gbs: float = 12.5) -> InfiniBandModel:
+    """One EDR rail as on Summit (12.5 GB/s unidirectional)."""
+    return InfiniBandModel(
+        LinkSpec(
+            kind="ib",
+            bandwidth=bandwidth_gbs * GB_PER_S,
+            latency=CostModel().ib_base_latency,
+            max_payload=None,
+        )
+    )
+
+
+def optimal_batch_size(
+    model: InfiniBandModel,
+    sizes: np.ndarray | None = None,
+    bandwidth_fraction: float = 0.88,
+) -> int:
+    """Smallest message size achieving ``bandwidth_fraction`` of peak.
+
+    This is the procedure the paper uses to pick BATCH_SIZE = 1 MiB:
+    large enough to saturate the rail, no larger (latency matters too).
+    """
+    if sizes is None:
+        sizes = 2 ** np.arange(0, 31)
+    peak = model.spec.bandwidth
+    for size in np.sort(sizes):
+        if model.achieved_bandwidth(int(size)) >= bandwidth_fraction * peak:
+            return int(size)
+    return int(np.max(sizes))

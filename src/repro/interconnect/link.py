@@ -1,0 +1,60 @@
+"""Base link cost model.
+
+A link model answers two questions the rest of the system asks:
+
+* ``wire_bytes(payload)`` — how many bytes actually cross the wire for
+  a requested payload, including protocol framing.  The ratio
+  ``payload / wire_bytes`` is the *bandwidth efficiency* the paper
+  plots in Figure 2.
+* ``transfer_time(payload)`` — one-way time for a single message:
+  one-way latency plus serialization of the framed bytes at link
+  bandwidth.
+
+Subclasses implement the framing rules of each interconnect family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import LinkSpec
+
+__all__ = ["LinkModel"]
+
+
+@dataclass(frozen=True)
+class LinkModel:
+    """Cost model over one :class:`~repro.config.LinkSpec`."""
+
+    spec: LinkSpec
+
+    # -- framing ---------------------------------------------------------
+    def wire_bytes(self, payload: int) -> int:
+        """Bytes on the wire for a ``payload``-byte request (framed)."""
+        if payload < 0:
+            raise ValueError("payload must be non-negative")
+        return payload  # ideal link: no framing overhead
+
+    def efficiency(self, payload: int) -> float:
+        """Fraction of wire bytes that are payload (Figure 2's y-axis)."""
+        if payload == 0:
+            return 0.0
+        return payload / self.wire_bytes(payload)
+
+    # -- timing ----------------------------------------------------------
+    def serialization_time(self, payload: int) -> float:
+        """Time the framed message occupies the wire (us)."""
+        return self.wire_bytes(payload) / self.spec.bandwidth
+
+    def transfer_time(self, payload: int) -> float:
+        """One-way delivery time for a single message (us)."""
+        return self.spec.latency + self.serialization_time(payload)
+
+    def achieved_bandwidth(self, payload: int) -> float:
+        """Payload bytes per us when sending one message of this size.
+
+        This is the quantity the paper sweeps in Figure 4 (right).
+        """
+        if payload == 0:
+            return 0.0
+        return payload / self.transfer_time(payload)

@@ -1,0 +1,138 @@
+"""Interconnect topologies (paper Figure 6 and the appendix matrix).
+
+A :class:`Topology` wraps a :class:`~repro.config.MachineConfig` with
+per-directed-pair :class:`~repro.interconnect.link.LinkModel` instances
+and answers routing/cost queries.  All machines in the paper are fully
+connected at the level we model (Daisy all-to-all NVLink; Summit-node
+all-to-all with a socket penalty; Summit-IB through the fabric), so a
+route is always the single direct link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import MachineConfig
+from repro.errors import TopologyError
+from repro.interconnect.infiniband import InfiniBandModel
+from repro.interconnect.link import LinkModel
+from repro.interconnect.nvlink import NVLinkModel
+from repro.interconnect.pcie import PCIeModel
+
+__all__ = ["Topology", "link_model_for"]
+
+
+def link_model_for(machine: MachineConfig, src: int, dst: int) -> LinkModel:
+    """Instantiate the right :class:`LinkModel` subclass for a link."""
+    spec = machine.link(src, dst)
+    if spec.kind == "nvlink":
+        return NVLinkModel(spec)
+    if spec.kind == "pcie":
+        return PCIeModel(spec)
+    if spec.kind == "ib":
+        return InfiniBandModel(spec, cost=machine.cost)
+    raise TopologyError(f"unknown link kind {spec.kind!r}")
+
+
+@dataclass(frozen=True)
+class Topology:
+    """All pairwise link models of one machine."""
+
+    machine: MachineConfig
+
+    def __post_init__(self) -> None:
+        models = {}
+        for (i, j) in self.machine.links:
+            models[(i, j)] = link_model_for(self.machine, i, j)
+        object.__setattr__(self, "_models", models)
+
+    @property
+    def n_gpus(self) -> int:
+        return self.machine.n_gpus
+
+    def link(self, src: int, dst: int) -> LinkModel:
+        try:
+            return self._models[(src, dst)]  # type: ignore[attr-defined]
+        except KeyError:
+            raise TopologyError(
+                f"no link {src}->{dst} on {self.machine.name}"
+            ) from None
+
+    def latency(self, src: int, dst: int) -> float:
+        return self.link(src, dst).spec.latency
+
+    def bandwidth(self, src: int, dst: int) -> float:
+        return self.link(src, dst).spec.bandwidth
+
+    # ---------------------------------------------------------- summaries
+    def bandwidth_matrix(self) -> np.ndarray:
+        """n×n matrix of link bandwidths (0 on the diagonal)."""
+        n = self.n_gpus
+        matrix = np.zeros((n, n))
+        for (i, j), model in self._models.items():  # type: ignore[attr-defined]
+            matrix[i, j] = model.spec.bandwidth
+        return matrix
+
+    def latency_matrix(self) -> np.ndarray:
+        n = self.n_gpus
+        matrix = np.zeros((n, n))
+        for (i, j), model in self._models.items():  # type: ignore[attr-defined]
+            matrix[i, j] = model.spec.latency
+        return matrix
+
+    def mean_pair_latency(self) -> float:
+        """Average one-way latency over all ordered GPU pairs.
+
+        The latency-hiding experiment (Fig 7) contrasts Daisy's uniform
+        low latency against Summit-node's socket-crossing penalty; this
+        scalar summarizes exactly that difference.
+        """
+        lat = self.latency_matrix()
+        n = self.n_gpus
+        if n < 2:
+            return 0.0
+        return float(lat.sum() / (n * (n - 1)))
+
+    def describe(self) -> str:
+        """Human-readable connection matrix like the paper's appendix."""
+        n = self.n_gpus
+        header = "      " + "".join(f"GPU{j:<5}" for j in range(n))
+        rows = [header]
+        bw = self.bandwidth_matrix()
+        for i in range(n):
+            cells = []
+            for j in range(n):
+                if i == j:
+                    cells.append("X       ")
+                else:
+                    spec = self.machine.link(i, j)
+                    if spec.kind == "nvlink":
+                        n_links = max(1, round(spec.bandwidth / 25000.0))
+                        cells.append(f"NV{n_links}     ")
+                    else:
+                        cells.append(f"{spec.kind.upper():<8}")
+            rows.append(f"GPU{i}  " + "".join(cells))
+        del bw
+        return "\n".join(rows)
+
+    def bisection_bandwidth(self) -> float:
+        """Min over balanced bipartitions of cross-partition bandwidth.
+
+        Exhaustive over GPU subsets — machines here have ≤8 GPUs.
+        """
+        n = self.n_gpus
+        if n < 2:
+            return 0.0
+        bw = self.bandwidth_matrix()
+        best = float("inf")
+        half = n // 2
+        from itertools import combinations
+
+        for subset in combinations(range(n), half):
+            mask = np.zeros(n, dtype=bool)
+            mask[list(subset)] = True
+            cross = bw[mask][:, ~mask].sum() + bw[~mask][:, mask].sum()
+            best = min(best, float(cross))
+        return best

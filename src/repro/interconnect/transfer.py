@@ -1,0 +1,161 @@
+"""DES message transport over shared links.
+
+:class:`NetworkFabric` is what the runtime and framework drivers use to
+actually move bytes during a simulation.  Each directed GPU pair has a
+:class:`LinkChannel` that serializes messages (a link carries one
+message at a time at its bandwidth) and delivers them one-way-latency
+after serialization completes — the standard LogGP-style treatment.
+
+Delivery is callback-based: the sender never blocks (one-sided
+semantics); the payload is handed to the destination's handler at the
+arrival time.  Per-link counters feed the network-utilization numbers
+(bytes, messages, busy time) the analysis sections use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.config import MachineConfig
+from repro.interconnect.topology import Topology
+from repro.sim.core import Environment
+
+__all__ = ["Message", "LinkChannel", "NetworkFabric"]
+
+
+@dataclass(slots=True)
+class Message:
+    """One message in flight."""
+
+    src: int
+    dst: int
+    payload_bytes: int
+    payload: Any = None
+    send_time: float = 0.0
+    arrival_time: float = 0.0
+
+
+@dataclass
+class LinkChannel:
+    """Serializes messages over one directed link."""
+
+    env: Environment
+    model: Any  # LinkModel
+    #: Time at which the link is next free to start serializing.
+    next_free: float = 0.0
+    bytes_sent: int = 0
+    wire_bytes_sent: int = 0
+    messages_sent: int = 0
+    busy_time: float = 0.0
+    #: Optional shared sink for (serialization start, end) intervals.
+    intervals: Any = None
+
+    def send(
+        self,
+        message: Message,
+        on_arrival: Callable[[Message], None],
+        extra_latency: float = 0.0,
+    ) -> float:
+        """Schedule ``message``; returns its arrival time.
+
+        ``extra_latency`` models added control-path cost (e.g. a CPU
+        hop for Groute/Galois-style frameworks).
+        """
+        now = self.env.now
+        start = max(now, self.next_free)
+        serialization = self.model.serialization_time(message.payload_bytes)
+        end = start + serialization
+        self.next_free = end
+        arrival = end + self.model.spec.latency + extra_latency
+        message.send_time = now
+        message.arrival_time = arrival
+
+        self.bytes_sent += message.payload_bytes
+        self.wire_bytes_sent += self.model.wire_bytes(message.payload_bytes)
+        self.messages_sent += 1
+        self.busy_time += serialization
+        if self.intervals is not None:
+            self.intervals.append((start, end))
+
+        event = self.env.event()
+        event.callbacks.append(lambda _ev: on_arrival(message))
+        event.succeed(message, delay=arrival - now)
+        return arrival
+
+    def utilization(self, t_end: float | None = None) -> float:
+        end = t_end if t_end is not None else self.env.now
+        return self.busy_time / end if end > 0 else 0.0
+
+
+class NetworkFabric:
+    """All link channels of a machine plus in-flight accounting.
+
+    ``in_flight`` counting is what distributed termination detection
+    uses: the system is quiescent only when every queue is empty *and*
+    no message is still traveling.
+    """
+
+    def __init__(self, env: Environment, machine: MachineConfig):
+        self.env = env
+        self.machine = machine
+        self.topology = Topology(machine)
+        #: (serialization start, end) of every transfer, all links.
+        self.transfer_intervals: list[tuple[float, float]] = []
+        self.channels: dict[tuple[int, int], LinkChannel] = {
+            pair: LinkChannel(
+                env,
+                self.topology.link(*pair),
+                intervals=self.transfer_intervals,
+            )
+            for pair in machine.links
+        }
+        self.in_flight = 0
+        self.total_messages = 0
+        self.total_bytes = 0
+        #: (send time, payload bytes) per message — the communication
+        #: timeline the smoothness analyses consume.
+        self.timeline: list[tuple[float, float]] = []
+
+    def send(
+        self,
+        src: int,
+        dst: int,
+        payload_bytes: int,
+        payload: Any,
+        on_arrival: Callable[[Message], None],
+        extra_latency: float = 0.0,
+    ) -> float:
+        """One-sided send; returns arrival time."""
+        if src == dst:
+            raise ValueError("no self-sends through the fabric")
+        channel = self.channels[(src, dst)]
+        message = Message(src=src, dst=dst, payload_bytes=payload_bytes,
+                          payload=payload)
+        self.in_flight += 1
+        self.total_messages += 1
+        self.total_bytes += payload_bytes
+        self.timeline.append((self.env.now, float(payload_bytes)))
+
+        def deliver(msg: Message) -> None:
+            self.in_flight -= 1
+            on_arrival(msg)
+
+        return channel.send(message, deliver, extra_latency=extra_latency)
+
+    @property
+    def quiescent(self) -> bool:
+        return self.in_flight == 0
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "messages": float(self.total_messages),
+            "bytes": float(self.total_bytes),
+            "wire_bytes": float(
+                sum(c.wire_bytes_sent for c in self.channels.values())
+            ),
+            "max_link_utilization": max(
+                (c.utilization() for c in self.channels.values()),
+                default=0.0,
+            ),
+        }

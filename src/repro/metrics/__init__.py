@@ -1,0 +1,12 @@
+"""Measurement: counters, run results, tables, timeline analyses."""
+
+from repro.metrics.analysis import burstiness, byte_histogram, peak_to_mean
+from repro.metrics.counters import Counters, RunResult
+
+__all__ = [
+    "Counters",
+    "RunResult",
+    "burstiness",
+    "byte_histogram",
+    "peak_to_mean",
+]

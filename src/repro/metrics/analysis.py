@@ -1,0 +1,62 @@
+"""Communication-timeline analyses.
+
+The paper's first lesson: "Fine-grained one-sided communication ...
+smooths out network usage".  These helpers quantify that: a
+*communication timeline* is a list of ``(time, bytes)`` send events;
+:func:`burstiness` is the coefficient of variation of bytes binned
+over the run — near 0 for perfectly smooth traffic, large when all
+bytes travel in a few phase-boundary spikes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["burstiness", "peak_to_mean", "byte_histogram"]
+
+
+def byte_histogram(
+    timeline: list[tuple[float, float]],
+    t_end: float,
+    n_bins: int = 40,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Bin sent bytes over [0, t_end]; returns (edges, bytes per bin)."""
+    if t_end <= 0:
+        raise ValueError("t_end must be positive")
+    if n_bins < 1:
+        raise ValueError("need at least one bin")
+    edges = np.linspace(0.0, t_end, n_bins + 1)
+    if not timeline:
+        return edges, np.zeros(n_bins)
+    times = np.array([t for t, _ in timeline])
+    sizes = np.array([b for _, b in timeline], dtype=np.float64)
+    counts, _ = np.histogram(
+        np.clip(times, 0.0, t_end), bins=edges, weights=sizes
+    )
+    return edges, counts
+
+
+def burstiness(
+    timeline: list[tuple[float, float]],
+    t_end: float,
+    n_bins: int = 40,
+) -> float:
+    """Coefficient of variation of per-bin traffic (0 = smooth)."""
+    _, per_bin = byte_histogram(timeline, t_end, n_bins)
+    mean = per_bin.mean()
+    if mean == 0:
+        return 0.0
+    return float(per_bin.std() / mean)
+
+
+def peak_to_mean(
+    timeline: list[tuple[float, float]],
+    t_end: float,
+    n_bins: int = 40,
+) -> float:
+    """Peak bin traffic over mean bin traffic (1.0 = perfectly even)."""
+    _, per_bin = byte_histogram(timeline, t_end, n_bins)
+    mean = per_bin.mean()
+    if mean == 0:
+        return 1.0
+    return float(per_bin.max() / mean)

@@ -1,0 +1,50 @@
+"""Run results and work/message counters shared by all drivers."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Counters", "RunResult"]
+
+
+class Counters(Counter):
+    """A string-keyed counter bag with float values.
+
+    Thin wrapper over :class:`collections.Counter` so drivers can do
+    ``counters["edges_processed"] += n`` without key setup, plus a
+    merge that keeps provenance readable.
+    """
+
+    def merge(self, other: "Counters", prefix: str = "") -> None:
+        for key, value in other.items():
+            self[f"{prefix}{key}"] += value
+
+
+@dataclass
+class RunResult:
+    """Outcome of one application run under one framework driver.
+
+    ``time_ms`` is simulated wall time (the paper's tables are in ms).
+    ``output`` carries the application's final state (e.g. the global
+    depth array) so the harness can validate against the serial
+    reference.
+    """
+
+    framework: str
+    app: str
+    dataset: str
+    n_gpus: int
+    time_ms: float
+    counters: Counters = field(default_factory=Counters)
+    output: Any = None
+    #: Optional communication timeline [(time_us, bytes), ...] for the
+    #: smoothness analyses (repro.metrics.analysis).
+    timeline: Any = None
+
+    def speedup_over(self, other: "RunResult") -> float:
+        """other.time / self.time — how much faster self is."""
+        if self.time_ms <= 0:
+            raise ValueError("non-positive runtime")
+        return other.time_ms / self.time_ms

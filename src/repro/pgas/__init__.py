@@ -1,0 +1,14 @@
+"""PGAS substrate: symmetric heap, one-sided ops, distributed arrays, teams."""
+
+from repro.pgas.distributed_array import DistributedArray
+from repro.pgas.remote_ops import RemoteOps
+from repro.pgas.symmetric_heap import SymmetricArray, SymmetricHeap
+from repro.pgas.team import Team
+
+__all__ = [
+    "SymmetricHeap",
+    "SymmetricArray",
+    "RemoteOps",
+    "DistributedArray",
+    "Team",
+]

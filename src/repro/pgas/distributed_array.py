@@ -1,0 +1,159 @@
+"""Partitioned global arrays: the PGAS "distributed data structure" view.
+
+A :class:`DistributedArray` maps a global index space onto per-PE
+slices via a :class:`~repro.graph.partition.Partition`.  This is how
+application state (BFS depths, PageRank ranks/residuals) is spread
+over GPUs: ``owner[v]`` says which PE holds vertex ``v``; reads and
+writes at global indices are translated to (pe, local offset) pairs —
+with remote accesses flowing through :class:`~repro.pgas.remote_ops.RemoteOps`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.errors import PGASError
+from repro.graph.partition import Partition
+from repro.pgas.remote_ops import RemoteOps
+from repro.pgas.symmetric_heap import SymmetricArray, SymmetricHeap
+
+__all__ = ["DistributedArray"]
+
+
+class DistributedArray:
+    """A global array partitioned over PEs."""
+
+    def __init__(
+        self,
+        heap: SymmetricHeap,
+        name: str,
+        partition: Partition,
+        dtype=np.float64,
+        fill=0,
+    ):
+        if heap.n_pes != partition.n_parts:
+            raise PGASError("heap PE count != partition part count")
+        self.partition = partition
+        self.backing: SymmetricArray = heap.malloc_partitioned(
+            name,
+            [partition.part_size(pe) for pe in range(partition.n_parts)],
+            dtype=dtype,
+            fill=fill,
+        )
+
+    @property
+    def name(self) -> str:
+        return self.backing.name
+
+    @property
+    def n_global(self) -> int:
+        return self.partition.n_vertices
+
+    # ------------------------------------------------------- translation
+    def locate(self, global_idx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(owner PE, local offset) for each global index."""
+        global_idx = np.asarray(global_idx, dtype=np.int64)
+        if len(global_idx) and (
+            global_idx.min() < 0 or global_idx.max() >= self.n_global
+        ):
+            raise PGASError("global index out of range")
+        return (
+            self.partition.owner[global_idx],
+            self.partition.local_index[global_idx],
+        )
+
+    def local_slice(self, pe: int) -> np.ndarray:
+        """This PE's slice (direct reference)."""
+        return self.backing.local(pe)
+
+    # ------------------------------------------------- whole-array views
+    def gather_global(self) -> np.ndarray:
+        """Assemble the full global array (host-side, for validation)."""
+        out = np.empty(self.n_global, dtype=self.backing.local(0).dtype)
+        for pe in range(self.partition.n_parts):
+            out[self.partition.part_vertices[pe]] = self.backing.local(pe)
+        return out
+
+    def scatter_global(self, values: np.ndarray) -> None:
+        """Initialize all PE slices from a full global array."""
+        values = np.asarray(values)
+        if len(values) != self.n_global:
+            raise PGASError("global array length mismatch")
+        for pe in range(self.partition.n_parts):
+            self.backing.local(pe)[...] = values[
+                self.partition.part_vertices[pe]
+            ]
+
+    def fill(self, value) -> None:
+        self.backing.fill(value)
+
+    # ---------------------------------------------------- one-sided ops
+    def atomic_min_from(
+        self,
+        ops: RemoteOps,
+        src_pe: int,
+        global_idx: np.ndarray,
+        values: np.ndarray,
+        on_old: Optional[Callable[[int, np.ndarray, np.ndarray], None]] = None,
+        extra_latency: float = 0.0,
+    ) -> None:
+        """atomicMin at global indices, split by owner PE.
+
+        ``on_old(dst_pe, local_idx, old_values)`` fires per destination
+        when that destination's batch applies.
+        """
+        owners, local = self.locate(global_idx)
+        values = np.asarray(values)
+        for pe in np.unique(owners):
+            sel = owners == pe
+            pe_local = local[sel]
+            callback = None
+            if on_old is not None:
+                callback = (
+                    lambda old, pe=int(pe), pe_local=pe_local: on_old(
+                        pe, pe_local, old
+                    )
+                )
+            ops.atomic_min(
+                src_pe,
+                int(pe),
+                self.backing,
+                pe_local,
+                values[sel],
+                on_old=callback,
+                extra_latency=extra_latency,
+            )
+
+    def atomic_add_from(
+        self,
+        ops: RemoteOps,
+        src_pe: int,
+        global_idx: np.ndarray,
+        values: np.ndarray,
+        on_old: Optional[Callable[[int, np.ndarray, np.ndarray], None]] = None,
+        extra_latency: float = 0.0,
+    ) -> None:
+        """atomicAdd at global indices, split by owner PE."""
+        owners, local = self.locate(global_idx)
+        values = np.asarray(values)
+        for pe in np.unique(owners):
+            sel = owners == pe
+            pe_local = local[sel]
+            callback = None
+            if on_old is not None:
+                callback = (
+                    lambda old, pe=int(pe), pe_local=pe_local: on_old(
+                        pe, pe_local, old
+                    )
+                )
+            ops.atomic_add(
+                src_pe,
+                int(pe),
+                self.backing,
+                pe_local,
+                values[sel],
+                on_old=callback,
+                extra_latency=extra_latency,
+            )

@@ -1,0 +1,212 @@
+"""One-sided memory operations (put / get / remote atomics).
+
+This is the Atos communication primitive set: a GPU thread issues an
+operation against a remote PE's symmetric memory *from inside a
+kernel*, with no remote-side involvement (paper Listing 5's
+``atomicMin(bfs.depth+neighbor, depth+1, pe)``).
+
+Operations are asynchronous: the call returns immediately; the effect
+is applied at the destination when the message arrives through the
+:class:`~repro.interconnect.transfer.NetworkFabric`.  ``get`` is the
+only operation with a reply leg.  Local-PE operations apply instantly
+(a plain device memory access).
+
+The *control path* cost is on the GPU (``gpu_control_path_latency``)
+— baselines that route control through the CPU pass their penalty via
+``extra_latency`` instead, which is exactly the experiment knob the
+paper turns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.config import CostModel
+from repro.errors import PGASError
+from repro.gpu.atomics import atomic_add_relaxed, atomic_min_relaxed
+from repro.interconnect.transfer import NetworkFabric
+from repro.pgas.symmetric_heap import SymmetricArray
+
+__all__ = ["RemoteOps"]
+
+#: Wire cost per element of a one-sided vector op: index + value.
+BYTES_PER_ELEMENT = 12
+
+
+@dataclass
+class _OpCounters:
+    puts: int = 0
+    gets: int = 0
+    atomics: int = 0
+    local_ops: int = 0
+    elements: int = 0
+
+
+class RemoteOps:
+    """One-sided op endpoint over a fabric + symmetric heap."""
+
+    def __init__(
+        self,
+        fabric: NetworkFabric,
+        cost: Optional[CostModel] = None,
+    ):
+        self.fabric = fabric
+        self.env = fabric.env
+        self.cost = cost or fabric.machine.cost
+        self.counters = _OpCounters()
+
+    # ------------------------------------------------------------ helpers
+    def _payload_bytes(self, n_elements: int) -> int:
+        return max(1, n_elements) * BYTES_PER_ELEMENT
+
+    def _issue(
+        self,
+        src_pe: int,
+        dst_pe: int,
+        n_elements: int,
+        apply: Callable[[], None],
+        extra_latency: float = 0.0,
+    ) -> float:
+        """Route an op through the fabric; returns arrival time."""
+        return self.fabric.send(
+            src_pe,
+            dst_pe,
+            self._payload_bytes(n_elements),
+            None,
+            lambda _msg: apply(),
+            extra_latency=extra_latency + self.cost.gpu_control_path_latency,
+        )
+
+    @staticmethod
+    def _check(array: SymmetricArray, pe: int, idx: np.ndarray) -> np.ndarray:
+        buf = array.local(pe)
+        idx = np.asarray(idx, dtype=np.int64)
+        if len(idx) and (idx.min() < 0 or idx.max() >= len(buf)):
+            raise PGASError(
+                f"offset out of range for {array.name!r} on PE {pe}"
+            )
+        return idx
+
+    # ---------------------------------------------------------------- put
+    def put(
+        self,
+        src_pe: int,
+        dst_pe: int,
+        array: SymmetricArray,
+        idx: np.ndarray,
+        values: np.ndarray,
+        on_complete: Optional[Callable[[], None]] = None,
+        extra_latency: float = 0.0,
+    ) -> float:
+        """Scatter ``values`` into ``array[idx]`` on ``dst_pe``."""
+        idx = self._check(array, dst_pe, idx)
+        values = np.asarray(values, dtype=array.local(dst_pe).dtype)
+        if idx.shape != values.shape:
+            raise PGASError("idx and values must have matching shapes")
+        self.counters.elements += len(idx)
+
+        def apply() -> None:
+            array.local(dst_pe)[idx] = values
+            if on_complete is not None:
+                on_complete()
+
+        if src_pe == dst_pe:
+            self.counters.local_ops += 1
+            apply()
+            return self.env.now
+        self.counters.puts += 1
+        return self._issue(src_pe, dst_pe, len(idx), apply, extra_latency)
+
+    # ---------------------------------------------------------------- get
+    def get(
+        self,
+        src_pe: int,
+        dst_pe: int,
+        array: SymmetricArray,
+        idx: np.ndarray,
+        on_data: Callable[[np.ndarray], None],
+        extra_latency: float = 0.0,
+    ) -> None:
+        """Fetch ``array[idx]`` from ``dst_pe``; ``on_data`` gets the copy."""
+        idx = self._check(array, dst_pe, idx)
+        self.counters.elements += len(idx)
+        if src_pe == dst_pe:
+            self.counters.local_ops += 1
+            on_data(array.local(dst_pe)[idx].copy())
+            return
+        self.counters.gets += 1
+
+        def reply() -> None:
+            data = array.local(dst_pe)[idx].copy()
+            self.fabric.send(
+                dst_pe,
+                src_pe,
+                self._payload_bytes(len(idx)),
+                None,
+                lambda _msg: on_data(data),
+            )
+
+        self._issue(src_pe, dst_pe, len(idx), reply, extra_latency)
+
+    # ------------------------------------------------------------ atomics
+    def atomic_min(
+        self,
+        src_pe: int,
+        dst_pe: int,
+        array: SymmetricArray,
+        idx: np.ndarray,
+        values: np.ndarray,
+        on_old: Optional[Callable[[np.ndarray], None]] = None,
+        extra_latency: float = 0.0,
+    ) -> float:
+        """Remote ``atomicMin``; optional ``on_old`` receives old values
+        *at the destination* (used for the push-if-improved pattern)."""
+        idx = self._check(array, dst_pe, idx)
+        values = np.asarray(values, dtype=array.local(dst_pe).dtype)
+        if idx.shape != values.shape:
+            raise PGASError("idx and values must have matching shapes")
+        self.counters.elements += len(idx)
+
+        def apply() -> None:
+            old = atomic_min_relaxed(array.local(dst_pe), idx, values)
+            if on_old is not None:
+                on_old(old)
+
+        if src_pe == dst_pe:
+            self.counters.local_ops += 1
+            apply()
+            return self.env.now
+        self.counters.atomics += 1
+        return self._issue(src_pe, dst_pe, len(idx), apply, extra_latency)
+
+    def atomic_add(
+        self,
+        src_pe: int,
+        dst_pe: int,
+        array: SymmetricArray,
+        idx: np.ndarray,
+        values: np.ndarray,
+        on_old: Optional[Callable[[np.ndarray], None]] = None,
+        extra_latency: float = 0.0,
+    ) -> float:
+        """Remote ``atomicAdd`` (PageRank's residual propagation)."""
+        idx = self._check(array, dst_pe, idx)
+        values = np.asarray(values, dtype=array.local(dst_pe).dtype)
+        if idx.shape != values.shape:
+            raise PGASError("idx and values must have matching shapes")
+        self.counters.elements += len(idx)
+
+        def apply() -> None:
+            old = atomic_add_relaxed(array.local(dst_pe), idx, values)
+            if on_old is not None:
+                on_old(old)
+
+        if src_pe == dst_pe:
+            self.counters.local_ops += 1
+            apply()
+            return self.env.now
+        self.counters.atomics += 1
+        return self._issue(src_pe, dst_pe, len(idx), apply, extra_latency)

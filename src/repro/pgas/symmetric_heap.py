@@ -1,0 +1,109 @@
+"""Symmetric heap: NVSHMEM-style allocation across PEs.
+
+``nvshmem_malloc`` allocates the same object on every PE and returns a
+symmetric address valid everywhere.  :class:`SymmetricHeap` mirrors
+that: :meth:`malloc` creates one numpy buffer per PE under a single
+name, and :class:`SymmetricArray` exposes per-PE views.  Partitioned
+allocations (different length per PE — e.g. the depth slice of each
+GPU's owned vertices) use :meth:`malloc_partitioned`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import PGASError
+
+__all__ = ["SymmetricArray", "SymmetricHeap"]
+
+
+class SymmetricArray:
+    """One logical array with a per-PE instance."""
+
+    __slots__ = ("name", "n_pes", "_buffers")
+
+    def __init__(self, name: str, buffers: list[np.ndarray]):
+        self.name = name
+        self.n_pes = len(buffers)
+        self._buffers = buffers
+
+    def local(self, pe: int) -> np.ndarray:
+        """The PE-local buffer (a real reference, not a copy)."""
+        self._check_pe(pe)
+        return self._buffers[pe]
+
+    def _check_pe(self, pe: int) -> None:
+        if not 0 <= pe < self.n_pes:
+            raise PGASError(
+                f"PE {pe} out of range for {self.name!r} ({self.n_pes} PEs)"
+            )
+
+    def size(self, pe: int) -> int:
+        return len(self.local(pe))
+
+    def fill(self, value) -> None:
+        """Set every PE's buffer to ``value`` (host-side initialization)."""
+        for buf in self._buffers:
+            buf[...] = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        shapes = [b.shape for b in self._buffers]
+        return f"SymmetricArray({self.name!r}, shapes={shapes})"
+
+
+class SymmetricHeap:
+    """Named symmetric allocations for a fixed set of PEs."""
+
+    def __init__(self, n_pes: int):
+        if n_pes < 1:
+            raise PGASError("need at least one PE")
+        self.n_pes = n_pes
+        self._arrays: dict[str, SymmetricArray] = {}
+
+    def malloc(
+        self, name: str, shape: int | tuple, dtype=np.float64, fill=0
+    ) -> SymmetricArray:
+        """Allocate ``shape`` on *every* PE (symmetric sizes)."""
+        return self._register(
+            name,
+            [np.full(shape, fill, dtype=dtype) for _ in range(self.n_pes)],
+        )
+
+    def malloc_partitioned(
+        self,
+        name: str,
+        sizes: Sequence[int],
+        dtype=np.float64,
+        fill=0,
+    ) -> SymmetricArray:
+        """Allocate a per-PE-sized buffer (a partitioned global array)."""
+        if len(sizes) != self.n_pes:
+            raise PGASError(
+                f"need {self.n_pes} sizes, got {len(sizes)}"
+            )
+        return self._register(
+            name, [np.full(int(s), fill, dtype=dtype) for s in sizes]
+        )
+
+    def _register(self, name: str, buffers: list[np.ndarray]) -> SymmetricArray:
+        if name in self._arrays:
+            raise PGASError(f"symmetric array {name!r} already allocated")
+        array = SymmetricArray(name, buffers)
+        self._arrays[name] = array
+        return array
+
+    def get(self, name: str) -> SymmetricArray:
+        try:
+            return self._arrays[name]
+        except KeyError:
+            raise PGASError(f"no symmetric array named {name!r}") from None
+
+    def free(self, name: str) -> None:
+        if name not in self._arrays:
+            raise PGASError(f"no symmetric array named {name!r}")
+        del self._arrays[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._arrays

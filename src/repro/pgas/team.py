@@ -1,0 +1,67 @@
+"""PE teams: SPMD process groups with barriers and small collectives.
+
+PGAS programs are SPMD: a fixed set of PEs starts together and
+terminates together (paper Section II).  :class:`Team` gives the DES
+processes that play the PEs a barrier and reduction primitives — used
+by examples and by the BSP baseline's phase boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import PGASError
+from repro.sim.core import Environment, Event
+
+__all__ = ["Team"]
+
+
+class Team:
+    """A fixed group of ``n_pes`` simulated PEs."""
+
+    def __init__(self, env: Environment, n_pes: int):
+        if n_pes < 1:
+            raise PGASError("need at least one PE")
+        self.env = env
+        self.n_pes = n_pes
+        self._barrier_waiting: list[Event] = []
+        self._barrier_values: list[Any] = []
+        self._generation = 0
+
+    def barrier(self, pe: int) -> Event:
+        """Event that fires when all PEs have entered the barrier."""
+        return self._enter(pe, None, None)
+
+    def allreduce(
+        self, pe: int, value: Any, op: Callable[[Any, Any], Any]
+    ) -> Event:
+        """Barrier + reduction: every PE's event yields the reduced value."""
+        return self._enter(pe, value, op)
+
+    def _enter(self, pe: int, value: Any, op) -> Event:
+        if not 0 <= pe < self.n_pes:
+            raise PGASError(f"PE {pe} out of range")
+        if len(self._barrier_waiting) >= self.n_pes:
+            raise PGASError("barrier generation overflow")  # pragma: no cover
+        event = self.env.event()
+        self._barrier_waiting.append(event)
+        self._barrier_values.append(value)
+        if len(self._barrier_waiting) == self.n_pes:
+            waiting = self._barrier_waiting
+            values = self._barrier_values
+            self._barrier_waiting = []
+            self._barrier_values = []
+            self._generation += 1
+            result: Any = None
+            if op is not None:
+                result = values[0]
+                for v in values[1:]:
+                    result = op(result, v)
+            for ev in waiting:
+                ev.succeed(result)
+        return event
+
+    @property
+    def generation(self) -> int:
+        """Number of completed barrier episodes."""
+        return self._generation

@@ -1,0 +1,20 @@
+"""Concurrent GPU queue models: the Atos counter queue and baselines."""
+
+from repro.queues.atos_queue import AtosQueue
+from repro.queues.base import ConcurrentQueue, QueueStats, Ticket
+from repro.queues.broker_queue import BrokerQueue
+from repro.queues.cas_queue import CASQueue
+from repro.queues.contention import WORKER_SIZES, QueueContentionModel
+from repro.queues.priority import BucketedPriorityQueue
+
+__all__ = [
+    "ConcurrentQueue",
+    "Ticket",
+    "QueueStats",
+    "AtosQueue",
+    "BrokerQueue",
+    "CASQueue",
+    "BucketedPriorityQueue",
+    "QueueContentionModel",
+    "WORKER_SIZES",
+]

@@ -1,0 +1,117 @@
+"""The Atos counter-based concurrent queue (paper Listing 6).
+
+Five monotonically increasing virtual counters manage the ring buffer:
+
+* ``start``      — pop cursor: everything in ``[start, end)`` is valid.
+* ``end``        — publication frontier: all data before it is committed.
+* ``end_alloc``  — reservation cursor (``atomicAdd`` on push).
+* ``end_max``    — highest index+count any committed push has reached
+  (``atomicMax`` after the data write).
+* ``end_count``  — total number of committed items (``atomicAdd`` after
+  the fence).
+
+The protocol's key move: ``end`` only advances (to ``end_max``) when
+``end_count == end_max``, i.e. when *every* reservation below
+``end_max`` has finished writing.  A later reservation committing
+before an earlier one leaves a gap (``end_count < end_max``), so the
+unwritten region is never exposed to poppers — this is how Atos gets
+data consistency without per-item flags and without kernel-boundary
+synchronization.
+
+Compared to flag-based designs (broker queue), the paper notes two
+wins, both visible in this model: no per-item flag storage, and a pop
+query is a single ``end`` read instead of per-item flag polling.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import QueueFullError
+from repro.queues.base import ConcurrentQueue, Ticket
+
+__all__ = ["AtosQueue"]
+
+
+class AtosQueue(ConcurrentQueue):
+    """Counter-based lock-free FIFO (functional model)."""
+
+    def __init__(self, capacity: int, dtype=np.int64):
+        super().__init__(capacity, dtype)
+        self.start = 0
+        self.end = 0
+        self.end_alloc = 0
+        self.end_max = 0
+        self.end_count = 0
+
+    # ------------------------------------------------------------- state
+    @property
+    def readable(self) -> int:
+        return self.end - self.start
+
+    @property
+    def pending(self) -> int:
+        return self.end_alloc - self.end
+
+    # ------------------------------------------------------ two-phase push
+    def reserve(self, count: int) -> Ticket:
+        """``atomicAdd(&end_alloc, total)`` by the worker's leader thread."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if self.end_alloc + count - self.start > self.capacity:
+            self.stats.full_failures += 1
+            raise QueueFullError(
+                f"reserve({count}): {self.end_alloc - self.start} of "
+                f"{self.capacity} slots in use"
+            )
+        ticket = Ticket(index=self.end_alloc, count=count)
+        self.end_alloc += count
+        return ticket
+
+    def commit(self, ticket: Ticket, items: Sequence | np.ndarray) -> None:
+        """Write the data, then run the counter-update mechanism."""
+        items = np.asarray(items, dtype=self.storage.dtype)
+        if len(items) != ticket.count:
+            raise ValueError(
+                f"ticket is for {ticket.count} items, got {len(items)}"
+            )
+        if ticket.count == 0:
+            return
+        # queue[reserv_index + rank] = item  (all worker threads)
+        self._ring_write(ticket.index, items)
+        # atomicMax(&end_max, reserv_index + total); __threadfence();
+        self.end_max = max(self.end_max, ticket.index + ticket.count)
+        # if (atomicAdd(&end_count, total) + total == end_max)
+        #     atomicMax(&end, end_max);
+        self.end_count += ticket.count
+        if self.end_count == self.end_max:
+            self.end = max(self.end, self.end_max)
+        self.stats.pushes += 1
+        self.stats.items_pushed += ticket.count
+
+    # ----------------------------------------------------------------- pop
+    def pop(self, max_items: int) -> np.ndarray:
+        """Pop a batch; a single broadcast read of ``end`` bounds it."""
+        if max_items < 0:
+            raise ValueError("max_items must be non-negative")
+        available = self.end - self.start
+        take = min(max_items, available)
+        if take == 0:
+            self.stats.empty_failures += 1
+            return np.empty(0, dtype=self.storage.dtype)
+        out = self._ring_read(self.start, take)
+        self.start += take
+        self.stats.pops += 1
+        self.stats.items_popped += take
+        return out
+
+    def check_invariants(self) -> None:
+        """Assert the counter invariants (used heavily by tests)."""
+        assert 0 <= self.start <= self.end, "pop cursor passed end"
+        assert self.end <= self.end_max <= self.end_alloc, (
+            "publication frontier beyond reservations"
+        )
+        assert self.end_count <= self.end_max, "more commits than reserved"
+        assert self.end_alloc - self.start <= self.capacity, "overflow"

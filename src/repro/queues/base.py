@@ -1,0 +1,107 @@
+"""Common interface for the concurrent GPU queue models.
+
+Real Atos queues are operated concurrently by thousands of GPU threads;
+functionally what matters (and what the paper's Listing 6 protocol
+guarantees) is *when pushed items become poppable*.  We model this with
+an explicit two-phase push:
+
+* ``reserve(k)`` — a worker atomically reserves ``k`` slots
+  (``atomicAdd(end_alloc)`` in the paper) and receives a ticket;
+* ``commit(ticket, items)`` — the worker finishes writing its items
+  and publishes them (the ``end_max`` / ``end_count`` / ``end`` dance).
+
+Interleaving reserve/commit calls from different logical workers
+reproduces every consistency-relevant state of the concurrent queue,
+which is what the property-based tests exercise.  ``push`` is the
+common reserve-then-commit convenience.
+
+Performance (contention) is modeled separately in
+:mod:`repro.queues.contention`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Ticket", "ConcurrentQueue", "QueueStats"]
+
+
+@dataclass(frozen=True, slots=True)
+class Ticket:
+    """A slot reservation: ``count`` slots starting at virtual ``index``."""
+
+    index: int
+    count: int
+
+
+@dataclass(slots=True)
+class QueueStats:
+    """Operation counters (feed the contention cost model)."""
+
+    pushes: int = 0
+    pops: int = 0
+    items_pushed: int = 0
+    items_popped: int = 0
+    full_failures: int = 0
+    empty_failures: int = 0
+
+
+class ConcurrentQueue:
+    """Abstract FIFO with two-phase push. Subclasses define publication."""
+
+    def __init__(self, capacity: int, dtype=np.int64):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.storage = np.zeros(self.capacity, dtype=dtype)
+        self.stats = QueueStats()
+
+    # -- state queries (subclass responsibility) -------------------------
+    @property
+    def readable(self) -> int:
+        """Number of items currently poppable."""
+        raise NotImplementedError
+
+    @property
+    def pending(self) -> int:
+        """Items reserved but not yet poppable (in-flight writes)."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        return self.readable
+
+    @property
+    def empty(self) -> bool:
+        return self.readable == 0
+
+    # -- two-phase push ---------------------------------------------------
+    def reserve(self, count: int) -> Ticket:
+        raise NotImplementedError
+
+    def commit(self, ticket: Ticket, items: Sequence | np.ndarray) -> None:
+        raise NotImplementedError
+
+    def push(self, items: Sequence | np.ndarray) -> Ticket:
+        """reserve + commit in one step (a worker that runs to completion)."""
+        items = np.asarray(items)
+        ticket = self.reserve(len(items))
+        self.commit(ticket, items)
+        return ticket
+
+    # -- pop ---------------------------------------------------------------
+    def pop(self, max_items: int) -> np.ndarray:
+        """Pop up to ``max_items`` committed items in FIFO order."""
+        raise NotImplementedError
+
+    # -- helpers ------------------------------------------------------------
+    def _ring_write(self, index: int, items: np.ndarray) -> None:
+        """Write items at virtual position ``index`` into the ring."""
+        pos = np.arange(index, index + len(items)) % self.capacity
+        self.storage[pos] = items
+
+    def _ring_read(self, index: int, count: int) -> np.ndarray:
+        pos = np.arange(index, index + count) % self.capacity
+        return self.storage[pos].copy()

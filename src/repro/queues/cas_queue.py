@@ -1,0 +1,102 @@
+"""CAS-based concurrent queue (the paper's own comparison baseline).
+
+Classic GPU work-queue designs (Cederman & Tsigas; Tzeng et al.)
+publish items by advancing the ``end`` cursor with an
+``atomicCAS(end, old, old+count)`` loop: a pusher can only publish
+once every *earlier* reservation has published, retrying its CAS until
+the cursor reaches its own reservation index.
+
+Functionally this yields in-order publication — observable as: a
+commit for a reservation whose predecessors have not all committed yet
+*stalls* (we queue it internally until its turn; the external effect is
+identical to the GPU thread spinning on CAS failure).  The cost model
+charges those retries, whose count grows with contention — the reason
+the paper's atomicAdd design wins under load (Figure 1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import QueueFullError
+from repro.queues.base import ConcurrentQueue, Ticket
+
+__all__ = ["CASQueue"]
+
+
+class CASQueue(ConcurrentQueue):
+    """In-order CAS-published FIFO (functional model)."""
+
+    def __init__(self, capacity: int, dtype=np.int64):
+        super().__init__(capacity, dtype)
+        self.start = 0
+        self.end = 0  # publication cursor: advanced in reservation order
+        self.end_alloc = 0
+        #: Commits waiting for their turn, keyed by reservation index.
+        self._stalled: dict[int, int] = {}
+        #: Total simulated CAS failures (each stalled commit retries).
+        self.cas_failures = 0
+
+    @property
+    def readable(self) -> int:
+        return self.end - self.start
+
+    @property
+    def pending(self) -> int:
+        return self.end_alloc - self.end
+
+    def reserve(self, count: int) -> Ticket:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if self.end_alloc + count - self.start > self.capacity:
+            self.stats.full_failures += 1
+            raise QueueFullError(
+                f"reserve({count}): {self.end_alloc - self.start} of "
+                f"{self.capacity} slots in use"
+            )
+        ticket = Ticket(index=self.end_alloc, count=count)
+        self.end_alloc += count
+        return ticket
+
+    def commit(self, ticket: Ticket, items: Sequence | np.ndarray) -> None:
+        items = np.asarray(items, dtype=self.storage.dtype)
+        if len(items) != ticket.count:
+            raise ValueError(
+                f"ticket is for {ticket.count} items, got {len(items)}"
+            )
+        if ticket.count == 0:
+            return
+        self._ring_write(ticket.index, items)
+        self.stats.pushes += 1
+        self.stats.items_pushed += ticket.count
+        if ticket.index != self.end:
+            # CAS(end, ticket.index, ...) fails until predecessors land.
+            self.cas_failures += 1
+            self._stalled[ticket.index] = ticket.count
+            return
+        self.end += ticket.count
+        # Drain any successors that were spinning behind us.
+        while self.end in self._stalled:
+            self.end += self._stalled.pop(self.end)
+
+    def pop(self, max_items: int) -> np.ndarray:
+        if max_items < 0:
+            raise ValueError("max_items must be non-negative")
+        take = min(max_items, self.end - self.start)
+        if take == 0:
+            self.stats.empty_failures += 1
+            return np.empty(0, dtype=self.storage.dtype)
+        out = self._ring_read(self.start, take)
+        self.start += take
+        self.stats.pops += 1
+        self.stats.items_popped += take
+        return out
+
+    def check_invariants(self) -> None:
+        assert 0 <= self.start <= self.end <= self.end_alloc, "cursor order"
+        assert self.end_alloc - self.start <= self.capacity, "overflow"
+        assert all(idx >= self.end for idx in self._stalled), (
+            "stalled commit below publication cursor"
+        )

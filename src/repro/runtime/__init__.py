@@ -1,0 +1,29 @@
+"""The Atos runtime: distributed queues, aggregator, executor, termination."""
+
+from repro.runtime.aggregator import AggregationBuffer, Aggregator
+from repro.runtime.distributed_queue import DistributedQueues, PEQueues
+from repro.runtime.executor import (
+    AtosApplication,
+    AtosConfig,
+    AtosExecutor,
+    RoundOutcome,
+)
+from repro.runtime.priority_queue import (
+    DistributedPriorityQueues,
+    PEPriorityQueues,
+)
+from repro.runtime.termination import WorkTracker
+
+__all__ = [
+    "DistributedQueues",
+    "PEQueues",
+    "DistributedPriorityQueues",
+    "PEPriorityQueues",
+    "Aggregator",
+    "AggregationBuffer",
+    "WorkTracker",
+    "AtosApplication",
+    "AtosConfig",
+    "AtosExecutor",
+    "RoundOutcome",
+]

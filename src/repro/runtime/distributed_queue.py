@@ -1,0 +1,127 @@
+"""Distributed queues: the Atos ``DistributedQueues`` API (Listing 4).
+
+Each PE owns one *local* queue plus ``num_queues`` *receive* queues
+that remote PEs push into (many-to-many pattern: separate receive
+queues reduce producer contention).  Workers pop round-robin across
+the local queue and receive queues; new local tasks go to the local
+queue and remote tasks are routed to the owner PE's receive queue.
+
+All queues are :class:`~repro.queues.atos_queue.AtosQueue` instances —
+the counter-based structure is exactly what makes in-kernel one-sided
+pushes consistent without synchronization.
+
+The priority variant (``DistributedPriorityQueues``) swaps the local
+structure for bucketed priority queues; see
+:mod:`repro.runtime.priority_queue`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.queues.atos_queue import AtosQueue
+
+__all__ = ["PEQueues", "DistributedQueues"]
+
+
+class PEQueues:
+    """One PE's view: a local queue and its receive queues."""
+
+    def __init__(
+        self,
+        my_pe: int,
+        local_capacity: int,
+        recv_capacity: int,
+        num_recv_queues: int,
+        dtype=np.int64,
+    ):
+        if num_recv_queues < 1:
+            raise ConfigurationError("need at least one receive queue")
+        self.my_pe = my_pe
+        self.local = AtosQueue(local_capacity, dtype=dtype)
+        self.recv = [
+            AtosQueue(recv_capacity, dtype=dtype)
+            for _ in range(num_recv_queues)
+        ]
+        self._rr = 0  # round-robin cursor over [local] + recv
+
+    # ------------------------------------------------------------- push
+    def push_local(self, items: np.ndarray) -> None:
+        self.local.push(items)
+
+    def push_recv(self, items: np.ndarray, src_pe: int) -> None:
+        """Push arriving remote items (the one-sided write target).
+
+        The source PE hashes onto a receive queue, spreading producers
+        across queues like the paper's ``num_queues`` parameter.
+        """
+        self.recv[src_pe % len(self.recv)].push(items)
+
+    # -------------------------------------------------------------- pop
+    def pop(self, max_items: int) -> np.ndarray:
+        """Pop up to ``max_items``, round-robin over all queues."""
+        if max_items < 0:
+            raise ValueError("max_items must be non-negative")
+        queues = [self.local, *self.recv]
+        out: list[np.ndarray] = []
+        remaining = max_items
+        for offset in range(len(queues)):
+            if remaining == 0:
+                break
+            q = queues[(self._rr + offset) % len(queues)]
+            got = q.pop(remaining)
+            if len(got):
+                out.append(got)
+                remaining -= len(got)
+        self._rr = (self._rr + 1) % len(queues)
+        if not out:
+            return np.empty(0, dtype=self.local.storage.dtype)
+        return np.concatenate(out)
+
+    # ------------------------------------------------------------ state
+    @property
+    def readable(self) -> int:
+        return self.local.readable + sum(q.readable for q in self.recv)
+
+    @property
+    def empty(self) -> bool:
+        return self.readable == 0
+
+
+class DistributedQueues:
+    """The whole system's queues: one :class:`PEQueues` per PE.
+
+    Mirrors ``DistributedQueues::init(my_pe, n_pes, local_cap,
+    recv_cap, num_queues, ...)`` — here constructed once for all PEs
+    since the simulation owns every rank.
+    """
+
+    def __init__(
+        self,
+        n_pes: int,
+        local_capacity: int,
+        recv_capacity: int,
+        num_recv_queues: int = 1,
+        dtype=np.int64,
+    ):
+        if n_pes < 1:
+            raise ConfigurationError("need at least one PE")
+        self.n_pes = n_pes
+        self.pes = [
+            PEQueues(
+                pe, local_capacity, recv_capacity, num_recv_queues, dtype
+            )
+            for pe in range(n_pes)
+        ]
+
+    def __getitem__(self, pe: int) -> PEQueues:
+        return self.pes[pe]
+
+    @property
+    def total_readable(self) -> int:
+        return sum(pe.readable for pe in self.pes)
+
+    @property
+    def all_empty(self) -> bool:
+        return self.total_readable == 0

@@ -1,0 +1,463 @@
+"""The Atos executor: assembles GPUs, queues, fabric, and an application
+into a running simulation (the ``launch*`` APIs of paper Listing 4).
+
+Each GPU is one DES process executing scheduling *rounds*: pop up to
+(workers x fetch) tasks, run the application's task function over the
+batch (vectorized), enqueue produced local work, issue produced remote
+updates as one-sided messages (optionally through the communication
+aggregator), then advance simulated time by the round's modeled cost.
+Idle GPUs sleep until work is pushed to them (or a poll interval
+elapses), so mesh-like graphs with starved GPUs don't melt the event
+loop.
+
+The same executor runs Groute-like configurations by (a) routing the
+communication control path through the CPU (extra latency per send)
+and (b) flushing remote updates only at kernel-segment boundaries —
+the two knobs the paper credits for Atos's advantage over Groute.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.config import MachineConfig
+from repro.errors import ConfigurationError
+from repro.gpu.kernel import KernelModel, KernelStrategy
+from repro.gpu.memory import MemoryModel
+from repro.gpu.worker import CTA, WorkerConfig
+from repro.interconnect.transfer import NetworkFabric
+from repro.metrics.counters import Counters
+from repro.pgas.symmetric_heap import SymmetricHeap
+from repro.sim.monitor import IntervalAccumulator
+from repro.runtime.aggregator import Aggregator
+from repro.runtime.distributed_queue import DistributedQueues
+from repro.runtime.priority_queue import DistributedPriorityQueues
+from repro.runtime.termination import WorkTracker
+from repro.sim.core import AnyOf, Environment
+
+__all__ = ["AtosConfig", "AtosApplication", "RoundOutcome", "AtosExecutor"]
+
+
+@dataclass
+class RoundOutcome:
+    """What one batch of task processing produced."""
+
+    edges_processed: int = 0
+    conflicts: int = 0
+    #: Tasks to enqueue on the local PE.
+    local_pushes: np.ndarray = field(
+        default_factory=lambda: np.empty(0, dtype=np.int64)
+    )
+    #: Priorities for local pushes (priority-queue configurations).
+    local_priorities: Optional[np.ndarray] = None
+    #: Remote one-sided updates: dst PE -> opaque payload array.  The
+    #: executor charges ``len(payload) * bytes_per_remote_update`` wire
+    #: bytes and delivers the payload to ``handle_remote`` at the
+    #: destination.
+    remote_updates: dict[int, np.ndarray] = field(default_factory=dict)
+
+
+class AtosApplication(ABC):
+    """A task-parallel application runnable by the executor.
+
+    Implementations are the paper's application function ``f()`` plus
+    the arrival-side handler its one-sided updates trigger.
+    """
+
+    name: str = "app"
+
+    @abstractmethod
+    def setup(
+        self, n_pes: int
+    ) -> list[tuple[np.ndarray, Optional[np.ndarray]]]:
+        """Allocate state; return per-PE (seed tasks, seed priorities)."""
+
+    @abstractmethod
+    def process(self, pe: int, tasks: np.ndarray) -> RoundOutcome:
+        """Run the application function over a popped batch."""
+
+    @abstractmethod
+    def handle_remote(
+        self, pe: int, payload: np.ndarray
+    ) -> tuple[np.ndarray, Optional[np.ndarray]]:
+        """Apply an arriving one-sided update batch at its owner PE.
+
+        Returns (new tasks, their priorities) to enqueue on ``pe``.
+        """
+
+    def result(self) -> Any:
+        """Final application output (after the run completes)."""
+        return None
+
+    def counters(self) -> Counters:
+        """Application-level counters to merge into the run result."""
+        return Counters()
+
+
+@dataclass(frozen=True)
+class AtosConfig:
+    """Executor configuration: the paper's three key decisions + knobs."""
+
+    worker: WorkerConfig = CTA
+    kernel: KernelStrategy = KernelStrategy.PERSISTENT
+    priority: bool = False
+    threshold: float = 1.0
+    threshold_delta: float = 1.0
+    #: None = use the aggregator iff the machine is inter-node (IB).
+    use_aggregator: Optional[bool] = None
+    batch_size: int = 1 << 20
+    wait_time: int = 4
+    #: "gpu" = Atos's in-kernel control path; "cpu" = the baseline
+    #: frameworks' host-mediated control path.
+    control_path: str = "gpu"
+    #: Remote sends leave only every N rounds (1 = immediately, the
+    #: Atos behaviour; >1 models kernel-segment-boundary communication).
+    segment_rounds: int = 1
+    #: Host-side coordination cost charged every round (us).  Zero for
+    #: Atos (the GPU owns scheduling); Groute-like engines pay their
+    #: router/link management here.
+    round_host_overhead: float = 0.0
+    fetch_size: int = 8
+    queue_capacity: int = 1 << 22
+    num_recv_queues: int = 2
+    #: Fallback poll interval for idle GPUs (us).
+    idle_poll: float = 5.0
+    #: Polling cadence of the persistent aggregator kernel (us): the
+    #: aggregator "runs persistently and concurrently alongside Atos
+    #: workers, monitoring message accumulation" (paper Fig 3), so
+    #: WAIT_TIME counts these fast polls, not application rounds.
+    aggregator_poll: float = 2.0
+    #: Safety valve for runaway simulations (us).
+    max_sim_time: float = 5e8
+
+    def __post_init__(self) -> None:
+        if self.control_path not in ("gpu", "cpu"):
+            raise ConfigurationError("control_path must be 'gpu' or 'cpu'")
+        if self.segment_rounds < 1:
+            raise ConfigurationError("segment_rounds must be >= 1")
+
+
+class AtosExecutor:
+    """Drives one application run on one machine."""
+
+    def __init__(
+        self,
+        machine: MachineConfig,
+        app: AtosApplication,
+        config: AtosConfig = AtosConfig(),
+    ):
+        self.machine = machine
+        self.app = app
+        self.config = config
+        self.env = Environment()
+        self.fabric = NetworkFabric(self.env, machine)
+        self.heap = SymmetricHeap(machine.n_gpus)
+        self.tracker = WorkTracker(self.env)
+        self.memory = MemoryModel(machine.gpu, machine.cost)
+        self.kernel = KernelModel(config.kernel, machine.cost)
+        self.counters = Counters()
+        #: Busy intervals: "compute" (any GPU processing a round) and
+        #: "comm" (any link serializing), for the overlap analysis —
+        #: the paper's "small messages ... better overlap with
+        #: computation, hiding latency".
+        self.intervals = IntervalAccumulator()
+
+        worker_cfg = config.worker
+        self.tasks_per_round = (
+            worker_cfg.n_workers(machine.gpu) * config.fetch_size
+        )
+
+        n = machine.n_gpus
+        if config.priority:
+            self.queues: Any = DistributedPriorityQueues(
+                n,
+                config.queue_capacity,
+                config.queue_capacity,
+                config.num_recv_queues,
+                config.threshold,
+                config.threshold_delta,
+            )
+        else:
+            self.queues = DistributedQueues(
+                n,
+                config.queue_capacity,
+                config.queue_capacity,
+                config.num_recv_queues,
+            )
+
+        use_agg = (
+            config.use_aggregator
+            if config.use_aggregator is not None
+            else machine.inter_node
+        )
+        self.aggregators: Optional[list[Aggregator]] = None
+        if use_agg and n > 1:
+            self.aggregators = [
+                Aggregator(
+                    pe,
+                    n,
+                    self._make_agg_sender(pe),
+                    batch_size=config.batch_size,
+                    wait_time=config.wait_time,
+                )
+                for pe in range(n)
+            ]
+
+        # Groute-like segment buffering of remote updates.
+        self._segment_buffers: list[dict[int, list[np.ndarray]]] = [
+            {} for _ in range(n)
+        ]
+        self._work_notify = [self.env.event() for _ in range(n)]
+
+    # ------------------------------------------------------------ wiring
+    def _notify(self, pe: int) -> None:
+        event = self._work_notify[pe]
+        if not event.triggered:
+            event.succeed(None)
+
+    def _control_extra_latency(self) -> float:
+        if self.config.control_path == "cpu":
+            return self.machine.cost.cpu_control_path_latency
+        return 0.0
+
+    def _payload_bytes(self, payload: np.ndarray) -> int:
+        return max(
+            1, len(payload) * self.machine.cost.bytes_per_remote_update
+        )
+
+    def _make_agg_sender(self, src_pe: int):
+        def send(dst: int, payloads: list[np.ndarray], n_bytes: int) -> None:
+            self.counters["aggregated_messages"] += 1
+            self.fabric.send(
+                src_pe,
+                dst,
+                n_bytes,
+                payloads,
+                lambda msg: self._deliver(dst, msg.payload),
+                extra_latency=self._control_extra_latency(),
+            )
+
+        return send
+
+    def _deliver(self, pe: int, payloads: Any) -> None:
+        """Fabric arrival: apply update batches, enqueue produced tasks.
+
+        All payloads of one wire message are merged before the handler
+        runs: an aggregated batch lands as *one* bulk update at the
+        owner, so contributions to the same vertex consolidate into a
+        single enqueue — the work-efficiency payoff of batching that
+        motivates PageRank's WAIT_TIME=32.
+        """
+        batch = payloads if isinstance(payloads, list) else [payloads]
+        if (
+            len(batch) > 1
+            and all(
+                isinstance(p, np.ndarray) and p.ndim == 2 for p in batch
+            )
+            and len({p.shape[1] for p in batch}) == 1
+        ):
+            batch = [np.vstack(batch)]
+            merged_tokens = len(payloads)
+        else:
+            merged_tokens = None
+        for payload in batch:
+            tasks, priorities = self.app.handle_remote(pe, payload)
+            if len(tasks):
+                self.tracker.add(len(tasks))
+                self._enqueue_recv(pe, tasks, priorities)
+            self.tracker.remove(
+                merged_tokens if merged_tokens is not None else 1
+            )
+        self._notify(pe)
+
+    def _enqueue_local(
+        self, pe: int, tasks: np.ndarray, priorities: Optional[np.ndarray]
+    ) -> None:
+        if self.config.priority:
+            if priorities is None:
+                priorities = np.zeros(len(tasks))
+            self.queues[pe].push_local(tasks, priorities)
+        else:
+            self.queues[pe].push_local(tasks)
+
+    def _enqueue_recv(
+        self, pe: int, tasks: np.ndarray, priorities: Optional[np.ndarray]
+    ) -> None:
+        # Receive queue choice keyed on the sending side is folded into
+        # a single index here; contention modeling happens in costs.
+        if self.config.priority:
+            if priorities is None:
+                priorities = np.zeros(len(tasks))
+            self.queues[pe].push_recv(tasks, priorities, src_pe=0)
+        else:
+            self.queues[pe].push_recv(tasks, src_pe=0)
+
+    def _send_remote(
+        self, src: int, dst: int, payload: np.ndarray, tracked: bool = False
+    ) -> None:
+        """One remote update batch: message token + wire or aggregator.
+
+        ``tracked=True`` means the caller already holds the work token
+        for this payload (segment buffering takes the token at
+        buffering time so termination cannot fire around it).
+        """
+        if not tracked:
+            self.tracker.add(1)
+        n_bytes = self._payload_bytes(payload)
+        self.counters["remote_updates"] += len(payload)
+        if self.aggregators is not None:
+            self.aggregators[src].add(dst, payload, n_bytes)
+            return
+        self.counters["direct_messages"] += 1
+        self.fabric.send(
+            src,
+            dst,
+            n_bytes,
+            payload,
+            lambda msg: self._deliver(dst, msg.payload),
+            extra_latency=self._control_extra_latency(),
+        )
+
+    def _flush_segment(self, pe: int) -> None:
+        """Emit buffered remote updates (segment-boundary communication)."""
+        buffers = self._segment_buffers[pe]
+        for dst, payloads in buffers.items():
+            for payload in payloads:
+                self._send_remote(pe, dst, payload, tracked=True)
+        buffers.clear()
+
+    # --------------------------------------------------------------- run
+    def run(self) -> tuple[float, Counters]:
+        """Execute to quiescence; returns (makespan in us, counters)."""
+        seeds = self.app.setup(self.machine.n_gpus)
+        if len(seeds) != self.machine.n_gpus:
+            raise ConfigurationError("setup() must return one seed per PE")
+        any_seed = False
+        for pe, (tasks, priorities) in enumerate(seeds):
+            if len(tasks):
+                any_seed = True
+                self.tracker.add(len(tasks))
+                self._enqueue_local(pe, tasks, priorities)
+        if not any_seed:
+            raise ConfigurationError("no seed work on any PE")
+
+        for pe in range(self.machine.n_gpus):
+            self.env.process(self._gpu_process(pe), name=f"gpu{pe}")
+            if self.aggregators is not None:
+                self.env.process(
+                    self._aggregator_process(pe), name=f"agg{pe}"
+                )
+
+        self.env.run(self.tracker.done)
+        makespan = self.env.now + self.kernel.teardown_overhead()
+        for start, end in self.fabric.transfer_intervals:
+            self.intervals.add("comm", start, end)
+        self.counters.merge(self.app.counters())
+        stats = self.fabric.stats()
+        self.counters["fabric_messages"] += stats["messages"]
+        self.counters["fabric_bytes"] += stats["bytes"]
+        return makespan, self.counters
+
+    def _pop(self, pe: int) -> np.ndarray:
+        """Pop one round's tasks, per the kernel strategy.
+
+        Persistent kernels pop what the resident workers can fetch.
+        Discrete kernels drain the *whole* queue per launch — the grid
+        is sized to the queue (Listing 3's loop interchange) — except
+        in priority mode, where each launch processes only the lowest
+        priority bucket (delta-stepping rounds).
+        """
+        if self.config.kernel is KernelStrategy.DISCRETE:
+            if self.config.priority:
+                return self.queues[pe].pop_lowest_bucket()
+            return self.queues[pe].pop(1 << 62)
+        return self.queues[pe].pop(self.tasks_per_round)
+
+    def _aggregator_process(self, pe: int):
+        """The persistent aggregator kernel: poll, count visits, flush."""
+        aggregators = self.aggregators
+        assert aggregators is not None
+        while not self.tracker.finished:
+            aggregators[pe].tick()
+            yield self.env.timeout(self.config.aggregator_poll)
+
+    # ------------------------------------------------------- GPU process
+    def _gpu_process(self, pe: int):
+        config = self.config
+        yield self.env.timeout(self.kernel.startup_overhead())
+        rounds_since_flush = 0
+        while not self.tracker.finished:
+            if self.env.now > config.max_sim_time:
+                raise ConfigurationError(
+                    "simulation exceeded max_sim_time; likely livelock"
+                )
+            tasks = self._pop(pe)
+            if len(tasks) == 0:
+                # Starved: release any half-batched communication so
+                # other PEs can make progress, then sleep until poked.
+                if rounds_since_flush:
+                    self._flush_segment(pe)
+                    rounds_since_flush = 0
+                if self.tracker.finished:
+                    break
+                self._work_notify[pe] = self.env.event()
+                yield AnyOf(
+                    self.env,
+                    [
+                        self._work_notify[pe],
+                        self.env.timeout(config.idle_poll),
+                        self.tracker.done,
+                    ],
+                )
+                self.counters[f"idle_polls_pe{pe}"] += 1
+                continue
+
+            outcome = self.app.process(pe, tasks)
+            self.counters["rounds"] += 1
+            self.counters["tasks_processed"] += len(tasks)
+            self.counters["edges_processed"] += outcome.edges_processed
+
+            if len(outcome.local_pushes):
+                self.tracker.add(len(outcome.local_pushes))
+                self._enqueue_local(
+                    pe, outcome.local_pushes, outcome.local_priorities
+                )
+                self._notify(pe)
+            for dst, payload in outcome.remote_updates.items():
+                if len(payload) == 0:
+                    continue
+                if config.segment_rounds > 1:
+                    self.tracker.add(1)  # token held while buffered
+                    self._segment_buffers[pe].setdefault(dst, []).append(
+                        payload
+                    )
+                else:
+                    self._send_remote(pe, dst, payload)
+            rounds_since_flush += 1
+            if config.segment_rounds > 1 and (
+                rounds_since_flush >= config.segment_rounds
+            ):
+                self._flush_segment(pe)
+                rounds_since_flush = 0
+
+            duration = (
+                self.kernel.round_overhead()
+                + config.round_host_overhead
+                + self.memory.edge_batch_time(
+                    outcome.edges_processed, outcome.conflicts
+                )
+                + self.memory.queue_ops_time(
+                    len(tasks) + len(outcome.local_pushes)
+                )
+            )
+            # Retire the popped tasks only after derived work is
+            # registered (termination-detection ordering).
+            self.tracker.remove(len(tasks))
+            self.intervals.add(
+                "compute", self.env.now, self.env.now + duration
+            )
+            yield self.env.timeout(duration)

@@ -1,0 +1,156 @@
+"""Distributed priority queues (``DistributedPriorityQueues``, Listing 4).
+
+Same shape as :class:`~repro.runtime.distributed_queue.DistributedQueues`
+but tasks carry a priority (for BFS: the vertex depth), stored in
+bucketed priority structures.  Workers preferentially pop the lowest
+buckets; the shared threshold rises by ``threshold_delta`` when no
+eligible work remains.  Table III measures the payoff: near-ideal
+visit counts on scale-free graphs where plain FIFO speculation
+re-visits vertices 1.3-1.6x.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.queues.priority import BucketedPriorityQueue
+
+__all__ = ["PEPriorityQueues", "DistributedPriorityQueues"]
+
+
+class PEPriorityQueues:
+    """One PE's priority queues: local + receive, merged by bucket."""
+
+    def __init__(
+        self,
+        my_pe: int,
+        local_capacity: int,
+        recv_capacity: int,
+        num_recv_queues: int,
+        threshold: float,
+        threshold_delta: float,
+        dtype=np.int64,
+    ):
+        if num_recv_queues < 1:
+            raise ConfigurationError("need at least one receive queue")
+        self.my_pe = my_pe
+        # Priorities make FIFO receive-queue separation unnecessary for
+        # correctness; we keep one bucketed structure per producer class
+        # (local vs remote) to preserve the contention structure.
+        self.local = BucketedPriorityQueue(
+            local_capacity, threshold, threshold_delta, dtype=dtype
+        )
+        self.recv = [
+            BucketedPriorityQueue(
+                recv_capacity, threshold, threshold_delta, dtype=dtype
+            )
+            for _ in range(num_recv_queues)
+        ]
+
+    def push_local(
+        self, items: np.ndarray, priorities: np.ndarray
+    ) -> None:
+        self.local.push(priorities, items)
+
+    def push_recv(
+        self, items: np.ndarray, priorities: np.ndarray, src_pe: int
+    ) -> None:
+        self.recv[src_pe % len(self.recv)].push(priorities, items)
+
+    def pop(self, max_items: int) -> np.ndarray:
+        """Pop up to ``max_items``, lowest buckets first across queues."""
+        if max_items < 0:
+            raise ValueError("max_items must be non-negative")
+        out: list[np.ndarray] = []
+        remaining = max_items
+        queues = sorted(
+            [self.local, *self.recv],
+            key=lambda q: (
+                q._lowest_nonempty()
+                if q._lowest_nonempty() is not None
+                else np.inf
+            ),
+        )
+        for q in queues:
+            if remaining == 0:
+                break
+            got = q.pop(remaining)
+            if len(got):
+                out.append(got)
+                remaining -= len(got)
+        if not out:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(out)
+
+    def pop_lowest_bucket(self) -> np.ndarray:
+        """Drain the globally lowest non-empty bucket across all queues.
+
+        One discrete-kernel launch processes exactly one priority band
+        (delta-stepping): the kernel's grid covers every task whose
+        priority falls below the shared threshold.
+        """
+        keys = [
+            k
+            for q in (self.local, *self.recv)
+            if (k := q._lowest_nonempty()) is not None
+        ]
+        if not keys:
+            return np.empty(0, dtype=np.int64)
+        lowest = min(keys)
+        parts = [
+            q.pop_bucket(lowest) for q in (self.local, *self.recv)
+        ]
+        parts = [p for p in parts if len(p)]
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+    @property
+    def readable(self) -> int:
+        return self.local.readable + sum(q.readable for q in self.recv)
+
+    @property
+    def empty(self) -> bool:
+        return self.readable == 0
+
+
+class DistributedPriorityQueues:
+    """System-wide priority queues, one :class:`PEPriorityQueues` per PE."""
+
+    def __init__(
+        self,
+        n_pes: int,
+        local_capacity: int,
+        recv_capacity: int,
+        num_recv_queues: int = 1,
+        threshold: float = 1.0,
+        threshold_delta: float = 1.0,
+        dtype=np.int64,
+    ):
+        if n_pes < 1:
+            raise ConfigurationError("need at least one PE")
+        self.n_pes = n_pes
+        self.pes = [
+            PEPriorityQueues(
+                pe,
+                local_capacity,
+                recv_capacity,
+                num_recv_queues,
+                threshold,
+                threshold_delta,
+                dtype,
+            )
+            for pe in range(n_pes)
+        ]
+
+    def __getitem__(self, pe: int) -> PEPriorityQueues:
+        return self.pes[pe]
+
+    @property
+    def total_readable(self) -> int:
+        return sum(pe.readable for pe in self.pes)
+
+    @property
+    def all_empty(self) -> bool:
+        return self.total_readable == 0

@@ -1,0 +1,68 @@
+"""Distributed termination detection.
+
+"The program runs until either a stop condition is met or the entirety
+of the distributed queue is empty" (paper Section III).  Detecting
+*empty* in a distributed asynchronous system needs care: a queue may be
+momentarily empty while an update is still in flight.
+
+:class:`WorkTracker` keeps an exact global count of outstanding work
+tokens: queued tasks plus in-flight messages.  Producers add tokens
+*before* consuming the token that produced them, so the counter can
+only reach zero when the system is truly quiescent.  The ``done``
+event fires at that moment.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.sim.core import Environment, Event
+
+__all__ = ["WorkTracker"]
+
+
+class WorkTracker:
+    """Counts outstanding work; fires ``done`` at global quiescence."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self._outstanding = 0
+        self._ever_added = False
+        self.done: Event = env.event()
+        self.total_added = 0
+
+    @property
+    def outstanding(self) -> int:
+        return self._outstanding
+
+    @property
+    def finished(self) -> bool:
+        return self.done.triggered
+
+    def add(self, count: int = 1) -> None:
+        """Register new work (queued tasks or sent messages)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return
+        if self.finished:
+            raise SimulationError("work added after termination fired")
+        self._outstanding += count
+        self.total_added += count
+        self._ever_added = True
+
+    def remove(self, count: int = 1) -> None:
+        """Retire completed work.  Order matters for correctness: callers
+        must ``add`` any derived work *before* removing the work that
+        produced it, otherwise the counter can transiently hit zero."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return
+        if count > self._outstanding:
+            raise SimulationError(
+                f"removing {count} tokens but only "
+                f"{self._outstanding} outstanding"
+            )
+        self._outstanding -= count
+        if self._outstanding == 0 and self._ever_added and not self.finished:
+            self.done.succeed(self.env.now)

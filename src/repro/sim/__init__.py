@@ -1,0 +1,44 @@
+"""Discrete-event simulation engine (the substrate under everything).
+
+Public surface:
+
+* :class:`~repro.sim.core.Environment` — event loop and simulated clock.
+* :class:`~repro.sim.core.Process` / :class:`~repro.sim.core.Timeout` —
+  generator-based processes.
+* :class:`~repro.sim.resources.Resource` / ``Store`` / ``PriorityStore``
+  / ``Container`` — shared-resource primitives.
+* :class:`~repro.sim.monitor.Trace` — instrumentation.
+"""
+
+from repro.sim.core import (
+    AllOf,
+    AnyOf,
+    Environment,
+    Event,
+    Process,
+    Timeout,
+)
+from repro.sim.monitor import (
+    IntervalAccumulator,
+    Trace,
+    TraceRecord,
+    UtilizationMeter,
+)
+from repro.sim.resources import Container, PriorityStore, Resource, Store
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Process",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Resource",
+    "Store",
+    "PriorityStore",
+    "Container",
+    "Trace",
+    "TraceRecord",
+    "IntervalAccumulator",
+    "UtilizationMeter",
+]

@@ -1,0 +1,180 @@
+"""Instrumentation for simulations: traces, time series, utilization.
+
+The runtime and framework models publish events ("message sent", "worker
+busy", ...) to a :class:`Trace`; the harness digests those into the
+per-experiment statistics the paper reports (e.g. smoothness of network
+usage, communication/computation overlap).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+import numpy as np
+
+from repro.sim.core import Environment
+
+__all__ = ["TraceRecord", "Trace", "IntervalAccumulator", "UtilizationMeter"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One trace entry: what happened, when, and any payload."""
+
+    time: float
+    kind: str
+    source: str
+    payload: Any = None
+
+
+class Trace:
+    """Append-only event trace with simple querying.
+
+    Tracing can be disabled (``enabled=False``) to make production runs
+    allocation-free; all ``record`` calls become no-ops.
+    """
+
+    def __init__(self, env: Environment, enabled: bool = True):
+        self.env = env
+        self.enabled = enabled
+        self.records: list[TraceRecord] = []
+
+    def record(self, kind: str, source: str, payload: Any = None) -> None:
+        if not self.enabled:
+            return
+        self.records.append(
+            TraceRecord(self.env.now, kind, source, payload)
+        )
+
+    def of_kind(self, kind: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.kind == kind]
+
+    def times(self, kind: str) -> np.ndarray:
+        return np.array(
+            [r.time for r in self.records if r.kind == kind], dtype=np.float64
+        )
+
+    def histogram(
+        self, kind: str, n_bins: int, t_end: Optional[float] = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Bin occurrences of ``kind`` over [0, t_end] into ``n_bins``.
+
+        Returns (bin_edges, counts).  Used to measure how *smooth*
+        communication is over the run (paper Section IV: spread-out
+        communication vs. bursts at phase boundaries).
+        """
+        times = self.times(kind)
+        end = t_end if t_end is not None else self.env.now
+        if end <= 0:
+            end = 1.0
+        edges = np.linspace(0.0, end, n_bins + 1)
+        counts, _ = np.histogram(times, bins=edges)
+        return edges, counts
+
+    def burstiness(self, kind: str, n_bins: int = 50) -> float:
+        """Coefficient of variation of per-bin counts (0 = perfectly smooth)."""
+        _, counts = self.histogram(kind, n_bins)
+        mean = counts.mean()
+        if mean == 0:
+            return 0.0
+        return float(counts.std() / mean)
+
+
+class IntervalAccumulator:
+    """Accumulates labeled [start, end) busy intervals per actor.
+
+    Supports overlap queries used to quantify communication/computation
+    overlap: the fraction of communication time hidden under compute.
+    """
+
+    def __init__(self) -> None:
+        self._intervals: dict[str, list[tuple[float, float]]] = {}
+
+    def add(self, label: str, start: float, end: float) -> None:
+        if end < start:
+            raise ValueError("interval ends before it starts")
+        self._intervals.setdefault(label, []).append((start, end))
+
+    def total(self, label: str) -> float:
+        return sum(e - s for s, e in self._intervals.get(label, []))
+
+    def merged(self, label: str) -> list[tuple[float, float]]:
+        """Union of intervals for ``label`` as sorted disjoint spans."""
+        spans = sorted(self._intervals.get(label, []))
+        merged: list[tuple[float, float]] = []
+        for s, e in spans:
+            if merged and s <= merged[-1][1]:
+                last_s, last_e = merged[-1]
+                merged[-1] = (last_s, max(last_e, e))
+            else:
+                merged.append((s, e))
+        return merged
+
+    def overlap(self, label_a: str, label_b: str) -> float:
+        """Total time during which both labels are active."""
+        a = self.merged(label_a)
+        b = self.merged(label_b)
+        i = j = 0
+        out = 0.0
+        while i < len(a) and j < len(b):
+            s = max(a[i][0], b[j][0])
+            e = min(a[i][1], b[j][1])
+            if e > s:
+                out += e - s
+            if a[i][1] <= b[j][1]:
+                i += 1
+            else:
+                j += 1
+        return out
+
+
+class UtilizationMeter:
+    """Tracks a step function (e.g. busy worker count) over time."""
+
+    def __init__(self, env: Environment, initial: float = 0.0):
+        self.env = env
+        self._times: list[float] = [env.now]
+        self._values: list[float] = [initial]
+
+    @property
+    def value(self) -> float:
+        return self._values[-1]
+
+    def set(self, value: float) -> None:
+        now = self.env.now
+        if now == self._times[-1]:
+            self._values[-1] = value
+        else:
+            self._times.append(now)
+            self._values.append(value)
+
+    def add(self, delta: float) -> None:
+        self.set(self._values[-1] + delta)
+
+    def value_at(self, t: float) -> float:
+        idx = bisect_right(self._times, t) - 1
+        if idx < 0:
+            return self._values[0]
+        return self._values[idx]
+
+    def time_average(self, t_end: Optional[float] = None) -> float:
+        """Time-weighted mean of the step function over [t0, t_end]."""
+        end = t_end if t_end is not None else self.env.now
+        times = self._times + [end]
+        total = 0.0
+        for i, v in enumerate(self._values):
+            span = max(0.0, min(times[i + 1], end) - min(times[i], end))
+            total += v * span
+        duration = end - self._times[0]
+        return total / duration if duration > 0 else self._values[0]
+
+
+def merge_traces(traces: Iterable[Trace]) -> list[TraceRecord]:
+    """Merge multiple traces into one time-ordered record list."""
+    records: list[TraceRecord] = []
+    for trace in traces:
+        records.extend(trace.records)
+    records.sort(key=lambda r: r.time)
+    return records

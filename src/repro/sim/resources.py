@@ -1,0 +1,274 @@
+"""Shared-resource primitives for the DES engine.
+
+These mirror SimPy's resource set at the scale this library needs:
+
+* :class:`Resource` — counted mutual exclusion (e.g. a NIC send engine,
+  a DMA engine, a CPU control-path thread).
+* :class:`Store` — FIFO buffer of Python objects with blocking get/put
+  (e.g. a receive mailbox).
+* :class:`PriorityStore` — like :class:`Store` but pops the smallest
+  item first (used by the distributed priority queue model).
+* :class:`Container` — a continuous quantity (e.g. buffer bytes).
+
+All waiters are served in strict FIFO order, which keeps simulations
+deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.sim.core import Environment, Event
+
+__all__ = ["Resource", "Store", "PriorityStore", "Container"]
+
+
+class Resource:
+    """``capacity`` interchangeable slots; acquire with ``request()``.
+
+    Usage inside a process::
+
+        req = resource.request()
+        yield req
+        ...  # critical section
+        resource.release(req)
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return self._in_use
+
+    @property
+    def queue_length(self) -> int:
+        """Number of pending (un-granted) requests."""
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """Return an event that triggers when a slot is granted."""
+        event = self.env.event()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed(self)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self, request: Event) -> None:
+        """Release a slot previously granted to ``request``."""
+        if not request.triggered:
+            # The request never got the slot: cancel it.
+            try:
+                self._waiters.remove(request)
+            except ValueError:
+                raise SimulationError("releasing an unknown request")
+            request.succeed(None)
+            return
+        if self._in_use <= 0:
+            raise SimulationError("release without matching request")
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            waiter.succeed(self)
+            # Slot is transferred; _in_use stays the same.
+        else:
+            self._in_use -= 1
+
+
+class Store:
+    """FIFO object buffer with blocking ``get`` and (bounded) ``put``."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.env = env
+        self.capacity = capacity
+        self.items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def _do_put(self, item: Any) -> None:
+        """Insert ``item``, serving a blocked getter directly if any."""
+        if self._getters:
+            getter = self._getters.popleft()
+            getter.succeed(item)
+        else:
+            self.items.append(item)
+
+    def put(self, item: Any) -> Event:
+        """Return an event that triggers once ``item`` is stored."""
+        event = self.env.event()
+        if len(self.items) < self.capacity:
+            self._do_put(item)
+            event.succeed(item)
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False if the store is full."""
+        if len(self.items) >= self.capacity and not self._getters:
+            return False
+        self._do_put(item)
+        return True
+
+    def get(self) -> Event:
+        """Return an event that triggers with the next item."""
+        event = self.env.event()
+        if self.items:
+            event.succeed(self._pop_item())
+            self._admit_putter()
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get; returns ``(ok, item_or_None)``."""
+        if not self.items:
+            return False, None
+        item = self._pop_item()
+        self._admit_putter()
+        return True, item
+
+    def _pop_item(self) -> Any:
+        return self.items.popleft()
+
+    def _admit_putter(self) -> None:
+        if self._putters and len(self.items) < self.capacity:
+            event, item = self._putters.popleft()
+            self._do_put(item)
+            event.succeed(item)
+
+
+class PriorityStore(Store):
+    """A :class:`Store` that always yields its smallest item first.
+
+    Items must be mutually comparable; use ``(priority, payload)``
+    tuples when payloads are not.
+    """
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        super().__init__(env, capacity)
+        self._heap: list[Any] = []
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def _do_put(self, item: Any) -> None:
+        if self._getters:
+            # Serve the waiter with the overall smallest element.
+            heapq.heappush(self._heap, item)
+            getter = self._getters.popleft()
+            getter.succeed(heapq.heappop(self._heap))
+        else:
+            heapq.heappush(self._heap, item)
+
+    def put(self, item: Any) -> Event:
+        event = self.env.event()
+        if len(self._heap) < self.capacity:
+            self._do_put(item)
+            event.succeed(item)
+        else:
+            self._putters.append((event, item))
+        return event
+
+    def try_put(self, item: Any) -> bool:
+        if len(self._heap) >= self.capacity and not self._getters:
+            return False
+        self._do_put(item)
+        return True
+
+    def get(self) -> Event:
+        event = self.env.event()
+        if self._heap:
+            event.succeed(heapq.heappop(self._heap))
+            self._admit_putter()
+        else:
+            self._getters.append(event)
+        return event
+
+    def try_get(self) -> tuple[bool, Any]:
+        if not self._heap:
+            return False, None
+        item = heapq.heappop(self._heap)
+        self._admit_putter()
+        return True, item
+
+    def _admit_putter(self) -> None:
+        if self._putters and len(self._heap) < self.capacity:
+            event, item = self._putters.popleft()
+            self._do_put(item)
+            event.succeed(item)
+
+
+class Container:
+    """A continuous quantity (bytes, credits) with blocking get/put."""
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise ValueError("init must be within [0, capacity]")
+        self.env = env
+        self.capacity = capacity
+        self._level = float(init)
+        self._getters: deque[tuple[Event, float]] = deque()
+        self._putters: deque[tuple[Event, float]] = deque()
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        event = self.env.event()
+        self._putters.append((event, amount))
+        self._settle()
+        return event
+
+    def get(self, amount: float) -> Event:
+        if amount <= 0:
+            raise ValueError("amount must be positive")
+        event = self.env.event()
+        self._getters.append((event, amount))
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        """Grant FIFO waiters while their demands fit."""
+        progress = True
+        while progress:
+            progress = False
+            if self._putters:
+                event, amount = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._putters.popleft()
+                    self._level += amount
+                    event.succeed(amount)
+                    progress = True
+            if self._getters:
+                event, amount = self._getters[0]
+                if amount <= self._level:
+                    self._getters.popleft()
+                    self._level -= amount
+                    event.succeed(amount)
+                    progress = True

@@ -1,0 +1,128 @@
+"""Tests for the speculative graph-coloring extension application."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import daisy, summit_ib
+from repro.graph import (
+    CSRGraph,
+    complete_graph,
+    grid_mesh,
+    path_graph,
+    random_partition,
+    rmat,
+    star_graph,
+)
+from repro.apps import AtosColoring, greedy_coloring, is_proper_coloring
+from repro.runtime import AtosConfig, AtosExecutor
+
+
+def _run(graph, machine, config=AtosConfig(fetch_size=1)):
+    part = random_partition(graph, machine.n_gpus, seed=1)
+    app = AtosColoring(graph, part)
+    makespan, counters = AtosExecutor(machine, app, config).run()
+    return app.result(), counters
+
+
+# ------------------------------------------------------------ references
+def test_greedy_coloring_path_uses_two_colors():
+    colors = greedy_coloring(path_graph(10))
+    assert is_proper_coloring(path_graph(10), colors)
+    assert colors.max() == 1
+
+
+def test_greedy_coloring_complete_graph_needs_n():
+    g = complete_graph(5)
+    colors = greedy_coloring(g)
+    assert is_proper_coloring(g, colors)
+    assert colors.max() == 4
+
+
+def test_is_proper_coloring_detects_violations():
+    g = path_graph(3)
+    assert not is_proper_coloring(g, np.array([0, 0, 1]))
+    assert not is_proper_coloring(g, np.array([-1, 0, 1]))
+    assert is_proper_coloring(g, np.array([0, 1, 0]))
+
+
+# ------------------------------------------------------------- Atos runs
+@pytest.mark.parametrize("n_gpus", [1, 2, 4])
+def test_coloring_proper_on_scale_free(n_gpus):
+    g = rmat(scale=8, edge_factor=5, seed=6)
+    colors, counters = _run(g, daisy(n_gpus))
+    assert is_proper_coloring(g, colors)
+    assert counters["color_attempts"] >= g.n_vertices
+
+
+def test_coloring_proper_on_mesh():
+    g = grid_mesh(16, 16, seed=6)
+    colors, _ = _run(g, daisy(3))
+    assert is_proper_coloring(g, colors)
+    # Planar-ish mesh: handful of colors, close to greedy quality.
+    assert colors.max() + 1 <= greedy_coloring(g).max() + 4
+
+
+def test_coloring_on_ib_with_aggregator():
+    g = rmat(scale=8, edge_factor=4, seed=7)
+    colors, counters = _run(g, summit_ib(4))
+    assert is_proper_coloring(g, colors)
+    assert counters["mirror_updates"] > 0
+
+
+def test_coloring_star_graph_two_colors():
+    g = star_graph(30)
+    colors, _ = _run(g, daisy(2))
+    assert is_proper_coloring(g, colors)
+    assert colors.max() == 1
+
+
+def test_coloring_complete_graph_heavy_conflicts():
+    g = complete_graph(12)
+    colors, counters = _run(g, daisy(4))
+    assert is_proper_coloring(g, colors)
+    assert colors.max() == 11
+    assert counters["conflicts"] > 0  # all-vs-all speculation collides
+
+
+def test_coloring_quality_vs_greedy_bounded():
+    g = rmat(scale=9, edge_factor=6, seed=8)
+    colors, _ = _run(g, daisy(4))
+    greedy = greedy_coloring(g)
+    # Speculative coloring may use more colors, but within ~2x greedy.
+    assert colors.max() + 1 <= 2 * (greedy.max() + 1)
+
+
+def test_coloring_partition_mismatch():
+    g = path_graph(8)
+    app = AtosColoring(g, random_partition(g, 2, seed=0))
+    with pytest.raises(ValueError):
+        app.setup(3)
+
+
+@given(
+    st.integers(4, 36).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                min_size=n // 2,
+                max_size=3 * n,
+            ),
+            st.integers(1, 3),
+        )
+    )
+)
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_property_coloring_always_proper(data):
+    n, edges, n_gpus = data
+    g = CSRGraph.from_edges(
+        [e[0] for e in edges], [e[1] for e in edges], n
+    ).symmetrized()
+    colors, _ = _run(g, daisy(n_gpus))
+    assert is_proper_coloring(g, colors)

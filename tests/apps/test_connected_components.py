@@ -1,0 +1,90 @@
+"""Tests for the connected-components extension application."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.config import daisy, summit_ib
+from repro.graph import (
+    CSRGraph,
+    grid_mesh,
+    path_graph,
+    random_partition,
+    rmat,
+)
+from repro.apps import AtosConnectedComponents, reference_components
+from repro.runtime import AtosConfig, AtosExecutor
+
+
+def _run(graph, machine, config=AtosConfig()):
+    part = random_partition(graph, machine.n_gpus, seed=1)
+    app = AtosConnectedComponents(graph, part)
+    makespan, counters = AtosExecutor(machine, app, config).run()
+    return app.result(), makespan, counters
+
+
+def _component_count(labels):
+    return len(np.unique(labels))
+
+
+def test_reference_components_simple():
+    # 0-1 connected, 2 isolated.
+    g = CSRGraph.from_edges([0], [1], 3).symmetrized()
+    labels = reference_components(g)
+    assert labels[0] == labels[1]
+    assert labels[2] != labels[0]
+
+
+def test_single_component_path():
+    g = path_graph(30)
+    labels, _, _ = _run(g, daisy(2))
+    assert _component_count(labels) == 1
+    assert np.all(labels == 0)  # min label wins
+
+
+@pytest.mark.parametrize("n_gpus", [1, 2, 4])
+def test_matches_reference_on_fragmented_mesh(n_gpus):
+    g = grid_mesh(20, 20, drop_fraction=0.4, shortcut_fraction=0.0, seed=5)
+    labels, _, _ = _run(g, daisy(n_gpus))
+    assert np.array_equal(labels, reference_components(g))
+
+
+def test_matches_networkx_component_count():
+    g = grid_mesh(16, 16, drop_fraction=0.35, shortcut_fraction=0.0, seed=9)
+    labels, _, _ = _run(g, daisy(3))
+    src, dst = g.to_edges()
+    nx_graph = nx.Graph()
+    nx_graph.add_nodes_from(range(g.n_vertices))
+    nx_graph.add_edges_from(zip(src.tolist(), dst.tolist()))
+    assert _component_count(labels) == nx.number_connected_components(
+        nx_graph
+    )
+
+
+def test_labels_are_component_minima():
+    g = grid_mesh(12, 12, drop_fraction=0.3, shortcut_fraction=0.0, seed=2)
+    labels, _, _ = _run(g, daisy(2))
+    for label in np.unique(labels):
+        members = np.flatnonzero(labels == label)
+        assert label == members.min()
+
+
+def test_runs_on_ib_with_aggregator():
+    g = rmat(scale=8, edge_factor=4, seed=3)  # symmetric by default
+    labels, _, counters = _run(g, summit_ib(4))
+    assert np.array_equal(labels, reference_components(g))
+
+
+def test_counters_and_makespan():
+    g = grid_mesh(10, 10, seed=1)
+    labels, makespan, counters = _run(g, daisy(2))
+    assert makespan > 0
+    assert counters["vertices_visited"] >= g.n_vertices
+
+
+def test_partition_mismatch_rejected():
+    g = path_graph(10)
+    part = random_partition(g, 2, seed=0)
+    app = AtosConnectedComponents(g, part)
+    with pytest.raises(ValueError):
+        app.setup(3)

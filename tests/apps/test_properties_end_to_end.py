@@ -1,0 +1,126 @@
+"""Property-based end-to-end tests: random graphs, partitions, and
+executor configurations must always produce reference-equal results.
+
+These are the highest-value invariants in the repository: the entire
+stack (DES engine, fabric, queues, aggregator, termination, app logic)
+sits between the random input and the asserted output.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import daisy, summit_ib
+from repro.gpu.kernel import KernelStrategy
+from repro.graph import (
+    CSRGraph,
+    bfs_grow_partition,
+    largest_component_vertex,
+    random_partition,
+)
+from repro.apps import (
+    AtosBFS,
+    AtosPageRank,
+    pagerank_close,
+    reference_bfs,
+    reference_pagerank,
+)
+from repro.runtime import AtosConfig, AtosExecutor
+
+# Random small graphs: n in [4, 60], arbitrary edges, symmetrized so
+# sources reach a reasonable fraction.
+graphs = st.integers(4, 60).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            min_size=n // 2,
+            max_size=4 * n,
+        ),
+    )
+)
+
+run_settings = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _build(n, edges):
+    return CSRGraph.from_edges(
+        [e[0] for e in edges], [e[1] for e in edges], n
+    ).symmetrized()
+
+
+@given(graphs, st.integers(1, 4), st.booleans(), st.booleans())
+@run_settings
+def test_property_bfs_always_matches_reference(
+    data, n_gpus, priority, discrete
+):
+    n, edges = data
+    graph = _build(n, edges)
+    if graph.n_edges == 0:
+        return
+    source = largest_component_vertex(graph)
+    partition = random_partition(graph, n_gpus, seed=n)
+    config = AtosConfig(
+        kernel=(
+            KernelStrategy.DISCRETE if discrete else KernelStrategy.PERSISTENT
+        ),
+        priority=priority,
+        fetch_size=1,
+    )
+    app = AtosBFS(graph, partition, source)
+    AtosExecutor(daisy(min(n_gpus, 4)), app, config).run()
+    assert np.array_equal(app.result(), reference_bfs(graph, source))
+
+
+@given(graphs, st.integers(1, 4))
+@run_settings
+def test_property_bfs_on_ib_with_aggregator(data, n_gpus):
+    n, edges = data
+    graph = _build(n, edges)
+    if graph.n_edges == 0:
+        return
+    source = largest_component_vertex(graph)
+    partition = random_partition(graph, n_gpus, seed=n)
+    app = AtosBFS(graph, partition, source)
+    AtosExecutor(
+        summit_ib(n_gpus), app, AtosConfig(fetch_size=1, wait_time=4)
+    ).run()
+    assert np.array_equal(app.result(), reference_bfs(graph, source))
+
+
+@given(graphs, st.integers(1, 3))
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_property_pagerank_always_close_to_reference(data, n_gpus):
+    n, edges = data
+    graph = _build(n, edges)
+    partition = bfs_grow_partition(graph, n_gpus, seed=n)
+    app = AtosPageRank(graph, partition, epsilon=1e-4)
+    AtosExecutor(daisy(min(n_gpus, 4)), app, AtosConfig()).run()
+    assert pagerank_close(
+        app.result(), reference_pagerank(graph, epsilon=1e-4)
+    )
+
+
+@given(graphs)
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_property_pagerank_mass_bounded(data):
+    # Residual push conserves mass: sum(rank + residual) <= n, > 0.
+    n, edges = data
+    graph = _build(n, edges)
+    partition = random_partition(graph, 2, seed=n)
+    app = AtosPageRank(graph, partition, epsilon=1e-3)
+    AtosExecutor(daisy(2), app, AtosConfig()).run()
+    total = app.result().sum()
+    assert 0 < total <= graph.n_vertices + 1e-9

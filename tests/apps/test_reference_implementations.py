@@ -1,0 +1,103 @@
+"""Cross-checks of the serial reference implementations themselves.
+
+The references are the trust anchor for every simulated run, so they
+get their own validation against independent implementations
+(networkx, scipy, closed forms).
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.graph import (
+    CSRGraph,
+    grid_mesh,
+    largest_component_vertex,
+    path_graph,
+    rmat,
+    star_graph,
+    uniform_weights,
+)
+from repro.apps import (
+    reference_bfs,
+    reference_pagerank,
+    reference_sssp,
+)
+
+
+def _nx_graph(graph):
+    src, dst = graph.to_edges()
+    g = nx.DiGraph()
+    g.add_nodes_from(range(graph.n_vertices))
+    g.add_edges_from(zip(src.tolist(), dst.tolist()))
+    return g
+
+
+def test_reference_bfs_vs_networkx():
+    g = rmat(scale=8, edge_factor=5, seed=23)
+    src = largest_component_vertex(g)
+    ours = reference_bfs(g, src)
+    theirs = nx.single_source_shortest_path_length(_nx_graph(g), src)
+    for v, d in theirs.items():
+        assert ours[v] == d
+
+
+def test_reference_pagerank_vs_networkx():
+    # Residual push PR on a graph with no dangling vertices converges
+    # to n * networkx's normalized PageRank.  Guarantee min out-degree
+    # >= 1 by overlaying a ring on an RMAT graph (networkx handles
+    # dangling mass differently from absorbing residual PR).
+    base = rmat(scale=6, edge_factor=8, seed=11)
+    n = base.n_vertices
+    src, dst = base.to_edges()
+    ring = np.arange(n)
+    g = CSRGraph.from_edges(
+        np.concatenate([src, ring]),
+        np.concatenate([dst, (ring + 1) % n]),
+        n,
+    )
+    assert int(np.asarray(g.out_degree()).min()) >= 1
+    ours = reference_pagerank(g, alpha=0.85, epsilon=1e-9)
+    theirs = nx.pagerank(_nx_graph(g), alpha=0.85, tol=1e-12)
+    theirs_arr = np.array([theirs[v] for v in range(g.n_vertices)])
+    ours_normalized = ours / ours.sum()
+    assert np.allclose(ours_normalized, theirs_arr, atol=1e-5)
+
+
+def test_reference_pagerank_uniform_on_symmetric_regular():
+    # On a k-regular symmetric graph, PageRank is uniform.
+    n = 16
+    src = np.repeat(np.arange(n), 2)
+    dst = np.concatenate([(np.arange(n) + 1) % n, (np.arange(n) - 1) % n])
+    order = np.argsort(src, kind="stable")
+    g = CSRGraph.from_edges(src[order], dst[order], n)
+    rank = reference_pagerank(g, epsilon=1e-10)
+    assert np.allclose(rank, rank[0])
+
+
+def test_reference_sssp_vs_networkx():
+    g = rmat(scale=7, edge_factor=5, seed=29)
+    w = uniform_weights(g, seed=5)
+    src = largest_component_vertex(g)
+    ours = reference_sssp(w, src)
+    nxg = nx.DiGraph()
+    nxg.add_nodes_from(range(g.n_vertices))
+    s_arr, d_arr = g.to_edges()
+    for s, d, weight in zip(s_arr, d_arr, w.weights):
+        nxg.add_edge(int(s), int(d), weight=float(weight))
+    theirs = nx.single_source_dijkstra_path_length(nxg, src)
+    for v in range(g.n_vertices):
+        if v in theirs:
+            assert ours[v] == pytest.approx(theirs[v])
+        else:
+            assert np.isinf(ours[v])
+
+
+def test_reference_bfs_on_closed_forms():
+    assert list(reference_bfs(path_graph(5), 0)) == [0, 1, 2, 3, 4]
+    star = reference_bfs(star_graph(6), 0)
+    assert star[0] == 0 and np.all(star[1:] == 1)
+    mesh = reference_bfs(
+        grid_mesh(5, 5, drop_fraction=0.0, shortcut_fraction=0.0), 0
+    )
+    assert mesh[24] == 8  # manhattan distance corner-to-corner

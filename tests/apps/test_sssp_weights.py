@@ -1,0 +1,195 @@
+"""Tests for weighted graphs and the SSSP extension application."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.config import daisy, summit_ib
+from repro.gpu.kernel import KernelStrategy
+from repro.graph import (
+    CSRGraph,
+    WeightedGraph,
+    bfs_grow_partition,
+    geometric_weights,
+    grid_mesh,
+    largest_component_vertex,
+    path_graph,
+    random_partition,
+    rmat,
+    uniform_weights,
+)
+from repro.apps import AtosSSSP, reference_sssp
+from repro.runtime import AtosConfig, AtosExecutor
+
+
+# -------------------------------------------------------- WeightedGraph
+def test_weighted_graph_validation():
+    g = path_graph(4)
+    with pytest.raises(ValueError):
+        WeightedGraph(g, np.ones(3))  # wrong length
+    with pytest.raises(ValueError):
+        WeightedGraph(g, np.zeros(g.n_edges))  # non-positive
+
+
+def test_weighted_expand_batch_alignment():
+    g = CSRGraph.from_edges([0, 0, 1], [1, 2, 2], 3)
+    w = WeightedGraph(g, np.array([10.0, 20.0, 30.0]))
+    targets, origin, weights = w.expand_batch(np.array([0, 1]))
+    assert list(targets) == [1, 2, 2]
+    assert list(weights) == [10.0, 20.0, 30.0]
+    assert list(origin) == [0, 0, 1]
+
+
+def test_weighted_expand_batch_empty():
+    g = path_graph(3)
+    w = uniform_weights(g)
+    targets, origin, weights = w.expand_batch(np.array([], dtype=np.int64))
+    assert len(targets) == len(origin) == len(weights) == 0
+
+
+def test_uniform_weights_symmetric_and_in_range():
+    g = rmat(scale=7, edge_factor=4, seed=5)
+    w = uniform_weights(g, low=2.0, high=5.0, seed=1)
+    assert w.weights.min() >= 2.0 and w.weights.max() <= 5.0
+    assert w.symmetric_weights_ok()
+
+
+def test_uniform_weights_validation():
+    g = path_graph(3)
+    with pytest.raises(ValueError):
+        uniform_weights(g, low=0.0)
+    with pytest.raises(ValueError):
+        uniform_weights(g, low=5.0, high=1.0)
+
+
+def test_geometric_weights_reflect_distance():
+    g = grid_mesh(10, 10, drop_fraction=0.0, shortcut_fraction=0.0)
+    w = geometric_weights(g, width=10, seed=0)
+    # Lattice edges are unit-distance: weights near 1 (with jitter).
+    assert w.weights.min() >= 0.5
+    assert w.weights.max() <= 1.5
+
+
+def test_row_subweights_align_with_subgraph():
+    g = rmat(scale=6, edge_factor=4, seed=2)
+    w = uniform_weights(g, seed=3)
+    rows = np.array([1, 5, 9])
+    sub = w.row_subweights(rows)
+    assert sub.graph.n_vertices == 3
+    _, _, expected = w.expand_batch(rows)
+    assert np.array_equal(sub.weights, expected)
+
+
+# ------------------------------------------------------------------ SSSP
+def _run_sssp(weighted, source, machine, config=AtosConfig(fetch_size=1)):
+    part = random_partition(weighted.graph, machine.n_gpus, seed=1)
+    app = AtosSSSP(weighted, part, source)
+    makespan, counters = AtosExecutor(machine, app, config).run()
+    return app.result(), counters
+
+
+def _assert_matches_dijkstra(dist, ref):
+    finite = np.isfinite(ref)
+    assert np.array_equal(np.isfinite(dist), finite)
+    assert np.allclose(dist[finite], ref[finite])
+
+
+@pytest.mark.parametrize("n_gpus", [1, 2, 4])
+def test_sssp_matches_dijkstra_scale_free(n_gpus):
+    g = rmat(scale=8, edge_factor=5, seed=4)
+    w = uniform_weights(g, seed=2)
+    src = largest_component_vertex(g)
+    dist, _ = _run_sssp(w, src, daisy(n_gpus))
+    _assert_matches_dijkstra(dist, reference_sssp(w, src))
+
+
+def test_sssp_matches_dijkstra_mesh_with_priority():
+    g = grid_mesh(16, 16, seed=2)
+    w = geometric_weights(g, width=16, seed=2)
+    config = AtosConfig(
+        kernel=KernelStrategy.DISCRETE,
+        priority=True,
+        threshold_delta=2.0,
+        fetch_size=1,
+    )
+    dist, _ = _run_sssp(w, 0, daisy(3), config)
+    _assert_matches_dijkstra(dist, reference_sssp(w, 0))
+
+
+def test_sssp_on_ib():
+    g = rmat(scale=7, edge_factor=5, seed=9)
+    w = uniform_weights(g, seed=9)
+    src = largest_component_vertex(g)
+    dist, counters = _run_sssp(w, src, summit_ib(4))
+    _assert_matches_dijkstra(dist, reference_sssp(w, src))
+
+
+def test_sssp_priority_reduces_relaxations():
+    """The delta-stepping payoff: far fewer re-relaxations."""
+    g = grid_mesh(20, 20, seed=7)
+    w = geometric_weights(g, width=20, seed=7)
+    part = bfs_grow_partition(g, 4, seed=0)
+
+    fifo = AtosSSSP(w, part, 0)
+    AtosExecutor(daisy(4), fifo, AtosConfig(fetch_size=1)).run()
+    prio = AtosSSSP(w, part, 0)
+    AtosExecutor(
+        daisy(4),
+        prio,
+        AtosConfig(
+            kernel=KernelStrategy.DISCRETE,
+            priority=True,
+            threshold_delta=2.0,
+            fetch_size=1,
+        ),
+    ).run()
+    assert (
+        prio.counters()["vertices_relaxed"]
+        < 0.7 * fifo.counters()["vertices_relaxed"]
+    )
+
+
+def test_sssp_unreachable_stay_infinite():
+    g = CSRGraph.from_edges([0], [1], 4).symmetrized()
+    w = uniform_weights(g)
+    dist, _ = _run_sssp(w, 0, daisy(1))
+    assert np.isinf(dist[2]) and np.isinf(dist[3])
+
+
+def test_sssp_source_validation():
+    g = path_graph(4)
+    w = uniform_weights(g)
+    with pytest.raises(ValueError):
+        AtosSSSP(w, random_partition(g, 1), source=10)
+
+
+@given(
+    st.integers(4, 40).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                min_size=n // 2,
+                max_size=3 * n,
+            ),
+            st.integers(1, 3),
+        )
+    )
+)
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_property_sssp_matches_dijkstra(data):
+    n, edges, n_gpus = data
+    g = CSRGraph.from_edges(
+        [e[0] for e in edges], [e[1] for e in edges], n
+    ).symmetrized()
+    if g.n_edges == 0:
+        return
+    w = uniform_weights(g, seed=n)
+    src = largest_component_vertex(g)
+    dist, _ = _run_sssp(w, src, daisy(n_gpus))
+    _assert_matches_dijkstra(dist, reference_sssp(w, src))

@@ -1,0 +1,145 @@
+"""Tests for the BSP / direction-optimized traces used by baselines."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    bfs_grow_partition,
+    grid_mesh,
+    largest_component_vertex,
+    random_partition,
+    rmat,
+)
+from repro.apps import pagerank_close, reference_bfs, reference_pagerank
+from repro.apps.bfs_variants import (
+    bsp_bfs_trace,
+    direction_optimized_bfs_trace,
+)
+from repro.apps.pagerank_variants import bsp_pagerank_trace
+
+
+def graph_and_partition(n_parts=3):
+    g = rmat(scale=8, edge_factor=6, seed=11)
+    return g, random_partition(g, n_parts, seed=0)
+
+
+# --------------------------------------------------------- BSP BFS trace
+def test_bsp_bfs_depths_match_reference():
+    g, part = graph_and_partition()
+    src = largest_component_vertex(g)
+    trace = bsp_bfs_trace(g, part, src)
+    assert np.array_equal(trace.depth, reference_bfs(g, src))
+
+
+def test_bsp_bfs_level_count_is_eccentricity():
+    g = grid_mesh(12, 12, drop_fraction=0.0, shortcut_fraction=0.0)
+    part = random_partition(g, 2, seed=0)
+    trace = bsp_bfs_trace(g, part, 0)
+    assert trace.n_levels == 22 + 1  # corner-to-corner + final empty level
+
+
+def test_bsp_bfs_frontier_sums_match_visits():
+    g, part = graph_and_partition()
+    src = largest_component_vertex(g)
+    trace = bsp_bfs_trace(g, part, src)
+    visited = int((trace.depth != np.iinfo(np.int32).max).sum())
+    frontier_total = int(
+        sum(t.frontier_per_pe.sum() for t in trace.levels)
+    )
+    assert frontier_total == visited
+
+
+def test_bsp_bfs_remote_matrix_zero_diagonal_and_single_pe():
+    g, part = graph_and_partition(1)
+    trace = bsp_bfs_trace(g, part, largest_component_vertex(g))
+    for level in trace.levels:
+        assert level.remote_updates.sum() == 0
+    g, part = graph_and_partition(3)
+    trace = bsp_bfs_trace(g, part, largest_component_vertex(g))
+    total_remote = 0
+    for level in trace.levels:
+        assert np.all(np.diag(level.remote_updates) == 0)
+        total_remote += level.remote_updates.sum()
+    assert total_remote > 0
+
+
+def test_bsp_bfs_edges_bounded_by_graph():
+    g, part = graph_and_partition()
+    trace = bsp_bfs_trace(g, part, largest_component_vertex(g))
+    assert 0 < trace.total_edges() <= g.n_edges
+
+
+# ------------------------------------------------- direction-optimized
+def test_do_bfs_depths_match_reference():
+    g, part = graph_and_partition()
+    src = largest_component_vertex(g)
+    trace = direction_optimized_bfs_trace(g, part, src)
+    assert np.array_equal(trace.depth, reference_bfs(g, src))
+
+
+def test_do_bfs_uses_pull_on_scale_free():
+    # Scale-free BFS frontiers explode: some level must switch to pull.
+    g = rmat(scale=10, edge_factor=10, seed=2)
+    part = random_partition(g, 2, seed=0)
+    trace = direction_optimized_bfs_trace(
+        g, part, largest_component_vertex(g)
+    )
+    assert any(t.direction == "pull" for t in trace.levels)
+
+
+def test_do_bfs_stays_push_on_thin_mesh():
+    g = grid_mesh(30, 30, seed=1)
+    part = random_partition(g, 2, seed=0)
+    trace = direction_optimized_bfs_trace(g, part, 0, pull_threshold=0.2)
+    assert all(t.direction == "push" for t in trace.levels)
+
+
+def test_do_bfs_pull_levels_cost_bitmap_comm():
+    g = rmat(scale=10, edge_factor=10, seed=2)
+    part = random_partition(g, 3, seed=0)
+    trace = direction_optimized_bfs_trace(
+        g, part, largest_component_vertex(g)
+    )
+    pull_levels = [t for t in trace.levels if t.direction == "pull"]
+    assert pull_levels
+    for t in pull_levels:
+        off_diag = t.remote_updates[~np.eye(3, dtype=bool)]
+        assert np.all(off_diag > 0)  # bitmap broadcast to all peers
+
+
+# ------------------------------------------------------------- BSP PR
+def test_bsp_pagerank_matches_reference():
+    g, part = graph_and_partition()
+    trace = bsp_pagerank_trace(g, part, epsilon=1e-4)
+    assert pagerank_close(trace.rank, reference_pagerank(g, epsilon=1e-4))
+
+
+def test_bsp_pagerank_full_work_model_same_result_more_work():
+    g, part = graph_and_partition()
+    filtered = bsp_pagerank_trace(g, part, epsilon=1e-4)
+    full = bsp_pagerank_trace(g, part, epsilon=1e-4, work_model="full")
+    assert np.allclose(filtered.rank, full.rank)
+    assert full.total_edges() > filtered.total_edges()
+
+
+def test_bsp_pagerank_static_boundary():
+    g, part = graph_and_partition()
+    trace = bsp_pagerank_trace(g, part, epsilon=1e-4)
+    assert trace.static_boundary is not None
+    assert np.all(np.diag(trace.static_boundary) == 0)
+    # Per-iteration active boundary never exceeds the static boundary.
+    for it in trace.iterations:
+        assert np.all(it.remote_updates <= trace.static_boundary)
+
+
+def test_bsp_pagerank_iterations_decrease_with_looser_epsilon():
+    g, part = graph_and_partition()
+    tight = bsp_pagerank_trace(g, part, epsilon=1e-5)
+    loose = bsp_pagerank_trace(g, part, epsilon=1e-2)
+    assert loose.n_iterations < tight.n_iterations
+
+
+def test_bsp_pagerank_invalid_work_model():
+    g, part = graph_and_partition()
+    with pytest.raises(ValueError):
+        bsp_pagerank_trace(g, part, work_model="bogus")

@@ -1,0 +1,167 @@
+"""Framework driver tests: correctness everywhere, and the paper's
+qualitative performance relationships (who wins where)."""
+
+import numpy as np
+import pytest
+
+from repro.config import daisy, summit_ib
+from repro.gpu.kernel import KernelStrategy
+from repro.graph import (
+    bfs_grow_partition,
+    grid_mesh,
+    largest_component_vertex,
+    random_partition,
+    rmat,
+)
+from repro.apps import pagerank_close, reference_bfs, reference_pagerank
+from repro.frameworks import (
+    AtosDriver,
+    GaloisLikeDriver,
+    GrouteLikeDriver,
+    GunrockLikeDriver,
+)
+
+
+@pytest.fixture(scope="module")
+def scale_free():
+    g = rmat(scale=9, edge_factor=8, seed=21)
+    return g, largest_component_vertex(g)
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return grid_mesh(24, 24, seed=21), 0
+
+
+ALL_DRIVERS = [
+    GunrockLikeDriver,
+    GrouteLikeDriver,
+    GaloisLikeDriver,
+    lambda: AtosDriver(kernel=KernelStrategy.PERSISTENT),
+    lambda: AtosDriver(kernel=KernelStrategy.DISCRETE, priority=True),
+]
+
+
+@pytest.mark.parametrize("make_driver", ALL_DRIVERS)
+@pytest.mark.parametrize("n_gpus", [1, 3])
+def test_bfs_correct_all_drivers(make_driver, n_gpus, scale_free):
+    g, src = scale_free
+    part = random_partition(g, n_gpus, seed=0)
+    result = make_driver().run_bfs(g, part, src, daisy(n_gpus))
+    assert np.array_equal(np.asarray(result.output), reference_bfs(g, src))
+    assert result.time_ms > 0
+    assert result.n_gpus == n_gpus
+
+
+@pytest.mark.parametrize("make_driver", ALL_DRIVERS)
+def test_pagerank_correct_all_drivers(make_driver, scale_free):
+    g, _ = scale_free
+    part = random_partition(g, 2, seed=0)
+    result = make_driver().run_pagerank(g, part, daisy(2), epsilon=1e-4)
+    assert pagerank_close(
+        np.asarray(result.output), reference_pagerank(g, epsilon=1e-4)
+    )
+
+
+def test_driver_names():
+    assert GunrockLikeDriver().name == "gunrock"
+    assert GrouteLikeDriver().name == "groute"
+    assert GaloisLikeDriver().name == "galois"
+    assert AtosDriver().name == "atos-standard-persistent"
+    assert (
+        AtosDriver(kernel=KernelStrategy.DISCRETE, priority=True).name
+        == "atos-priority-discrete"
+    )
+
+
+# -------------------------------------------------- qualitative shapes
+def test_atos_beats_gunrock_on_mesh_bfs(mesh):
+    """Paper Table II: Atos-persistent >= ~10x Gunrock on mesh BFS."""
+    g, src = mesh
+    part = bfs_grow_partition(g, 4, seed=0)
+    atos = AtosDriver().run_bfs(g, part, src, daisy(4))
+    gunrock = GunrockLikeDriver().run_bfs(g, part, src, daisy(4))
+    assert gunrock.time_ms > 4 * atos.time_ms
+
+
+def test_groute_between_gunrock_and_atos_on_mesh_bfs(mesh):
+    g, src = mesh
+    part = bfs_grow_partition(g, 4, seed=0)
+    atos = AtosDriver().run_bfs(g, part, src, daisy(4)).time_ms
+    groute = GrouteLikeDriver().run_bfs(g, part, src, daisy(4)).time_ms
+    gunrock = GunrockLikeDriver().run_bfs(g, part, src, daisy(4)).time_ms
+    assert atos < groute < gunrock
+
+
+def test_atos_beats_gunrock_on_pagerank(scale_free):
+    """Paper Table IV: Atos ~2-3x over Gunrock on PageRank."""
+    g, _ = scale_free
+    part = bfs_grow_partition(g, 4, seed=0)
+    atos = AtosDriver().run_pagerank(g, part, daisy(4))
+    gunrock = GunrockLikeDriver().run_pagerank(g, part, daisy(4))
+    assert gunrock.time_ms > 1.3 * atos.time_ms
+
+
+def test_galois_ib_bfs_much_slower_on_mesh(mesh):
+    """Paper Table V: Atos 2-3 orders of magnitude over Galois on mesh."""
+    g, src = mesh
+    part = bfs_grow_partition(g, 4, seed=0)
+    machine = summit_ib(4)
+    atos = AtosDriver().run_bfs(g, part, src, machine)
+    galois = GaloisLikeDriver().run_bfs(g, part, src, machine)
+    assert galois.time_ms > 10 * atos.time_ms
+
+
+def test_galois_does_not_scale_atos_does():
+    """Paper Fig 8: Galois slows down with more GPUs; Atos holds or
+    improves.  Needs a graph big enough that 8 GPUs have work to hide
+    the IB latency behind (the paper's point exactly)."""
+    g = rmat(scale=13, edge_factor=8, seed=21)
+    src = largest_component_vertex(g)
+    galois_1 = GaloisLikeDriver().run_bfs(
+        g, random_partition(g, 1, seed=0), src, summit_ib(1)
+    ).time_ms
+    galois_8 = GaloisLikeDriver().run_bfs(
+        g, random_partition(g, 8, seed=0), src, summit_ib(8)
+    ).time_ms
+    assert galois_8 > galois_1
+    atos_1 = AtosDriver().run_bfs(
+        g, random_partition(g, 1, seed=0), src, summit_ib(1)
+    ).time_ms
+    atos_8 = AtosDriver().run_bfs(
+        g, random_partition(g, 8, seed=0), src, summit_ib(8)
+    ).time_ms
+    assert atos_8 < atos_1
+
+
+def test_priority_discrete_is_poor_on_mesh(mesh):
+    """Paper Table II: discrete+priority ~4x worse than persistent on
+    mesh-like datasets (launch overhead on tiny frontiers)."""
+    g, src = mesh
+    part = bfs_grow_partition(g, 2, seed=0)
+    persistent = AtosDriver().run_bfs(g, part, src, daisy(2)).time_ms
+    priority = AtosDriver(
+        kernel=KernelStrategy.DISCRETE, priority=True
+    ).run_bfs(g, part, src, daisy(2)).time_ms
+    assert priority > 2 * persistent
+
+
+def test_counters_present(scale_free):
+    g, src = scale_free
+    part = random_partition(g, 2, seed=0)
+    gunrock = GunrockLikeDriver().run_bfs(g, part, src, daisy(2))
+    assert gunrock.counters["levels"] > 0
+    galois = GaloisLikeDriver().run_bfs(g, part, src, daisy(2))
+    assert galois.counters["levels"] > 0
+    atos = AtosDriver().run_bfs(g, part, src, daisy(2))
+    assert atos.counters["vertices_visited"] > 0
+
+
+def test_run_result_speedup():
+    from repro.metrics.counters import RunResult
+
+    a = RunResult("a", "bfs", "d", 1, time_ms=2.0)
+    b = RunResult("b", "bfs", "d", 1, time_ms=6.0)
+    assert a.speedup_over(b) == pytest.approx(3.0)
+    with pytest.raises(ValueError):
+        RunResult("c", "bfs", "d", 1, time_ms=0.0).speedup_over(a)

@@ -1,0 +1,172 @@
+"""Tests for simulated device atomics (exact vs relaxed semantics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpu import (
+    atomic_add_exact,
+    atomic_add_relaxed,
+    atomic_min_exact,
+    atomic_min_relaxed,
+    duplicate_conflicts,
+)
+
+
+def test_atomic_min_exact_no_duplicates():
+    arr = np.array([10, 10, 10])
+    old = atomic_min_exact(arr, np.array([0, 2]), np.array([3, 15]))
+    assert list(old) == [10, 10]
+    assert list(arr) == [3, 10, 10]  # 15 did not lower arr[2]
+
+
+def test_atomic_min_exact_duplicates_serialize():
+    arr = np.array([10])
+    old = atomic_min_exact(
+        arr, np.array([0, 0, 0]), np.array([7, 5, 6])
+    )
+    # Sequential: op0 sees 10, op1 sees 7, op2 sees 5.
+    assert list(old) == [10, 7, 5]
+    assert arr[0] == 5
+
+
+def test_atomic_min_relaxed_duplicates_all_see_prebatch():
+    arr = np.array([10])
+    old = atomic_min_relaxed(
+        arr, np.array([0, 0, 0]), np.array([7, 5, 6])
+    )
+    assert list(old) == [10, 10, 10]  # over-reports success
+    assert arr[0] == 5  # final value still exact
+
+
+def test_atomic_add_exact_running_sums():
+    arr = np.array([100])
+    old = atomic_add_exact(arr, np.array([0, 0, 0]), np.array([1, 2, 3]))
+    assert list(old) == [100, 101, 103]
+    assert arr[0] == 106
+
+
+def test_atomic_add_relaxed_sum_still_exact():
+    arr = np.array([100])
+    old = atomic_add_relaxed(arr, np.array([0, 0]), np.array([5, 5]))
+    assert list(old) == [100, 100]
+    assert arr[0] == 110
+
+
+def test_empty_batches():
+    arr = np.array([1, 2, 3])
+    for fn in (atomic_min_exact, atomic_min_relaxed,
+               atomic_add_exact, atomic_add_relaxed):
+        old = fn(arr, np.array([], dtype=np.int64), np.array([]))
+        assert len(old) == 0
+    assert list(arr) == [1, 2, 3]
+
+
+def test_index_out_of_range():
+    arr = np.zeros(3)
+    with pytest.raises(IndexError):
+        atomic_min_exact(arr, np.array([3]), np.array([1.0]))
+    with pytest.raises(IndexError):
+        atomic_add_relaxed(arr, np.array([-1]), np.array([1.0]))
+
+
+def test_shape_mismatch():
+    arr = np.zeros(3)
+    with pytest.raises(ValueError):
+        atomic_min_relaxed(arr, np.array([0, 1]), np.array([1.0]))
+
+
+def test_duplicate_conflicts():
+    assert duplicate_conflicts(np.array([1, 2, 3])) == 0
+    assert duplicate_conflicts(np.array([1, 1, 1, 2])) == 2
+    assert duplicate_conflicts(np.array([])) == 0
+
+
+# ----------------------------------------------------------- properties
+batches = st.integers(1, 12).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(-50, 50)),
+            max_size=40,
+        ),
+    )
+)
+
+
+def _reference_min(arr, ops):
+    arr = arr.copy()
+    old = []
+    for i, v in ops:
+        old.append(arr[i])
+        arr[i] = min(arr[i], v)
+    return arr, old
+
+
+def _reference_add(arr, ops):
+    arr = arr.copy()
+    old = []
+    for i, v in ops:
+        old.append(arr[i])
+        arr[i] = arr[i] + v
+    return arr, old
+
+
+@given(batches)
+@settings(max_examples=100)
+def test_property_min_exact_matches_sequential_loop(data):
+    n, ops = data
+    arr0 = np.arange(n) * 3 - 5
+    idx = np.array([o[0] for o in ops], dtype=np.int64)
+    vals = np.array([o[1] for o in ops], dtype=arr0.dtype)
+    expected_arr, expected_old = _reference_min(arr0, ops)
+    arr = arr0.copy()
+    old = atomic_min_exact(arr, idx, vals)
+    assert np.array_equal(arr, expected_arr)
+    assert list(old) == expected_old
+
+
+@given(batches)
+@settings(max_examples=100)
+def test_property_add_exact_matches_sequential_loop(data):
+    n, ops = data
+    arr0 = np.arange(n, dtype=np.int64)
+    idx = np.array([o[0] for o in ops], dtype=np.int64)
+    vals = np.array([o[1] for o in ops], dtype=np.int64)
+    expected_arr, expected_old = _reference_add(arr0, ops)
+    arr = arr0.copy()
+    old = atomic_add_exact(arr, idx, vals)
+    assert np.array_equal(arr, expected_arr)
+    assert list(old) == expected_old
+
+
+@given(batches)
+@settings(max_examples=100)
+def test_property_relaxed_and_exact_agree_on_final_array(data):
+    n, ops = data
+    arr0 = np.arange(n, dtype=np.int64)
+    idx = np.array([o[0] for o in ops], dtype=np.int64)
+    vals = np.array([o[1] for o in ops], dtype=np.int64)
+    a, b = arr0.copy(), arr0.copy()
+    atomic_min_exact(a, idx, vals)
+    atomic_min_relaxed(b, idx, vals)
+    assert np.array_equal(a, b)
+    a, b = arr0.copy(), arr0.copy()
+    atomic_add_exact(a, idx, vals)
+    atomic_add_relaxed(b, idx, vals)
+    assert np.array_equal(a, b)
+
+
+@given(batches)
+@settings(max_examples=60)
+def test_property_relaxed_min_old_upper_bounds_exact(data):
+    # Relaxed reads pre-batch values, which are >= any serialized view.
+    n, ops = data
+    arr0 = np.arange(n, dtype=np.int64)
+    idx = np.array([o[0] for o in ops], dtype=np.int64)
+    vals = np.array([o[1] for o in ops], dtype=np.int64)
+    a, b = arr0.copy(), arr0.copy()
+    exact_old = atomic_min_exact(a, idx, vals)
+    relaxed_old = atomic_min_relaxed(b, idx, vals)
+    assert np.all(relaxed_old >= exact_old)

@@ -1,0 +1,204 @@
+"""Unit + property tests for CSR graph storage."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import CSRGraph
+
+
+def small_graph() -> CSRGraph:
+    #   0 -> 1, 2
+    #   1 -> 2
+    #   2 -> (none)
+    #   3 -> 0
+    return CSRGraph.from_edges([0, 0, 1, 3], [1, 2, 2, 0], 4)
+
+
+def test_basic_counts():
+    g = small_graph()
+    assert g.n_vertices == 4
+    assert g.n_edges == 4
+    assert g.n_global == 4
+
+
+def test_out_degrees():
+    g = small_graph()
+    assert list(g.out_degree()) == [2, 1, 0, 1]
+    assert g.out_degree(0) == 2
+    assert list(g.out_degree(np.array([2, 3]))) == [0, 1]
+
+
+def test_neighbors_view():
+    g = small_graph()
+    assert list(g.neighbors(0)) == [1, 2]
+    assert list(g.neighbors(2)) == []
+    # It must be a view into indices, not a copy.
+    assert g.neighbors(0).base is g.indices
+
+
+def test_expand_batch_simple():
+    g = small_graph()
+    targets, origin = g.expand_batch(np.array([0, 3]))
+    assert list(targets) == [1, 2, 0]
+    assert list(origin) == [0, 0, 1]
+
+
+def test_expand_batch_with_empty_rows():
+    g = small_graph()
+    targets, origin = g.expand_batch(np.array([2, 0, 2, 1]))
+    assert list(targets) == [1, 2, 2]
+    assert list(origin) == [1, 1, 3]
+
+
+def test_expand_batch_empty_input():
+    g = small_graph()
+    targets, origin = g.expand_batch(np.array([], dtype=np.int64))
+    assert len(targets) == 0 and len(origin) == 0
+
+
+def test_expand_batch_repeated_vertices():
+    g = small_graph()
+    targets, origin = g.expand_batch(np.array([0, 0]))
+    assert list(targets) == [1, 2, 1, 2]
+    assert list(origin) == [0, 0, 1, 1]
+
+
+def test_from_edges_dedup_and_self_loops():
+    g = CSRGraph.from_edges([0, 0, 0, 1], [1, 1, 0, 1], 2)
+    # (0,1) duplicated -> one edge; (0,0) and (1,1) self loops dropped.
+    assert g.n_edges == 1
+    assert list(g.neighbors(0)) == [1]
+
+
+def test_from_edges_keep_duplicates_when_asked():
+    g = CSRGraph.from_edges([0, 0], [1, 1], 2, dedup=False)
+    assert g.n_edges == 2
+
+
+def test_from_edges_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        CSRGraph.from_edges([0], [5], 2)
+    with pytest.raises(ValueError):
+        CSRGraph.from_edges([-1], [0], 2)
+
+
+def test_invalid_indptr_rejected():
+    with pytest.raises(ValueError):
+        CSRGraph(np.array([1, 2]), np.array([0, 1], dtype=np.int32))
+    with pytest.raises(ValueError):
+        CSRGraph(np.array([0, 2, 1]), np.array([0], dtype=np.int32))
+    with pytest.raises(ValueError):
+        CSRGraph(np.array([0, 1]), np.array([], dtype=np.int32))
+
+
+def test_to_edges_round_trip():
+    g = small_graph()
+    src, dst = g.to_edges()
+    g2 = CSRGraph.from_edges(src, dst, 4)
+    assert g == g2
+
+
+def test_reverse():
+    g = small_graph()
+    r = g.reverse()
+    assert list(r.neighbors(2)) == [0, 1]
+    assert list(r.neighbors(0)) == [3]
+    assert r.n_edges == g.n_edges
+
+
+def test_reverse_twice_is_identity():
+    g = small_graph()
+    assert g.reverse().reverse() == g
+
+
+def test_symmetrized():
+    g = CSRGraph.from_edges([0], [1], 3)
+    s = g.symmetrized()
+    assert list(s.neighbors(0)) == [1]
+    assert list(s.neighbors(1)) == [0]
+    assert s.n_edges == 2
+
+
+def test_row_subgraph_keeps_global_columns():
+    g = small_graph()
+    sub = g.row_subgraph(np.array([0, 3]))
+    assert sub.n_vertices == 2
+    assert sub.n_global == 4
+    assert list(sub.neighbors(0)) == [1, 2]  # row 0 = global vertex 0
+    assert list(sub.neighbors(1)) == [0]  # row 1 = global vertex 3
+
+
+def test_equality_and_hash():
+    a = small_graph()
+    b = small_graph()
+    assert a == b
+    assert hash(a) == hash(b)
+    c = CSRGraph.from_edges([0], [1], 4)
+    assert a != c
+
+
+# ------------------------------------------------------------ properties
+edge_lists = st.integers(2, 30).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+            max_size=120,
+        ),
+    )
+)
+
+
+@given(edge_lists)
+@settings(max_examples=60)
+def test_property_expand_batch_matches_neighbor_loop(data):
+    n, edges = data
+    src = [e[0] for e in edges]
+    dst = [e[1] for e in edges]
+    g = CSRGraph.from_edges(src, dst, n)
+    batch = np.arange(g.n_vertices)
+    targets, origin = g.expand_batch(batch)
+    # Reference: python loop over rows.
+    expected_targets: list[int] = []
+    expected_origin: list[int] = []
+    for i, v in enumerate(batch):
+        for u in g.neighbors(int(v)):
+            expected_targets.append(int(u))
+            expected_origin.append(i)
+    assert list(targets) == expected_targets
+    assert list(origin) == expected_origin
+
+
+@given(edge_lists)
+@settings(max_examples=60)
+def test_property_degree_sum_equals_edge_count(data):
+    n, edges = data
+    g = CSRGraph.from_edges(
+        [e[0] for e in edges], [e[1] for e in edges], n
+    )
+    assert int(np.sum(g.out_degree())) == g.n_edges
+
+
+@given(edge_lists)
+@settings(max_examples=40)
+def test_property_symmetrized_is_symmetric(data):
+    n, edges = data
+    g = CSRGraph.from_edges([e[0] for e in edges], [e[1] for e in edges], n)
+    s = g.symmetrized()
+    src, dst = s.to_edges()
+    forward = set(zip(src.tolist(), dst.tolist()))
+    assert all((b, a) in forward for a, b in forward)
+
+
+@given(edge_lists)
+@settings(max_examples=40)
+def test_property_reverse_preserves_edge_multiset(data):
+    n, edges = data
+    g = CSRGraph.from_edges([e[0] for e in edges], [e[1] for e in edges], n)
+    src, dst = g.to_edges()
+    rsrc, rdst = g.reverse().to_edges()
+    assert sorted(zip(src.tolist(), dst.tolist())) == sorted(
+        zip(rdst.tolist(), rsrc.tolist())
+    )

@@ -1,0 +1,139 @@
+"""Tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    bfs_levels,
+    complete_graph,
+    estimate_diameter,
+    grid_mesh,
+    path_graph,
+    rmat,
+    star_graph,
+)
+from repro.graph.stats import UNREACHED
+
+
+# ---------------------------------------------------------------- RMAT
+def test_rmat_size():
+    g = rmat(scale=8, edge_factor=8, seed=1, symmetrize=False)
+    assert g.n_vertices == 256
+    # Duplicates removed, so realized edges <= requested.
+    assert 0 < g.n_edges <= 8 * 256
+
+
+def test_rmat_deterministic():
+    a = rmat(scale=8, edge_factor=4, seed=7)
+    b = rmat(scale=8, edge_factor=4, seed=7)
+    assert a == b
+
+
+def test_rmat_seed_changes_graph():
+    a = rmat(scale=8, edge_factor=4, seed=7)
+    b = rmat(scale=8, edge_factor=4, seed=8)
+    assert a != b
+
+
+def test_rmat_is_skewed():
+    g = rmat(scale=10, edge_factor=8, seed=3)
+    deg = np.asarray(g.out_degree())
+    # Scale-free signature: max degree far above average.
+    assert deg.max() > 8 * deg.mean()
+
+
+def test_rmat_skewing_a_concentrates_edges_on_hubs():
+    base = rmat(scale=10, edge_factor=8, seed=3)
+    skewed = rmat(scale=10, edge_factor=8, a=0.7, b=0.12, c=0.12, seed=3)
+
+    def hub_share(g):
+        # Fraction of all edges held by the top 1% highest-degree rows.
+        deg = np.sort(np.asarray(g.out_degree()))[::-1]
+        top = max(1, len(deg) // 100)
+        return deg[:top].sum() / g.n_edges
+
+    assert hub_share(skewed) > hub_share(base)
+
+
+def test_rmat_small_diameter():
+    g = rmat(scale=10, edge_factor=16, seed=3)
+    assert estimate_diameter(g) <= 8
+
+
+def test_rmat_symmetrize_flag():
+    g = rmat(scale=6, edge_factor=4, seed=1, symmetrize=True)
+    src, dst = g.to_edges()
+    forward = set(zip(src.tolist(), dst.tolist()))
+    assert all((b, a) in forward for a, b in forward)
+
+
+def test_rmat_invalid_probabilities():
+    with pytest.raises(ValueError):
+        rmat(scale=4, edge_factor=2, a=0.5, b=0.3, c=0.3)
+    with pytest.raises(ValueError):
+        rmat(scale=4, edge_factor=2, a=0.0)
+
+
+# ---------------------------------------------------------------- grid
+def test_grid_mesh_size():
+    g = grid_mesh(10, 10, drop_fraction=0.0, shortcut_fraction=0.0, seed=0)
+    assert g.n_vertices == 100
+    # Full 10x10 lattice: 2*10*9 undirected edges = 360 directed.
+    assert g.n_edges == 360
+
+
+def test_grid_mesh_degree_is_small():
+    g = grid_mesh(30, 30, seed=2)
+    assert float(np.mean(g.out_degree())) < 5.0
+
+
+def test_grid_mesh_high_diameter():
+    g = grid_mesh(40, 40, seed=2)
+    assert estimate_diameter(g) >= 40  # Θ(width + height)
+
+
+def test_grid_mesh_mostly_connected():
+    g = grid_mesh(30, 30, drop_fraction=0.05, seed=2)
+    depth = bfs_levels(g, 0)
+    reached = int((depth != UNREACHED).sum())
+    assert reached > 0.9 * g.n_vertices
+
+
+def test_grid_mesh_deterministic():
+    assert grid_mesh(12, 9, seed=5) == grid_mesh(12, 9, seed=5)
+
+
+def test_grid_mesh_validation():
+    with pytest.raises(ValueError):
+        grid_mesh(1, 10)
+    with pytest.raises(ValueError):
+        grid_mesh(10, 10, drop_fraction=1.5)
+
+
+# ------------------------------------------------------------- toy graphs
+def test_path_graph():
+    g = path_graph(5)
+    assert g.n_vertices == 5
+    assert estimate_diameter(g) == 4
+    assert list(g.neighbors(2)) == [1, 3]
+
+
+def test_star_graph():
+    g = star_graph(6)
+    assert g.out_degree(0) == 5
+    assert all(g.out_degree(v) == 1 for v in range(1, 6))
+
+
+def test_complete_graph():
+    g = complete_graph(4)
+    assert g.n_edges == 12
+    assert estimate_diameter(g) == 1
+
+
+def test_toy_graph_validation():
+    with pytest.raises(ValueError):
+        path_graph(0)
+    with pytest.raises(ValueError):
+        star_graph(1)
+    with pytest.raises(ValueError):
+        complete_graph(0)

@@ -1,0 +1,63 @@
+"""Property-based tests for the graph generators."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import grid_mesh, rmat
+from repro.graph.stats import bfs_levels, UNREACHED
+
+
+@given(st.integers(3, 9), st.integers(1, 8), st.integers(0, 5))
+@settings(max_examples=30, deadline=None)
+def test_property_rmat_well_formed(scale, edge_factor, seed):
+    g = rmat(scale=scale, edge_factor=edge_factor, seed=seed)
+    n = 1 << scale
+    assert g.n_vertices == n
+    # Symmetrized + deduped: bounded by 2x requested and by n^2.
+    assert g.n_edges <= min(2 * edge_factor * n, n * (n - 1))
+    # No self loops.
+    src, dst = g.to_edges()
+    assert not np.any(src == dst)
+    # Symmetric.
+    fwd = set(zip(src.tolist(), dst.tolist()))
+    assert all((b, a) in fwd for a, b in fwd)
+
+
+@given(st.integers(2, 12), st.integers(2, 12), st.integers(0, 5))
+@settings(max_examples=30, deadline=None)
+def test_property_grid_mesh_degree_bound(width, height, seed):
+    g = grid_mesh(width, height, drop_fraction=0.0,
+                  shortcut_fraction=0.0, seed=seed)
+    deg = np.asarray(g.out_degree())
+    # Pure lattice: degree between 2 (corner) and 4.
+    assert deg.min() >= 2 and deg.max() <= 4
+    # Fully connected lattice.
+    assert np.all(bfs_levels(g, 0) != UNREACHED)
+
+
+@given(
+    st.integers(3, 10),
+    st.integers(3, 10),
+    st.floats(0.0, 0.3),
+    st.integers(0, 4),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_grid_mesh_edge_budget(width, height, drop, seed):
+    g = grid_mesh(width, height, drop_fraction=drop,
+                  shortcut_fraction=0.02, seed=seed)
+    n = width * height
+    assert g.n_vertices == n
+    lattice_directed = 2 * (width * (height - 1) + height * (width - 1))
+    # Shortcuts add at most 2 * 0.02n directed edges post-symmetrize.
+    assert g.n_edges <= lattice_directed + 2 * max(1, int(0.02 * n)) + 2
+
+
+@given(st.integers(0, 100))
+@settings(max_examples=20, deadline=None)
+def test_property_seeds_partition_rmat_space(seed):
+    a = rmat(scale=6, edge_factor=4, seed=seed)
+    b = rmat(scale=6, edge_factor=4, seed=seed)
+    c = rmat(scale=6, edge_factor=4, seed=seed + 1)
+    assert a == b
+    assert a != c  # adjacent seeds give different graphs

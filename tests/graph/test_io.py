@@ -1,0 +1,130 @@
+"""Tests for graph file I/O (edge lists and Matrix Market)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, WeightedGraph, rmat, uniform_weights
+from repro.graph.io import (
+    GraphIOError,
+    read_edge_list,
+    read_matrix_market,
+    write_edge_list,
+    write_matrix_market,
+)
+
+
+@pytest.fixture
+def graph():
+    return rmat(scale=6, edge_factor=4, seed=3, symmetrize=False)
+
+
+# ------------------------------------------------------------ edge list
+def test_edge_list_round_trip(graph, tmp_path):
+    path = tmp_path / "g.txt"
+    write_edge_list(graph, path)
+    loaded = read_edge_list(path, n_vertices=graph.n_vertices)
+    assert loaded == graph
+
+
+def test_edge_list_weighted_round_trip(graph, tmp_path):
+    weighted = uniform_weights(graph, seed=1)
+    path = tmp_path / "g.wel"
+    write_edge_list(weighted, path)
+    loaded = read_edge_list(path, n_vertices=graph.n_vertices,
+                            weighted=True)
+    assert isinstance(loaded, WeightedGraph)
+    assert loaded.graph == graph
+    assert np.allclose(loaded.weights, weighted.weights)
+
+
+def test_edge_list_comments_and_blank_lines(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("# comment\n\n0 1\n% other comment\n1 2\n")
+    g = read_edge_list(path)
+    assert g.n_vertices == 3 and g.n_edges == 2
+
+
+def test_edge_list_infers_vertex_count(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("0 9\n")
+    assert read_edge_list(path).n_vertices == 10
+
+
+def test_edge_list_errors(tmp_path):
+    path = tmp_path / "bad.txt"
+    path.write_text("justone\n")
+    with pytest.raises(GraphIOError):
+        read_edge_list(path)
+    path.write_text("a b\n")
+    with pytest.raises(GraphIOError):
+        read_edge_list(path)
+    path.write_text("# only comments\n")
+    with pytest.raises(GraphIOError):
+        read_edge_list(path)
+    path.write_text("-1 2\n")
+    with pytest.raises(GraphIOError):
+        read_edge_list(path)
+
+
+# -------------------------------------------------------- matrix market
+def test_mm_round_trip_pattern(graph, tmp_path):
+    path = tmp_path / "g.mtx"
+    write_matrix_market(graph, path)
+    loaded = read_matrix_market(path)
+    assert loaded == graph
+
+
+def test_mm_round_trip_weighted(graph, tmp_path):
+    weighted = uniform_weights(graph, seed=2)
+    path = tmp_path / "g.mtx"
+    write_matrix_market(weighted, path)
+    loaded = read_matrix_market(path)
+    assert isinstance(loaded, WeightedGraph)
+    assert loaded.graph == graph
+    assert np.allclose(loaded.weights, weighted.weights)
+
+
+def test_mm_symmetric_expansion(tmp_path):
+    path = tmp_path / "s.mtx"
+    path.write_text(
+        "%%MatrixMarket matrix coordinate pattern symmetric\n"
+        "3 3 2\n"
+        "2 1\n"
+        "3 2\n"
+    )
+    g = read_matrix_market(path)
+    assert g.n_edges == 4  # both directions materialized
+    assert list(g.neighbors(0)) == [1]
+    assert list(g.neighbors(1)) == [0, 2]
+
+
+def test_mm_header_errors(tmp_path):
+    path = tmp_path / "bad.mtx"
+    path.write_text("not a header\n1 1 0\n")
+    with pytest.raises(GraphIOError):
+        read_matrix_market(path)
+    path.write_text("%%MatrixMarket matrix array real general\n")
+    with pytest.raises(GraphIOError):
+        read_matrix_market(path)
+    path.write_text(
+        "%%MatrixMarket matrix coordinate complex general\n1 1 1\n1 1 1 0\n"
+    )
+    with pytest.raises(GraphIOError):
+        read_matrix_market(path)
+
+
+def test_mm_loaded_graph_is_runnable(tmp_path):
+    # End-to-end: write, read, run BFS on the loaded graph.
+    from repro.config import daisy
+    from repro.graph import largest_component_vertex, random_partition
+    from repro.apps import AtosBFS, reference_bfs
+    from repro.runtime import AtosExecutor
+
+    graph = rmat(scale=7, edge_factor=4, seed=9)
+    path = tmp_path / "g.mtx"
+    write_matrix_market(graph, path)
+    loaded = read_matrix_market(path)
+    src = largest_component_vertex(loaded)
+    app = AtosBFS(loaded, random_partition(loaded, 2, seed=0), src)
+    AtosExecutor(daisy(2), app).run()
+    assert np.array_equal(app.result(), reference_bfs(loaded, src))

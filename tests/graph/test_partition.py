@@ -1,0 +1,135 @@
+"""Tests for graph partitioners and the Partition bundle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PartitionError
+from repro.graph import (
+    bfs_grow_partition,
+    block_partition,
+    edge_cut,
+    grid_mesh,
+    make_partition,
+    random_partition,
+    rmat,
+)
+from repro.graph.csr import CSRGraph
+
+
+def toy():
+    return rmat(scale=8, edge_factor=6, seed=11)
+
+
+def _check_partition_invariants(graph, part):
+    # Every vertex owned exactly once; parts cover the graph.
+    assert len(part.owner) == graph.n_vertices
+    assert sum(len(p) for p in part.part_vertices) == graph.n_vertices
+    for pe in range(part.n_parts):
+        mine = part.part_vertices[pe]
+        assert np.all(part.owner[mine] == pe)
+        # local_index round-trips.
+        assert np.array_equal(mine[part.local_index[mine]], mine)
+        # Row subgraph rows correspond 1:1 to owned vertices.
+        assert part.subgraphs[pe].n_vertices == len(mine)
+        assert part.subgraphs[pe].n_global == graph.n_vertices
+    # Edges preserved across subgraphs.
+    assert sum(sg.n_edges for sg in part.subgraphs) == graph.n_edges
+
+
+@pytest.mark.parametrize("n_parts", [1, 2, 3, 4, 8])
+def test_random_partition_invariants(n_parts):
+    g = toy()
+    part = random_partition(g, n_parts, seed=0)
+    _check_partition_invariants(g, part)
+
+
+@pytest.mark.parametrize("n_parts", [1, 2, 4])
+def test_block_partition_invariants(n_parts):
+    g = toy()
+    part = block_partition(g, n_parts)
+    _check_partition_invariants(g, part)
+    # Blocks are contiguous.
+    assert np.all(np.diff(part.owner) >= 0)
+
+
+@pytest.mark.parametrize("n_parts", [1, 2, 4, 6])
+def test_bfs_grow_partition_invariants(n_parts):
+    g = grid_mesh(24, 24, seed=3)
+    part = bfs_grow_partition(g, n_parts, seed=0)
+    _check_partition_invariants(g, part)
+
+
+def test_bfs_grow_is_balanced_on_mesh():
+    g = grid_mesh(32, 32, seed=3)
+    part = bfs_grow_partition(g, 4, seed=0)
+    assert part.balance() < 1.35
+
+
+def test_bfs_grow_beats_random_cut_on_mesh():
+    g = grid_mesh(32, 32, seed=3)
+    grown = bfs_grow_partition(g, 4, seed=0)
+    rand = random_partition(g, 4, seed=0)
+    assert edge_cut(g, grown) < 0.5 * edge_cut(g, rand)
+
+
+def test_edge_cut_zero_for_single_part():
+    g = toy()
+    assert edge_cut(g, random_partition(g, 1)) == 0
+
+
+def test_random_partition_no_empty_parts():
+    g = rmat(scale=5, edge_factor=4, seed=1)
+    part = random_partition(g, 8, seed=0)
+    assert all(len(p) > 0 for p in part.part_vertices)
+
+
+def test_partition_handles_disconnected_graph():
+    # Two disjoint cliques.
+    src = [0, 1, 2, 3, 4, 5]
+    dst = [1, 2, 0, 4, 5, 3]
+    g = CSRGraph.from_edges(src, dst, 6).symmetrized()
+    part = bfs_grow_partition(g, 2, seed=0)
+    _check_partition_invariants(g, part)
+
+
+def test_make_partition_validation():
+    g = toy()
+    with pytest.raises(PartitionError):
+        make_partition(g, np.zeros(3, dtype=np.int32), 2)  # wrong length
+    with pytest.raises(PartitionError):
+        make_partition(g, np.full(g.n_vertices, 5, dtype=np.int32), 2)
+    with pytest.raises(PartitionError):
+        make_partition(g, np.zeros(g.n_vertices, dtype=np.int32), 0)
+
+
+def test_block_partition_too_many_parts():
+    g = rmat(scale=3, edge_factor=2, seed=1)
+    with pytest.raises(PartitionError):
+        block_partition(g, g.n_vertices + 1)
+
+
+def test_partition_determinism():
+    g = toy()
+    a = bfs_grow_partition(g, 4, seed=9)
+    b = bfs_grow_partition(g, 4, seed=9)
+    assert np.array_equal(a.owner, b.owner)
+
+
+@given(
+    st.integers(2, 5).flatmap(
+        lambda s: st.tuples(st.just(s), st.integers(1, 6), st.integers(0, 3))
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_property_partitions_cover_and_disjoint(params):
+    scale, n_parts, seed = params
+    g = rmat(scale=scale, edge_factor=3, seed=seed)
+    n_parts = min(n_parts, g.n_vertices)
+    for strategy in (random_partition, bfs_grow_partition):
+        part = strategy(g, n_parts, seed=seed)
+        seen = np.zeros(g.n_vertices, dtype=int)
+        for pe in range(n_parts):
+            seen[part.part_vertices[pe]] += 1
+        assert np.all(seen == 1)

@@ -1,0 +1,151 @@
+"""Tests for graph statistics and the dataset registry (Table I inputs)."""
+
+import numpy as np
+import pytest
+
+import networkx as nx
+
+from repro.errors import ConfigurationError
+from repro.graph import (
+    DATASETS,
+    MESH_LIKE,
+    SCALE_FREE,
+    UNREACHED,
+    bfs_levels,
+    bfs_source,
+    dataset_stats,
+    estimate_diameter,
+    graph_stats,
+    grid_mesh,
+    load,
+    path_graph,
+    rmat,
+    star_graph,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.stats import connected_component_sizes, largest_component_vertex
+
+
+# ------------------------------------------------------------- bfs_levels
+def test_bfs_levels_path():
+    g = path_graph(5)
+    depth = bfs_levels(g, 0)
+    assert list(depth) == [0, 1, 2, 3, 4]
+
+
+def test_bfs_levels_star():
+    g = star_graph(5)
+    assert list(bfs_levels(g, 0)) == [0, 1, 1, 1, 1]
+    assert list(bfs_levels(g, 1)) == [1, 0, 2, 2, 2]
+
+
+def test_bfs_levels_unreachable():
+    g = CSRGraph.from_edges([0], [1], 3).symmetrized()
+    depth = bfs_levels(g, 0)
+    assert depth[2] == UNREACHED
+
+
+def test_bfs_levels_matches_networkx():
+    g = rmat(scale=7, edge_factor=4, seed=5)
+    src, dst = g.to_edges()
+    nxg = nx.DiGraph(zip(src.tolist(), dst.tolist()))
+    ours = bfs_levels(g, 0)
+    theirs = nx.single_source_shortest_path_length(nxg, 0)
+    for v in range(g.n_vertices):
+        if v in theirs:
+            assert ours[v] == theirs[v]
+        else:
+            assert ours[v] == UNREACHED
+
+
+# --------------------------------------------------------------- diameter
+def test_diameter_path():
+    assert estimate_diameter(path_graph(10)) == 9
+
+
+def test_diameter_star():
+    assert estimate_diameter(star_graph(10)) == 2
+
+
+def test_diameter_isolated_source():
+    g = CSRGraph.from_edges([1], [2], 3)
+    assert estimate_diameter(g, source=0) == 0
+
+
+# ------------------------------------------------------------- components
+def test_component_sizes():
+    # 3-clique + 2-path + isolated vertex.
+    g = CSRGraph.from_edges([0, 1, 2, 3], [1, 2, 0, 4], 6)
+    assert connected_component_sizes(g) == [3, 2, 1]
+
+
+def test_largest_component_vertex_reaches_most():
+    g = grid_mesh(20, 20, seed=1)
+    v = largest_component_vertex(g)
+    reach = (bfs_levels(g, v) != UNREACHED).sum()
+    assert reach > 0.9 * g.n_vertices
+
+
+# ------------------------------------------------------------ graph_stats
+def test_graph_stats_fields():
+    g = path_graph(6)
+    s = graph_stats("p6", g, "mesh-like")
+    assert s.n_vertices == 6
+    assert s.n_edges == 10
+    assert s.diameter == 5
+    assert s.max_out_degree == 2
+    assert s.max_in_degree == 2
+    assert s.avg_degree == pytest.approx(10 / 6)
+    assert s.graph_type == "mesh-like"
+
+
+# ---------------------------------------------------------------- datasets
+def test_registry_has_six_paper_datasets():
+    assert len(DATASETS) == 6
+    assert set(SCALE_FREE + MESH_LIKE) == set(DATASETS)
+
+
+def test_load_unknown_dataset():
+    with pytest.raises(ConfigurationError):
+        load("no-such-graph")
+
+
+def test_load_is_cached():
+    assert load("road-usa") is load("road-usa")
+
+
+@pytest.mark.parametrize("name", SCALE_FREE)
+def test_scale_free_datasets_have_skewed_degrees(name):
+    g = load(name)
+    deg = np.asarray(g.out_degree())
+    assert deg.max() > 5 * deg.mean()
+
+
+@pytest.mark.parametrize("name", MESH_LIKE)
+def test_mesh_datasets_have_flat_degrees_high_diameter(name):
+    stats = dataset_stats(name)
+    assert stats.avg_degree < 5
+    assert stats.diameter > 50
+
+
+def test_mesh_diameter_exceeds_scale_free():
+    mesh_d = min(dataset_stats(n).diameter for n in MESH_LIKE)
+    sf_d = max(dataset_stats(n).diameter for n in SCALE_FREE)
+    assert mesh_d > 5 * sf_d
+
+
+@pytest.mark.parametrize("name", sorted(DATASETS))
+def test_bfs_source_reaches_most_of_graph(name):
+    g = load(name)
+    depth = bfs_levels(g, bfs_source(name))
+    assert (depth != UNREACHED).sum() > 0.6 * g.n_vertices
+
+
+def test_dataset_relative_sizes_match_paper_ordering():
+    # twitter50 is the biggest by edges; hollywood is the densest.
+    edges = {n: load(n).n_edges for n in DATASETS}
+    assert edges["twitter50"] == max(edges.values())
+    density = {
+        n: load(n).n_edges / load(n).n_vertices for n in DATASETS
+    }
+    assert density["hollywood-2009"] == max(density.values())

@@ -1,0 +1,134 @@
+"""Harness tests: runner caching/validation and experiment plumbing.
+
+Full-scale grids live in benchmarks/; these tests exercise the same
+code paths on the smallest datasets and GPU counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness import (
+    FRAMEWORKS,
+    GridResult,
+    get_driver,
+    get_machine,
+    get_partition,
+    run,
+    runtime_grid,
+    table1_datasets,
+)
+from repro.metrics.tables import (
+    format_generic_table,
+    format_runtime_table,
+    format_scaling_series,
+)
+
+
+def test_registry_has_all_evaluated_frameworks():
+    assert {
+        "gunrock",
+        "groute",
+        "galois",
+        "atos-standard-persistent",
+        "atos-priority-discrete",
+        "atos-standard-discrete",
+    } <= set(FRAMEWORKS)
+
+
+def test_get_driver_unknown():
+    with pytest.raises(ConfigurationError):
+        get_driver("lux")  # the paper couldn't build Lux either
+
+
+def test_get_machine():
+    assert get_machine("daisy", 2).n_gpus == 2
+    assert get_machine("summit-ib", 8).inter_node
+    with pytest.raises(ConfigurationError):
+        get_machine("frontier", 2)
+
+
+def test_partition_policy():
+    # twitter50 is random (Metis could not run it in the paper either);
+    # everything else is metis-like.
+    part = get_partition("hollywood-2009", 2)
+    assert part.n_parts == 2
+    tw = get_partition("twitter50", 2)
+    assert tw.n_parts == 2
+
+
+def test_run_is_cached():
+    a = run("gunrock", "bfs", "hollywood-2009", "daisy", 1)
+    b = run("gunrock", "bfs", "hollywood-2009", "daisy", 1)
+    assert a is b
+
+
+def test_run_validates_and_returns_result():
+    result = run("atos-standard-persistent", "bfs", "hollywood-2009",
+                 "daisy", 2)
+    assert result.time_ms > 0
+    assert result.app == "bfs"
+    assert result.dataset == "hollywood-2009"
+
+
+def test_run_unknown_app():
+    with pytest.raises(ConfigurationError):
+        run("gunrock", "sssp", "hollywood-2009", "daisy", 1)
+
+
+def test_runtime_grid_structure():
+    grid = runtime_grid(
+        "bfs",
+        ["gunrock", "atos-standard-persistent"],
+        ["hollywood-2009"],
+        "daisy",
+        (1, 2),
+    )
+    assert isinstance(grid, GridResult)
+    assert set(grid.times) == {"gunrock", "atos-standard-persistent"}
+    assert len(grid.series("gunrock", "hollywood-2009")) == 2
+    text = grid.render(baseline="gunrock")
+    assert "hollywood-2009" in text
+    assert "(x" in text  # speedups rendered for non-baseline
+
+
+def test_runtime_grid_skip():
+    grid = runtime_grid(
+        "bfs",
+        ["gunrock"],
+        ["hollywood-2009"],
+        "daisy",
+        (1,),
+        skip={("gunrock", "hollywood-2009")},
+    )
+    assert grid.times["gunrock"] == {}
+
+
+def test_table1_renders_all_datasets():
+    text = table1_datasets()
+    for name in ("soc-livejournal1", "twitter50", "osm-eur"):
+        assert name in text
+    assert "scale-free" in text and "mesh-like" in text
+
+
+# --------------------------------------------------------- formatting
+def test_format_runtime_table_speedups():
+    text = format_runtime_table(
+        "t",
+        ["1 GPU"],
+        {"d": [2.0]},
+        baselines={"d": [6.0]},
+    )
+    assert "(x3.00)" in text
+
+
+def test_format_scaling_series_self_relative():
+    text = format_scaling_series(
+        "t", [1, 2], {"fw": [10.0, 5.0]}
+    )
+    assert "2.00" in text  # 10/5
+
+
+def test_format_generic_table():
+    text = format_generic_table("t", ["a", "b"], [[1, 2], [3, 4]])
+    assert "a" in text and "4" in text

@@ -1,0 +1,96 @@
+"""Unit tests for the paper-vs-measured shape comparison."""
+
+import pytest
+
+from repro.harness import GridResult, ShapeReport, compare_grid
+
+
+def _grid(times, gpu_counts=(1, 2)):
+    grid = GridResult(app="bfs", machine="daisy", gpu_counts=gpu_counts)
+    grid.times = times
+    return grid
+
+
+PAPER = {
+    "fast": {"ds": (10.0, 5.0)},
+    "slow": {"ds": (20.0, 30.0)},
+}
+
+
+def test_perfect_agreement():
+    grid = _grid({"fast": {"ds": [1.0, 0.5]}, "slow": {"ds": [2.0, 3.0]}})
+    report = compare_grid("t", grid, PAPER, (1, 2))
+    assert report.cells == 2
+    assert report.winner_agreement == 1.0
+    assert report.direction_agreement == 1.0
+    # Measured factors exactly match paper factors -> zero log error.
+    assert report.median_log10_factor_error == pytest.approx(0.0)
+
+
+def test_flipped_winner_detected():
+    grid = _grid({"fast": {"ds": [9.0, 9.0]}, "slow": {"ds": [1.0, 1.0]}})
+    report = compare_grid("t", grid, PAPER, (1, 2))
+    assert report.winner_agreement == 0.0
+    assert report.direction_agreement == 0.0
+
+
+def test_factor_error_measured():
+    # Paper factor: slow/fast = 2 at 1 GPU; measured factor = 20.
+    grid = _grid(
+        {"fast": {"ds": [1.0]}, "slow": {"ds": [20.0]}},
+        gpu_counts=(1,),
+    )
+    report = compare_grid("t", grid, PAPER, (1, 2))
+    assert report.median_log10_factor_error == pytest.approx(1.0)
+    assert report.direction_agreement == 1.0  # direction still right
+
+
+def test_missing_paper_cells_skipped():
+    paper = {"fast": {"ds": (10.0, 5.0)}, "slow": {"ds": None}}
+    grid = _grid({"fast": {"ds": [1.0, 1.0]}, "slow": {"ds": [2.0, 2.0]}})
+    report = compare_grid("t", grid, paper, (1, 2))
+    assert report.cells == 0  # only one framework comparable per cell
+
+
+def test_gpu_count_alignment():
+    # Grid measured at (1, 4); paper has (1, 2, 3, 4): align on 1 and 4.
+    paper = {
+        "fast": {"ds": (10.0, 8.0, 6.0, 5.0)},
+        "slow": {"ds": (20.0, 22.0, 26.0, 30.0)},
+    }
+    grid = _grid(
+        {"fast": {"ds": [1.0, 0.5]}, "slow": {"ds": [2.0, 3.0]}},
+        gpu_counts=(1, 4),
+    )
+    report = compare_grid("t", grid, paper, (1, 2, 3, 4))
+    assert report.cells == 2
+    assert report.winner_agreement == 1.0
+
+
+def test_framework_map():
+    grid = _grid({"atos-best": {"ds": [1.0, 0.5]},
+                  "slow": {"ds": [2.0, 3.0]}})
+    report = compare_grid(
+        "t", grid, PAPER, (1, 2), framework_map={"atos-best": "fast"}
+    )
+    assert report.cells == 2
+
+
+def test_render_contains_metrics():
+    report = ShapeReport(title="demo")
+    report.cells = 2
+    report.winner_matches = 1
+    report.direction_pairs = 4
+    report.direction_matches = 3
+    report.notes.append("scale artifact")
+    text = report.render()
+    assert "demo" in text
+    assert "50%" in text and "75%" in text
+    assert "scale artifact" in text
+
+
+def test_empty_report_defaults():
+    report = ShapeReport(title="empty")
+    assert report.winner_agreement == 1.0
+    assert report.direction_agreement == 1.0
+    assert report.median_log10_factor_error == 0.0

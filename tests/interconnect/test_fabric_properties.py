@@ -1,0 +1,103 @@
+"""Property-based tests for the DES network fabric."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import daisy, summit_ib
+from repro.interconnect import NetworkFabric
+from repro.sim import Environment
+
+# Message scripts: (src, dst, nbytes, delay before send)
+messages = st.lists(
+    st.tuples(
+        st.integers(0, 3),
+        st.integers(0, 3),
+        st.integers(1, 1 << 16),
+        st.floats(0.0, 50.0),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+def _run_script(machine, script):
+    env = Environment()
+    fabric = NetworkFabric(env, machine)
+    deliveries = []
+
+    def proc(env):
+        for src, dst, nbytes, delay in script:
+            if src == dst:
+                continue
+            yield env.timeout(delay)
+            fabric.send(
+                src, dst, nbytes, (src, dst, nbytes),
+                lambda m: deliveries.append((env.now, m)),
+            )
+
+    env.process(proc(env))
+    env.run()
+    return fabric, deliveries
+
+
+@given(messages)
+@settings(max_examples=60, deadline=None)
+def test_property_every_message_delivered_exactly_once(script):
+    fabric, deliveries = _run_script(daisy(4), script)
+    expected = [
+        (s, d, b) for s, d, b, _ in script if s != d
+    ]
+    assert len(deliveries) == len(expected)
+    assert sorted(m.payload for _, m in deliveries) == sorted(expected)
+    assert fabric.quiescent
+
+
+@given(messages)
+@settings(max_examples=60, deadline=None)
+def test_property_arrival_never_precedes_send_plus_latency(script):
+    fabric, deliveries = _run_script(summit_ib(4), script)
+    for _, message in deliveries:
+        model = fabric.topology.link(message.src, message.dst)
+        assert message.arrival_time >= (
+            message.send_time
+            + model.spec.latency
+            + model.serialization_time(message.payload_bytes)
+            - 1e-9
+        )
+
+
+@given(messages)
+@settings(max_examples=40, deadline=None)
+def test_property_per_link_fifo(script):
+    """Messages on one directed link arrive in send order."""
+    fabric, deliveries = _run_script(daisy(4), script)
+    per_link: dict = {}
+    for when, message in deliveries:
+        per_link.setdefault((message.src, message.dst), []).append(
+            (message.send_time, when)
+        )
+    for events in per_link.values():
+        send_order = [w for _, w in sorted(events)]
+        assert send_order == sorted(send_order)
+
+
+@given(messages)
+@settings(max_examples=40, deadline=None)
+def test_property_byte_accounting(script):
+    fabric, _ = _run_script(daisy(4), script)
+    expected_bytes = sum(b for s, d, b, _ in script if s != d)
+    assert fabric.total_bytes == expected_bytes
+    assert fabric.stats()["bytes"] == expected_bytes
+    per_channel = sum(c.bytes_sent for c in fabric.channels.values())
+    assert per_channel == expected_bytes
+
+
+@given(messages)
+@settings(max_examples=40, deadline=None)
+def test_property_transfer_intervals_match_busy_time(script):
+    fabric, _ = _run_script(daisy(4), script)
+    interval_total = sum(e - s for s, e in fabric.transfer_intervals)
+    busy_total = sum(c.busy_time for c in fabric.channels.values())
+    assert interval_total == pytest.approx(busy_total)

@@ -1,0 +1,201 @@
+"""Tests for link cost models: framing, efficiency, timing (Figs 2 & 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import GB_PER_S, LinkSpec
+from repro.interconnect import (
+    InfiniBandModel,
+    LinkModel,
+    NVLinkModel,
+    PCIeModel,
+    default_ib,
+    default_nvlink,
+    default_pcie,
+    optimal_batch_size,
+)
+from repro.interconnect.nvlink import (
+    MAX_SECTORS_PER_PACKET,
+    PACKET_HEADER_BYTES,
+    SECTOR_BYTES,
+)
+
+
+# ------------------------------------------------------------------ base
+def test_ideal_link_has_no_overhead():
+    spec = LinkSpec(kind="nvlink", bandwidth=1000.0, latency=1.0)
+    model = LinkModel(spec)
+    assert model.wire_bytes(100) == 100
+    assert model.efficiency(100) == 1.0
+    assert model.transfer_time(1000) == pytest.approx(2.0)
+
+
+def test_negative_payload_rejected():
+    for model in (default_nvlink(), default_pcie(), default_ib()):
+        with pytest.raises(ValueError):
+            model.wire_bytes(-1)
+
+
+def test_zero_payload():
+    for model in (default_nvlink(), default_pcie(), default_ib()):
+        assert model.wire_bytes(0) == 0
+        assert model.efficiency(0) == 0.0
+
+
+# ---------------------------------------------------------------- NVLink
+def test_nvlink_sector_rounding():
+    model = default_nvlink()
+    # 1 byte still moves a whole sector plus a packet header.
+    assert model.wire_bytes(1) == SECTOR_BYTES + PACKET_HEADER_BYTES
+    assert model.wire_bytes(32) == SECTOR_BYTES + PACKET_HEADER_BYTES
+    assert model.wire_bytes(33) == 2 * SECTOR_BYTES + PACKET_HEADER_BYTES
+
+
+def test_nvlink_full_packet():
+    model = default_nvlink()
+    full = MAX_SECTORS_PER_PACKET * SECTOR_BYTES  # 128 B
+    assert model.wire_bytes(full) == full + PACKET_HEADER_BYTES
+    # 129 bytes spills into a second packet.
+    assert model.wire_bytes(full + 1) == (
+        5 * SECTOR_BYTES + 2 * PACKET_HEADER_BYTES
+    )
+
+
+def test_nvlink_32B_payload_exceeds_half_efficiency():
+    # Paper: "even a 32 byte payload has more than 50% efficiency".
+    assert default_nvlink().efficiency(32) > 0.5
+
+
+def test_nvlink_efficiency_staircase_is_monotone_at_sector_steps():
+    model = default_nvlink()
+    at_sectors = [model.efficiency(k * SECTOR_BYTES) for k in range(1, 5)]
+    assert at_sectors == sorted(at_sectors)
+
+
+def test_nvlink_beats_pcie_at_small_sizes():
+    # Figure 2: the NVLink curve sits above PCIe gen3 across the
+    # 25-125 B range the paper sweeps.
+    nvlink, pcie = default_nvlink(), default_pcie()
+    for size in (25, 32, 50, 64, 75, 96, 100, 125):
+        assert nvlink.efficiency(size) > pcie.efficiency(size)
+
+
+def test_nvlink_coalescing_amortizes_headers():
+    model = default_nvlink()
+    coalesced = model.coalesced_wire_bytes(32, 4)  # warp of 4-byte accesses
+    scattered = model.scattered_wire_bytes(32, 4)
+    assert coalesced < scattered / 5
+
+
+def test_nvlink_coalescing_validation():
+    model = default_nvlink()
+    with pytest.raises(ValueError):
+        model.coalesced_wire_bytes(-1, 4)
+    with pytest.raises(ValueError):
+        model.scattered_wire_bytes(1, -4)
+
+
+# ----------------------------------------------------------------- PCIe
+def test_pcie_dword_rounding():
+    model = default_pcie()
+    w1 = model.wire_bytes(1)
+    w4 = model.wire_bytes(4)
+    assert w1 == w4  # 1 byte pads to a dword
+    assert model.wire_bytes(5) == w4 + 4
+
+
+def test_pcie_multi_tlp_split():
+    from repro.interconnect.pcie import MAX_TLP_PAYLOAD_BYTES, TLP_OVERHEAD_BYTES
+
+    model = default_pcie()
+    one = model.wire_bytes(MAX_TLP_PAYLOAD_BYTES)
+    two = model.wire_bytes(MAX_TLP_PAYLOAD_BYTES + 1)
+    assert two == one + 4 + TLP_OVERHEAD_BYTES
+
+
+def test_pcie_efficiency_grows_with_payload():
+    model = default_pcie()
+    assert model.efficiency(128) > model.efficiency(16) > model.efficiency(4)
+
+
+# ------------------------------------------------------------------- IB
+def test_ib_latency_flat_then_linear():
+    model = default_ib()
+    # Small messages: latency dominated by fixed costs.
+    small = model.transfer_time(8)
+    assert small == pytest.approx(
+        model.cost.ib_base_latency + model.cost.ib_message_overhead,
+        rel=0.05,
+    )
+    # Large messages: latency dominated by serialization.
+    big = model.transfer_time(1 << 26)
+    assert big == pytest.approx((1 << 26) / model.spec.bandwidth, rel=0.05)
+
+
+def test_ib_bandwidth_saturates():
+    model = default_ib()
+    bw_small = model.achieved_bandwidth(64)
+    bw_1mib = model.achieved_bandwidth(1 << 20)
+    bw_huge = model.achieved_bandwidth(1 << 28)
+    peak = model.spec.bandwidth
+    assert bw_small < 0.01 * peak
+    assert bw_1mib > 0.85 * peak  # paper: 1 MiB is near-peak
+    assert bw_huge > bw_1mib
+
+
+def test_ib_optimal_batch_size_is_about_1mib():
+    # Paper Figure 4: they choose 2**20 B.
+    batch = optimal_batch_size(default_ib())
+    assert 1 << 18 <= batch <= 1 << 22
+
+
+def test_ib_mtu_packet_overhead():
+    from repro.interconnect.infiniband import (
+        IB_MTU_BYTES,
+        IB_PACKET_OVERHEAD_BYTES,
+    )
+
+    model = default_ib()
+    assert model.wire_bytes(IB_MTU_BYTES) == (
+        IB_MTU_BYTES + IB_PACKET_OVERHEAD_BYTES
+    )
+    assert model.wire_bytes(IB_MTU_BYTES + 1) == (
+        IB_MTU_BYTES + 1 + 2 * IB_PACKET_OVERHEAD_BYTES
+    )
+
+
+def test_ib_sender_occupancy_below_transfer_time():
+    model = default_ib()
+    assert model.sender_occupancy(4096) < model.transfer_time(4096)
+
+
+# ------------------------------------------------------------ properties
+@given(st.integers(0, 1 << 22))
+@settings(max_examples=80)
+def test_property_wire_bytes_at_least_payload(payload):
+    for model in (default_nvlink(), default_pcie(), default_ib()):
+        assert model.wire_bytes(payload) >= payload
+
+
+@given(st.integers(1, 1 << 22))
+@settings(max_examples=80)
+def test_property_efficiency_in_unit_interval(payload):
+    for model in (default_nvlink(), default_pcie(), default_ib()):
+        assert 0 < model.efficiency(payload) <= 1.0
+
+
+@given(st.integers(1, 1 << 18), st.integers(1, 1 << 18))
+@settings(max_examples=60)
+def test_property_wire_bytes_monotone(a, b):
+    lo, hi = min(a, b), max(a, b)
+    for model in (default_nvlink(), default_pcie(), default_ib()):
+        assert model.wire_bytes(lo) <= model.wire_bytes(hi)
+
+
+@given(st.integers(1, 1 << 24))
+@settings(max_examples=60)
+def test_property_transfer_time_exceeds_latency(payload):
+    for model in (default_nvlink(), default_pcie(), default_ib()):
+        assert model.transfer_time(payload) > model.spec.latency

@@ -1,0 +1,189 @@
+"""Tests for machine configs, topologies (Fig 6) and the DES fabric."""
+
+import numpy as np
+import pytest
+
+from repro.config import CostModel, daisy, summit_ib, summit_node
+from repro.errors import ConfigurationError, TopologyError
+from repro.interconnect import NetworkFabric, Topology
+from repro.sim import Environment
+
+
+# ----------------------------------------------------------- MachineConfig
+def test_daisy_matches_appendix_matrix():
+    machine = daisy()
+    # Dual-link pairs (0,3) and (1,2) at 50 GB/s, others 25 GB/s.
+    assert machine.link(0, 3).bandwidth == 50000.0
+    assert machine.link(1, 2).bandwidth == 50000.0
+    assert machine.link(0, 1).bandwidth == 25000.0
+    assert machine.link(2, 0).bandwidth == 25000.0
+
+
+def test_daisy_subset():
+    machine = daisy(2)
+    assert machine.n_gpus == 2
+    assert (0, 1) in machine.links
+    assert all(i < 2 and j < 2 for (i, j) in machine.links)
+
+
+def test_daisy_subset_validation():
+    with pytest.raises(ConfigurationError):
+        daisy(5)
+    with pytest.raises(ConfigurationError):
+        daisy(0)
+
+
+def test_summit_node_socket_penalty():
+    machine = summit_node()
+    same_socket = machine.link(0, 1)
+    cross_socket = machine.link(0, 3)
+    assert cross_socket.latency > same_socket.latency
+    assert cross_socket.bandwidth < same_socket.bandwidth
+
+
+def test_summit_ib_uniform_links():
+    machine = summit_ib(8)
+    assert machine.inter_node
+    specs = set(
+        (spec.bandwidth, spec.latency) for spec in machine.links.values()
+    )
+    assert len(specs) == 1
+    assert machine.link(0, 7).bandwidth == 12500.0
+
+
+def test_missing_link_raises():
+    machine = daisy(2)
+    with pytest.raises(ConfigurationError):
+        machine.link(0, 3)
+
+
+# --------------------------------------------------------------- Topology
+def test_topology_latency_matrix_daisy():
+    topo = Topology(daisy())
+    lat = topo.latency_matrix()
+    assert lat.shape == (4, 4)
+    assert np.all(np.diag(lat) == 0)
+    off_diag = lat[~np.eye(4, dtype=bool)]
+    assert np.all(off_diag > 0)
+    # Daisy is latency-uniform (Fig 6, left).
+    assert len(np.unique(off_diag)) == 1
+
+
+def test_topology_summit_node_has_higher_mean_latency():
+    # Figure 6: Summit-node topology penalizes >half of GPU pairs.
+    daisy_lat = Topology(daisy(4)).mean_pair_latency()
+    summit_lat = Topology(summit_node(6)).mean_pair_latency()
+    assert summit_lat > 1.5 * daisy_lat
+
+
+def test_topology_describe_mentions_duallinks():
+    text = Topology(daisy()).describe()
+    assert "NV2" in text and "NV1" in text and "X" in text
+
+
+def test_topology_missing_route():
+    topo = Topology(daisy(2))
+    with pytest.raises(TopologyError):
+        topo.link(0, 3)
+
+
+def test_bisection_bandwidth_positive_and_bounded():
+    topo = Topology(daisy())
+    bisect = topo.bisection_bandwidth()
+    total = topo.bandwidth_matrix().sum()
+    assert 0 < bisect < total
+
+
+# ---------------------------------------------------------- NetworkFabric
+def test_fabric_delivers_payload():
+    env = Environment()
+    fabric = NetworkFabric(env, daisy(2))
+    delivered = []
+    fabric.send(0, 1, 64, "hello", lambda m: delivered.append(
+        (env.now, m.payload)))
+    env.run()
+    assert len(delivered) == 1
+    t, payload = delivered[0]
+    assert payload == "hello"
+    link = daisy(2).link(0, 1)
+    assert t >= link.latency
+
+
+def test_fabric_arrival_time_includes_latency_and_serialization():
+    env = Environment()
+    fabric = NetworkFabric(env, summit_ib(2))
+    model = fabric.topology.link(0, 1)
+    arrival = fabric.send(0, 1, 1 << 20, None, lambda m: None)
+    expected = model.serialization_time(1 << 20) + model.spec.latency
+    assert arrival == pytest.approx(expected, rel=0.01)
+
+
+def test_fabric_serializes_messages_on_one_link():
+    env = Environment()
+    fabric = NetworkFabric(env, summit_ib(2))
+    a1 = fabric.send(0, 1, 1 << 20, None, lambda m: None)
+    a2 = fabric.send(0, 1, 1 << 20, None, lambda m: None)
+    model = fabric.topology.link(0, 1)
+    assert a2 - a1 == pytest.approx(
+        model.serialization_time(1 << 20), rel=0.01
+    )
+
+
+def test_fabric_different_links_run_in_parallel():
+    env = Environment()
+    fabric = NetworkFabric(env, daisy(4))
+    a1 = fabric.send(0, 1, 1 << 20, None, lambda m: None)
+    a2 = fabric.send(2, 3, 1 << 20, None, lambda m: None)
+    # No shared link: both arrive at the single-message time.
+    assert a1 == pytest.approx(a2, rel=0.05)
+
+
+def test_fabric_in_flight_accounting():
+    env = Environment()
+    fabric = NetworkFabric(env, daisy(2))
+    assert fabric.quiescent
+    fabric.send(0, 1, 8, None, lambda m: None)
+    assert fabric.in_flight == 1
+    env.run()
+    assert fabric.quiescent
+
+
+def test_fabric_extra_latency():
+    env = Environment()
+    base_env = Environment()
+    base = NetworkFabric(base_env, daisy(2))
+    slow = NetworkFabric(env, daisy(2))
+    t_base = base.send(0, 1, 8, None, lambda m: None)
+    t_slow = slow.send(0, 1, 8, None, lambda m: None, extra_latency=10.0)
+    assert t_slow == pytest.approx(t_base + 10.0)
+
+
+def test_fabric_rejects_self_send():
+    env = Environment()
+    fabric = NetworkFabric(env, daisy(2))
+    with pytest.raises(ValueError):
+        fabric.send(0, 0, 8, None, lambda m: None)
+
+
+def test_fabric_stats():
+    env = Environment()
+    fabric = NetworkFabric(env, daisy(2))
+    fabric.send(0, 1, 100, None, lambda m: None)
+    fabric.send(1, 0, 50, None, lambda m: None)
+    env.run()
+    stats = fabric.stats()
+    assert stats["messages"] == 2
+    assert stats["bytes"] == 150
+    assert stats["wire_bytes"] >= 150
+    assert 0 < stats["max_link_utilization"] <= 1.0
+
+
+def test_link_channel_counters():
+    env = Environment()
+    fabric = NetworkFabric(env, daisy(2))
+    fabric.send(0, 1, 100, None, lambda m: None)
+    env.run()
+    channel = fabric.channels[(0, 1)]
+    assert channel.messages_sent == 1
+    assert channel.bytes_sent == 100
+    assert channel.busy_time > 0

@@ -1,0 +1,61 @@
+"""Tests for communication-timeline analyses."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import burstiness, byte_histogram, peak_to_mean
+
+
+def test_histogram_bins_bytes():
+    timeline = [(0.5, 10.0), (1.5, 20.0), (1.6, 5.0)]
+    edges, per_bin = byte_histogram(timeline, t_end=2.0, n_bins=2)
+    assert len(edges) == 3
+    assert list(per_bin) == [10.0, 25.0]
+
+
+def test_histogram_empty_timeline():
+    edges, per_bin = byte_histogram([], t_end=5.0, n_bins=4)
+    assert per_bin.sum() == 0
+
+
+def test_histogram_validation():
+    with pytest.raises(ValueError):
+        byte_histogram([], t_end=0.0)
+    with pytest.raises(ValueError):
+        byte_histogram([], t_end=1.0, n_bins=0)
+
+
+def test_events_past_t_end_clipped():
+    timeline = [(10.0, 7.0)]
+    _, per_bin = byte_histogram(timeline, t_end=2.0, n_bins=2)
+    assert per_bin.sum() == 7.0  # clipped into the final bin
+
+
+def test_burstiness_uniform_traffic_is_smooth():
+    timeline = [(t, 8.0) for t in np.linspace(0.01, 9.99, 1000)]
+    assert burstiness(timeline, t_end=10.0, n_bins=10) < 0.05
+
+
+def test_burstiness_single_spike_is_high():
+    timeline = [(5.0, 8.0)] * 100
+    assert burstiness(timeline, t_end=10.0, n_bins=10) > 2.0
+
+
+def test_burstiness_empty_is_zero():
+    assert burstiness([], t_end=10.0) == 0.0
+
+
+def test_peak_to_mean():
+    uniform = [(t, 1.0) for t in np.linspace(0.01, 9.99, 1000)]
+    assert peak_to_mean(uniform, 10.0, 10) == pytest.approx(1.0, rel=0.05)
+    spike = [(5.0, 1.0)] * 10
+    assert peak_to_mean(spike, 10.0, 10) == pytest.approx(10.0)
+    assert peak_to_mean([], 10.0) == 1.0
+
+
+def test_burstiness_scale_invariant_in_bytes():
+    timeline_small = [(t, 1.0) for t in (1.0, 1.1, 5.0)]
+    timeline_big = [(t, 1000.0) for t in (1.0, 1.1, 5.0)]
+    assert burstiness(timeline_small, 10.0) == pytest.approx(
+        burstiness(timeline_big, 10.0)
+    )

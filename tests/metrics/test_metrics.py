@@ -1,0 +1,72 @@
+"""Tests for counters, run results, and table formatting."""
+
+import pytest
+
+from repro.metrics.counters import Counters, RunResult
+from repro.metrics.tables import (
+    format_generic_table,
+    format_runtime_table,
+    format_scaling_series,
+)
+
+
+def test_counters_default_zero_and_merge():
+    c = Counters()
+    c["edges"] += 10
+    other = Counters({"edges": 5, "msgs": 2})
+    c.merge(other)
+    assert c["edges"] == 15 and c["msgs"] == 2
+
+
+def test_counters_merge_with_prefix():
+    c = Counters()
+    c.merge(Counters({"busy": 1.5}), prefix="gpu0_")
+    assert c["gpu0_busy"] == 1.5
+
+
+def test_run_result_fields():
+    r = RunResult("atos", "bfs", "road-usa", 4, time_ms=1.25)
+    assert r.framework == "atos"
+    assert r.counters == Counters()
+
+
+def test_speedup_over():
+    fast = RunResult("a", "bfs", "d", 1, time_ms=1.0)
+    slow = RunResult("b", "bfs", "d", 1, time_ms=4.0)
+    assert fast.speedup_over(slow) == 4.0
+    assert slow.speedup_over(fast) == 0.25
+
+
+def test_format_runtime_table_basic():
+    text = format_runtime_table(
+        "Title", ["1 GPU", "2 GPUs"], {"ds": [12.345, 6.0]}
+    )
+    assert "Title" in text and "ds" in text
+    assert "12.3" in text
+
+
+def test_format_runtime_table_ms_formatting():
+    text = format_runtime_table(
+        "t", ["1"], {"big": [512.3], "mid": [51.23], "small": [0.5123]}
+    )
+    assert "512" in text
+    assert "51.2" in text
+    assert "0.512" in text
+
+
+def test_format_scaling_series_header():
+    text = format_scaling_series("t", [1, 2, 4], {"fw": [8.0, 4.0, 2.0]})
+    assert "1 GPU" in text and "4 GPUs" in text
+    assert "4.00" in text  # 8/2
+
+
+def test_format_generic_table_empty_rows():
+    text = format_generic_table("t", ["a"], [])
+    assert "t" in text and "a" in text
+
+
+def test_format_generic_table_widths():
+    text = format_generic_table(
+        "t", ["col"], [["x"]], widths=[10]
+    )
+    assert text.splitlines()[1].endswith("col")

@@ -1,0 +1,77 @@
+"""Additional DistributedArray coverage: add-routing and callbacks."""
+
+import numpy as np
+import pytest
+
+from repro.config import daisy
+from repro.graph import random_partition, rmat
+from repro.interconnect import NetworkFabric
+from repro.pgas import DistributedArray, RemoteOps, SymmetricHeap
+from repro.sim import Environment
+
+
+@pytest.fixture
+def setup():
+    env = Environment()
+    fabric = NetworkFabric(env, daisy(3))
+    graph = rmat(scale=5, edge_factor=4, seed=2)
+    part = random_partition(graph, 3, seed=0)
+    heap = SymmetricHeap(3)
+    ops = RemoteOps(fabric)
+    return env, graph, part, heap, ops
+
+
+def test_atomic_add_from_routes_by_owner(setup):
+    env, graph, part, heap, ops = setup
+    arr = DistributedArray(heap, "residual", part, dtype=np.float64)
+    idx = np.arange(graph.n_vertices)
+    arr.atomic_add_from(ops, 0, idx, np.ones(graph.n_vertices))
+    env.run()
+    assert np.allclose(arr.gather_global(), 1.0)
+
+
+def test_atomic_add_from_accumulates_duplicates(setup):
+    env, graph, part, heap, ops = setup
+    arr = DistributedArray(heap, "x", part, dtype=np.float64)
+    target = np.array([0, 0, 0])
+    arr.atomic_add_from(ops, 1, target, np.array([1.0, 2.0, 3.0]))
+    env.run()
+    assert arr.gather_global()[0] == pytest.approx(6.0)
+
+
+def test_atomic_min_from_on_old_callback_per_destination(setup):
+    env, graph, part, heap, ops = setup
+    arr = DistributedArray(heap, "depth", part, dtype=np.int64, fill=50)
+    seen: list[tuple[int, int]] = []
+    arr.atomic_min_from(
+        ops,
+        0,
+        np.arange(6),
+        np.full(6, 7),
+        on_old=lambda pe, rows, old: seen.append((pe, len(rows))),
+    )
+    env.run()
+    touched_pes = {pe for pe, _ in seen}
+    assert touched_pes == set(np.unique(part.owner[:6]).tolist())
+    assert sum(n for _, n in seen) == 6
+    assert np.all(arr.gather_global()[:6] == 7)
+
+
+def test_local_ops_apply_without_sim_time(setup):
+    env, graph, part, heap, ops = setup
+    arr = DistributedArray(heap, "y", part, dtype=np.float64)
+    pe0_verts = part.part_vertices[0][:2]
+    arr.atomic_add_from(ops, 0, pe0_verts, np.ones(len(pe0_verts)))
+    # Owner == source: applied immediately, no events scheduled.
+    assert env.peek() == float("inf")
+    assert np.all(arr.gather_global()[pe0_verts] == 1.0)
+
+
+def test_fill_and_local_slice(setup):
+    _env, graph, part, heap, _ops = setup
+    arr = DistributedArray(heap, "z", part, dtype=np.int64, fill=3)
+    assert np.all(arr.gather_global() == 3)
+    arr.local_slice(1)[...] = 9
+    assert np.all(arr.gather_global()[part.part_vertices[1]] == 9)
+    arr.fill(0)
+    assert np.all(arr.gather_global() == 0)

@@ -1,0 +1,266 @@
+"""Tests for the PGAS substrate: heap, one-sided ops, teams, dist arrays."""
+
+import numpy as np
+import pytest
+
+from repro.config import daisy, summit_ib
+from repro.errors import PGASError
+from repro.graph import random_partition, rmat
+from repro.interconnect import NetworkFabric
+from repro.pgas import DistributedArray, RemoteOps, SymmetricHeap, Team
+from repro.sim import Environment
+
+
+# ---------------------------------------------------------------- heap
+def test_heap_malloc_symmetric():
+    heap = SymmetricHeap(3)
+    arr = heap.malloc("depth", 10, dtype=np.int32, fill=7)
+    for pe in range(3):
+        buf = arr.local(pe)
+        assert buf.shape == (10,)
+        assert buf.dtype == np.int32
+        assert np.all(buf == 7)
+    # Buffers are distinct per PE.
+    arr.local(0)[0] = 1
+    assert arr.local(1)[0] == 7
+
+
+def test_heap_malloc_partitioned():
+    heap = SymmetricHeap(2)
+    arr = heap.malloc_partitioned("slices", [3, 5], dtype=np.float64)
+    assert arr.size(0) == 3 and arr.size(1) == 5
+
+
+def test_heap_name_collision():
+    heap = SymmetricHeap(2)
+    heap.malloc("x", 4)
+    with pytest.raises(PGASError):
+        heap.malloc("x", 4)
+
+
+def test_heap_get_and_free():
+    heap = SymmetricHeap(2)
+    arr = heap.malloc("x", 4)
+    assert heap.get("x") is arr
+    assert "x" in heap
+    heap.free("x")
+    assert "x" not in heap
+    with pytest.raises(PGASError):
+        heap.get("x")
+    with pytest.raises(PGASError):
+        heap.free("x")
+
+
+def test_heap_validation():
+    with pytest.raises(PGASError):
+        SymmetricHeap(0)
+    heap = SymmetricHeap(2)
+    with pytest.raises(PGASError):
+        heap.malloc_partitioned("bad", [1, 2, 3])
+    arr = heap.malloc("x", 4)
+    with pytest.raises(PGASError):
+        arr.local(5)
+
+
+# ------------------------------------------------------------ remote ops
+def _setup(machine=None):
+    env = Environment()
+    fabric = NetworkFabric(env, machine or daisy(2))
+    heap = SymmetricHeap(fabric.machine.n_gpus)
+    ops = RemoteOps(fabric)
+    return env, fabric, heap, ops
+
+
+def test_put_local_is_immediate():
+    env, _f, heap, ops = _setup()
+    arr = heap.malloc("x", 4, dtype=np.int64)
+    ops.put(0, 0, arr, np.array([1, 2]), np.array([10, 20]))
+    assert list(arr.local(0)) == [0, 10, 20, 0]
+    assert env.now == 0.0
+    assert ops.counters.local_ops == 1
+
+
+def test_put_remote_applies_at_arrival():
+    env, _f, heap, ops = _setup()
+    arr = heap.malloc("x", 4, dtype=np.int64)
+    ops.put(0, 1, arr, np.array([0]), np.array([42]))
+    assert arr.local(1)[0] == 0  # not yet arrived
+    env.run()
+    assert arr.local(1)[0] == 42
+    assert env.now > 0
+    assert ops.counters.puts == 1
+
+
+def test_get_round_trip():
+    env, _f, heap, ops = _setup()
+    arr = heap.malloc("x", 4, dtype=np.int64)
+    arr.local(1)[...] = [1, 2, 3, 4]
+    received = []
+    ops.get(0, 1, arr, np.array([1, 3]), lambda data: received.append(data))
+    env.run()
+    assert len(received) == 1
+    assert list(received[0]) == [2, 4]
+
+
+def test_get_local_immediate():
+    _env, _f, heap, ops = _setup()
+    arr = heap.malloc("x", 2, dtype=np.int64)
+    arr.local(0)[...] = [5, 6]
+    out = []
+    ops.get(0, 0, arr, np.array([1]), lambda d: out.append(d))
+    assert list(out[0]) == [6]
+
+
+def test_remote_atomic_min_applies_and_reports_old():
+    env, _f, heap, ops = _setup()
+    arr = heap.malloc("depth", 3, dtype=np.int64, fill=100)
+    olds = []
+    ops.atomic_min(
+        0, 1, arr, np.array([0, 1]), np.array([5, 200]),
+        on_old=lambda old: olds.append(old),
+    )
+    env.run()
+    assert list(arr.local(1)) == [5, 100, 100]
+    assert list(olds[0]) == [100, 100]
+
+
+def test_remote_atomic_add():
+    env, _f, heap, ops = _setup()
+    arr = heap.malloc("residual", 2, dtype=np.float64)
+    ops.atomic_add(0, 1, arr, np.array([0, 0]), np.array([1.5, 2.5]))
+    env.run()
+    assert arr.local(1)[0] == pytest.approx(4.0)
+
+
+def test_remote_op_validation():
+    _env, _f, heap, ops = _setup()
+    arr = heap.malloc("x", 3, dtype=np.int64)
+    with pytest.raises(PGASError):
+        ops.put(0, 1, arr, np.array([5]), np.array([1]))
+    with pytest.raises(PGASError):
+        ops.put(0, 1, arr, np.array([0, 1]), np.array([1]))
+
+
+def test_extra_latency_delays_arrival():
+    env1, _f, heap1, ops1 = _setup()
+    arr1 = heap1.malloc("x", 1, dtype=np.int64)
+    t_fast = ops1.put(0, 1, arr1, np.array([0]), np.array([1]))
+    env2, _f2, heap2, ops2 = _setup()
+    arr2 = heap2.malloc("x", 1, dtype=np.int64)
+    t_slow = ops2.put(
+        0, 1, arr2, np.array([0]), np.array([1]), extra_latency=50.0
+    )
+    assert t_slow == pytest.approx(t_fast + 50.0)
+
+
+# ------------------------------------------------------------------ team
+def test_team_barrier_releases_together():
+    env = Environment()
+    team = Team(env, 3)
+    releases = []
+
+    def pe_proc(env, pe, delay):
+        yield env.timeout(delay)
+        yield team.barrier(pe)
+        releases.append((env.now, pe))
+
+    for pe, delay in enumerate([1.0, 5.0, 3.0]):
+        env.process(pe_proc(env, pe, delay))
+    env.run()
+    assert [t for t, _ in releases] == [5.0, 5.0, 5.0]
+    assert team.generation == 1
+
+
+def test_team_allreduce():
+    env = Environment()
+    team = Team(env, 3)
+    results = []
+
+    def pe_proc(env, pe):
+        yield env.timeout(pe * 1.0)
+        total = yield team.allreduce(pe, pe + 1, lambda a, b: a + b)
+        results.append(total)
+
+    for pe in range(3):
+        env.process(pe_proc(env, pe))
+    env.run()
+    assert results == [6, 6, 6]
+
+
+def test_team_repeated_barriers():
+    env = Environment()
+    team = Team(env, 2)
+    log = []
+
+    def pe_proc(env, pe):
+        for round_idx in range(3):
+            yield env.timeout(1.0 + pe)
+            yield team.barrier(pe)
+            log.append((round_idx, pe))
+
+    env.process(pe_proc(env, 0))
+    env.process(pe_proc(env, 1))
+    env.run()
+    assert team.generation == 3
+    rounds = [r for r, _ in log]
+    assert rounds == sorted(rounds)
+
+
+def test_team_validation():
+    env = Environment()
+    with pytest.raises(PGASError):
+        Team(env, 0)
+    team = Team(env, 2)
+    with pytest.raises(PGASError):
+        team.barrier(2)
+
+
+# ------------------------------------------------------ distributed array
+def test_distributed_array_round_trip():
+    graph = rmat(scale=6, edge_factor=4, seed=1)
+    part = random_partition(graph, 3, seed=0)
+    heap = SymmetricHeap(3)
+    arr = DistributedArray(heap, "rank", part, dtype=np.float64, fill=0.5)
+    values = np.arange(graph.n_vertices, dtype=np.float64)
+    arr.scatter_global(values)
+    assert np.array_equal(arr.gather_global(), values)
+
+
+def test_distributed_array_locate():
+    graph = rmat(scale=5, edge_factor=4, seed=1)
+    part = random_partition(graph, 2, seed=0)
+    heap = SymmetricHeap(2)
+    arr = DistributedArray(heap, "x", part, dtype=np.int64)
+    owners, local = arr.locate(np.arange(graph.n_vertices))
+    assert np.array_equal(owners, part.owner)
+    for v in range(graph.n_vertices):
+        assert part.part_vertices[owners[v]][local[v]] == v
+
+
+def test_distributed_atomic_min_routes_by_owner():
+    env = Environment()
+    fabric = NetworkFabric(env, daisy(2))
+    graph = rmat(scale=5, edge_factor=4, seed=1)
+    part = random_partition(graph, 2, seed=0)
+    heap = SymmetricHeap(2)
+    ops = RemoteOps(fabric)
+    arr = DistributedArray(heap, "depth", part, dtype=np.int64, fill=99)
+    idx = np.arange(8)
+    arr.atomic_min_from(ops, 0, idx, np.full(8, 3))
+    env.run()
+    assert np.all(arr.gather_global()[:8] == 3)
+    assert np.all(arr.gather_global()[8:] == 99)
+
+
+def test_distributed_array_validation():
+    graph = rmat(scale=5, edge_factor=4, seed=1)
+    part = random_partition(graph, 2, seed=0)
+    heap = SymmetricHeap(3)
+    with pytest.raises(PGASError):
+        DistributedArray(heap, "x", part)
+    heap2 = SymmetricHeap(2)
+    arr = DistributedArray(heap2, "x", part)
+    with pytest.raises(PGASError):
+        arr.locate(np.array([graph.n_vertices]))
+    with pytest.raises(PGASError):
+        arr.scatter_global(np.zeros(3))

@@ -1,0 +1,81 @@
+"""Additional coverage: queue base types, bucket draining, stats."""
+
+import numpy as np
+import pytest
+
+from repro.queues import (
+    AtosQueue,
+    BucketedPriorityQueue,
+    QueueStats,
+    Ticket,
+)
+
+
+# ----------------------------------------------------------------- base
+def test_ticket_is_immutable():
+    ticket = Ticket(index=3, count=2)
+    with pytest.raises(AttributeError):
+        ticket.index = 5  # type: ignore[misc]
+
+
+def test_queue_stats_defaults():
+    stats = QueueStats()
+    assert stats.pushes == stats.pops == 0
+    assert stats.items_pushed == stats.items_popped == 0
+    assert stats.full_failures == stats.empty_failures == 0
+
+
+def test_ring_read_write_wraparound():
+    q = AtosQueue(4)
+    q.push([1, 2, 3])
+    q.pop(3)
+    q.push([4, 5, 6, 7])  # wraps the ring
+    assert list(q.pop(4)) == [4, 5, 6, 7]
+
+
+def test_atos_queue_dtype_respected():
+    q = AtosQueue(8, dtype=np.float64)
+    q.push([1.5, 2.5])
+    out = q.pop(2)
+    assert out.dtype == np.float64
+    assert list(out) == [1.5, 2.5]
+
+
+# ------------------------------------------------------------ pop_bucket
+def test_pop_bucket_drains_exactly_one_band():
+    pq = BucketedPriorityQueue(64, threshold_delta=1.0)
+    pq.push(np.array([0, 0, 1, 2]), np.array([10, 11, 20, 30]))
+    got = pq.pop_bucket(0)
+    assert sorted(got.tolist()) == [10, 11]
+    assert pq.readable == 2
+
+
+def test_pop_bucket_raises_threshold():
+    pq = BucketedPriorityQueue(64, threshold=0.5, threshold_delta=1.0)
+    pq.push(np.array([3]), np.array([30]))
+    got = pq.pop_bucket(3)
+    assert got.tolist() == [30]
+    assert pq.threshold >= 4.0
+    assert pq.threshold_raises == 1
+
+
+def test_pop_bucket_missing_key_empty():
+    pq = BucketedPriorityQueue(64)
+    assert len(pq.pop_bucket(7)) == 0
+
+
+def test_pop_bucket_wide_delta_groups_priorities():
+    pq = BucketedPriorityQueue(64, threshold_delta=10.0)
+    pq.push(np.array([1.0, 9.0, 11.0]), np.array([1, 9, 11]))
+    got = pq.pop_bucket(0)  # band [0, 10)
+    assert sorted(got.tolist()) == [1, 9]
+
+
+def test_lowest_nonempty_tracks_drain():
+    pq = BucketedPriorityQueue(64, threshold_delta=1.0)
+    pq.push(np.array([2, 5]), np.array([20, 50]))
+    assert pq._lowest_nonempty() == 2
+    pq.pop_bucket(2)
+    assert pq._lowest_nonempty() == 5
+    pq.pop_bucket(5)
+    assert pq._lowest_nonempty() is None

@@ -1,0 +1,70 @@
+"""Property-based tests for the Fig-1 contention timing model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queues import QueueContentionModel
+
+model = QueueContentionModel()
+thread_counts = st.integers(32, 200000)
+
+
+@given(thread_counts)
+@settings(max_examples=60, deadline=None)
+def test_property_all_costs_positive(n):
+    for fn in (
+        lambda: model.atos_push(n, "warp"),
+        lambda: model.atos_pop(n, "cta"),
+        lambda: model.atos_pop_push(n, "warp"),
+        lambda: model.cas_push(n, "cta"),
+        lambda: model.cas_pop_push(n, "warp"),
+        lambda: model.broker_push(n),
+        lambda: model.broker_pop(n),
+        lambda: model.broker_pop_push(n),
+    ):
+        assert fn() > 0
+
+
+@given(thread_counts, thread_counts)
+@settings(max_examples=60, deadline=None)
+def test_property_monotone_in_threads(a, b):
+    lo, hi = min(a, b), max(a, b)
+    for fn in (
+        lambda n: model.atos_push(n, "warp"),
+        lambda n: model.cas_push(n, "warp"),
+        lambda n: model.broker_pop(n),
+    ):
+        assert fn(lo) <= fn(hi) + 1e-12
+
+
+@given(st.integers(8192, 200000))
+@settings(max_examples=60, deadline=None)
+def test_property_ordering_invariant(n):
+    """The paper's headline claim holds across Figure 1's plotted
+    range (8k+ threads; below one CTA's worth of threads there is no
+    contention for the queue designs to differ on)."""
+    for ours in (model.atos_push(n, "warp"), model.atos_push(n, "cta")):
+        assert ours <= model.broker_push(n) + 1e-12
+        assert ours <= model.cas_push(n, "warp") + 1e-12
+        assert ours <= model.cas_push(n, "cta") + 1e-12
+
+
+@given(thread_counts, st.integers(1, 40))
+@settings(max_examples=40, deadline=None)
+def test_property_linear_in_ops(n, ops):
+    """Doubling per-thread ops doubles the variable cost exactly."""
+    base = model.atos_push(n, "warp", ops=ops) - model.t_base
+    double = model.atos_push(n, "warp", ops=2 * ops) - model.t_base
+    assert double == pytest.approx(2 * base)
+
+
+@given(thread_counts)
+@settings(max_examples=40, deadline=None)
+def test_property_wider_workers_cheaper(n):
+    assert model.atos_push(n, "cta") <= model.atos_push(n, "warp") + 1e-12
+
+
+def test_ops_validation():
+    with pytest.raises(ValueError):
+        model.atos_push(128, "warp", ops=0)

@@ -1,0 +1,189 @@
+"""Functional tests for the three concurrent queue models.
+
+The interesting behaviour is *publication*: which pushed items are
+poppable after arbitrary interleavings of reserve/commit — that is
+what the paper's counter protocol (Listing 6) guarantees.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueueFullError
+from repro.queues import AtosQueue, BrokerQueue, CASQueue
+
+ALL_QUEUES = [AtosQueue, BrokerQueue, CASQueue]
+
+
+@pytest.mark.parametrize("queue_cls", ALL_QUEUES)
+class TestCommonBehaviour:
+    def test_push_pop_round_trip(self, queue_cls):
+        q = queue_cls(16)
+        q.push([1, 2, 3])
+        assert list(q.pop(3)) == [1, 2, 3]
+
+    def test_fifo_across_pushes(self, queue_cls):
+        q = queue_cls(16)
+        q.push([1, 2])
+        q.push([3])
+        q.push([4, 5])
+        assert list(q.pop(10)) == [1, 2, 3, 4, 5]
+
+    def test_partial_pop(self, queue_cls):
+        q = queue_cls(16)
+        q.push([1, 2, 3, 4])
+        assert list(q.pop(2)) == [1, 2]
+        assert list(q.pop(2)) == [3, 4]
+
+    def test_pop_empty_returns_nothing(self, queue_cls):
+        q = queue_cls(4)
+        assert len(q.pop(3)) == 0
+        assert q.stats.empty_failures == 1
+
+    def test_len_and_empty(self, queue_cls):
+        q = queue_cls(8)
+        assert q.empty and len(q) == 0
+        q.push([7, 8])
+        assert not q.empty and len(q) == 2
+
+    def test_capacity_overflow_raises(self, queue_cls):
+        q = queue_cls(4)
+        q.push([1, 2, 3])
+        with pytest.raises(QueueFullError):
+            q.push([4, 5])
+        assert q.stats.full_failures == 1
+
+    def test_capacity_reclaimed_after_pop(self, queue_cls):
+        q = queue_cls(4)
+        q.push([1, 2, 3, 4])
+        q.pop(4)
+        q.push([5, 6, 7, 8])  # ring wraps; must not raise
+        assert list(q.pop(4)) == [5, 6, 7, 8]
+
+    def test_ring_wraparound_many_times(self, queue_cls):
+        q = queue_cls(3)
+        for i in range(30):
+            q.push([i])
+            assert list(q.pop(1)) == [i]
+        q.check_invariants()
+
+    def test_zero_size_operations(self, queue_cls):
+        q = queue_cls(4)
+        q.push([])
+        assert len(q.pop(0)) == 0
+        assert q.empty
+
+    def test_negative_args_rejected(self, queue_cls):
+        q = queue_cls(4)
+        with pytest.raises(ValueError):
+            q.reserve(-1)
+        with pytest.raises(ValueError):
+            q.pop(-1)
+
+    def test_commit_wrong_size_rejected(self, queue_cls):
+        q = queue_cls(8)
+        ticket = q.reserve(3)
+        with pytest.raises(ValueError):
+            q.commit(ticket, [1, 2])
+
+    def test_invalid_capacity(self, queue_cls):
+        with pytest.raises(ValueError):
+            queue_cls(0)
+
+    def test_stats_counters(self, queue_cls):
+        q = queue_cls(16)
+        q.push([1, 2, 3])
+        q.pop(2)
+        assert q.stats.items_pushed == 3
+        assert q.stats.items_popped == 2
+        assert q.stats.pushes == 1
+        assert q.stats.pops == 1
+
+    def test_uncommitted_reservation_not_poppable(self, queue_cls):
+        q = queue_cls(8)
+        q.reserve(2)  # never committed
+        q.push([9])  # hmm: reserved after the gap
+        # Nothing before the gap is committed, so FIFO queues must not
+        # expose item 9 ahead of the uncommitted slots.
+        assert len(q.pop(4)) == 0
+
+    def test_gap_fill_publishes_everything(self, queue_cls):
+        q = queue_cls(8)
+        t1 = q.reserve(2)
+        t2 = q.reserve(1)
+        q.commit(t2, [30])  # out-of-order commit
+        assert len(q) == 0  # gap before it: not yet poppable
+        q.commit(t1, [10, 20])  # gap filled
+        assert list(q.pop(5)) == [10, 20, 30]
+
+
+# ------------------------------------------------------- Atos specifics
+def test_atos_counters_track_protocol():
+    q = AtosQueue(16)
+    t1 = q.reserve(4)
+    assert (q.end_alloc, q.end, q.end_max, q.end_count) == (4, 0, 0, 0)
+    q.commit(t1, [1, 2, 3, 4])
+    assert (q.end_alloc, q.end, q.end_max, q.end_count) == (4, 4, 4, 4)
+    q.pop(2)
+    assert q.start == 2
+    q.check_invariants()
+
+
+def test_atos_out_of_order_commit_counter_states():
+    q = AtosQueue(16)
+    t1 = q.reserve(2)
+    t2 = q.reserve(3)
+    q.commit(t2, [5, 6, 7])
+    # end_count (3) != end_max (5): publication frontier held back.
+    assert q.end == 0 and q.end_max == 5 and q.end_count == 3
+    q.commit(t1, [1, 2])
+    assert q.end == 5 and q.end_count == 5
+    assert list(q.pop(5)) == [1, 2, 5, 6, 7]
+
+
+def test_atos_pending_property():
+    q = AtosQueue(8)
+    t = q.reserve(3)
+    assert q.pending == 3 and q.readable == 0
+    q.commit(t, [1, 2, 3])
+    assert q.pending == 0 and q.readable == 3
+
+
+# ------------------------------------------------------ Broker specifics
+def test_broker_failed_poll_counted():
+    q = BrokerQueue(8)
+    t1 = q.reserve(1)
+    t2 = q.reserve(1)
+    q.commit(t2, [2])
+    assert len(q.pop(2)) == 0  # head flag unset -> failed poll
+    assert q.failed_polls == 1
+    q.commit(t1, [1])
+    assert list(q.pop(2)) == [1, 2]
+
+
+def test_broker_flags_cleared_after_pop():
+    q = BrokerQueue(4)
+    q.push([1, 2])
+    q.pop(2)
+    assert not q.flags.any()
+    q.check_invariants()
+
+
+# --------------------------------------------------------- CAS specifics
+def test_cas_failures_counted_for_out_of_order_commits():
+    q = CASQueue(16)
+    t1 = q.reserve(2)
+    t2 = q.reserve(2)
+    t3 = q.reserve(2)
+    q.commit(t3, [5, 6])
+    q.commit(t2, [3, 4])
+    assert q.cas_failures == 2  # both spun behind t1
+    q.commit(t1, [1, 2])
+    assert q.end == 6
+    assert list(q.pop(6)) == [1, 2, 3, 4, 5, 6]
+
+
+def test_cas_in_order_commits_never_fail():
+    q = CASQueue(16)
+    for i in range(5):
+        q.push([i])
+    assert q.cas_failures == 0

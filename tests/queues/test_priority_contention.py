@@ -1,0 +1,143 @@
+"""Tests for the bucketed priority queue and the Fig-1 contention model."""
+
+import numpy as np
+import pytest
+
+from repro.queues import BucketedPriorityQueue, QueueContentionModel
+
+
+# ------------------------------------------------------- priority queue
+def test_priority_pop_lowest_bucket_first():
+    pq = BucketedPriorityQueue(64, threshold=10, threshold_delta=1)
+    pq.push(np.array([5, 2, 8, 2]), np.array([50, 20, 80, 21]))
+    assert sorted(pq.pop(2).tolist()) == [20, 21]
+    assert pq.pop(1).tolist() == [50]
+    assert pq.pop(1).tolist() == [80]
+
+
+def test_priority_threshold_raises_when_needed():
+    pq = BucketedPriorityQueue(64, threshold=1, threshold_delta=1)
+    pq.push(np.array([7]), np.array([70]))
+    assert pq.pop(1).tolist() == [70]
+    assert pq.threshold_raises >= 1
+    assert pq.threshold >= 7
+
+
+def test_priority_threshold_not_raised_for_low_items():
+    pq = BucketedPriorityQueue(64, threshold=5, threshold_delta=1)
+    pq.push(np.array([1, 2]), np.array([10, 20]))
+    pq.pop(2)
+    assert pq.threshold_raises == 0
+
+
+def test_priority_mixed_push_pop_interleaving():
+    pq = BucketedPriorityQueue(64, threshold_delta=2)
+    pq.push(np.array([4, 0]), np.array([40, 0]))
+    assert pq.pop(1).tolist() == [0]
+    pq.push(np.array([1]), np.array([1]))
+    assert pq.pop(1).tolist() == [1]  # lower-priority item jumps ahead
+    assert pq.pop(1).tolist() == [40]
+
+
+def test_priority_len_and_empty():
+    pq = BucketedPriorityQueue(16)
+    assert pq.empty and len(pq) == 0
+    pq.push(np.array([1, 1, 2]), np.array([1, 2, 3]))
+    assert len(pq) == 3 and not pq.empty
+
+
+def test_priority_validation():
+    with pytest.raises(ValueError):
+        BucketedPriorityQueue(16, threshold_delta=0)
+    pq = BucketedPriorityQueue(16)
+    with pytest.raises(ValueError):
+        pq.push(np.array([1, 2]), np.array([1]))
+    with pytest.raises(ValueError):
+        pq.pop(-1)
+
+
+def test_priority_empty_push_is_noop():
+    pq = BucketedPriorityQueue(16)
+    pq.push(np.array([]), np.array([]))
+    assert pq.empty
+
+
+def test_priority_pop_empty_returns_nothing():
+    pq = BucketedPriorityQueue(16)
+    assert len(pq.pop(4)) == 0
+
+
+def test_priority_bucketing_by_delta():
+    # With delta=4, priorities 0-3 share a bucket: FIFO within it.
+    pq = BucketedPriorityQueue(64, threshold_delta=4)
+    pq.push(np.array([3]), np.array([30]))
+    pq.push(np.array([1]), np.array([10]))
+    assert pq.pop(1).tolist() == [30]  # same bucket, pushed first
+
+
+# ------------------------------------------------------ contention model
+@pytest.fixture
+def model():
+    return QueueContentionModel()
+
+
+THREAD_RANGE = np.array([8192, 16384, 32768, 65536, 98304])
+
+
+def test_fig1_atos_beats_cas_and_broker_everywhere(model):
+    series = model.figure1_series(THREAD_RANGE)
+    for plot in ("push", "pop", "pop_and_push"):
+        ours_warp = series[plot]["our queue(warp)"]
+        ours_cta = series[plot]["our queue(cta)"]
+        for rival in ("Broker queue", "CAS queue(warp)", "CAS queue(cta)"):
+            rival_times = series[plot][rival]
+            assert np.all(ours_warp <= rival_times), (plot, rival)
+            assert np.all(ours_cta <= rival_times), (plot, rival)
+
+
+def test_fig1_cta_scales_better_than_warp(model):
+    # Larger workers -> fewer serialized atomics.
+    warp = model.atos_push(98304, "warp")
+    cta = model.atos_push(98304, "cta")
+    assert cta < warp
+
+
+def test_fig1_times_grow_with_contention(model):
+    for fn in (
+        lambda n: model.atos_push(n, "warp"),
+        lambda n: model.cas_push(n, "warp"),
+        model.broker_push,
+        model.broker_pop,
+    ):
+        times = [fn(int(n)) for n in THREAD_RANGE]
+        assert times == sorted(times)
+        assert times[-1] > times[0]
+
+
+def test_fig1_broker_pop_much_worse_than_push(model):
+    # Per-item flag polling dominates broker pops (paper Fig 1: pop
+    # y-range is ~3x the push y-range).
+    n = 98304
+    assert model.broker_pop(n) > 1.5 * model.broker_push(n)
+
+
+def test_fig1_cas_retry_multiplier_grows(model):
+    low = model._cas_multiplier(1024, 32)
+    high = model._cas_multiplier(98304, 32)
+    assert high > low > 1.0
+
+
+def test_fig1_magnitudes_match_paper_scale(model):
+    # Paper Fig 1 y-axes: push tops out ~0.06 ms; pop ~0.2 ms at 1e5
+    # threads.  Match within a factor of ~3.
+    push_ms = model.atos_push(98304, "warp") * 1e-3
+    broker_pop_ms = model.broker_pop(98304) * 1e-3
+    assert 0.02 <= push_ms <= 0.18
+    assert 0.05 <= broker_pop_ms <= 0.6
+
+
+def test_contention_model_validation(model):
+    with pytest.raises(ValueError):
+        model.atos_push(0, "warp")
+    with pytest.raises(KeyError):
+        model.atos_push(128, "block")

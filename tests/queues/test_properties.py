@@ -1,0 +1,138 @@
+"""Property-based tests: the queue consistency protocol under arbitrary
+interleavings of reserve / commit / pop (hypothesis-driven).
+
+The invariant the paper's Listing 6 protocol exists to provide:
+**a pop never observes uncommitted data, and once everything commits,
+every pushed item is popped exactly once, in reservation order.**
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueueFullError
+from repro.queues import AtosQueue, BrokerQueue, CASQueue
+
+QUEUES = [AtosQueue, BrokerQueue, CASQueue]
+
+
+# Scripted interleavings: a list of actions.
+#   ("reserve", k)  – open a reservation of k items
+#   ("commit", i)   – commit the i-th still-open reservation
+#   ("pop", k)      – pop up to k items
+actions = st.lists(
+    st.one_of(
+        st.tuples(st.just("reserve"), st.integers(1, 5)),
+        st.tuples(st.just("commit"), st.integers(0, 10)),
+        st.tuples(st.just("pop"), st.integers(1, 8)),
+    ),
+    max_size=60,
+)
+
+
+def run_script(queue_cls, script):
+    """Execute a script; returns (pushed_values, popped_values, queue)."""
+    q = queue_cls(64)
+    open_tickets = []  # (ticket, values)
+    next_value = 0
+    pushed, popped = [], []
+    for action in script:
+        if action[0] == "reserve":
+            k = action[1]
+            try:
+                ticket = q.reserve(k)
+            except QueueFullError:
+                continue
+            values = list(range(next_value, next_value + k))
+            next_value += k
+            open_tickets.append((ticket, values))
+        elif action[0] == "commit":
+            if not open_tickets:
+                continue
+            ticket, values = open_tickets.pop(
+                action[1] % len(open_tickets)
+            )
+            q.commit(ticket, values)
+            pushed.extend(values)
+        else:
+            popped.extend(q.pop(action[1]).tolist())
+    return pushed, popped, q, open_tickets
+
+
+@given(actions)
+@settings(max_examples=120, deadline=None)
+def test_property_no_uncommitted_data_ever_popped(script):
+    for queue_cls in QUEUES:
+        pushed, popped, q, _open = run_script(queue_cls, script)
+        # Every popped value must have been committed at some point.
+        assert set(popped) <= set(pushed)
+        if hasattr(q, "check_invariants"):
+            q.check_invariants()
+
+
+@given(actions)
+@settings(max_examples=120, deadline=None)
+def test_property_no_duplicates_no_loss_after_drain(script):
+    for queue_cls in QUEUES:
+        pushed, popped, q, open_tickets = run_script(queue_cls, script)
+        # Finish the run: commit all outstanding reservations, drain.
+        for ticket, values in open_tickets:
+            q.commit(ticket, values)
+            pushed.extend(values)
+        while True:
+            got = q.pop(16)
+            if len(got) == 0:
+                break
+            popped.extend(got.tolist())
+        assert sorted(popped) == sorted(pushed)
+
+
+@given(actions)
+@settings(max_examples=100, deadline=None)
+def test_property_pop_order_respects_reservation_order(script):
+    # Values are assigned in reservation order, so FIFO-by-reservation
+    # means the popped sequence must be strictly increasing.
+    for queue_cls in QUEUES:
+        _pushed, popped, _q, _open = run_script(queue_cls, script)
+        assert popped == sorted(popped)
+        assert len(set(popped)) == len(popped)
+
+
+@given(st.lists(st.integers(1, 6), min_size=1, max_size=20))
+@settings(max_examples=80, deadline=None)
+def test_property_reverse_commit_order_publishes_all_at_once(sizes):
+    """Committing in exactly reverse order: nothing is poppable until the
+    first reservation lands, then (for counter/CAS queues) everything is."""
+    for queue_cls in (AtosQueue, CASQueue):
+        q = queue_cls(256)
+        tickets = [q.reserve(k) for k in sizes]
+        value = 0
+        payloads = []
+        for t in tickets:
+            payloads.append(list(range(value, value + t.count)))
+            value += t.count
+        for t, payload in list(zip(tickets, payloads))[::-1][:-1]:
+            q.commit(t, payload)
+            assert q.readable == 0  # gap at the front holds everything back
+        q.commit(tickets[0], payloads[0])
+        assert q.readable == sum(sizes)
+
+
+@given(
+    st.integers(1, 32),
+    st.lists(st.integers(1, 10), min_size=1, max_size=30),
+)
+@settings(max_examples=80, deadline=None)
+def test_property_capacity_never_exceeded(capacity, batch_sizes):
+    for queue_cls in QUEUES:
+        q = queue_cls(capacity)
+        in_queue = 0
+        for k in batch_sizes:
+            try:
+                q.push(list(range(k)))
+                in_queue += k
+            except QueueFullError:
+                assert in_queue + k > capacity
+            assert in_queue <= capacity
+            if in_queue == capacity:
+                in_queue -= len(q.pop(capacity))

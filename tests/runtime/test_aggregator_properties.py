@@ -1,0 +1,93 @@
+"""Property-based tests for the communication aggregator."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import Aggregator
+
+# Scripts: sequence of ("add", dst, nbytes) / ("tick",) operations.
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), st.integers(1, 3), st.integers(1, 256)),
+        st.tuples(st.just("tick")),
+    ),
+    max_size=80,
+)
+
+
+def _run(script, batch_size, wait_time):
+    sent: list[tuple[int, list, int]] = []
+    agg = Aggregator(
+        0,
+        4,
+        lambda dst, payloads, n_bytes: sent.append(
+            (dst, payloads, n_bytes)
+        ),
+        batch_size=batch_size,
+        wait_time=wait_time,
+    )
+    added = []
+    for op in script:
+        if op[0] == "add":
+            _, dst, nbytes = op
+            agg.add(dst, ("payload", len(added)), nbytes)
+            added.append((dst, nbytes))
+        else:
+            agg.tick()
+    return agg, sent, added
+
+
+@given(operations, st.integers(1, 512), st.integers(1, 8))
+@settings(max_examples=100, deadline=None)
+def test_property_no_update_lost_or_duplicated(script, batch, wait):
+    agg, sent, added = _run(script, batch, wait)
+    agg.flush_all()
+    flushed = [p for _, payloads, _ in sent for p in payloads]
+    assert len(flushed) == len(added)
+    assert sorted(i for _, i in flushed) == list(range(len(added)))
+    assert agg.empty and agg.pending_bytes == 0
+
+
+@given(operations, st.integers(1, 512), st.integers(1, 8))
+@settings(max_examples=100, deadline=None)
+def test_property_bytes_conserved(script, batch, wait):
+    agg, sent, added = _run(script, batch, wait)
+    agg.flush_all()
+    assert sum(n for _, _, n in sent) == sum(n for _, n in added)
+
+
+@given(operations, st.integers(1, 64))
+@settings(max_examples=80, deadline=None)
+def test_property_buffer_never_holds_full_batch(script, batch):
+    """After any add, no buffer retains >= batch_size bytes."""
+    sent = []
+    agg = Aggregator(
+        0, 4, lambda d, p, n: sent.append(n),
+        batch_size=batch, wait_time=1 << 20,
+    )
+    for op in script:
+        if op[0] == "add":
+            _, dst, nbytes = op
+            agg.add(dst, None, nbytes)
+            for buffer in agg.buffers.values():
+                assert buffer.n_bytes < batch or buffer.empty is False
+                # Flush-on-size means a buffer can never *stay* at or
+                # above the threshold after add() returns.
+                assert buffer.n_bytes < batch
+
+
+@given(operations)
+@settings(max_examples=60, deadline=None)
+def test_property_wait_time_bounds_buffer_age(script):
+    """No buffer survives more than wait_time consecutive ticks."""
+    agg = Aggregator(
+        0, 4, lambda d, p, n: None, batch_size=1 << 30, wait_time=3
+    )
+    for op in script:
+        if op[0] == "add":
+            _, dst, nbytes = op
+            agg.add(dst, None, nbytes)
+        else:
+            agg.tick()
+        for buffer in agg.buffers.values():
+            assert buffer.visits_since_first < 3 or buffer.empty

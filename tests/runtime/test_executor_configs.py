@@ -1,0 +1,71 @@
+"""Executor configuration coverage: recv queues, worker shapes, polls."""
+
+import numpy as np
+import pytest
+
+from repro.config import daisy, summit_ib
+from repro.gpu import WorkerConfig
+from repro.graph import largest_component_vertex, random_partition, rmat
+from repro.apps import AtosBFS, reference_bfs
+from repro.runtime import AtosConfig, AtosExecutor
+
+
+def _run(machine, config):
+    g = rmat(scale=8, edge_factor=6, seed=17)
+    src = largest_component_vertex(g)
+    part = random_partition(g, machine.n_gpus, seed=0)
+    app = AtosBFS(g, part, src)
+    makespan, counters = AtosExecutor(machine, app, config).run()
+    assert np.array_equal(app.result(), reference_bfs(g, src))
+    return makespan, counters
+
+
+@pytest.mark.parametrize("num_recv_queues", [1, 2, 4])
+def test_recv_queue_count_preserves_correctness(num_recv_queues):
+    _run(daisy(3), AtosConfig(num_recv_queues=num_recv_queues))
+
+
+@pytest.mark.parametrize(
+    "worker",
+    [
+        WorkerConfig(kind="thread"),
+        WorkerConfig(kind="warp"),
+        WorkerConfig(kind="cta", cta_threads=256),
+        WorkerConfig(kind="cta", cta_threads=512, fetch_size=4),
+    ],
+)
+def test_worker_shapes_preserve_correctness(worker):
+    _run(daisy(2), AtosConfig(worker=worker))
+
+
+def test_tasks_per_round_reflects_worker_and_fetch():
+    g = rmat(scale=6, edge_factor=4, seed=1)
+    part = random_partition(g, 1, seed=0)
+    app = AtosBFS(g, part, largest_component_vertex(g))
+    worker = WorkerConfig(kind="cta", cta_threads=512, fetch_size=1)
+    ex = AtosExecutor(
+        daisy(1), app, AtosConfig(worker=worker, fetch_size=3)
+    )
+    assert ex.tasks_per_round == worker.n_workers(daisy(1).gpu) * 3
+
+
+def test_aggregator_poll_cadence_affects_latency():
+    fast, _ = _run(summit_ib(3), AtosConfig(wait_time=8,
+                                            aggregator_poll=1.0))
+    slow, _ = _run(summit_ib(3), AtosConfig(wait_time=8,
+                                            aggregator_poll=16.0))
+    assert slow >= fast
+
+
+def test_idle_poll_does_not_change_result_only_timing():
+    a, ca = _run(daisy(3), AtosConfig(idle_poll=1.0))
+    b, cb = _run(daisy(3), AtosConfig(idle_poll=50.0))
+    # Same work either way.
+    assert ca["tasks_processed"] == cb["tasks_processed"]
+
+
+def test_explicit_aggregator_on_nvlink():
+    makespan, counters = _run(
+        daisy(2), AtosConfig(use_aggregator=True, wait_time=2)
+    )
+    assert counters["aggregated_messages"] >= 1

@@ -1,0 +1,63 @@
+"""Tests for executor instrumentation: intervals, timelines, counters."""
+
+import numpy as np
+
+from repro.config import daisy, summit_ib
+from repro.graph import largest_component_vertex, random_partition, rmat
+from repro.apps import AtosBFS, AtosPageRank
+from repro.runtime import AtosConfig, AtosExecutor
+
+
+def _executor(machine, app_cls=AtosPageRank, **app_kwargs):
+    g = rmat(scale=8, edge_factor=6, seed=13)
+    part = random_partition(g, machine.n_gpus, seed=0)
+    if app_cls is AtosBFS:
+        app = AtosBFS(g, part, largest_component_vertex(g), **app_kwargs)
+    else:
+        app = app_cls(g, part, **app_kwargs)
+    executor = AtosExecutor(machine, app, AtosConfig(fetch_size=2))
+    executor.run()
+    return executor
+
+
+def test_compute_intervals_recorded():
+    ex = _executor(daisy(2))
+    assert ex.intervals.total("compute") > 0
+    merged = ex.intervals.merged("compute")
+    # Intervals are within the simulated horizon and well-formed.
+    assert all(0 <= s < e <= ex.env.now + 1e-9 for s, e in merged)
+
+
+def test_comm_intervals_match_fabric():
+    ex = _executor(daisy(2))
+    assert len(ex.fabric.transfer_intervals) == ex.fabric.total_messages
+    assert ex.intervals.total("comm") > 0
+
+
+def test_overlap_is_bounded_by_comm_total():
+    ex = _executor(daisy(3))
+    comm = ex.intervals.total("comm")
+    hidden = ex.intervals.overlap("compute", "comm")
+    assert 0 <= hidden <= comm + 1e-9
+
+
+def test_timeline_matches_message_count():
+    ex = _executor(summit_ib(2))
+    assert len(ex.fabric.timeline) == ex.fabric.total_messages
+    times = [t for t, _ in ex.fabric.timeline]
+    assert times == sorted(times)
+    assert sum(b for _, b in ex.fabric.timeline) == ex.fabric.total_bytes
+
+
+def test_single_gpu_has_no_comm():
+    ex = _executor(daisy(1))
+    assert ex.fabric.total_messages == 0
+    assert ex.intervals.total("comm") == 0.0
+    assert ex.intervals.total("compute") > 0
+
+
+def test_counters_cover_rounds_and_tasks():
+    ex = _executor(daisy(2), app_cls=AtosBFS)
+    assert ex.counters["rounds"] > 0
+    assert ex.counters["tasks_processed"] >= ex.counters["rounds"]
+    assert ex.counters["fabric_messages"] == ex.fabric.total_messages

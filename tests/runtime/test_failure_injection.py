@@ -1,0 +1,106 @@
+"""Failure injection: overflow, livelock, and misbehaving applications.
+
+A production runtime must fail loudly and diagnosably, not hang or
+corrupt state — these tests pin that behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import daisy
+from repro.errors import ConfigurationError, QueueFullError, SimulationError
+from repro.graph import largest_component_vertex, random_partition, rmat
+from repro.apps import AtosBFS
+from repro.runtime import (
+    AtosApplication,
+    AtosConfig,
+    AtosExecutor,
+    RoundOutcome,
+)
+
+
+class Bomb(AtosApplication):
+    """App whose process() raises after N tasks."""
+
+    name = "bomb"
+
+    def __init__(self, fuse: int):
+        self.fuse = fuse
+        self.count = 0
+
+    def setup(self, n_pes):
+        seeds = [(np.empty(0, dtype=np.int64), None) for _ in range(n_pes)]
+        seeds[0] = (np.arange(10, dtype=np.int64), None)
+        return seeds
+
+    def process(self, pe, tasks):
+        self.count += len(tasks)
+        if self.count >= self.fuse:
+            raise RuntimeError("boom")
+        return RoundOutcome()
+
+    def handle_remote(self, pe, payload):
+        return np.empty(0, dtype=np.int64), None
+
+
+class Livelock(AtosApplication):
+    """App that re-enqueues every task forever (never terminates)."""
+
+    name = "livelock"
+
+    def setup(self, n_pes):
+        seeds = [(np.empty(0, dtype=np.int64), None) for _ in range(n_pes)]
+        seeds[0] = (np.array([1], dtype=np.int64), None)
+        return seeds
+
+    def process(self, pe, tasks):
+        return RoundOutcome(local_pushes=tasks.copy())
+
+    def handle_remote(self, pe, payload):
+        return np.empty(0, dtype=np.int64), None
+
+
+def test_application_exception_propagates():
+    with pytest.raises(RuntimeError, match="boom"):
+        AtosExecutor(daisy(1), Bomb(fuse=5)).run()
+
+
+def test_livelock_hits_safety_valve():
+    config = AtosConfig(max_sim_time=1000.0)
+    with pytest.raises(ConfigurationError, match="livelock"):
+        AtosExecutor(daisy(1), Livelock(), config).run()
+
+
+def test_queue_overflow_is_loud():
+    # A queue too small for the frontier must raise, not wedge.
+    g = rmat(scale=8, edge_factor=8, seed=1)
+    src = largest_component_vertex(g)
+    part = random_partition(g, 1, seed=0)
+    app = AtosBFS(g, part, src)
+    config = AtosConfig(queue_capacity=4)
+    with pytest.raises(QueueFullError):
+        AtosExecutor(daisy(1), app, config).run()
+
+
+def test_state_remains_inspectable_after_failure():
+    g = rmat(scale=7, edge_factor=4, seed=1)
+    src = largest_component_vertex(g)
+    part = random_partition(g, 2, seed=0)
+    app = AtosBFS(g, part, src)
+    executor = AtosExecutor(daisy(2), app, AtosConfig(queue_capacity=4))
+    with pytest.raises(QueueFullError):
+        executor.run()
+    # Partial progress is observable for post-mortem analysis.
+    assert executor.env.now >= 0.0
+    assert app.result().shape == (g.n_vertices,)
+
+
+def test_tracker_misuse_detected():
+    from repro.sim import Environment
+    from repro.runtime import WorkTracker
+
+    tracker = WorkTracker(Environment())
+    tracker.add(1)
+    tracker.remove(1)
+    with pytest.raises(SimulationError):
+        tracker.remove(1)

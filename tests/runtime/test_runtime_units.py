@@ -1,0 +1,234 @@
+"""Unit tests: work tracker, distributed queues, aggregator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.runtime import (
+    Aggregator,
+    DistributedPriorityQueues,
+    DistributedQueues,
+    WorkTracker,
+)
+from repro.sim import Environment
+
+
+# ------------------------------------------------------------ WorkTracker
+def test_tracker_fires_done_at_zero():
+    env = Environment()
+    tracker = WorkTracker(env)
+    tracker.add(3)
+    tracker.remove(2)
+    assert not tracker.finished
+    tracker.remove(1)
+    assert tracker.done.triggered
+    env.run()
+    assert tracker.finished
+
+
+def test_tracker_does_not_fire_before_first_add():
+    env = Environment()
+    tracker = WorkTracker(env)
+    assert not tracker.finished
+    tracker.add(0)  # no-op
+    assert tracker.outstanding == 0 and not tracker.done.triggered
+
+
+def test_tracker_remove_too_many():
+    env = Environment()
+    tracker = WorkTracker(env)
+    tracker.add(1)
+    with pytest.raises(SimulationError):
+        tracker.remove(2)
+
+
+def test_tracker_add_after_done_is_error():
+    env = Environment()
+    tracker = WorkTracker(env)
+    tracker.add(1)
+    tracker.remove(1)
+    with pytest.raises(SimulationError):
+        tracker.add(1)
+
+
+def test_tracker_negative_rejected():
+    tracker = WorkTracker(Environment())
+    with pytest.raises(ValueError):
+        tracker.add(-1)
+    with pytest.raises(ValueError):
+        tracker.remove(-1)
+
+
+def test_tracker_total_added():
+    tracker = WorkTracker(Environment())
+    tracker.add(5)
+    tracker.remove(2)
+    tracker.add(2)
+    assert tracker.total_added == 7
+
+
+# ------------------------------------------------------ DistributedQueues
+def test_distributed_queues_local_and_recv():
+    dq = DistributedQueues(2, 64, 64, num_recv_queues=2)
+    dq[0].push_local(np.array([1, 2]))
+    dq[1].push_recv(np.array([3]), src_pe=0)
+    assert dq[0].readable == 2
+    assert dq[1].readable == 1
+    assert dq.total_readable == 3
+    assert not dq.all_empty
+
+
+def test_distributed_queues_pop_round_robin_drains_all():
+    dq = DistributedQueues(1, 64, 64, num_recv_queues=2)
+    dq[0].push_local(np.array([1]))
+    dq[0].push_recv(np.array([2]), src_pe=0)
+    dq[0].push_recv(np.array([3]), src_pe=1)
+    got = set()
+    for _ in range(3):
+        got.update(dq[0].pop(1).tolist())
+    assert got == {1, 2, 3}
+    assert dq[0].empty
+
+
+def test_distributed_queues_pop_respects_limit():
+    dq = DistributedQueues(1, 64, 64)
+    dq[0].push_local(np.arange(10))
+    assert len(dq[0].pop(4)) == 4
+    assert dq[0].readable == 6
+
+
+def test_distributed_queues_recv_hashing():
+    dq = DistributedQueues(1, 64, 64, num_recv_queues=2)
+    dq[0].push_recv(np.array([1]), src_pe=0)
+    dq[0].push_recv(np.array([2]), src_pe=1)
+    assert dq[0].recv[0].readable == 1
+    assert dq[0].recv[1].readable == 1
+
+
+def test_distributed_queues_validation():
+    with pytest.raises(ConfigurationError):
+        DistributedQueues(0, 8, 8)
+    with pytest.raises(ConfigurationError):
+        DistributedQueues(1, 8, 8, num_recv_queues=0)
+    dq = DistributedQueues(1, 8, 8)
+    with pytest.raises(ValueError):
+        dq[0].pop(-1)
+
+
+# ------------------------------------------- DistributedPriorityQueues
+def test_priority_queues_pop_lowest_first():
+    dq = DistributedPriorityQueues(1, 64, 64)
+    dq[0].push_local(np.array([10, 20]), np.array([5.0, 1.0]))
+    dq[0].push_recv(np.array([30]), np.array([0.0]), src_pe=0)
+    assert dq[0].pop(1).tolist() == [30]
+    assert dq[0].pop(1).tolist() == [20]
+    assert dq[0].pop(1).tolist() == [10]
+
+
+def test_priority_queues_pop_lowest_bucket_drains_band():
+    dq = DistributedPriorityQueues(1, 64, 64, num_recv_queues=2)
+    dq[0].push_local(np.array([1, 2]), np.array([0.0, 0.0]))
+    dq[0].push_recv(np.array([3]), np.array([0.0]), src_pe=0)
+    dq[0].push_recv(np.array([9]), np.array([1.0]), src_pe=1)
+    batch = dq[0].pop_lowest_bucket()
+    assert sorted(batch.tolist()) == [1, 2, 3]
+    assert dq[0].readable == 1
+
+
+def test_priority_queues_pop_lowest_bucket_empty():
+    dq = DistributedPriorityQueues(1, 64, 64)
+    assert len(dq[0].pop_lowest_bucket()) == 0
+
+
+def test_priority_queues_validation():
+    with pytest.raises(ConfigurationError):
+        DistributedPriorityQueues(0, 8, 8)
+    dq = DistributedPriorityQueues(1, 8, 8)
+    with pytest.raises(ValueError):
+        dq[0].pop(-1)
+
+
+# --------------------------------------------------------- Aggregator
+def _collector():
+    sent = []
+
+    def send(dst, payloads, n_bytes):
+        sent.append((dst, payloads, n_bytes))
+
+    return sent, send
+
+
+def test_aggregator_flushes_on_batch_size():
+    sent, send = _collector()
+    agg = Aggregator(0, 2, send, batch_size=100, wait_time=1000)
+    agg.add(1, "a", 60)
+    assert not sent
+    agg.add(1, "b", 60)  # 120 >= 100
+    assert len(sent) == 1
+    dst, payloads, n_bytes = sent[0]
+    assert dst == 1 and payloads == ["a", "b"] and n_bytes == 120
+    assert agg.flushes_on_size == 1
+    assert agg.empty
+
+
+def test_aggregator_flushes_on_wait_time():
+    sent, send = _collector()
+    agg = Aggregator(0, 2, send, batch_size=1 << 20, wait_time=3)
+    agg.add(1, "x", 8)
+    agg.tick()
+    agg.tick()
+    assert not sent
+    agg.tick()  # third visit
+    assert len(sent) == 1
+    assert agg.flushes_on_timeout == 1
+
+
+def test_aggregator_wait_counter_resets_after_flush():
+    sent, send = _collector()
+    agg = Aggregator(0, 2, send, batch_size=1 << 20, wait_time=2)
+    agg.add(1, "x", 8)
+    agg.tick()
+    agg.tick()
+    assert len(sent) == 1
+    agg.add(1, "y", 8)
+    agg.tick()
+    assert len(sent) == 1  # only one visit since refill
+    agg.tick()
+    assert len(sent) == 2
+
+
+def test_aggregator_tick_skips_empty_buffers():
+    sent, send = _collector()
+    agg = Aggregator(0, 3, send, wait_time=1)
+    agg.tick()
+    assert not sent
+
+
+def test_aggregator_flush_all():
+    sent, send = _collector()
+    agg = Aggregator(0, 3, send, batch_size=1 << 20, wait_time=1000)
+    agg.add(1, "a", 8)
+    agg.add(2, "b", 8)
+    agg.flush_all()
+    assert {s[0] for s in sent} == {1, 2}
+    assert agg.pending_bytes == 0
+
+
+def test_aggregator_separate_destinations():
+    sent, send = _collector()
+    agg = Aggregator(0, 3, send, batch_size=100, wait_time=1000)
+    agg.add(1, "a", 60)
+    agg.add(2, "b", 60)
+    assert not sent  # per-destination accumulation
+    assert agg.pending_bytes == 120
+
+
+def test_aggregator_validation():
+    _, send = _collector()
+    with pytest.raises(ConfigurationError):
+        Aggregator(0, 2, send, batch_size=0)
+    with pytest.raises(ConfigurationError):
+        Aggregator(0, 2, send, wait_time=0)
+    agg = Aggregator(0, 2, send)
+    with pytest.raises(ConfigurationError):
+        agg.add(0, "self", 8)

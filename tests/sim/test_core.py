@@ -1,0 +1,378 @@
+"""Unit tests for the DES core: events, timeouts, processes, composites."""
+
+import pytest
+
+from repro.errors import DeadlockError, ProcessInterrupt, SimulationError
+from repro.sim import AllOf, AnyOf, Environment
+
+
+def test_clock_starts_at_zero():
+    env = Environment()
+    assert env.now == 0.0
+
+
+def test_clock_custom_start():
+    env = Environment(initial_time=42.0)
+    assert env.now == 42.0
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(5.0)
+        return env.now
+
+    p = env.process(proc(env))
+    env.run(p)
+    assert env.now == 5.0
+    assert p.value == 5.0
+
+
+def test_run_until_event_returns_value():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(1.5)
+        return "payload"
+
+    assert env.run(env.process(proc(env))) == "payload"
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(ValueError):
+        env.timeout(-1.0)
+
+
+def test_sequential_timeouts_accumulate():
+    env = Environment()
+    times = []
+
+    def proc(env):
+        for d in (1.0, 2.0, 3.0):
+            yield env.timeout(d)
+            times.append(env.now)
+
+    env.run(env.process(proc(env)))
+    assert times == [1.0, 3.0, 6.0]
+
+
+def test_two_processes_interleave_deterministically():
+    env = Environment()
+    order = []
+
+    def proc(env, name, delay):
+        yield env.timeout(delay)
+        order.append(name)
+        yield env.timeout(delay)
+        order.append(name)
+
+    env.process(proc(env, "a", 1.0))
+    env.process(proc(env, "b", 1.5))
+    env.run()
+    assert order == ["a", "b", "a", "b"]
+
+
+def test_same_time_events_fire_in_insertion_order():
+    env = Environment()
+    order = []
+
+    def proc(env, name):
+        yield env.timeout(1.0)
+        order.append(name)
+
+    for name in "abcd":
+        env.process(proc(env, name))
+    env.run()
+    assert order == list("abcd")
+
+
+def test_event_succeed_wakes_waiter():
+    env = Environment()
+    gate = env.event()
+    log = []
+
+    def waiter(env):
+        value = yield gate
+        log.append((env.now, value))
+
+    def opener(env):
+        yield env.timeout(3.0)
+        gate.succeed("open")
+
+    env.process(waiter(env))
+    env.process(opener(env))
+    env.run()
+    assert log == [(3.0, "open")]
+
+
+def test_event_double_trigger_is_error():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_event_fail_raises_in_waiter():
+    env = Environment()
+    gate = env.event()
+
+    def waiter(env):
+        with pytest.raises(RuntimeError, match="boom"):
+            yield gate
+        return "handled"
+
+    def failer(env):
+        yield env.timeout(1.0)
+        gate.fail(RuntimeError("boom"))
+
+    p = env.process(waiter(env))
+    env.process(failer(env))
+    env.run()
+    assert p.value == "handled"
+
+
+def test_fail_requires_exception_instance():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.event().fail("not an exception")
+
+
+def test_unhandled_process_exception_propagates():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1.0)
+        raise ValueError("kaput")
+
+    env.process(bad(env))
+    with pytest.raises(ValueError, match="kaput"):
+        env.run()
+
+
+def test_process_waiting_on_finished_process_gets_value():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1.0)
+        return 7
+
+    def parent(env):
+        c = env.process(child(env))
+        value = yield c
+        return value * 2
+
+    p = env.process(parent(env))
+    env.run()
+    assert p.value == 14
+
+
+def test_waiting_on_already_processed_event():
+    env = Environment()
+
+    def child(env):
+        yield env.timeout(1.0)
+        return "early"
+
+    def parent(env, c):
+        yield env.timeout(5.0)  # child long done by now
+        value = yield c
+        return value
+
+    c = env.process(child(env))
+    p = env.process(parent(env, c))
+    env.run()
+    assert p.value == "early"
+    assert env.now == 5.0  # waiting on a done event costs no time
+
+
+def test_interrupt_delivers_cause():
+    env = Environment()
+    log = []
+
+    def victim(env):
+        try:
+            yield env.timeout(100.0)
+        except ProcessInterrupt as intr:
+            log.append((env.now, intr.cause))
+
+    def attacker(env, v):
+        yield env.timeout(2.0)
+        v.interrupt("preempted")
+
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run()
+    assert log == [(2.0, "preempted")]
+
+
+def test_interrupt_finished_process_is_error():
+    env = Environment()
+
+    def quick(env):
+        yield env.timeout(1.0)
+
+    p = env.process(quick(env))
+    env.run()
+    with pytest.raises(SimulationError):
+        p.interrupt()
+
+
+def test_interrupted_process_can_continue():
+    env = Environment()
+
+    def victim(env):
+        try:
+            yield env.timeout(100.0)
+        except ProcessInterrupt:
+            yield env.timeout(1.0)
+        return env.now
+
+    def attacker(env, v):
+        yield env.timeout(2.0)
+        v.interrupt()
+
+    v = env.process(victim(env))
+    env.process(attacker(env, v))
+    env.run()
+    assert v.value == 3.0
+
+
+def test_all_of_collects_values():
+    env = Environment()
+
+    def proc(env, delay, value):
+        yield env.timeout(delay)
+        return value
+
+    def waiter(env):
+        ps = [env.process(proc(env, d, d * 10)) for d in (3.0, 1.0, 2.0)]
+        values = yield AllOf(env, ps)
+        return (env.now, values)
+
+    p = env.process(waiter(env))
+    env.run()
+    assert p.value == (3.0, [30.0, 10.0, 20.0])
+
+
+def test_all_of_empty_triggers_immediately():
+    env = Environment()
+
+    def waiter(env):
+        values = yield AllOf(env, [])
+        return values
+
+    p = env.process(waiter(env))
+    env.run()
+    assert p.value == []
+
+
+def test_any_of_returns_first():
+    env = Environment()
+
+    def proc(env, delay, value):
+        yield env.timeout(delay)
+        return value
+
+    def waiter(env):
+        ps = [env.process(proc(env, d, d)) for d in (3.0, 1.0, 2.0)]
+        value = yield AnyOf(env, ps)
+        return (env.now, value)
+
+    p = env.process(waiter(env))
+    env.run()
+    assert p.value == (1.0, 1.0)
+
+
+def test_run_until_time_stops_exactly():
+    env = Environment()
+    hits = []
+
+    def ticker(env):
+        while True:
+            yield env.timeout(1.0)
+            hits.append(env.now)
+
+    env.process(ticker(env))
+    env.run(until=3.5)
+    assert hits == [1.0, 2.0, 3.0]
+    assert env.now == 3.5
+
+
+def test_run_backwards_rejected():
+    env = Environment(initial_time=10.0)
+    with pytest.raises(ValueError):
+        env.run(until=5.0)
+
+
+def test_deadlock_detection_when_waiting_on_unfired_event():
+    env = Environment()
+    gate = env.event()
+
+    def waiter(env):
+        yield gate
+
+    p = env.process(waiter(env))
+    with pytest.raises(DeadlockError):
+        env.run(p)
+
+
+def test_yield_non_event_is_error():
+    env = Environment()
+
+    def bad(env):
+        yield 42
+
+    env.process(bad(env))
+    with pytest.raises(SimulationError, match="non-event"):
+        env.run()
+
+
+def test_peek_reports_next_event_time():
+    env = Environment()
+    env.timeout(7.0)
+    assert env.peek() == 7.0
+
+
+def test_peek_empty_is_inf():
+    env = Environment()
+    assert env.peek() == float("inf")
+
+
+def test_process_is_alive_lifecycle():
+    env = Environment()
+
+    def proc(env):
+        yield env.timeout(2.0)
+
+    p = env.process(proc(env))
+    assert p.is_alive
+    env.run()
+    assert not p.is_alive
+
+
+def test_process_requires_generator():
+    env = Environment()
+    with pytest.raises(TypeError):
+        env.process(lambda: None)  # type: ignore[arg-type]
+
+
+def test_determinism_across_runs():
+    def build_and_run():
+        env = Environment()
+        order = []
+
+        def proc(env, name, delays):
+            for d in delays:
+                yield env.timeout(d)
+                order.append((env.now, name))
+
+        env.process(proc(env, "x", [1, 1, 1]))
+        env.process(proc(env, "y", [1.5, 0.5, 1]))
+        env.process(proc(env, "z", [0.5, 2.5]))
+        env.run()
+        return order
+
+    assert build_and_run() == build_and_run()

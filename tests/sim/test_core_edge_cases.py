@@ -1,0 +1,136 @@
+"""Additional DES core coverage: failure paths and composite events."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import AllOf, AnyOf, Environment
+
+
+def test_event_value_before_trigger_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        _ = env.event().value
+
+
+def test_event_ok_and_processed_lifecycle():
+    env = Environment()
+    ev = env.event()
+    assert not ev.triggered and not ev.processed
+    ev.succeed(5)
+    assert ev.triggered and ev.ok and not ev.processed
+    env.run()
+    assert ev.processed and ev.value == 5
+
+
+def test_timeout_carries_value():
+    env = Environment()
+    results = []
+
+    def proc(env):
+        value = yield env.timeout(1.0, value="ding")
+        results.append(value)
+
+    env.process(proc(env))
+    env.run()
+    assert results == ["ding"]
+
+
+def test_all_of_failure_propagates_first_error():
+    env = Environment()
+
+    def good(env):
+        yield env.timeout(5.0)
+        return "late"
+
+    def bad(env):
+        yield env.timeout(1.0)
+        raise ValueError("early failure")
+
+    def waiter(env):
+        children = [env.process(good(env)), env.process(bad(env))]
+        with pytest.raises(ValueError, match="early failure"):
+            yield AllOf(env, children)
+        return env.now
+
+    p = env.process(waiter(env))
+    env.run()
+    assert p.value == 1.0  # failed as soon as the bad child died
+
+
+def test_any_of_failure_if_first_event_fails():
+    env = Environment()
+
+    def bad(env):
+        yield env.timeout(1.0)
+        raise RuntimeError("first to finish")
+
+    def slow(env):
+        yield env.timeout(10.0)
+
+    def waiter(env):
+        with pytest.raises(RuntimeError):
+            yield AnyOf(env, [env.process(bad(env)),
+                              env.process(slow(env))])
+        return "handled"
+
+    p = env.process(waiter(env))
+    env.run()
+    assert p.value == "handled"
+
+
+def test_env_factories():
+    env = Environment()
+
+    def waiter(env):
+        value = yield env.all_of([env.timeout(1.0, "a"),
+                                  env.timeout(2.0, "b")])
+        first = yield env.any_of([env.timeout(1.0, "x"),
+                                  env.timeout(9.0, "y")])
+        return value, first
+
+    p = env.process(waiter(env))
+    env.run()
+    assert p.value == (["a", "b"], "x")
+
+
+def test_composite_across_environments_rejected():
+    env1, env2 = Environment(), Environment()
+    with pytest.raises(SimulationError):
+        AllOf(env1, [env2.timeout(1.0)])
+
+
+def test_all_of_with_already_triggered_members():
+    env = Environment()
+    done = env.event()
+    done.succeed("pre")
+    env.run()  # process `done`
+
+    def waiter(env):
+        values = yield AllOf(env, [done, env.timeout(1.0, "post")])
+        return values
+
+    p = env.process(waiter(env))
+    env.run()
+    assert p.value == ["pre", "post"]
+
+
+def test_step_empty_heap_raises():
+    from repro.errors import DeadlockError
+
+    with pytest.raises(DeadlockError):
+        Environment().step()
+
+
+def test_succeed_with_delay():
+    env = Environment()
+    gate = env.event()
+    gate.succeed("later", delay=7.0)
+    hits = []
+
+    def waiter(env):
+        value = yield gate
+        hits.append((env.now, value))
+
+    env.process(waiter(env))
+    env.run()
+    assert hits == [(7.0, "later")]

@@ -1,0 +1,324 @@
+"""Unit tests for Resource / Store / PriorityStore / Container."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Container, Environment, PriorityStore, Resource, Store
+
+
+# ---------------------------------------------------------------- Resource
+def test_resource_grants_up_to_capacity():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    granted = []
+
+    def user(env, name, hold):
+        req = res.request()
+        yield req
+        granted.append((env.now, name))
+        yield env.timeout(hold)
+        res.release(req)
+
+    env.process(user(env, "a", 5.0))
+    env.process(user(env, "b", 5.0))
+    env.process(user(env, "c", 1.0))
+    env.run()
+    # a and b get slots at t=0; c must wait until one releases at t=5.
+    assert granted == [(0.0, "a"), (0.0, "b"), (5.0, "c")]
+
+
+def test_resource_fifo_order():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    order = []
+
+    def user(env, name):
+        req = res.request()
+        yield req
+        order.append(name)
+        yield env.timeout(1.0)
+        res.release(req)
+
+    for name in "abcd":
+        env.process(user(env, name))
+    env.run()
+    assert order == list("abcd")
+
+
+def test_resource_count_and_queue_length():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder(env):
+        req = res.request()
+        yield req
+        assert res.count == 1
+        yield env.timeout(2.0)
+        res.release(req)
+
+    def waiter(env):
+        yield env.timeout(1.0)
+        req = res.request()
+        assert res.queue_length == 1
+        yield req
+        res.release(req)
+
+    env.process(holder(env))
+    env.process(waiter(env))
+    env.run()
+    assert res.count == 0
+    assert res.queue_length == 0
+
+
+def test_resource_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Resource(env, capacity=0)
+
+
+def test_resource_release_unknown_request_is_error():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    env2 = Environment()
+    foreign = env2.event()
+    with pytest.raises(SimulationError):
+        res.release(foreign)
+
+
+def test_resource_cancel_pending_request():
+    env = Environment()
+    res = Resource(env, capacity=1)
+
+    def holder(env):
+        req = res.request()
+        yield req
+        yield env.timeout(10.0)
+        res.release(req)
+
+    def canceller(env):
+        yield env.timeout(1.0)
+        req = res.request()  # will be queued
+        res.release(req)  # cancel before grant
+        assert res.queue_length == 0
+
+    env.process(holder(env))
+    env.process(canceller(env))
+    env.run()
+
+
+# ------------------------------------------------------------------- Store
+def test_store_put_then_get():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def producer(env):
+        yield store.put("x")
+        yield env.timeout(1.0)
+        yield store.put("y")
+
+    def consumer(env):
+        for _ in range(2):
+            item = yield store.get()
+            got.append((env.now, item))
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert got == [(0.0, "x"), (1.0, "y")]
+
+
+def test_store_get_blocks_until_put():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(env):
+        item = yield store.get()
+        got.append((env.now, item))
+
+    def producer(env):
+        yield env.timeout(4.0)
+        yield store.put("late")
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert got == [(4.0, "late")]
+
+
+def test_store_fifo():
+    env = Environment()
+    store = Store(env)
+    for i in range(5):
+        store.put(i)
+    out = []
+
+    def consumer(env):
+        for _ in range(5):
+            out.append((yield store.get()))
+
+    env.process(consumer(env))
+    env.run()
+    assert out == [0, 1, 2, 3, 4]
+
+
+def test_store_bounded_put_blocks():
+    env = Environment()
+    store = Store(env, capacity=1)
+    events = []
+
+    def producer(env):
+        yield store.put("a")
+        events.append(("put-a", env.now))
+        yield store.put("b")  # blocks until a consumed
+        events.append(("put-b", env.now))
+
+    def consumer(env):
+        yield env.timeout(3.0)
+        item = yield store.get()
+        events.append((f"got-{item}", env.now))
+
+    env.process(producer(env))
+    env.process(consumer(env))
+    env.run()
+    assert ("put-a", 0.0) in events
+    assert ("put-b", 3.0) in events
+
+
+def test_store_try_get_and_try_put():
+    env = Environment()
+    store = Store(env, capacity=1)
+    ok, item = store.try_get()
+    assert not ok and item is None
+    assert store.try_put("x")
+    assert not store.try_put("y")  # full
+    ok, item = store.try_get()
+    assert ok and item == "x"
+
+
+def test_store_len():
+    env = Environment()
+    store = Store(env)
+    assert len(store) == 0
+    store.put(1)
+    store.put(2)
+    assert len(store) == 2
+
+
+def test_store_capacity_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Store(env, capacity=0)
+
+
+# ---------------------------------------------------------- PriorityStore
+def test_priority_store_orders_items():
+    env = Environment()
+    ps = PriorityStore(env)
+    for v in (5, 1, 3, 2, 4):
+        ps.put(v)
+    out = []
+
+    def consumer(env):
+        for _ in range(5):
+            out.append((yield ps.get()))
+
+    env.process(consumer(env))
+    env.run()
+    assert out == [1, 2, 3, 4, 5]
+
+
+def test_priority_store_waiter_gets_smallest_seen():
+    env = Environment()
+    ps = PriorityStore(env)
+    got = []
+
+    def consumer(env):
+        got.append((yield ps.get()))
+        got.append((yield ps.get()))
+
+    def producer(env):
+        yield env.timeout(1.0)
+        ps.put(9)
+        ps.put(2)
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    # First put serves the blocked getter immediately (9 was the only
+    # item at that instant); the second get drains the remaining 2.
+    assert got == [9, 2]
+
+
+def test_priority_store_try_api():
+    env = Environment()
+    ps = PriorityStore(env, capacity=2)
+    assert ps.try_put(3)
+    assert ps.try_put(1)
+    assert not ps.try_put(2)
+    ok, item = ps.try_get()
+    assert ok and item == 1
+    assert len(ps) == 1
+
+
+def test_priority_store_tuples():
+    env = Environment()
+    ps = PriorityStore(env)
+    ps.put((2, "low"))
+    ps.put((1, "high"))
+    ok, item = ps.try_get()
+    assert ok and item == (1, "high")
+
+
+# --------------------------------------------------------------- Container
+def test_container_put_get():
+    env = Environment()
+    box = Container(env, capacity=100, init=10)
+    log = []
+
+    def getter(env):
+        yield box.get(30)
+        log.append(("got", env.now, box.level))
+
+    def putter(env):
+        yield env.timeout(2.0)
+        yield box.put(25)
+
+    env.process(getter(env))
+    env.process(putter(env))
+    env.run()
+    assert log == [("got", 2.0, 5.0)]
+
+
+def test_container_put_blocks_at_capacity():
+    env = Environment()
+    box = Container(env, capacity=10, init=8)
+    log = []
+
+    def putter(env):
+        yield box.put(5)  # 8+5 > 10: blocks
+        log.append(("put", env.now))
+
+    def getter(env):
+        yield env.timeout(3.0)
+        yield box.get(4)
+
+    env.process(putter(env))
+    env.process(getter(env))
+    env.run()
+    assert log == [("put", 3.0)]
+    assert box.level == 9.0
+
+
+def test_container_validation():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Container(env, capacity=0)
+    with pytest.raises(ValueError):
+        Container(env, capacity=5, init=6)
+    box = Container(env, capacity=5)
+    with pytest.raises(ValueError):
+        box.put(0)
+    with pytest.raises(ValueError):
+        box.get(-1)

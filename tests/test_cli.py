@@ -1,0 +1,103 @@
+"""CLI tests: every subcommand runs and prints what it promises."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_version(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--version"])
+    assert exc.value.code == 0
+    assert "1.0.0" in capsys.readouterr().out
+
+
+def test_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_datasets(capsys):
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out
+    assert "soc-livejournal1" in out and "mesh-like" in out
+
+
+def test_run_with_counters(capsys):
+    code = main(
+        [
+            "run",
+            "--framework", "gunrock",
+            "--app", "bfs",
+            "--dataset", "hollywood-2009",
+            "--gpus", "2",
+            "--counters",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "gunrock bfs on hollywood-2009" in out
+    assert "edges_processed" in out
+
+
+def test_run_rejects_unknown_app():
+    with pytest.raises(SystemExit):
+        main(["run", "--framework", "gunrock", "--app", "sssp",
+              "--dataset", "road-usa"])
+
+
+def test_fig1(capsys):
+    assert main(["fig1"]) == 0
+    out = capsys.readouterr().out
+    assert "concurrent push" in out
+    assert "Broker queue" in out
+
+
+def test_fig2(capsys):
+    assert main(["fig2"]) == 0
+    out = capsys.readouterr().out
+    assert "NVLink" in out and "PCIe3" in out
+
+
+def test_fig4(capsys):
+    assert main(["fig4"]) == 0
+    out = capsys.readouterr().out
+    assert "optimal batch size: 2^20" in out
+
+
+def test_topology_daisy(capsys):
+    assert main(["topology", "daisy"]) == 0
+    out = capsys.readouterr().out
+    assert "NV2" in out and "bisection bandwidth" in out
+
+
+def test_topology_summit_node(capsys):
+    assert main(["topology", "summit-node"]) == 0
+    assert "GPU5" in capsys.readouterr().out
+
+
+def test_table2_quick(capsys):
+    assert main(["table2", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Application: bfs on gunrock" in out
+    assert "(x" in out  # speedups present
+
+
+def test_table3_quick(capsys):
+    assert main(["table3", "--quick"]) == 0
+    assert "->" in capsys.readouterr().out
+
+
+def test_parser_help_lists_subcommands():
+    parser = build_parser()
+    help_text = parser.format_help()
+    for command in ("datasets", "run", "table2", "table5", "fig1",
+                    "topology"):
+        assert command in help_text
+
+
+def test_report_quick(capsys):
+    assert main(["report", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "winner agreement" in out
+    assert "Table II" in out and "Table IV" in out

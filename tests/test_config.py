@@ -1,0 +1,103 @@
+"""Tests for machine configs and cost-model constants."""
+
+import pytest
+
+from repro.config import (
+    GB_PER_S,
+    CostModel,
+    GPUSpec,
+    LinkSpec,
+    MachineConfig,
+    V100_16GB,
+    V100_32GB,
+    daisy,
+    summit_ib,
+    summit_node,
+)
+from repro.errors import ConfigurationError
+
+
+def test_gb_per_s_conversion():
+    # 1 GB/s == 1000 bytes per microsecond.
+    assert GB_PER_S == 1000.0
+    assert V100_32GB.memory_bandwidth == 900.0 * 1000.0
+
+
+def test_v100_variants():
+    assert V100_32GB.memory_capacity == 32 * 1024**3
+    assert V100_16GB.memory_capacity == 16 * 1024**3
+    assert V100_16GB.n_sms == V100_32GB.n_sms == 80
+    assert V100_32GB.resident_threads() == 80 * 2048
+
+
+def test_machine_validation_rejects_bad_links():
+    gpu = V100_32GB
+    with pytest.raises(ConfigurationError):
+        MachineConfig(
+            name="bad",
+            gpu=gpu,
+            n_gpus=0,
+            links={},
+        )
+    link = LinkSpec(kind="nvlink", bandwidth=1.0, latency=1.0)
+    with pytest.raises(ConfigurationError):
+        MachineConfig(name="bad", gpu=gpu, n_gpus=2,
+                      links={(0, 5): link})
+    with pytest.raises(ConfigurationError):
+        MachineConfig(name="bad", gpu=gpu, n_gpus=2,
+                      links={(1, 1): link})
+
+
+def test_daisy_full_connectivity():
+    machine = daisy(4)
+    for i in range(4):
+        for j in range(4):
+            if i != j:
+                assert machine.link(i, j).kind == "nvlink"
+
+
+def test_daisy_bandwidth_symmetry():
+    machine = daisy(4)
+    for (i, j), spec in machine.links.items():
+        assert machine.link(j, i).bandwidth == spec.bandwidth
+
+
+def test_summit_node_socket_structure():
+    machine = summit_node(6)
+    # Same socket: 50 GB/s.
+    assert machine.link(0, 2).bandwidth == 50 * GB_PER_S
+    assert machine.link(3, 5).bandwidth == 50 * GB_PER_S
+    # Cross socket: slower, higher latency.
+    assert machine.link(2, 3).bandwidth < 50 * GB_PER_S
+    assert machine.link(2, 3).latency > machine.link(0, 1).latency
+
+
+def test_summit_ib_is_inter_node():
+    machine = summit_ib(8)
+    assert machine.inter_node
+    assert not daisy(4).inter_node
+    assert not summit_node(6).inter_node
+
+
+def test_subset_preserves_costs():
+    machine = summit_ib(8)
+    sub = machine.subset(3)
+    assert sub.cost is machine.cost or sub.cost == machine.cost
+    assert sub.inter_node
+    assert sub.n_gpus == 3
+
+
+def test_cost_model_defaults_sane():
+    cost = CostModel()
+    # The paper's core premise: the GPU control path is much cheaper
+    # than the CPU one.
+    assert cost.gpu_control_path_latency < cost.cpu_control_path_latency / 5
+    # Kernel launch overhead is microseconds-scale.
+    assert 1.0 <= cost.kernel_launch_overhead <= 50.0
+    # IB per-message costs exceed NVLink-style latencies.
+    assert cost.ib_base_latency + cost.ib_message_overhead > 5.0
+
+
+def test_gpu_spec_is_frozen():
+    with pytest.raises(AttributeError):
+        V100_32GB.n_sms = 100  # type: ignore[misc]

@@ -1,0 +1,43 @@
+"""Smoke tests: the shipped examples must run and self-validate.
+
+Each example asserts its own correctness internally; here we execute
+the fast ones in-process so a broken public API surfaces in the test
+suite, not when a user first tries the README.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def _run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = _run_example("quickstart.py", capsys)
+    assert "OK: simulated BFS matches the serial reference" in out
+
+
+def test_custom_application(capsys):
+    out = _run_example("custom_application.py", capsys)
+    assert "matches networkx" in out
+
+
+def test_road_network_reachability(capsys):
+    out = _run_example("road_network_reachability.py", capsys)
+    assert "atos-persistent < groute < gunrock" in out
+
+
+def test_examples_exist_and_have_docstrings():
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 5
+    for script in scripts:
+        source = script.read_text()
+        assert source.startswith('#!/usr/bin/env python\n"""'), script.name
+        assert "Run:" in source, script.name
