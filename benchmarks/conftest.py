@@ -11,6 +11,11 @@ the full set of regenerated tables on disk.
 
 Set ``REPRO_QUICK=1`` to run reduced grids (fewer datasets / GPU
 counts) — the same "quick mode" the paper's artifact scripts offer.
+Set ``REPRO_JOBS=N`` to fan each grid out over N worker processes
+(0 = one per CPU), and ``REPRO_RUN_TIMEOUT`` to give every pooled run
+a deadline in seconds; results are identical to a serial run.  Both
+sessions and repeated invocations are additionally served from the
+persistent run cache (``REPRO_CACHE_DIR`` / ``REPRO_CACHE=0``).
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ import pytest
 from repro.harness import (
     IB_GPUS,
     NVLINK_GPUS,
+    resolve_jobs,
     table2_bfs_nvlink,
     table4_pagerank_nvlink,
     table5_ib,
@@ -31,6 +37,15 @@ from repro.harness import (
 RESULTS_DIR = Path(__file__).parent / "results"
 
 QUICK = os.environ.get("REPRO_QUICK", "") not in ("", "0")
+
+#: Worker processes per grid ($REPRO_JOBS; default serial) and the
+#: optional per-run deadline in seconds ($REPRO_RUN_TIMEOUT).
+JOBS = resolve_jobs(None)
+RUN_TIMEOUT_S = (
+    float(os.environ["REPRO_RUN_TIMEOUT"])
+    if os.environ.get("REPRO_RUN_TIMEOUT")
+    else None
+)
 
 QUICK_DATASETS = ["soc-livejournal1", "road-usa"]
 QUICK_NVLINK_GPUS = (1, 4)
@@ -58,19 +73,31 @@ def write_artifact(name: str, text: str) -> Path:
 
 @pytest.fixture(scope="session")
 def table2_grid():
-    return table2_bfs_nvlink(grid_datasets(), nvlink_gpus())
+    return table2_bfs_nvlink(
+        grid_datasets(), nvlink_gpus(), jobs=JOBS, timeout_s=RUN_TIMEOUT_S
+    )
 
 
 @pytest.fixture(scope="session")
 def table4_grid():
-    return table4_pagerank_nvlink(grid_datasets(), nvlink_gpus())
+    return table4_pagerank_nvlink(
+        grid_datasets(), nvlink_gpus(), jobs=JOBS, timeout_s=RUN_TIMEOUT_S
+    )
 
 
 @pytest.fixture(scope="session")
 def table5_bfs_grid():
-    return table5_ib("bfs", grid_datasets(), ib_gpus())
+    return table5_ib(
+        "bfs", grid_datasets(), ib_gpus(), jobs=JOBS, timeout_s=RUN_TIMEOUT_S
+    )
 
 
 @pytest.fixture(scope="session")
 def table5_pr_grid():
-    return table5_ib("pagerank", grid_datasets(), ib_gpus())
+    return table5_ib(
+        "pagerank",
+        grid_datasets(),
+        ib_gpus(),
+        jobs=JOBS,
+        timeout_s=RUN_TIMEOUT_S,
+    )

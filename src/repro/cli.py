@@ -6,11 +6,16 @@ subcommands::
     python -m repro datasets                    # Table I
     python -m repro run --framework atos-standard-persistent \\
         --app bfs --dataset road-usa --machine daisy --gpus 4
-    python -m repro table2 [--quick]            # any table/figure
+    python -m repro table2 [--quick] [--jobs 4] # any table/figure
     python -m repro fig1
     python -m repro topology daisy
+    python -m repro cache stats                 # persistent run cache
 
 Every experiment subcommand prints the paper-style table to stdout.
+Grid subcommands take ``--jobs N`` (0 = one worker per CPU; default
+``$REPRO_JOBS`` or serial) and ``--timeout SECONDS`` per run; repeated
+invocations are served from the persistent cache (``REPRO_CACHE_DIR``
+to relocate it, ``REPRO_CACHE=0`` to disable).
 """
 
 from __future__ import annotations
@@ -34,6 +39,14 @@ def _grid_args(quick: bool, ib: bool = False):
     if not quick:
         return None, None
     return QUICK_DATASETS, (QUICK_IB if ib else QUICK_NVLINK)
+
+
+def _pool_kwargs(args: argparse.Namespace) -> dict:
+    """--jobs / --timeout as keyword args for the grid functions."""
+    return {
+        "jobs": getattr(args, "jobs", None),
+        "timeout_s": getattr(args, "timeout", None),
+    }
 
 
 # ------------------------------------------------------------- commands
@@ -64,7 +77,9 @@ def _cmd_table2(args: argparse.Namespace) -> int:
     from repro.harness import table2_bfs_nvlink
 
     datasets, gpus = _grid_args(args.quick)
-    grid = table2_bfs_nvlink(datasets, gpus or (1, 2, 3, 4))
+    grid = table2_bfs_nvlink(
+        datasets, gpus or (1, 2, 3, 4), **_pool_kwargs(args)
+    )
     print(grid.render(baseline="gunrock"))
     return 0
 
@@ -76,7 +91,9 @@ def _cmd_table3(args: argparse.Namespace) -> int:
     datasets, gpus = _grid_args(args.quick)
     if datasets is not None:
         datasets = [d for d in datasets if d in SCALE_FREE]
-    text, _ = table3_priority_workload(datasets, gpus or (1, 2, 3, 4))
+    text, _ = table3_priority_workload(
+        datasets, gpus or (1, 2, 3, 4), **_pool_kwargs(args)
+    )
     print(text)
     return 0
 
@@ -85,7 +102,9 @@ def _cmd_table4(args: argparse.Namespace) -> int:
     from repro.harness import table4_pagerank_nvlink
 
     datasets, gpus = _grid_args(args.quick)
-    grid = table4_pagerank_nvlink(datasets, gpus or (1, 2, 3, 4))
+    grid = table4_pagerank_nvlink(
+        datasets, gpus or (1, 2, 3, 4), **_pool_kwargs(args)
+    )
     print(grid.render(baseline="gunrock"))
     return 0
 
@@ -94,7 +113,9 @@ def _cmd_table5(args: argparse.Namespace) -> int:
     from repro.harness import table5_ib
 
     datasets, gpus = _grid_args(args.quick, ib=True)
-    grid = table5_ib(args.app, datasets, gpus or tuple(range(1, 9)))
+    grid = table5_ib(
+        args.app, datasets, gpus or tuple(range(1, 9)), **_pool_kwargs(args)
+    )
     print(grid.render(baseline="galois"))
     return 0
 
@@ -162,18 +183,41 @@ def _cmd_report(args: argparse.Namespace) -> int:
     reports = [
         compare_grid(
             "Table II (BFS, NVLink)",
-            table2_bfs_nvlink(datasets, gpus or (1, 2, 3, 4)),
+            table2_bfs_nvlink(
+                datasets, gpus or (1, 2, 3, 4), **_pool_kwargs(args)
+            ),
             PAPER_TABLE2_BFS_NVLINK,
             (1, 2, 3, 4),
         ),
         compare_grid(
             "Table IV (PageRank, NVLink)",
-            table4_pagerank_nvlink(datasets, gpus or (1, 2, 3, 4)),
+            table4_pagerank_nvlink(
+                datasets, gpus or (1, 2, 3, 4), **_pool_kwargs(args)
+            ),
             PAPER_TABLE4_PR_NVLINK,
             (1, 2, 3, 4),
         ),
     ]
     print("\n\n".join(r.render() for r in reports))
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.harness import get_cache
+
+    cache = get_cache()
+    if args.action == "stats":
+        stats = cache.stats()
+        width = max(len(k) for k in stats)
+        for key, value in stats.items():
+            print(f"{key:<{width}}  {value}")
+    elif args.action == "clear":
+        print(f"removed {cache.clear()} cached run(s)")
+    elif args.action == "verify":
+        ok, removed = cache.verify()
+        print(f"verified {ok} entr{'y' if ok == 1 else 'ies'}; "
+              f"removed {removed} corrupt")
+        return 1 if removed else 0
     return 0
 
 
@@ -214,6 +258,22 @@ def build_parser() -> argparse.ArgumentParser:
                             help="print run counters")
     run_parser.set_defaults(func=_cmd_run)
 
+    def add_pool_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            help="worker processes for the grid (0 = one per CPU; "
+            "default $REPRO_JOBS or serial)",
+        )
+        p.add_argument(
+            "--timeout",
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="per-run deadline when --jobs > 1",
+        )
+
     for name, fn, help_text in [
         ("table2", _cmd_table2, "Table II: BFS on NVLink"),
         ("table3", _cmd_table3, "Table III: priority-queue workload"),
@@ -221,18 +281,27 @@ def build_parser() -> argparse.ArgumentParser:
     ]:
         p = sub.add_parser(name, help=help_text)
         p.add_argument("--quick", action="store_true")
+        add_pool_flags(p)
         p.set_defaults(func=fn)
 
     table5 = sub.add_parser("table5", help="Table V: Galois vs Atos on IB")
     table5.add_argument("--app", default="bfs", choices=["bfs", "pagerank"])
     table5.add_argument("--quick", action="store_true")
+    add_pool_flags(table5)
     table5.set_defaults(func=_cmd_table5)
 
     report = sub.add_parser(
         "report", help="paper-vs-measured shape report (NVLink tables)"
     )
     report.add_argument("--quick", action="store_true")
+    add_pool_flags(report)
     report.set_defaults(func=_cmd_report)
+
+    cache = sub.add_parser(
+        "cache", help="persistent run cache: stats / clear / verify"
+    )
+    cache.add_argument("action", choices=["stats", "clear", "verify"])
+    cache.set_defaults(func=_cmd_cache)
 
     sub.add_parser("fig1", help="queue microbenchmarks").set_defaults(
         func=_cmd_fig1

@@ -1,12 +1,37 @@
-"""Experiment harness: cached grid runner + table/figure definitions."""
+"""Experiment harness: cached grid runner + table/figure definitions.
 
+Layering: :mod:`~repro.harness.runner` executes and caches individual
+cells (in-process memo + the persistent on-disk cache in
+:mod:`~repro.harness.cache`), :mod:`~repro.harness.pool` fans grids out
+over worker processes, and :mod:`~repro.harness.experiments` defines
+the paper's tables/figures on top of both.
+"""
+
+from repro.harness.cache import (
+    RunCache,
+    cache_enabled,
+    get_cache,
+    machine_fingerprint,
+)
+from repro.harness.pool import (
+    CellResult,
+    GridFailure,
+    RunSpec,
+    grid_specs,
+    resolve_jobs,
+    run_cells,
+    run_grid,
+)
 from repro.harness.runner import (
     FRAMEWORKS,
     PR_EPSILON,
+    clear_memory_cache,
     get_driver,
     get_machine,
     get_partition,
     run,
+    run_key,
+    seed_memo,
 )
 from repro.harness.paper_data import (
     PAPER_TABLE2_BFS_NVLINK,
@@ -33,6 +58,20 @@ from repro.harness.experiments import (
 
 __all__ = [
     "run",
+    "run_key",
+    "seed_memo",
+    "clear_memory_cache",
+    "RunCache",
+    "cache_enabled",
+    "get_cache",
+    "machine_fingerprint",
+    "RunSpec",
+    "CellResult",
+    "GridFailure",
+    "grid_specs",
+    "resolve_jobs",
+    "run_cells",
+    "run_grid",
     "get_driver",
     "get_machine",
     "get_partition",

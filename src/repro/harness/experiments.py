@@ -4,6 +4,11 @@ Each ``table*``/``figure*`` function regenerates one artifact of the
 paper's evaluation section from the simulation and returns structured
 data; ``render_*`` helpers produce the printed form the benchmarks
 emit.  The experiment → module → bench mapping lives in DESIGN.md §3.
+
+Every grid function takes ``jobs``/``timeout_s``: cells are executed
+through :mod:`repro.harness.pool`, so ``jobs > 1`` fans the grid out
+over worker processes while results stay in deterministic spec order
+(and bit-identical to a serial run — the golden-trace suite pins this).
 """
 
 from __future__ import annotations
@@ -14,7 +19,7 @@ from repro.graph import MESH_LIKE, SCALE_FREE, dataset_stats, load
 from repro.graph.datasets import DATASETS
 from repro.graph.stats import UNREACHED, bfs_levels
 from repro.graph.datasets import bfs_source
-from repro.harness.runner import run
+from repro.harness.pool import RunSpec, grid_specs, run_cells
 from repro.metrics.tables import (
     format_generic_table,
     format_runtime_table,
@@ -79,8 +84,15 @@ def runtime_grid(
     machine: str,
     gpu_counts: tuple[int, ...],
     skip: set[tuple[str, str]] = frozenset(),
+    jobs: int | None = None,
+    timeout_s: float | None = None,
 ) -> GridResult:
     """Run a full (framework x dataset x #GPU) evaluation grid."""
+    results = run_cells(
+        grid_specs(app, frameworks, datasets, machine, gpu_counts, skip),
+        jobs=jobs,
+        timeout_s=timeout_s,
+    )
     grid = GridResult(app=app, machine=machine, gpu_counts=gpu_counts)
     for framework in frameworks:
         rows: dict[str, list[float]] = {}
@@ -88,7 +100,7 @@ def runtime_grid(
             if (framework, dataset) in skip:
                 continue
             rows[dataset] = [
-                run(framework, app, dataset, machine, n).time_ms
+                results[RunSpec(framework, app, dataset, machine, n)].time_ms
                 for n in gpu_counts
             ]
         grid.times[framework] = rows
@@ -139,6 +151,8 @@ TABLE2_SKIP = {("groute", "twitter50")}
 def table2_bfs_nvlink(
     datasets: list[str] | None = None,
     gpu_counts: tuple[int, ...] = NVLINK_GPUS,
+    jobs: int | None = None,
+    timeout_s: float | None = None,
 ) -> GridResult:
     """Table II: BFS on Daisy, 4 frameworks x datasets x GPU counts."""
     return runtime_grid(
@@ -148,6 +162,8 @@ def table2_bfs_nvlink(
         "daisy",
         gpu_counts,
         skip=TABLE2_SKIP,
+        jobs=jobs,
+        timeout_s=timeout_s,
     )
 
 
@@ -155,9 +171,22 @@ def table2_bfs_nvlink(
 def table3_priority_workload(
     datasets: list[str] | None = None,
     gpu_counts: tuple[int, ...] = NVLINK_GPUS,
+    jobs: int | None = None,
+    timeout_s: float | None = None,
 ) -> tuple[str, dict]:
     """Normalized BFS workload without -> with the priority queue."""
     datasets = datasets or SCALE_FREE
+    results = run_cells(
+        grid_specs(
+            "bfs",
+            ["atos-standard-persistent", "atos-priority-discrete"],
+            datasets,
+            "daisy",
+            gpu_counts,
+        ),
+        jobs=jobs,
+        timeout_s=timeout_s,
+    )
     data: dict[str, dict[int, tuple[float, float]]] = {}
     rows = []
     for dataset in datasets:
@@ -168,12 +197,16 @@ def table3_priority_workload(
         data[dataset] = {}
         cells = [dataset]
         for n in gpu_counts:
-            without = run(
-                "atos-standard-persistent", "bfs", dataset, "daisy", n
-            ).counters["vertices_visited"] / reached
-            with_pq = run(
-                "atos-priority-discrete", "bfs", dataset, "daisy", n
-            ).counters["vertices_visited"] / reached
+            without = results[
+                RunSpec(
+                    "atos-standard-persistent", "bfs", dataset, "daisy", n
+                )
+            ].counters["vertices_visited"] / reached
+            with_pq = results[
+                RunSpec(
+                    "atos-priority-discrete", "bfs", dataset, "daisy", n
+                )
+            ].counters["vertices_visited"] / reached
             data[dataset][n] = (without, with_pq)
             cells.append(f"{without:.3f} -> {with_pq:.3f}")
         rows.append(cells)
@@ -197,6 +230,8 @@ TABLE4_FRAMEWORKS = [
 def table4_pagerank_nvlink(
     datasets: list[str] | None = None,
     gpu_counts: tuple[int, ...] = NVLINK_GPUS,
+    jobs: int | None = None,
+    timeout_s: float | None = None,
 ) -> GridResult:
     """Table IV: PageRank on Daisy, 4 frameworks x datasets x GPUs."""
     return runtime_grid(
@@ -206,6 +241,8 @@ def table4_pagerank_nvlink(
         "daisy",
         gpu_counts,
         skip=TABLE2_SKIP,
+        jobs=jobs,
+        timeout_s=timeout_s,
     )
 
 
@@ -214,6 +251,8 @@ def table5_ib(
     app: str,
     datasets: list[str] | None = None,
     gpu_counts: tuple[int, ...] = IB_GPUS,
+    jobs: int | None = None,
+    timeout_s: float | None = None,
 ) -> GridResult:
     """Galois vs Atos on the InfiniBand machine.
 
@@ -222,21 +261,35 @@ def table5_ib(
     the two evaluated Atos configurations and keep the faster.
     """
     datasets = datasets or ALL_DATASETS
-    grid = GridResult(app=app, machine="summit-ib", gpu_counts=gpu_counts)
-    grid.times["galois"] = {
-        d: [run("galois", app, d, "summit-ib", n).time_ms for n in gpu_counts]
-        for d in datasets
-    }
     atos_variants = (
         ["atos-standard-persistent", "atos-priority-discrete"]
         if app == "bfs"
         else ["atos-standard-persistent", "atos-standard-discrete"]
     )
+    results = run_cells(
+        grid_specs(
+            app,
+            ["galois"] + atos_variants,
+            datasets,
+            "summit-ib",
+            gpu_counts,
+        ),
+        jobs=jobs,
+        timeout_s=timeout_s,
+    )
+    grid = GridResult(app=app, machine="summit-ib", gpu_counts=gpu_counts)
+    grid.times["galois"] = {
+        d: [
+            results[RunSpec("galois", app, d, "summit-ib", n)].time_ms
+            for n in gpu_counts
+        ]
+        for d in datasets
+    }
     atos_rows: dict[str, list[float]] = {}
     for d in datasets:
         atos_rows[d] = [
             min(
-                run(v, app, d, "summit-ib", n).time_ms
+                results[RunSpec(v, app, d, "summit-ib", n)].time_ms
                 for v in atos_variants
             )
             for n in gpu_counts
@@ -273,6 +326,8 @@ def figure5_scaling(
 def figure7_latency_hiding(
     datasets: list[str] | None = None,
     gpu_counts: tuple[int, ...] = (1, 2, 3, 4, 5, 6),
+    jobs: int | None = None,
+    timeout_s: float | None = None,
 ) -> dict[str, GridResult]:
     """Gunrock vs Atos on the latency-penalized Summit-node topology."""
     datasets = datasets or ["soc-livejournal1", "indochina-2004"]
@@ -283,6 +338,8 @@ def figure7_latency_hiding(
         datasets,
         "summit-node",
         gpu_counts,
+        jobs=jobs,
+        timeout_s=timeout_s,
     )
     out["pagerank"] = runtime_grid(
         "pagerank",
@@ -290,5 +347,7 @@ def figure7_latency_hiding(
         datasets,
         "summit-node",
         gpu_counts,
+        jobs=jobs,
+        timeout_s=timeout_s,
     )
     return out

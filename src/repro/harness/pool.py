@@ -1,0 +1,355 @@
+"""Parallel experiment pool: fan a run grid out over worker processes.
+
+The evaluation grid is embarrassingly parallel — every (framework, app,
+dataset, machine, #GPUs) cell is an independent deterministic
+simulation — so the pool simply runs each cell in its own
+``multiprocessing`` process, up to ``jobs`` at a time.  Echoing the
+paper's scheduling philosophy, consistency is decoupled from
+synchronization: workers share nothing but the persistent run cache
+(whose atomic writes make concurrent stores benign), and the parent
+reassembles results in *spec order* regardless of completion order, so
+pooled output is bit-identical to a serial run.
+
+Failure isolation is per cell: a worker that raises reports the
+traceback, a worker that exceeds its deadline is killed, and a worker
+that dies outright (segfault, ``SIGKILL``) is detected by pipe EOF —
+in every case only that cell is marked failed and the rest of the grid
+completes.
+
+``jobs <= 1`` runs cells serially in-process (sharing the in-memory
+memo, no subprocess overhead); ``jobs == 0`` means "one per CPU".  The
+default comes from the ``REPRO_JOBS`` environment variable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing.connection import wait as _wait_connections
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+__all__ = [
+    "JOBS_ENV",
+    "RunSpec",
+    "CellResult",
+    "GridFailure",
+    "resolve_jobs",
+    "grid_specs",
+    "execute_spec",
+    "run_grid",
+    "run_cells",
+]
+
+#: Environment variable giving the default worker count.
+JOBS_ENV = "REPRO_JOBS"
+
+#: Poll interval (s) for the supervisor loop: how often result pipes
+#: are re-waited and per-cell deadlines are checked.
+_REAP_POLL_S = 0.05
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One cell of an experiment grid."""
+
+    framework: str
+    app: str
+    dataset: str
+    machine: str
+    n_gpus: int
+    validate: bool = True
+
+    def label(self) -> str:
+        return (
+            f"{self.framework}/{self.app}/{self.dataset}/"
+            f"{self.machine}/{self.n_gpus}gpu"
+        )
+
+
+@dataclass
+class CellResult:
+    """Outcome of one pooled cell: a result or an isolated failure."""
+
+    spec: RunSpec
+    #: ``ok`` | ``error`` (raised) | ``timeout`` (killed at deadline) |
+    #: ``crashed`` (died without reporting).
+    status: str
+    result: Any = None
+    error: str = ""
+    wall_clock_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+class GridFailure(RuntimeError):
+    """Raised by :func:`run_cells` when any grid cell failed."""
+
+    def __init__(self, failures: Sequence[CellResult]):
+        self.failures = list(failures)
+        lines = [
+            f"{cell.spec.label()}: {cell.status}"
+            + (f" ({cell.error.strip().splitlines()[-1]})" if cell.error else "")
+            for cell in self.failures
+        ]
+        super().__init__(
+            f"{len(self.failures)} grid cell(s) failed:\n" + "\n".join(lines)
+        )
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a jobs request: None -> $REPRO_JOBS or 1, 0 -> n_cpus."""
+    if jobs is None:
+        env = os.environ.get(JOBS_ENV, "").strip()
+        jobs = int(env) if env else 1
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    return max(1, int(jobs))
+
+
+def grid_specs(
+    app: str,
+    frameworks: Iterable[str],
+    datasets: Iterable[str],
+    machine: str,
+    gpu_counts: Iterable[int],
+    skip: Iterable[tuple[str, str]] = frozenset(),
+) -> list[RunSpec]:
+    """Specs for a full grid, in the deterministic serial-loop order."""
+    skip = set(skip)
+    return [
+        RunSpec(framework, app, dataset, machine, n)
+        for framework in frameworks
+        for dataset in datasets
+        if (framework, dataset) not in skip
+        for n in gpu_counts
+    ]
+
+
+def execute_spec(spec: RunSpec) -> Any:
+    """Default cell driver: the cached harness runner."""
+    from repro.harness import runner
+
+    return runner.run(
+        spec.framework,
+        spec.app,
+        spec.dataset,
+        spec.machine,
+        spec.n_gpus,
+        validate=spec.validate,
+    )
+
+
+def _worker_main(conn, spec: RunSpec, run_fn: Callable[[RunSpec], Any]) -> None:
+    """Worker entry point: run one cell, ship (status, payload, wall)."""
+    start = time.perf_counter()
+    try:
+        result = run_fn(spec)
+        conn.send(("ok", result, time.perf_counter() - start))
+    except BaseException:
+        conn.send(
+            ("error", traceback.format_exc(), time.perf_counter() - start)
+        )
+    finally:
+        conn.close()
+
+
+@dataclass
+class _LiveWorker:
+    index: int
+    process: Any
+    conn: Any
+    started: float
+    deadline: Optional[float]
+
+
+def _mp_context():
+    """Prefer fork (cheap, inherits warm module state); fall back to spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def _run_serial(
+    specs: list[RunSpec], run_fn: Callable[[RunSpec], Any]
+) -> list[CellResult]:
+    results = []
+    for spec in specs:
+        start = time.perf_counter()
+        try:
+            value = run_fn(spec)
+            results.append(
+                CellResult(
+                    spec,
+                    "ok",
+                    result=value,
+                    wall_clock_s=time.perf_counter() - start,
+                )
+            )
+        except Exception:
+            results.append(
+                CellResult(
+                    spec,
+                    "error",
+                    error=traceback.format_exc(),
+                    wall_clock_s=time.perf_counter() - start,
+                )
+            )
+    return results
+
+
+def run_grid(
+    specs: Iterable[RunSpec],
+    jobs: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+    run_fn: Callable[[RunSpec], Any] = execute_spec,
+) -> list[CellResult]:
+    """Run every spec, ``jobs`` at a time; results are in spec order.
+
+    With ``jobs <= 1`` the grid runs serially in-process (exceptions
+    become ``error`` cells; ``timeout_s`` is not enforced — a hang
+    cannot be pre-empted without a subprocess).  With ``jobs > 1`` each
+    cell gets its own process, a ``timeout_s`` deadline, and crash
+    isolation: one failed cell never stops the rest of the grid.
+    """
+    specs = list(specs)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(specs) <= 1:
+        return _run_serial(specs, run_fn)
+
+    ctx = _mp_context()
+    results: list[Optional[CellResult]] = [None] * len(specs)
+    pending = deque(enumerate(specs))
+    live: dict[int, _LiveWorker] = {}
+
+    def finish(worker: _LiveWorker, cell: CellResult) -> None:
+        results[worker.index] = cell
+        live.pop(worker.index, None)
+        worker.conn.close()
+        worker.process.join(timeout=5.0)
+        if worker.process.is_alive():  # pragma: no cover - stuck worker
+            worker.process.kill()
+            worker.process.join(timeout=5.0)
+
+    try:
+        while pending or live:
+            while pending and len(live) < jobs:
+                index, spec = pending.popleft()
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                process = ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, spec, run_fn),
+                    daemon=True,
+                    name=f"repro-cell-{index}",
+                )
+                now = time.monotonic()
+                process.start()
+                # Close our copy of the child end so EOF is observable
+                # the moment the worker dies.
+                child_conn.close()
+                live[index] = _LiveWorker(
+                    index=index,
+                    process=process,
+                    conn=parent_conn,
+                    started=now,
+                    deadline=(now + timeout_s) if timeout_s else None,
+                )
+
+            ready = _wait_connections(
+                [w.conn for w in live.values()], timeout=_REAP_POLL_S
+            )
+            ready_set = set(ready)
+            now = time.monotonic()
+            for worker in list(live.values()):
+                spec = specs[worker.index]
+                wall = now - worker.started
+                if worker.conn in ready_set:
+                    try:
+                        status, payload, worker_wall = worker.conn.recv()
+                    except (EOFError, OSError):
+                        # Pipe closed without a message: the worker died
+                        # mid-run (e.g. SIGKILL / segfault).
+                        finish(
+                            worker,
+                            CellResult(
+                                spec,
+                                "crashed",
+                                error="worker died without reporting "
+                                "a result",
+                                wall_clock_s=wall,
+                            ),
+                        )
+                        continue
+                    if status == "ok":
+                        finish(
+                            worker,
+                            CellResult(
+                                spec,
+                                "ok",
+                                result=payload,
+                                wall_clock_s=worker_wall,
+                            ),
+                        )
+                    else:
+                        finish(
+                            worker,
+                            CellResult(
+                                spec,
+                                "error",
+                                error=payload,
+                                wall_clock_s=worker_wall,
+                            ),
+                        )
+                elif worker.deadline is not None and now > worker.deadline:
+                    worker.process.terminate()
+                    worker.process.join(timeout=1.0)
+                    if worker.process.is_alive():  # pragma: no cover
+                        worker.process.kill()
+                    finish(
+                        worker,
+                        CellResult(
+                            spec,
+                            "timeout",
+                            error=f"exceeded {timeout_s:.3g}s deadline",
+                            wall_clock_s=wall,
+                        ),
+                    )
+    finally:
+        # Belt and braces: never leak workers on an unexpected exit.
+        for worker in list(live.values()):
+            worker.process.kill()
+            worker.process.join(timeout=5.0)
+            worker.conn.close()
+
+    return [cell for cell in results if cell is not None]
+
+
+def run_cells(
+    specs: Iterable[RunSpec],
+    jobs: Optional[int] = None,
+    timeout_s: Optional[float] = None,
+) -> dict[RunSpec, Any]:
+    """Run a grid and return {spec: RunResult}; raise if any cell failed.
+
+    The strict counterpart of :func:`run_grid` for table/figure code,
+    which needs every cell present.  Successful results are also seeded
+    into the in-process memo so follow-up ``run()`` calls (and grids
+    that share cells) hit memory instead of re-reading the disk cache.
+    """
+    from repro.harness import runner
+
+    cells = run_grid(specs, jobs=jobs, timeout_s=timeout_s)
+    failures = [cell for cell in cells if not cell.ok]
+    if failures:
+        raise GridFailure(failures)
+    out = {}
+    for cell in cells:
+        out[cell.spec] = cell.result
+        runner.seed_memo(cell.spec, cell.result)
+    return out

@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import hashlib
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any
+
+import numpy as np
 
 __all__ = ["Counters", "RunResult"]
 
@@ -42,9 +45,38 @@ class RunResult:
     #: Optional communication timeline [(time_us, bytes), ...] for the
     #: smoothness analyses (repro.metrics.analysis).
     timeline: Any = None
+    #: Host wall-clock seconds spent computing this run (0.0 when the
+    #: result came out of a cache rather than a simulation).
+    wall_clock_s: float = 0.0
+    #: Persistent-cache accounting for this run: (1, 0) served from
+    #: disk, (0, 1) computed with caching on, (0, 0) caching off.
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def speedup_over(self, other: "RunResult") -> float:
         """other.time / self.time — how much faster self is."""
         if self.time_ms <= 0:
             raise ValueError("non-positive runtime")
         return other.time_ms / self.time_ms
+
+    def digest(self) -> str:
+        """SHA-256 over the *deterministic* content of the result.
+
+        Covers identity, simulated time, every counter, and the exact
+        output bytes — and deliberately excludes host-side metadata
+        (``wall_clock_s``, cache accounting), so a fresh simulation, a
+        pooled worker's result, and a cache-hit replay of the same spec
+        must all digest identically.  The golden-trace suite pins this.
+        """
+        h = hashlib.sha256()
+        h.update(
+            f"{self.framework}|{self.app}|{self.dataset}|{self.n_gpus}"
+            f"|{self.time_ms!r}".encode()
+        )
+        for key in sorted(self.counters):
+            h.update(f"|{key}={float(self.counters[key])!r}".encode())
+        if self.output is not None:
+            arr = np.asarray(self.output)
+            h.update(f"|{arr.dtype.str}|{arr.shape}".encode())
+            h.update(arr.tobytes())
+        return h.hexdigest()

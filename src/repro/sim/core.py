@@ -135,7 +135,14 @@ class Timeout(Event):
         self.delay = delay
         self._value = value
         self._ok = True
-        env._schedule(self, delay=delay)
+        # Fast-path schedule: timeouts dominate the heap traffic of a
+        # busy simulation, and the delay was validated above, so push
+        # directly instead of going through ``env._schedule`` (which
+        # would re-validate).  The heap entry shape must stay identical
+        # to ``_schedule``'s: (time, priority, sequence, event).
+        heapq.heappush(
+            env._heap, (env._now + delay, NORMAL, next(env._eid), self)
+        )
 
 
 class _Initialize(Event):
@@ -320,6 +327,19 @@ class Environment:
         self._heap: list[tuple[float, int, int, Event]] = []
         self._eid = itertools.count()
         self._active_process: Optional[Process] = None
+        #: Optional instrumentation hook called once per dispatched
+        #: event with the popped heap entry ``(time, priority, seq,
+        #: event)`` *before* its callbacks run.  Used by the golden-
+        #: trace determinism suite to digest the exact event order.
+        #: Read once at the top of :meth:`run`; set it before running.
+        self.trace_hook: Optional[
+            Callable[[tuple[float, int, int, Event]], None]
+        ] = None
+        #: When True, :meth:`run` uses the straightforward one-
+        #: ``step()``-per-event reference loop instead of the inlined
+        #: fast loop.  Both must produce bit-identical traces; the
+        #: golden-trace suite pins that equivalence.
+        self.reference_loop: bool = False
 
     @property
     def now(self) -> float:
@@ -363,13 +383,16 @@ class Environment:
         return self._heap[0][0] if self._heap else float("inf")
 
     def step(self) -> None:
-        """Process the single next event."""
+        """Process the single next event (the reference dispatch path)."""
         if not self._heap:
             raise DeadlockError("no scheduled events")
-        when, _prio, _eid, event = heapq.heappop(self._heap)
+        entry = heapq.heappop(self._heap)
+        when, _prio, _eid, event = entry
         if when < self._now:  # pragma: no cover - heap invariant
             raise SimulationError("event scheduled in the past")
         self._now = when
+        if self.trace_hook is not None:
+            self.trace_hook(entry)
         if (
             isinstance(event, Process)
             and not event._ok
@@ -381,6 +404,60 @@ class Environment:
             raise event._value  # type: ignore[misc]
         event._fire()
 
+    def _dispatch(
+        self,
+        stop_event: Optional[Event],
+        horizon: Optional[float],
+    ) -> None:
+        """The inlined hot loop behind :meth:`run`.
+
+        Runs until ``stop_event`` is processed (if given), simulated
+        time would pass ``horizon`` (if given), or the heap drains.
+        Semantically identical to calling :meth:`step` in a loop — the
+        golden-trace suite asserts bit-identical event order against
+        that reference — but with the heap, ``heappop`` and callback
+        dispatch bound to locals, and same-time events drained
+        back-to-back without re-entering Python method dispatch.
+        """
+        heap = self._heap
+        pop = heapq.heappop
+        hook = self.trace_hook
+        while True:
+            if stop_event is not None and stop_event._processed:
+                return
+            if not heap:
+                if stop_event is not None:
+                    raise DeadlockError(
+                        f"event heap drained before {stop_event!r} triggered"
+                    )
+                return
+            if horizon is not None and heap[0][0] > horizon:
+                return
+            entry = pop(heap)
+            when = entry[0]
+            event = entry[3]
+            if when < self._now:  # pragma: no cover - heap invariant
+                raise SimulationError("event scheduled in the past")
+            self._now = when
+            if hook is not None:
+                hook(entry)
+            callbacks = event.callbacks
+            if (
+                callbacks is not None
+                and not callbacks
+                and not event._ok
+                and isinstance(event, Process)
+            ):
+                # Dead process with no waiter: surface the failure.
+                event._fire()
+                raise event._value  # type: ignore[misc]
+            # Inlined Event._fire(): detach callbacks, mark processed,
+            # dispatch the batch.
+            event.callbacks = None
+            event._processed = True
+            for cb in callbacks:  # type: ignore[union-attr]
+                cb(event)
+
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run the event loop.
 
@@ -390,12 +467,16 @@ class Environment:
         """
         if isinstance(until, Event):
             stop_event = until
-            while not stop_event.processed:
-                if not self._heap:
-                    raise DeadlockError(
-                        f"event heap drained before {stop_event!r} triggered"
-                    )
-                self.step()
+            if self.reference_loop:
+                while not stop_event.processed:
+                    if not self._heap:
+                        raise DeadlockError(
+                            f"event heap drained before {stop_event!r} "
+                            "triggered"
+                        )
+                    self.step()
+            else:
+                self._dispatch(stop_event, None)
             if stop_event.ok:
                 return stop_event.value
             raise stop_event.value  # type: ignore[misc]
@@ -403,10 +484,16 @@ class Environment:
             horizon = float(until)
             if horizon < self._now:
                 raise ValueError("cannot run backwards in time")
-            while self._heap and self._heap[0][0] <= horizon:
-                self.step()
+            if self.reference_loop:
+                while self._heap and self._heap[0][0] <= horizon:
+                    self.step()
+            else:
+                self._dispatch(None, horizon)
             self._now = horizon
             return None
-        while self._heap:
-            self.step()
+        if self.reference_loop:
+            while self._heap:
+                self.step()
+        else:
+            self._dispatch(None, None)
         return None

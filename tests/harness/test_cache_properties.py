@@ -1,0 +1,196 @@
+"""Property-based tests for the persistent run cache.
+
+Three properties carry the cache's correctness burden:
+
+* **round-trip** — store(key, v); load(key) == v, for arbitrary
+  picklable payloads including numpy-bearing RunResults;
+* **key sensitivity** — changing *any* spec field (or any nested
+  machine-config constant) changes the key;
+* **corruption safety** — an entry truncated or garbled at any byte is
+  treated as a miss and deleted, never raised or trusted.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CostModel, daisy
+from repro.harness.cache import (
+    RunCache,
+    canonical_fingerprint,
+    machine_fingerprint,
+)
+from repro.metrics.counters import Counters, RunResult
+
+SETTINGS = settings(max_examples=25, deadline=None)
+
+scalars = st.one_of(
+    st.integers(-(2**31), 2**31),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+    st.booleans(),
+    st.none(),
+)
+payloads = st.one_of(
+    scalars,
+    st.dictionaries(st.text(max_size=10), scalars, max_size=5),
+    st.lists(scalars, max_size=8),
+)
+
+SPEC_FIELDS = ["framework", "app", "dataset", "machine", "n_gpus",
+               "validate", "machine_config", "code_version"]
+
+
+def base_spec() -> dict:
+    return {
+        "framework": "gunrock",
+        "app": "bfs",
+        "dataset": "hollywood-2009",
+        "machine": "daisy",
+        "n_gpus": 2,
+        "validate": True,
+        "machine_config": "abc123",
+        "code_version": "1.0.0+deadbeef",
+    }
+
+
+# ------------------------------------------------------------- round trip
+@SETTINGS
+@given(value=payloads, key_seed=st.integers(0, 2**32))
+def test_store_load_round_trip(tmp_path_factory, value, key_seed):
+    cache = RunCache(tmp_path_factory.mktemp("rt"))
+    key = canonical_fingerprint({"seed": key_seed})
+    cache.store(key, value)
+    assert cache.load(key) == value
+
+
+def test_round_trip_preserves_run_result(tmp_path):
+    cache = RunCache(tmp_path)
+    result = RunResult(
+        framework="gunrock",
+        app="bfs",
+        dataset="hollywood-2009",
+        n_gpus=2,
+        time_ms=3.25,
+        counters=Counters({"edges_processed": 100.0, "rounds": 7.0}),
+        output=np.arange(32, dtype=np.int32),
+        wall_clock_s=0.5,
+    )
+    cache.store("k", result)
+    loaded = cache.load("k")
+    assert loaded is not result
+    assert loaded.digest() == result.digest()
+    assert np.array_equal(loaded.output, result.output)
+    assert dict(loaded.counters) == dict(result.counters)
+
+
+def test_missing_key_is_a_miss(tmp_path):
+    cache = RunCache(tmp_path)
+    assert cache.load("nope") is None
+    assert cache.misses == 1 and cache.hits == 0
+
+
+# --------------------------------------------------------- key sensitivity
+@SETTINGS
+@given(
+    field=st.sampled_from(SPEC_FIELDS),
+    mutation=st.one_of(st.integers(0, 2**31), st.text(max_size=12)),
+)
+def test_any_spec_field_change_changes_key(field, mutation):
+    spec = base_spec()
+    mutated = dict(spec)
+    if mutated[field] == mutation:
+        mutation = f"{mutation}x"
+    mutated[field] = mutation
+    assert RunCache.key(spec) != RunCache.key(mutated)
+
+
+def test_key_is_order_insensitive_and_deterministic():
+    spec = base_spec()
+    shuffled = dict(reversed(list(spec.items())))
+    assert RunCache.key(spec) == RunCache.key(shuffled)
+
+
+def test_machine_fingerprint_sees_nested_cost_constants():
+    machine = daisy(2)
+    mutated = dataclasses.replace(
+        machine,
+        cost=dataclasses.replace(
+            CostModel(), kernel_launch_overhead=600.0
+        ),
+    )
+    assert machine_fingerprint(machine) != machine_fingerprint(mutated)
+    # ...and an identically-rebuilt machine fingerprints identically.
+    assert machine_fingerprint(machine) == machine_fingerprint(daisy(2))
+
+
+# ------------------------------------------------------------- corruption
+@SETTINGS
+@given(cut=st.floats(0.0, 1.0, exclude_max=True))
+def test_truncated_entry_is_discarded_not_raised(tmp_path_factory, cut):
+    cache = RunCache(tmp_path_factory.mktemp("trunc"))
+    path = cache.store("k", {"payload": list(range(64))})
+    blob = path.read_bytes()
+    path.write_bytes(blob[: min(int(len(blob) * cut), len(blob) - 1)])
+    assert cache.load("k") is None
+    assert not path.exists()  # bad entry dropped so it can be rewritten
+
+
+@SETTINGS
+@given(garbage=st.binary(max_size=200))
+def test_garbage_entry_is_discarded_not_raised(tmp_path_factory, garbage):
+    cache = RunCache(tmp_path_factory.mktemp("garbage"))
+    path = cache.store("k", "value")
+    path.write_bytes(garbage)
+    assert cache.load("k") is None
+    assert not path.exists()
+
+
+def test_flipped_payload_byte_fails_checksum(tmp_path):
+    cache = RunCache(tmp_path)
+    path = cache.store("k", {"a": 1})
+    blob = bytearray(path.read_bytes())
+    blob[-1] ^= 0xFF
+    path.write_bytes(bytes(blob))
+    assert cache.load("k") is None
+
+
+def test_corrupt_entry_is_recomputed_via_store(tmp_path):
+    cache = RunCache(tmp_path)
+    path = cache.store("k", "good")
+    path.write_bytes(b"not an entry")
+    assert cache.load("k") is None
+    cache.store("k", "recomputed")
+    assert cache.load("k") == "recomputed"
+
+
+def test_verify_drops_only_bad_entries(tmp_path):
+    cache = RunCache(tmp_path)
+    cache.store("good1", 1)
+    cache.store("good2", 2)
+    bad = cache.store("bad", 3)
+    bad.write_bytes(b"\x00\x01\x02")
+    ok, removed = cache.verify()
+    assert (ok, removed) == (2, 1)
+    assert cache.load("good1") == 1 and cache.load("bad") is None
+
+
+def test_clear_empties_the_cache(tmp_path):
+    cache = RunCache(tmp_path)
+    cache.store("a", 1)
+    cache.store("b", 2)
+    assert cache.clear() == 2
+    assert cache.entries() == []
+    assert cache.stats()["entries"] == 0
+
+
+def test_stats_counts_entries_and_bytes(tmp_path):
+    cache = RunCache(tmp_path)
+    cache.store("a", list(range(100)))
+    stats = cache.stats()
+    assert stats["entries"] == 1
+    assert stats["total_bytes"] > 0
+    assert stats["stores"] == 1

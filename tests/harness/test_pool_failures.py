@@ -1,0 +1,101 @@
+"""Failure injection for the experiment pool.
+
+Extends the ``Bomb`` pattern of ``tests/runtime/test_failure_injection``
+to the process level: a cell whose driver raises, a cell that exceeds
+its deadline, and a worker killed outright mid-run must each mark only
+their own cell failed — the rest of the grid completes, and results
+stay in deterministic spec order.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.harness import GridFailure, RunSpec, run_cells, run_grid
+
+#: The grid under test: the "bomb" dataset is the injected-failure cell.
+SPECS = [
+    RunSpec("fake", "bfs", dataset, "daisy", 1)
+    for dataset in ("d0", "d1", "bomb", "d3")
+]
+
+
+def _ok(spec: RunSpec) -> str:
+    return f"ok:{spec.dataset}"
+
+
+def _bomb_raises(spec: RunSpec) -> str:
+    if spec.dataset == "bomb":
+        raise RuntimeError("boom")
+    return _ok(spec)
+
+
+def _bomb_hangs(spec: RunSpec) -> str:
+    if spec.dataset == "bomb":
+        time.sleep(120.0)
+    return _ok(spec)
+
+
+def _bomb_dies(spec: RunSpec) -> str:
+    if spec.dataset == "bomb":
+        # Simulate a segfault/OOM-kill: no exception, no cleanup.
+        os.kill(os.getpid(), signal.SIGKILL)
+    return _ok(spec)
+
+
+def _assert_only_bomb_failed(cells, expected_status):
+    assert [cell.spec for cell in cells] == SPECS  # deterministic order
+    by_dataset = {cell.spec.dataset: cell for cell in cells}
+    assert by_dataset["bomb"].status == expected_status
+    assert by_dataset["bomb"].result is None
+    for dataset in ("d0", "d1", "d3"):
+        cell = by_dataset[dataset]
+        assert cell.status == "ok"
+        assert cell.result == f"ok:{dataset}"
+
+
+def test_raising_cell_is_isolated():
+    cells = run_grid(SPECS, jobs=2, run_fn=_bomb_raises)
+    _assert_only_bomb_failed(cells, "error")
+    assert "boom" in {c.spec.dataset: c for c in cells}["bomb"].error
+
+
+def test_timeout_cell_is_killed_and_isolated():
+    cells = run_grid(SPECS, jobs=4, timeout_s=3.0, run_fn=_bomb_hangs)
+    _assert_only_bomb_failed(cells, "timeout")
+    assert "deadline" in {c.spec.dataset: c for c in cells}["bomb"].error
+
+
+def test_killed_worker_is_detected_and_isolated():
+    cells = run_grid(SPECS, jobs=2, run_fn=_bomb_dies)
+    _assert_only_bomb_failed(cells, "crashed")
+
+
+def test_serial_mode_isolates_exceptions_too():
+    cells = run_grid(SPECS, jobs=1, run_fn=_bomb_raises)
+    _assert_only_bomb_failed(cells, "error")
+
+
+def test_all_ok_grid_and_wall_clocks():
+    cells = run_grid(SPECS, jobs=2, run_fn=_ok)
+    assert all(cell.ok for cell in cells)
+    assert all(cell.wall_clock_s >= 0.0 for cell in cells)
+
+
+def test_run_cells_raises_grid_failure_naming_the_cell():
+    with pytest.raises(GridFailure) as exc:
+        run_cells(SPECS, jobs=2)  # real driver: unknown framework "fake"
+    failed = {cell.spec.dataset for cell in exc.value.failures}
+    assert failed == {"d0", "d1", "bomb", "d3"}
+    assert "fake" in str(exc.value)
+
+
+def test_more_specs_than_workers_all_complete():
+    many = [
+        RunSpec("fake", "bfs", f"d{i}", "daisy", 1) for i in range(12)
+    ]
+    cells = run_grid(many, jobs=3, run_fn=_ok)
+    assert [cell.spec for cell in cells] == many
+    assert all(cell.ok for cell in cells)

@@ -1,0 +1,97 @@
+"""Regression: the run cache must key on config *contents*, not names.
+
+The old ``lru_cache``-based ``run()`` keyed only on its call arguments
+(framework, app, dataset, machine *name*, #GPUs), so anything that
+changed what a machine name resolves to — a tuning sweep mutating cost
+constants, as in ``examples/aggregator_tuning.py`` — would be served a
+stale result recorded under the old constants.  ``run()`` now threads a
+fingerprint of the materialized :class:`MachineConfig` (and the package
+source) through both cache levels; these tests pin that.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import daisy
+from repro.harness import clear_memory_cache, run, run_key
+from repro.harness import runner as runner_module
+
+
+@pytest.fixture()
+def isolated_caches(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    clear_memory_cache()
+    yield monkeypatch
+    clear_memory_cache()
+
+
+def _slow_launch_daisy(n_gpus: int):
+    """Daisy with a 100x kernel-launch overhead (a mutated cost model)."""
+    machine = daisy(n_gpus)
+    return dataclasses.replace(
+        machine,
+        cost=dataclasses.replace(
+            machine.cost, kernel_launch_overhead=600.0
+        ),
+    )
+
+
+CELL = ("atos-standard-persistent", "bfs", "hollywood-2009", "daisy", 1)
+
+
+def test_mutated_machine_config_is_not_served_stale(isolated_caches):
+    baseline = run(*CELL)
+
+    # Re-point the machine *name* at a mutated config, exactly the
+    # aliasing the lru_cache-era key could not see.
+    isolated_caches.setitem(
+        runner_module.MACHINES, "daisy", _slow_launch_daisy
+    )
+    mutated = run(*CELL)
+
+    assert mutated is not baseline
+    assert mutated.time_ms > baseline.time_ms  # the 100x launches show up
+    assert mutated.digest() != baseline.digest()
+
+    # And flipping the config back serves the original result again.
+    isolated_caches.setitem(runner_module.MACHINES, "daisy", daisy)
+    assert run(*CELL) is baseline
+
+
+def test_run_key_tracks_machine_config(isolated_caches):
+    before = run_key(*CELL)
+    assert before == run_key(*CELL)  # deterministic
+    isolated_caches.setitem(
+        runner_module.MACHINES, "daisy", _slow_launch_daisy
+    )
+    assert run_key(*CELL) != before
+
+
+def test_run_key_distinguishes_every_argument(isolated_caches):
+    keys = {
+        run_key(*CELL),
+        run_key("gunrock", "bfs", "hollywood-2009", "daisy", 1),
+        run_key("atos-standard-persistent", "pagerank", "hollywood-2009",
+                "daisy", 1),
+        run_key("atos-standard-persistent", "bfs", "road-usa", "daisy", 1),
+        run_key("atos-standard-persistent", "bfs", "hollywood-2009",
+                "daisy", 2),
+        run_key("atos-standard-persistent", "bfs", "hollywood-2009",
+                "daisy", 1, validate=False),
+    }
+    assert len(keys) == 6
+
+
+def test_persistent_layer_also_keys_on_config(isolated_caches):
+    """Even across a memo wipe (fresh process), a mutated config must
+    miss the disk cache rather than load the baseline entry."""
+    baseline = run(*CELL)
+    clear_memory_cache()
+    isolated_caches.setitem(
+        runner_module.MACHINES, "daisy", _slow_launch_daisy
+    )
+    mutated = run(*CELL)
+    assert mutated.cache_hits == 0  # computed, not replayed from disk
+    assert mutated.time_ms > baseline.time_ms

@@ -88,11 +88,36 @@ def test_table3_quick(capsys):
     assert "->" in capsys.readouterr().out
 
 
+def test_table2_quick_pooled_matches_serial(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    assert main(["table2", "--quick", "--jobs", "2"]) == 0
+    pooled = capsys.readouterr().out
+    assert main(["table2", "--quick"]) == 0
+    assert capsys.readouterr().out == pooled
+
+
+def test_cache_subcommands(capsys, tmp_path, monkeypatch):
+    from repro.harness import clear_memory_cache
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    clear_memory_cache()  # force the next run to hit the disk layer
+    assert main(["cache", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "entries" in out and str(tmp_path / "cache") in out
+    assert main(["run", "--framework", "gunrock", "--app", "bfs",
+                 "--dataset", "hollywood-2009"]) == 0
+    capsys.readouterr()
+    assert main(["cache", "verify"]) == 0
+    assert "removed 0 corrupt" in capsys.readouterr().out
+    assert main(["cache", "clear"]) == 0
+    assert "removed 1 cached run" in capsys.readouterr().out
+
+
 def test_parser_help_lists_subcommands():
     parser = build_parser()
     help_text = parser.format_help()
     for command in ("datasets", "run", "table2", "table5", "fig1",
-                    "topology"):
+                    "topology", "cache"):
         assert command in help_text
 
 
