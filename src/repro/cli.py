@@ -10,6 +10,7 @@ subcommands::
     python -m repro fig1
     python -m repro topology daisy
     python -m repro cache stats                 # persistent run cache
+    python -m repro bench --quick               # data-path perf cells
 
 Every experiment subcommand prints the paper-style table to stdout.
 Grid subcommands take ``--jobs N`` (0 = one worker per CPU; default
@@ -221,6 +222,30 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.harness.bench import (
+        HEADLINE_CELL,
+        render_bench,
+        run_bench,
+        write_bench,
+    )
+
+    doc = run_bench(quick=args.quick)
+    print(render_bench(doc))
+    if args.out:
+        write_bench(doc, args.out)
+        print(f"\nwrote {args.out}")
+    if args.fail_below is not None:
+        speedup = doc["cells"][HEADLINE_CELL]["speedup"]
+        if speedup < args.fail_below:
+            print(
+                f"FAIL: {HEADLINE_CELL} speedup {speedup:.2f}x is below "
+                f"--fail-below {args.fail_below:.2f}x"
+            )
+            return 1
+    return 0
+
+
 def _cmd_topology(args: argparse.Namespace) -> int:
     from repro.harness import get_machine
     from repro.interconnect import Topology
@@ -312,6 +337,27 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("fig4", help="IB message-size sweep").set_defaults(
         func=_cmd_fig4
     )
+
+    bench = sub.add_parser(
+        "bench",
+        help="data-path wall-clock benchmark: reference vs vectorized",
+    )
+    bench.add_argument("--quick", action="store_true")
+    bench.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write results as JSON (e.g. BENCH_datapath.json)",
+    )
+    bench.add_argument(
+        "--fail-below",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="exit 1 if the headline cell's speedup is below RATIO "
+        "(CI uses 1.0: fail only on regression)",
+    )
+    bench.set_defaults(func=_cmd_bench)
 
     topo = sub.add_parser("topology", help="show a machine topology")
     topo.add_argument("machine",

@@ -55,6 +55,57 @@ def _occurrence_ranks(idx: np.ndarray) -> np.ndarray:
     return ranks
 
 
+def _serialized_old_values(
+    array: np.ndarray, idx: np.ndarray, vals: np.ndarray, ufunc: np.ufunc
+) -> np.ndarray:
+    """Per-op "old" values under serialized (batch-order) semantics.
+
+    ``old[k] = ufunc(pre_value, vals of all earlier same-address ops)``
+    — i.e. a segmented *exclusive* scan of ``vals`` over same-address
+    groups, folded with the pre-batch value.  A stable sort makes the
+    groups contiguous and batch-ordered; the scan itself is a
+    Hillis-Steele doubling pass masked by within-group rank, so the
+    whole computation is O(n log d) vectorized numpy (d = heaviest
+    duplication) with no per-rank Python loop over the batch.
+    """
+    n = len(idx)
+    order = np.argsort(idx, kind="stable")
+    sorted_idx = idx[order]
+    sorted_vals = vals[order]
+    new_group = np.ones(n, dtype=bool)
+    new_group[1:] = sorted_idx[1:] != sorted_idx[:-1]
+    group_start = np.flatnonzero(new_group)
+    group_sizes = np.diff(np.append(group_start, n))
+    rank = np.arange(n) - np.repeat(group_start, group_sizes)
+
+    # Exclusive-scan input: each op sees its predecessor's value, group
+    # leaders see the identity.
+    identity = (
+        np.array(np.inf, dtype=vals.dtype)
+        if ufunc is np.minimum and np.issubdtype(vals.dtype, np.floating)
+        else np.iinfo(vals.dtype).max
+        if ufunc is np.minimum
+        else vals.dtype.type(0)
+    )
+    scan = np.empty_like(sorted_vals)
+    scan[new_group] = identity
+    scan[~new_group] = sorted_vals[:-1][~new_group[1:]]
+
+    # Doubling pass: after step d every op has folded its 2d nearest
+    # in-group predecessors.  ``rank >= d`` both bounds the fold inside
+    # the group and guarantees the shifted read stays in range.
+    max_rank = int(group_sizes.max()) - 1
+    d = 1
+    while d <= max_rank:
+        sel = rank[d:] >= d
+        scan[d:][sel] = ufunc(scan[d:][sel], scan[:-d][sel])
+        d <<= 1
+
+    old = np.empty(n, dtype=array.dtype)
+    old[order] = ufunc(array[sorted_idx], scan)
+    return old
+
+
 def atomic_min_relaxed(
     array: np.ndarray, idx: np.ndarray, vals: np.ndarray
 ) -> np.ndarray:
@@ -70,17 +121,17 @@ def atomic_min_relaxed(
 def atomic_min_exact(
     array: np.ndarray, idx: np.ndarray, vals: np.ndarray
 ) -> np.ndarray:
-    """Batched atomicMin; ops on one address serialize in batch order."""
+    """Batched atomicMin; ops on one address serialize in batch order.
+
+    min is order-independent, so the final array state is one
+    ``np.minimum.at``; only the serialized old values need the
+    segmented scan (no per-rank Python loop either way).
+    """
     idx, vals = _validate(array, idx, vals)
     if len(idx) == 0:
         return vals.copy()
-    old = np.empty(len(idx), dtype=array.dtype)
-    ranks = _occurrence_ranks(idx)
-    for r in range(int(ranks.max()) + 1):
-        sel = ranks == r  # indices are unique within one round
-        sel_idx = idx[sel]
-        old[sel] = array[sel_idx]
-        array[sel_idx] = np.minimum(array[sel_idx], vals[sel])
+    old = _serialized_old_values(array, idx, vals, np.minimum)
+    np.minimum.at(array, idx, vals)
     return old
 
 
@@ -103,17 +154,17 @@ def atomic_add_relaxed(
 def atomic_add_exact(
     array: np.ndarray, idx: np.ndarray, vals: np.ndarray
 ) -> np.ndarray:
-    """Batched atomicAdd with serialized per-address old values."""
+    """Batched atomicAdd with serialized per-address old values.
+
+    ``np.add.at`` applies the operations unbuffered in batch order, so
+    the final array state is the serialized one; the old values come
+    from the segmented exclusive prefix sum.
+    """
     idx, vals = _validate(array, idx, vals)
     if len(idx) == 0:
         return vals.copy()
-    old = np.empty(len(idx), dtype=array.dtype)
-    ranks = _occurrence_ranks(idx)
-    for r in range(int(ranks.max()) + 1):
-        sel = ranks == r
-        sel_idx = idx[sel]
-        old[sel] = array[sel_idx]
-        array[sel_idx] = array[sel_idx] + vals[sel]
+    old = _serialized_old_values(array, idx, vals, np.add)
+    np.add.at(array, idx, vals)
     return old
 
 

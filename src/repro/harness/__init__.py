@@ -7,6 +7,12 @@ over worker processes, and :mod:`~repro.harness.experiments` defines
 the paper's tables/figures on top of both.
 """
 
+from repro.harness.bench import (
+    HEADLINE_CELL,
+    render_bench,
+    run_bench,
+    write_bench,
+)
 from repro.harness.cache import (
     RunCache,
     cache_enabled,
@@ -58,6 +64,10 @@ from repro.harness.experiments import (
 
 __all__ = [
     "run",
+    "run_bench",
+    "render_bench",
+    "write_bench",
+    "HEADLINE_CELL",
     "run_key",
     "seed_memo",
     "clear_memory_cache",

@@ -1,0 +1,385 @@
+"""Data-path benchmark: reference vs vectorized (``BENCH_datapath.json``).
+
+The vectorized data path (:mod:`repro.batchpath`) keeps the simulated
+behavior bit-identical — the golden suite pins that — so its only
+justification is host wall-clock.  This module measures it, cell by
+cell, against the ``REPRO_BATCH_PATH=0`` reference path:
+
+* micro cells isolate one mechanism each (queue batch push, broker
+  readable-run pop, aggregator->delivery pipeline, exact atomics);
+* end-to-end cells run whole harness cells twice, toggling
+  ``REPRO_BATCH_PATH`` with the run cache disabled.
+
+``python -m repro bench`` writes the results as JSON.  The headline
+cell is ``messaging-datapath`` — the aggregator enqueue -> flush ->
+merged delivery pipeline that dominates messaging-heavy configurations
+(BFS eager sends, PageRank WAIT_TIME batching); CI's perf-smoke job
+fails only if it regresses below the reference path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from repro.batchpath import BATCH_PATH_ENV
+
+__all__ = ["run_bench", "render_bench", "HEADLINE_CELL", "SCHEMA"]
+
+SCHEMA = "repro-bench-datapath/1"
+
+#: The cell CI gates on (fails only when slower than the reference).
+HEADLINE_CELL = "messaging-datapath"
+
+
+# ----------------------------------------------------------------- timing
+def _best_of(fn: Callable[[], Any], repeats: int) -> float:
+    """Best-of-``repeats`` wall-clock seconds for one call of ``fn``."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _cell(reference_s: float, batched_s: float, **detail: Any) -> dict:
+    return {
+        "reference_s": reference_s,
+        "batched_s": batched_s,
+        "speedup": reference_s / batched_s if batched_s else float("inf"),
+        **detail,
+    }
+
+
+@contextmanager
+def _env(**overrides: str) -> Iterator[None]:
+    saved = {k: os.environ.get(k) for k in overrides}
+    os.environ.update(overrides)
+    try:
+        yield
+    finally:
+        for key, value in saved.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+
+# ------------------------------------------------------------ micro cells
+def _bench_queue_push(quick: bool) -> dict:
+    """One ``push_batch`` vs one reserve/commit per payload (AtosQueue)."""
+    from repro.queues import AtosQueue
+
+    n_payloads = 512 if quick else 2048
+    rng = np.random.default_rng(0)
+    payloads = [
+        rng.integers(0, 1 << 30, rng.integers(1, 17))
+        for _ in range(n_payloads)
+    ]
+    total = sum(len(p) for p in payloads)
+
+    def per_payload() -> None:
+        queue = AtosQueue(2 * total)
+        for payload in payloads:
+            queue.push(payload)
+
+    def batched() -> None:
+        queue = AtosQueue(2 * total)
+        queue.push_batch(payloads)
+
+    repeats = 3 if quick else 7
+    return _cell(
+        _best_of(per_payload, repeats),
+        _best_of(batched, repeats),
+        payloads=n_payloads,
+        items=total,
+    )
+
+
+def _bench_broker_pop(quick: bool) -> dict:
+    """Vectorized readable-run pop vs the per-item flag walk."""
+    from repro.queues import BrokerQueue
+
+    n_items = 20_000 if quick else 100_000
+    chunk = 4096
+    rng = np.random.default_rng(1)
+    items = rng.integers(0, 1 << 30, n_items)
+
+    def _fill() -> BrokerQueue:
+        queue = BrokerQueue(n_items)
+        queue.push(items)
+        return queue
+
+    def reference() -> None:
+        # The pre-vectorization pop: poll each slot's flag in Python.
+        queue = _fill()
+        while queue.tail - queue.head:
+            bound = min(chunk, queue.tail - queue.head)
+            take = 0
+            while take < bound:
+                if not queue.flags[(queue.head + take) % queue.capacity]:
+                    queue.failed_polls += 1
+                    break
+                take += 1
+            out = queue._ring_read(queue.head, take)
+            for offset in range(take):
+                queue.flags[(queue.head + offset) % queue.capacity] = False
+            queue.head += take
+            assert len(out) == take
+
+    def batched() -> None:
+        queue = _fill()
+        while queue.tail - queue.head:
+            queue.pop(chunk)
+
+    repeats = 2 if quick else 5
+    return _cell(
+        _best_of(reference, repeats),
+        _best_of(batched, repeats),
+        items=n_items,
+        chunk=chunk,
+    )
+
+
+def _bench_atomics(quick: bool) -> dict:
+    """Segmented-scan exact atomics vs the per-rank Python loop."""
+    from repro.gpu.atomics import atomic_add_exact
+
+    n_ops = 40_000 if quick else 200_000
+    n_addr = 512
+    rng = np.random.default_rng(2)
+    idx = rng.integers(0, n_addr, n_ops)
+    vals = rng.integers(-100, 100, n_ops)
+    base = rng.integers(-100, 100, n_addr)
+
+    def reference() -> np.ndarray:
+        # The pre-vectorization loop: one pass per duplication rank.
+        array = base.copy()
+        old = np.empty(n_ops, dtype=array.dtype)
+        order = np.argsort(idx, kind="stable")
+        sorted_idx = idx[order]
+        new_group = np.ones(n_ops, dtype=bool)
+        new_group[1:] = sorted_idx[1:] != sorted_idx[:-1]
+        group_start = np.flatnonzero(new_group)
+        sizes = np.diff(np.append(group_start, n_ops))
+        ranks = np.empty(n_ops, dtype=np.int64)
+        ranks[order] = np.arange(n_ops) - np.repeat(group_start, sizes)
+        for rank in range(int(ranks.max()) + 1):
+            sel = ranks == rank
+            sel_idx = idx[sel]
+            old[sel] = array[sel_idx]
+            array[sel_idx] = array[sel_idx] + vals[sel]
+        return old
+
+    def batched() -> np.ndarray:
+        array = base.copy()
+        return atomic_add_exact(array, idx, vals)
+
+    assert np.array_equal(reference(), batched())
+    repeats = 2 if quick else 5
+    return _cell(
+        _best_of(reference, repeats),
+        _best_of(batched, repeats),
+        ops=n_ops,
+        addresses=n_addr,
+    )
+
+
+def _bench_messaging_datapath(quick: bool) -> dict:
+    """HEADLINE: the aggregator enqueue -> flush -> delivery pipeline.
+
+    Replays the executor's messaging hot path over a fixed payload
+    stream, excerpting ``AtosExecutor`` verbatim on each side:
+    segment-buffer runs enter an :class:`Aggregator` — per-payload
+    ``_send_remote`` calls (bytes computation, counter update,
+    per-payload threshold test) on the reference path, one
+    ``add_many`` per run on the vectorized path — and every flush runs
+    the delivery-side merge of ``_deliver``: per-payload shape probe +
+    ``np.vstack`` on the reference path, a zero-copy
+    :class:`MergedBatch` on the vectorized path.
+    """
+    from repro.metrics.counters import Counters
+    from repro.runtime.aggregator import Aggregator, MergedBatch
+
+    n_rounds = 30 if quick else 120
+    payloads_per_round = 320  # segment-buffered runs (many tiny payloads)
+    bytes_per_update = 8
+    rng = np.random.default_rng(3)
+    # Messaging-heavy regime: many tiny (k, 2) update arrays per
+    # segment flush, as segment_rounds > 1 configurations accumulate.
+    rounds = [
+        [
+            rng.integers(0, 1 << 20, (rng.integers(1, 9), 2))
+            for _ in range(payloads_per_round)
+        ]
+        for _ in range(n_rounds)
+    ]
+    batch_size = 1 << 16  # force regular size-triggered flushes
+
+    def _consume(payloads: Any, sink: list) -> None:
+        # The delivery-side merge, as in ``AtosExecutor._deliver``.
+        if isinstance(payloads, MergedBatch):
+            sink.append(int(payloads.data[:, 1].sum()))
+            return
+        batch = payloads if isinstance(payloads, list) else [payloads]
+        if (
+            len(batch) > 1
+            and all(
+                isinstance(p, np.ndarray) and p.ndim == 2 for p in batch
+            )
+            and len({p.shape[1] for p in batch}) == 1
+        ):
+            batch = [np.vstack(batch)]
+        for payload in batch:
+            sink.append(int(payload[:, 1].sum()))
+
+    def _payload_bytes(payload: np.ndarray) -> int:
+        return max(1, len(payload) * bytes_per_update)
+
+    def _pipeline(vectorize: bool) -> list:
+        sink: list = []
+        counters = Counters()
+        agg = Aggregator(
+            0,
+            2,
+            lambda dst, payloads, n_bytes: _consume(payloads, sink),
+            batch_size=batch_size,
+            wait_time=4,
+            vectorize=vectorize,
+        )
+        if vectorize:
+            # ``_flush_segment``, vectorized branch: one call per run,
+            # ``_payload_bytes`` hoisted to a C-level length pass.
+            for round_ in rounds:
+                lengths = list(map(len, round_))
+                counters["remote_updates"] += sum(lengths)
+                agg.add_many(
+                    1,
+                    round_,
+                    [max(1, n * bytes_per_update) for n in lengths],
+                    lengths,
+                )
+                agg.tick()
+        else:
+            # ``_flush_segment`` reference branch: ``_send_remote``
+            # per payload (bytes, counter, aggregator threshold test).
+            for round_ in rounds:
+                for payload in round_:
+                    n_bytes = _payload_bytes(payload)
+                    counters["remote_updates"] += len(payload)
+                    agg.add(1, payload, n_bytes)
+                agg.tick()
+        agg.flush_all()
+        return sink
+
+    assert sum(_pipeline(False)) == sum(_pipeline(True))
+    repeats = 3 if quick else 7
+    return _cell(
+        _best_of(lambda: _pipeline(False), repeats),
+        _best_of(lambda: _pipeline(True), repeats),
+        rounds=n_rounds,
+        payloads_per_round=payloads_per_round,
+        batch_size=batch_size,
+    )
+
+
+# ------------------------------------------------------- end-to-end cells
+def _bench_end_to_end(
+    framework: str,
+    app: str,
+    dataset: str,
+    machine: str,
+    n_gpus: int,
+) -> dict:
+    """One harness cell, simulated twice with the flag toggled.
+
+    The run cache is disabled and the in-process memo cleared around
+    each run (their keys do not include the flag), so both timings are
+    fresh simulations; the digests must nonetheless match — the paths
+    are behaviorally identical by construction.
+    """
+    from repro.harness.runner import clear_memory_cache, run
+
+    def _simulate(flag: str):
+        with _env(**{BATCH_PATH_ENV: flag, "REPRO_CACHE": "0"}):
+            clear_memory_cache()
+            return run(framework, app, dataset, machine, n_gpus)
+
+    _simulate("1")  # warm graph/partition/reference caches
+    reference = _simulate("0")
+    batched = _simulate("1")
+    if reference.digest() != batched.digest():
+        raise AssertionError(
+            f"path divergence on {framework}/{app}/{dataset}: "
+            f"{reference.digest()[:16]} != {batched.digest()[:16]}"
+        )
+    return _cell(
+        reference.wall_clock_s,
+        batched.wall_clock_s,
+        framework=framework,
+        app=app,
+        dataset=dataset,
+        machine=machine,
+        n_gpus=n_gpus,
+        time_ms=reference.time_ms,
+        digest=reference.digest(),
+    )
+
+
+# ---------------------------------------------------------------- driver
+def run_bench(quick: bool = False) -> dict:
+    """Run every cell; returns the ``BENCH_datapath.json`` document."""
+    cells: dict[str, dict] = {
+        "queue-push-batch": _bench_queue_push(quick),
+        "broker-pop-run": _bench_broker_pop(quick),
+        "atomics-exact": _bench_atomics(quick),
+        HEADLINE_CELL: _bench_messaging_datapath(quick),
+    }
+    e2e = [("atos-standard-persistent", "bfs", "road-usa", "summit-ib", 4)]
+    if not quick:
+        e2e.append(
+            (
+                "atos-standard-persistent",
+                "pagerank",
+                "soc-livejournal1",
+                "summit-ib",
+                4,
+            )
+        )
+    for framework, app, dataset, machine, n_gpus in e2e:
+        cells[f"e2e-{app}-{dataset}"] = _bench_end_to_end(
+            framework, app, dataset, machine, n_gpus
+        )
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "headline": HEADLINE_CELL,
+        "cells": cells,
+    }
+
+
+def render_bench(doc: dict) -> str:
+    """Human-readable table of a bench document."""
+    lines = [
+        f"{'cell':<30}{'reference_s':>14}{'batched_s':>12}{'speedup':>10}"
+    ]
+    for name, cell in doc["cells"].items():
+        marker = "  <- headline" if name == doc.get("headline") else ""
+        lines.append(
+            f"{name:<30}{cell['reference_s']:>14.4f}"
+            f"{cell['batched_s']:>12.4f}{cell['speedup']:>9.2f}x{marker}"
+        )
+    return "\n".join(lines)
+
+
+def write_bench(doc: dict, path: str) -> None:
+    """Write a bench document as pretty-printed JSON to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")

@@ -55,6 +55,10 @@ class AtosQueue(ConcurrentQueue):
     def pending(self) -> int:
         return self.end_alloc - self.end
 
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - (self.end_alloc - self.start)
+
     # ------------------------------------------------------ two-phase push
     def reserve(self, count: int) -> Ticket:
         """``atomicAdd(&end_alloc, total)`` by the worker's leader thread."""

@@ -13,7 +13,13 @@ an explicit two-phase push:
 Interleaving reserve/commit calls from different logical workers
 reproduces every consistency-relevant state of the concurrent queue,
 which is what the property-based tests exercise.  ``push`` is the
-common reserve-then-commit convenience.
+common reserve-then-commit convenience, and ``push_batch`` is its wide
+form: one reserve/commit pair covering a whole sequence of payloads,
+with the ring written by slice assignment instead of per-item ticket
+bookkeeping.  ``push_batch`` is observably equivalent to pushing each
+payload in order (same poppable contents, same gap exposure, same
+``QueueFullError`` point) — the batch-equivalence property suite pins
+this for all three queue models.
 
 Performance (contention) is modeled separately in
 :mod:`repro.queues.contention`.
@@ -22,9 +28,11 @@ Performance (contention) is modeled separately in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
+
+from repro.errors import QueueFullError
 
 __all__ = ["Ticket", "ConcurrentQueue", "QueueStats"]
 
@@ -70,6 +78,11 @@ class ConcurrentQueue:
         """Items reserved but not yet poppable (in-flight writes)."""
         raise NotImplementedError
 
+    @property
+    def free_slots(self) -> int:
+        """Ring slots not covered by any live reservation."""
+        raise NotImplementedError
+
     def __len__(self) -> int:
         return self.readable
 
@@ -91,17 +104,86 @@ class ConcurrentQueue:
         self.commit(ticket, items)
         return ticket
 
+    def push_batch(
+        self, batches: Sequence[Sequence | np.ndarray]
+    ) -> Optional[Ticket]:
+        """Push a sequence of payloads with ONE reserve/commit pair.
+
+        Equivalent to ``for b in batches: self.push(b)`` as observed
+        through pops: items land contiguously in batch order, and if
+        the ring cannot hold every payload, the longest prefix that
+        fits is committed before :class:`~repro.errors.QueueFullError`
+        is raised — exactly where the per-payload loop would have
+        raised.  Operation *counters* record one wide operation (one
+        push, one potential full-failure) rather than one per payload;
+        that reduction in protocol steps is the point of the batch API.
+
+        Returns the spanning ticket (``None`` for an empty batch).
+        """
+        arrays = [
+            np.asarray(b, dtype=self.storage.dtype) for b in batches
+        ]
+        if not arrays:
+            return None
+        lengths = np.fromiter(
+            (len(a) for a in arrays), dtype=np.int64, count=len(arrays)
+        )
+        total = int(lengths.sum())
+        free = self.free_slots
+        if total <= free:
+            n_fit = len(arrays)
+        else:
+            # Longest payload prefix that fits — the per-payload loop
+            # would commit exactly these before its first failed
+            # reserve.
+            n_fit = int(
+                np.searchsorted(np.cumsum(lengths), free, side="right")
+            )
+        ticket: Optional[Ticket] = None
+        if n_fit:
+            flat = (
+                arrays[0]
+                if n_fit == 1
+                else np.concatenate(arrays[:n_fit])
+            )
+            ticket = self.reserve(len(flat))
+            self.commit(ticket, flat)
+        if n_fit < len(arrays):
+            self.stats.full_failures += 1
+            raise QueueFullError(
+                f"push_batch: payload {n_fit} of {len(arrays)} "
+                f"({int(lengths[n_fit])} items) does not fit "
+                f"({self.capacity - self.free_slots} of "
+                f"{self.capacity} slots in use)"
+            )
+        return ticket
+
     # -- pop ---------------------------------------------------------------
     def pop(self, max_items: int) -> np.ndarray:
         """Pop up to ``max_items`` committed items in FIFO order."""
         raise NotImplementedError
 
     # -- helpers ------------------------------------------------------------
+    # Ring access is slice-based (at most two contiguous segments per
+    # operation) instead of the old ``np.arange % capacity`` fancy
+    # indexing: no per-item index array is allocated, which is what
+    # makes wide pushes/pops allocation-light.  A reservation can never
+    # exceed ``capacity`` (``reserve`` checks), so two segments always
+    # suffice.
     def _ring_write(self, index: int, items: np.ndarray) -> None:
         """Write items at virtual position ``index`` into the ring."""
-        pos = np.arange(index, index + len(items)) % self.capacity
-        self.storage[pos] = items
+        n = len(items)
+        pos = index % self.capacity
+        head = min(n, self.capacity - pos)
+        self.storage[pos:pos + head] = items[:head]
+        if head < n:
+            self.storage[:n - head] = items[head:]
 
     def _ring_read(self, index: int, count: int) -> np.ndarray:
-        pos = np.arange(index, index + count) % self.capacity
-        return self.storage[pos].copy()
+        pos = index % self.capacity
+        head = min(count, self.capacity - pos)
+        if head == count:
+            return self.storage[pos:pos + count].copy()
+        return np.concatenate(
+            (self.storage[pos:], self.storage[:count - head])
+        )

@@ -47,6 +47,10 @@ class CASQueue(ConcurrentQueue):
     def pending(self) -> int:
         return self.end_alloc - self.end
 
+    @property
+    def free_slots(self) -> int:
+        return self.capacity - (self.end_alloc - self.start)
+
     def reserve(self, count: int) -> Ticket:
         if count < 0:
             raise ValueError("count must be non-negative")

@@ -15,57 +15,261 @@ and flushes a buffer to the wire when either:
 
 ``tick()`` is the periodic inspection; the scheduler calls it once per
 scheduling round, matching the paper's WAIT_TIME "visits" semantics.
+
+**Storage.**  Application payloads are ``(k, width)`` update arrays
+(e.g. BFS's (vertex, depth) pairs).  On the vectorized path
+(:mod:`repro.batchpath`), a buffer appends them by slice assignment
+into one growable preallocated ``np.ndarray`` — the payload-width
+invariant is checked once here, at enqueue time — and a flush hands the
+consumer a single zero-copy :class:`MergedBatch` view, so a
+BATCH_SIZE/WAIT_TIME flush costs O(1) Python operations no matter how
+many small updates it carries.  Payloads that are not uniform update
+arrays (or any payload when ``REPRO_BATCH_PATH=0``) take the reference
+path: a plain Python list handed to ``send_fn`` as-is, exactly the
+pre-vectorization behavior.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Callable
+from dataclasses import dataclass
+from itertools import accumulate
+from typing import Any, Callable, Optional
 
+import numpy as np
+
+from repro.batchpath import batch_path_enabled
 from repro.errors import ConfigurationError
 
-__all__ = ["AggregationBuffer", "Aggregator"]
+__all__ = ["MergedBatch", "AggregationBuffer", "Aggregator"]
 
 
-@dataclass
+@dataclass(frozen=True, slots=True)
+class MergedBatch:
+    """One flushed aggregation buffer, pre-merged into a dense array.
+
+    ``data`` holds the rows of ``count`` application payloads in append
+    order — bit-identical to ``np.vstack`` of the original payload list
+    — so the delivery side applies one bulk update and retires
+    ``count`` message tokens without touching the individual payloads.
+    """
+
+    data: np.ndarray
+    count: int
+
+    def __len__(self) -> int:
+        return self.count
+
+
+#: Initial row capacity of a vectorized buffer (grows geometrically).
+_INITIAL_ROWS = 64
+
+#: The type set of a run that may merge by bulk concatenate.
+_NDARRAY_ONLY = {np.ndarray}
+
+
 class AggregationBuffer:
-    """Accumulated updates headed to one destination PE."""
+    """Accumulated updates headed to one destination PE.
 
-    dst: int
-    payloads: list[Any] = field(default_factory=list)
-    n_bytes: int = 0
-    visits_since_first: int = 0
+    Two storage modes, switched per payload shape:
+
+    * **array mode** (vectorized path, uniform ``(k, width)`` ndarray
+      payloads): rows land in a growable preallocated 2-D array by
+      slice assignment; ``take`` returns a zero-copy view.
+    * **list mode** (escape hatch, or non-uniform payloads): payloads
+      accumulate in a Python list, the original behavior.
+
+    A mode is never mixed mid-batch: if a payload incompatible with the
+    accumulated array arrives, the buffered rows are first demoted back
+    to their original per-payload views (boundaries are tracked), so
+    observable flush contents are identical either way.
+    """
+
+    __slots__ = (
+        "dst",
+        "n_bytes",
+        "visits_since_first",
+        "vectorize",
+        "_list",
+        "_data",
+        "_rows",
+        "_bounds",
+    )
+
+    def __init__(self, dst: int, vectorize: Optional[bool] = None):
+        self.dst = dst
+        self.n_bytes = 0
+        self.visits_since_first = 0
+        self.vectorize = (
+            batch_path_enabled() if vectorize is None else vectorize
+        )
+        self._list: list[Any] = []
+        self._data: Optional[np.ndarray] = None  # (capacity, width)
+        self._rows = 0
+        #: End-row offset of each appended payload (array mode only) —
+        #: what lets us demote losslessly and count message tokens.
+        self._bounds: list[int] = []
+
+    # ----------------------------------------------------------- state
+    @property
+    def n_payloads(self) -> int:
+        return len(self._list) + len(self._bounds)
 
     @property
     def empty(self) -> bool:
-        return not self.payloads
+        return not (self._list or self._bounds)
+
+    @property
+    def payloads(self) -> list[Any]:
+        """The buffered payloads as a list (views in array mode)."""
+        if self._data is None:
+            return list(self._list)
+        starts = [0, *self._bounds[:-1]]
+        return self._list + [
+            self._data[s:e] for s, e in zip(starts, self._bounds)
+        ]
+
+    # ------------------------------------------------------------ path
+    def _array_compatible(self, payload: Any) -> bool:
+        if not (isinstance(payload, np.ndarray) and payload.ndim == 2):
+            return False
+        if self._data is None:
+            return not self._list
+        # The payload-width invariant, asserted once at enqueue time
+        # (delivery never re-derives it): every payload bound for one
+        # destination shares width and dtype.
+        return (
+            payload.shape[1] == self._data.shape[1]
+            and payload.dtype == self._data.dtype
+        )
+
+    def _reserve_rows(self, extra: int, like: np.ndarray) -> None:
+        needed = self._rows + extra
+        if self._data is None:
+            cap = max(_INITIAL_ROWS, extra)
+            self._data = np.empty((cap, like.shape[1]), dtype=like.dtype)
+        elif needed > len(self._data):
+            cap = max(needed, 2 * len(self._data))
+            grown = np.empty(
+                (cap, self._data.shape[1]), dtype=self._data.dtype
+            )
+            grown[: self._rows] = self._data[: self._rows]
+            self._data = grown
+
+    def _demote(self) -> None:
+        """Fall back to list mode, preserving payload boundaries."""
+        if self._data is not None:
+            self._list = self.payloads
+            self._data = None
+            self._rows = 0
+            self._bounds = []
 
     def append(self, payload: Any, n_bytes: int) -> None:
-        self.payloads.append(payload)
+        if self.vectorize and self._array_compatible(payload):
+            k = len(payload)
+            self._reserve_rows(k, payload)
+            assert self._data is not None
+            self._data[self._rows:self._rows + k] = payload
+            self._rows += k
+            self._bounds.append(self._rows)
+        else:
+            self._demote()
+            self._list.append(payload)
         self.n_bytes += n_bytes
 
-    def take(self) -> tuple[list[Any], int]:
-        payloads, n_bytes = self.payloads, self.n_bytes
-        self.payloads = []
+    def append_run(
+        self,
+        payloads: list[Any],
+        n_bytes_total: int,
+        lengths: Optional[list[int]] = None,
+    ) -> None:
+        """Append a run of payloads in one pass (no flush-point checks).
+
+        Array mode lands the whole run with a single
+        ``np.concatenate(..., out=...)`` into the preallocated rows —
+        one C call instead of one Python-level append per payload,
+        which is where the messaging-heavy wall-clock goes (BFS-style
+        traffic is thousands of tiny payloads).  Falls back to
+        per-payload :meth:`append` when the run is not uniform.
+        ``lengths`` (``[len(p) for p in payloads]``) may be passed by a
+        caller that already computed it.
+        """
+        if not payloads:
+            return
+        first = payloads[0]
+        if self.vectorize and self._array_compatible(first):
+            # Uniformity enforcement stays C-level: the type-set test
+            # rejects non-ndarrays, and ``concatenate`` with
+            # ``casting="no"`` rejects any dtype difference while its
+            # shape checking rejects width/ndim mismatches.  A failed
+            # attempt scribbles at most on rows past ``_rows``, which
+            # are uncommitted — the run then falls back to the
+            # per-payload path untouched.
+            try:
+                uniform = set(map(type, payloads)) == _NDARRAY_ONLY
+                if uniform:
+                    if lengths is None:
+                        lengths = list(map(len, payloads))
+                    k = sum(lengths)
+                    self._reserve_rows(k, first)
+                    assert self._data is not None
+                    np.concatenate(
+                        payloads,
+                        axis=0,
+                        out=self._data[self._rows:self._rows + k],
+                        casting="no",
+                    )
+            except (TypeError, ValueError):
+                uniform = False
+            if uniform:
+                offsets = accumulate(lengths, initial=self._rows)
+                next(offsets)  # drop the leading base offset
+                self._bounds.extend(offsets)
+                self._rows += k
+                self.n_bytes += n_bytes_total
+                return
+        for payload in payloads:
+            self.append(payload, 0)
+        self.n_bytes += n_bytes_total
+
+    def take(self) -> tuple[Any, int, int]:
+        """Drain the buffer: (wire payload, bytes, payload count).
+
+        Array mode hands out a zero-copy :class:`MergedBatch` view and
+        releases the storage (the consumer owns the rows; the next
+        append allocates fresh) — one flush costs O(1) Python ops.
+        List mode returns the payload list unchanged.
+        """
+        n_bytes, count = self.n_bytes, self.n_payloads
+        if self._data is not None:
+            payload: Any = MergedBatch(self._data[: self._rows], count)
+            self._data = None
+            self._rows = 0
+            self._bounds = []
+        else:
+            payload = self._list
+            self._list = []
         self.n_bytes = 0
         self.visits_since_first = 0
-        return payloads, n_bytes
+        return payload, n_bytes, count
 
 
 class Aggregator:
     """Per-source-PE aggregation across all destinations.
 
     ``send_fn(dst, payloads, n_bytes)`` performs the actual wire send
-    (the executor wires it to the fabric).
+    (the executor wires it to the fabric).  ``payloads`` is a
+    :class:`MergedBatch` on the vectorized path and a plain list on the
+    reference path; both carry identical update rows.
     """
 
     def __init__(
         self,
         my_pe: int,
         n_pes: int,
-        send_fn: Callable[[int, list[Any], int], None],
+        send_fn: Callable[[int, Any, int], None],
         batch_size: int = 1 << 20,
         wait_time: int = 4,
+        vectorize: Optional[bool] = None,
     ):
         if batch_size < 1:
             raise ConfigurationError("batch_size must be positive")
@@ -75,8 +279,13 @@ class Aggregator:
         self.batch_size = batch_size
         self.wait_time = wait_time
         self._send_fn = send_fn
+        self.vectorize = (
+            batch_path_enabled() if vectorize is None else vectorize
+        )
         self.buffers = {
-            pe: AggregationBuffer(pe) for pe in range(n_pes) if pe != my_pe
+            pe: AggregationBuffer(pe, vectorize=self.vectorize)
+            for pe in range(n_pes)
+            if pe != my_pe
         }
         self.flushes_on_size = 0
         self.flushes_on_timeout = 0
@@ -96,6 +305,57 @@ class Aggregator:
             self.flushes_on_size += 1
             self._flush(buffer)
 
+    def add_many(
+        self,
+        dst: int,
+        payloads: list[Any],
+        n_bytes_each: list[int],
+        lengths: Optional[list[int]] = None,
+    ) -> None:
+        """Append a run of payloads for one destination.
+
+        Flush points are identical to calling :meth:`add` per payload;
+        the common case (the run fits under ``batch_size``) lands in
+        one :meth:`AggregationBuffer.append_run` bulk append — a single
+        threshold test and a single concatenate for the whole run.  A
+        run that crosses the threshold is split at each flush point
+        (one ``searchsorted`` per flush) and bulk-appended segment by
+        segment, so even threshold-crossing traffic never falls back to
+        per-payload appends.  ``lengths`` optionally forwards
+        pre-computed payload lengths.
+        """
+        buffer = self.buffers[dst]
+        total = sum(n_bytes_each)
+        if buffer.n_bytes + total < self.batch_size:
+            buffer.append_run(payloads, total, lengths)
+            return
+        # Per-payload semantics: append, then flush as soon as the
+        # accumulated bytes reach batch_size — i.e. each segment ends
+        # at the first payload whose arrival crosses the threshold.
+        offsets = np.cumsum(n_bytes_each)
+        start = 0
+        base = 0
+        n = len(payloads)
+        while start < n:
+            cross = int(
+                np.searchsorted(
+                    offsets,
+                    base + self.batch_size - buffer.n_bytes,
+                    side="left",
+                )
+            )
+            stop = min(cross + 1, n)
+            buffer.append_run(
+                payloads[start:stop],
+                int(offsets[stop - 1]) - base,
+                lengths[start:stop] if lengths is not None else None,
+            )
+            if buffer.n_bytes >= self.batch_size:
+                self.flushes_on_size += 1
+                self._flush(buffer)
+            base = int(offsets[stop - 1])
+            start = stop
+
     def tick(self) -> None:
         """Step 3-5: one inspection pass over all buffers."""
         for buffer in self.buffers.values():
@@ -113,7 +373,7 @@ class Aggregator:
                 self._flush(buffer)
 
     def _flush(self, buffer: AggregationBuffer) -> None:
-        payloads, n_bytes = buffer.take()
+        payloads, n_bytes, _count = buffer.take()
         self._send_fn(buffer.dst, payloads, n_bytes)
 
     # ------------------------------------------------------------ state

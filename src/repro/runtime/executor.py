@@ -24,6 +24,7 @@ from typing import Any, Optional
 
 import numpy as np
 
+from repro.batchpath import batch_path_enabled
 from repro.config import MachineConfig
 from repro.errors import ConfigurationError
 from repro.gpu.kernel import KernelModel, KernelStrategy
@@ -33,7 +34,7 @@ from repro.interconnect.transfer import NetworkFabric
 from repro.metrics.counters import Counters
 from repro.pgas.symmetric_heap import SymmetricHeap
 from repro.sim.monitor import IntervalAccumulator
-from repro.runtime.aggregator import Aggregator
+from repro.runtime.aggregator import Aggregator, MergedBatch
 from repro.runtime.distributed_queue import DistributedQueues
 from repro.runtime.priority_queue import DistributedPriorityQueues
 from repro.runtime.termination import WorkTracker
@@ -189,6 +190,12 @@ class AtosExecutor:
                 config.num_recv_queues,
             )
 
+        #: Vectorized data path (read once at construction; the
+        #: ``REPRO_BATCH_PATH=0`` escape hatch restores the per-payload
+        #: reference path — bit-identical traces, pinned by the golden
+        #: suite).
+        self.batch_path = batch_path_enabled()
+
         use_agg = (
             config.use_aggregator
             if config.use_aggregator is not None
@@ -203,6 +210,7 @@ class AtosExecutor:
                     self._make_agg_sender(pe),
                     batch_size=config.batch_size,
                     wait_time=config.wait_time,
+                    vectorize=self.batch_path,
                 )
                 for pe in range(n)
             ]
@@ -251,7 +259,22 @@ class AtosExecutor:
         owner, so contributions to the same vertex consolidate into a
         single enqueue — the work-efficiency payoff of batching that
         motivates PageRank's WAIT_TIME=32.
+
+        On the vectorized path the aggregator already merged the
+        payloads into one dense :class:`MergedBatch` at enqueue time
+        (where the payload-width invariant was asserted once), so this
+        hot handler does no per-payload shape probing at all.  The
+        reference path (``REPRO_BATCH_PATH=0``) receives the payload
+        list and merges here, the original behavior.
         """
+        if isinstance(payloads, MergedBatch):
+            tasks, priorities = self.app.handle_remote(pe, payloads.data)
+            if len(tasks):
+                self.tracker.add(len(tasks))
+                self._enqueue_recv(pe, tasks, priorities)
+            self.tracker.remove(payloads.count)
+            self._notify(pe)
+            return
         batch = payloads if isinstance(payloads, list) else [payloads]
         if (
             len(batch) > 1
@@ -323,8 +346,33 @@ class AtosExecutor:
         )
 
     def _flush_segment(self, pe: int) -> None:
-        """Emit buffered remote updates (segment-boundary communication)."""
+        """Emit buffered remote updates (segment-boundary communication).
+
+        With the aggregator on, the vectorized path hands each
+        destination's payload run to :meth:`Aggregator.add_many` in one
+        call (identical flush points, one threshold test for the whole
+        run) instead of walking the nested dst -> payload loops.
+        Without an aggregator each payload is its own wire message —
+        that structure is part of the modeled Groute-like behavior, so
+        it is preserved on both paths.
+        """
         buffers = self._segment_buffers[pe]
+        if self.batch_path and self.aggregators is not None:
+            aggregator = self.aggregators[pe]
+            bytes_per_update = self.machine.cost.bytes_per_remote_update
+            for dst, payloads in buffers.items():
+                # ``_payload_bytes`` hoisted out of the per-payload
+                # call: one C-level length pass per run.
+                lengths = list(map(len, payloads))
+                self.counters["remote_updates"] += sum(lengths)
+                aggregator.add_many(
+                    dst,
+                    payloads,
+                    [max(1, n * bytes_per_update) for n in lengths],
+                    lengths,
+                )
+            buffers.clear()
+            return
         for dst, payloads in buffers.items():
             for payload in payloads:
                 self._send_remote(pe, dst, payload, tracked=True)

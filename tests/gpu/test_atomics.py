@@ -158,6 +158,66 @@ def test_property_relaxed_and_exact_agree_on_final_array(data):
     assert np.array_equal(a, b)
 
 
+# Heavy-duplicate batches: few addresses, many ops each, so the
+# segmented-scan path runs deep duplication chains (the regime the
+# vectorization exists for).
+heavy_batches = st.integers(1, 3).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.lists(
+            st.tuples(st.integers(0, n - 1), st.integers(-50, 50)),
+            min_size=20,
+            max_size=120,
+        ),
+    )
+)
+
+
+@given(heavy_batches)
+@settings(max_examples=60, deadline=None)
+def test_property_exact_heavy_duplicates_int(data):
+    n, ops = data
+    arr0 = np.arange(n, dtype=np.int64) * 7 - 3
+    idx = np.array([o[0] for o in ops], dtype=np.int64)
+    vals = np.array([o[1] for o in ops], dtype=np.int64)
+    for fn, ref in (
+        (atomic_min_exact, _reference_min),
+        (atomic_add_exact, _reference_add),
+    ):
+        expected_arr, expected_old = ref(arr0, ops)
+        arr = arr0.copy()
+        old = fn(arr, idx, vals)
+        assert np.array_equal(arr, expected_arr)
+        assert list(old) == expected_old
+
+
+@given(heavy_batches)
+@settings(max_examples=60, deadline=None)
+def test_property_exact_heavy_duplicates_float(data):
+    # Float min is order-insensitive and must match the sequential
+    # loop bit-for-bit; float add may only differ by summation
+    # rounding, so it is compared to tolerance.
+    n, ops = data
+    arr0 = (np.arange(n, dtype=np.float64) * 7 - 3) / 2
+    idx = np.array([o[0] for o in ops], dtype=np.int64)
+    vals = np.array([o[1] for o in ops], dtype=np.float64) / 4
+    expected_arr, expected_old = _reference_min(arr0, [
+        (i, v) for (i, _), v in zip(ops, vals)
+    ])
+    arr = arr0.copy()
+    old = atomic_min_exact(arr, idx, vals)
+    assert np.array_equal(arr, expected_arr)
+    assert list(old) == expected_old
+
+    expected_arr, expected_old = _reference_add(arr0, [
+        (i, v) for (i, _), v in zip(ops, vals)
+    ])
+    arr = arr0.copy()
+    old = atomic_add_exact(arr, idx, vals)
+    assert np.allclose(arr, expected_arr)
+    assert np.allclose(old, expected_old)
+
+
 @given(batches)
 @settings(max_examples=60)
 def test_property_relaxed_min_old_upper_bounds_exact(data):

@@ -1,0 +1,170 @@
+"""Batch push API equivalence: ``push_batch`` vs a per-payload loop.
+
+``ConcurrentQueue.push_batch`` exists so the hot data path can cross
+the queue protocol once per payload run instead of once per payload.
+Its contract is *observational equivalence*: for any queue model and
+any payload run, a reader must not be able to tell whether the run
+entered through one wide reserve/commit or through N narrow ones —
+same poppable contents in the same order, same gap exposure around
+open reservations, same ``QueueFullError`` point, same item counters.
+Only the operation counters (``pushes``) may differ, recording one
+wide operation.
+
+These are twin-queue tests: every scenario is applied to two
+identically prepared queues, one per push style, and every observable
+is compared.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QueueFullError
+from repro.queues import AtosQueue, BrokerQueue, CASQueue
+
+QUEUES = [AtosQueue, BrokerQueue, CASQueue]
+
+
+@st.composite
+def scenarios(draw):
+    capacity = draw(st.integers(4, 32))
+    pre_lens = draw(st.lists(st.integers(0, 3), max_size=4))
+    pre_pop = draw(st.integers(0, 8))
+    open_reservation = draw(st.integers(0, 4))
+    batch_lens = draw(st.lists(st.integers(0, 6), max_size=8))
+    return capacity, pre_lens, pre_pop, open_reservation, batch_lens
+
+
+def _prepare(queue_cls, capacity, pre_lens, pre_pop, open_reservation):
+    """Build one queue: some committed traffic, then an open gap."""
+    queue = queue_cls(capacity)
+    value = 0
+    for length in pre_lens:
+        items = np.arange(value, value + length)
+        value += length
+        try:
+            queue.push(items)
+        except QueueFullError:
+            pass
+    queue.pop(pre_pop)
+    ticket = None
+    if open_reservation:
+        try:
+            ticket = queue.reserve(open_reservation)
+        except QueueFullError:
+            ticket = None
+    return queue, ticket, value
+
+
+def _observe(queue):
+    return (queue.readable, queue.pending, queue.free_slots)
+
+
+def _drain(queue):
+    out = []
+    while True:
+        got = queue.pop(3)
+        if not len(got):
+            return out
+        out.extend(got.tolist())
+
+
+@given(scenarios())
+@settings(max_examples=150, deadline=None)
+def test_push_batch_equivalent_to_push_loop(scenario):
+    capacity, pre_lens, pre_pop, open_reservation, batch_lens = scenario
+    base = 1000
+    payloads = []
+    for length in batch_lens:
+        payloads.append(np.arange(base, base + length))
+        base += length
+
+    for queue_cls in QUEUES:
+        wide, wide_ticket, _ = _prepare(
+            queue_cls, capacity, pre_lens, pre_pop, open_reservation
+        )
+        narrow, narrow_ticket, _ = _prepare(
+            queue_cls, capacity, pre_lens, pre_pop, open_reservation
+        )
+        assert _observe(wide) == _observe(narrow)
+
+        wide_raised = narrow_raised = False
+        try:
+            wide.push_batch(payloads)
+        except QueueFullError:
+            wide_raised = True
+        try:
+            for payload in payloads:
+                narrow.push(payload)
+        except QueueFullError:
+            narrow_raised = True
+
+        # Same failure point, same visible state around the open gap.
+        assert wide_raised == narrow_raised
+        assert _observe(wide) == _observe(narrow)
+        assert wide.stats.items_pushed == narrow.stats.items_pushed
+        assert wide.stats.full_failures == narrow.stats.full_failures
+
+        # Close the gap (commit the open reservation on both queues
+        # with identical items) and compare the full drain order.
+        if wide_ticket is not None:
+            gap_items = np.arange(-open_reservation, 0)
+            wide.commit(wide_ticket, gap_items)
+            narrow.commit(narrow_ticket, gap_items)
+        assert _observe(wide) == _observe(narrow)
+        assert _drain(wide) == _drain(narrow)
+        if hasattr(wide, "check_invariants"):
+            wide.check_invariants()
+            narrow.check_invariants()
+
+
+@given(st.lists(st.integers(0, 5), max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_push_batch_spanning_ticket(batch_lens):
+    """The returned ticket spans exactly the committed payloads."""
+    payloads = [np.arange(n) for n in batch_lens]
+    total = sum(batch_lens)
+    for queue_cls in QUEUES:
+        queue = queue_cls(max(total, 1))
+        ticket = queue.push_batch(payloads)
+        if not payloads:
+            assert ticket is None
+        else:
+            assert ticket.count == total
+            assert queue.readable == total
+
+
+def test_push_batch_commits_prefix_then_raises():
+    """The longest fitting prefix lands before QueueFullError."""
+    for queue_cls in QUEUES:
+        queue = queue_cls(8)
+        payloads = [
+            np.array([1, 2, 3]),
+            np.array([4, 5, 6]),
+            np.array([7, 8, 9]),  # cannot fit: 9 > 8 slots
+        ]
+        try:
+            queue.push_batch(payloads)
+            raise AssertionError("expected QueueFullError")
+        except QueueFullError:
+            pass
+        assert queue.pop(16).tolist() == [1, 2, 3, 4, 5, 6]
+
+        # A per-payload loop raises at the identical point.
+        loop = queue_cls(8)
+        seen = []
+        try:
+            for payload in payloads:
+                loop.push(payload)
+                seen.append(payload)
+        except QueueFullError:
+            pass
+        assert loop.pop(16).tolist() == [1, 2, 3, 4, 5, 6]
+
+
+def test_push_batch_counts_one_wide_operation():
+    """Protocol-crossing reduction is visible in the stats."""
+    queue = AtosQueue(64)
+    queue.push_batch([np.arange(3), np.arange(4), np.arange(5)])
+    assert queue.stats.pushes == 1
+    assert queue.stats.items_pushed == 12

@@ -1,9 +1,11 @@
 """Property-based tests for the communication aggregator."""
 
+import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.runtime import Aggregator
+from repro.runtime.aggregator import MergedBatch
 
 # Scripts: sequence of ("add", dst, nbytes) / ("tick",) operations.
 operations = st.lists(
@@ -74,6 +76,88 @@ def test_property_buffer_never_holds_full_batch(script, batch):
                 # Flush-on-size means a buffer can never *stay* at or
                 # above the threshold after add() returns.
                 assert buffer.n_bytes < batch
+
+
+# ------------------------------------------------ add_many equivalence
+#: Runs of uniform (k, 2) array payloads plus occasional junk payloads
+#: (forcing the list-mode fallback mid-run).
+payload_runs = st.lists(
+    st.lists(
+        st.one_of(
+            st.integers(0, 5),     # a (k, 2) int64 array of k rows
+            st.just("junk"),       # a non-array payload
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+    max_size=10,
+)
+
+
+def _materialize(spec, counter):
+    if spec == "junk":
+        return ("junk", counter)
+    return np.arange(2 * spec, dtype=np.int64).reshape(spec, 2) + counter
+
+
+def _rows(payloads):
+    """All update rows delivered by one send, as a list of tuples."""
+    if isinstance(payloads, MergedBatch):
+        return [tuple(r) for r in payloads.data]
+    rows = []
+    for p in payloads if isinstance(payloads, list) else [payloads]:
+        if isinstance(p, np.ndarray):
+            rows.extend(tuple(r) for r in p)
+        else:
+            rows.append(p)
+    return rows
+
+
+@given(payload_runs, st.integers(1, 400), st.integers(1, 8))
+@settings(max_examples=100, deadline=None)
+def test_property_add_many_equivalent_to_add_loop(runs, batch, wait):
+    """``add_many`` must be observably identical to an ``add`` loop:
+
+    same flush points (flush counters), same bytes per send, and the
+    same update rows in the same order — whether a run stays uniform
+    (bulk concatenate), crosses the flush threshold mid-run
+    (segment splitting), or degrades to list mode on junk payloads.
+    The loop side runs with ``vectorize=False`` (the escape-hatch
+    reference), so this also pins list mode == array mode delivery.
+    """
+    sides = {}
+    for mode in ("loop", "many"):
+        sent = []
+        agg = Aggregator(
+            0,
+            2,
+            lambda dst, payloads, n_bytes: sent.append(
+                (dst, _rows(payloads), n_bytes)
+            ),
+            batch_size=batch,
+            wait_time=wait,
+            vectorize=(mode == "many"),
+        )
+        counter = 0
+        for run in runs:
+            payloads = [_materialize(s, counter + i)
+                        for i, s in enumerate(run)]
+            counter += len(run)
+            n_bytes = [
+                max(1, 8 * p.size) if isinstance(p, np.ndarray) else 4
+                for p in payloads
+            ]
+            if mode == "loop":
+                for payload, nb in zip(payloads, n_bytes):
+                    agg.add(1, payload, nb)
+            else:
+                agg.add_many(1, payloads, n_bytes)
+            agg.tick()
+        agg.flush_all()
+        sides[mode] = (
+            sent, agg.flushes_on_size, agg.flushes_on_timeout
+        )
+    assert sides["loop"] == sides["many"]
 
 
 @given(operations)
