@@ -11,6 +11,7 @@ subcommands::
     python -m repro topology daisy
     python -m repro cache stats                 # persistent run cache
     python -m repro bench --quick               # data-path perf cells
+    python -m repro chaos --verify-inert        # fault-injection grid
 
 Every experiment subcommand prints the paper-style table to stdout.
 Grid subcommands take ``--jobs N`` (0 = one worker per CPU; default
@@ -43,10 +44,11 @@ def _grid_args(quick: bool, ib: bool = False):
 
 
 def _pool_kwargs(args: argparse.Namespace) -> dict:
-    """--jobs / --timeout as keyword args for the grid functions."""
+    """--jobs / --timeout / --seed as kwargs for the grid functions."""
     return {
         "jobs": getattr(args, "jobs", None),
         "timeout_s": getattr(args, "timeout", None),
+        "seed": getattr(args, "seed", 0),
     }
 
 
@@ -62,7 +64,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.harness import run
 
     result = run(
-        args.framework, args.app, args.dataset, args.machine, args.gpus
+        args.framework, args.app, args.dataset, args.machine, args.gpus,
+        seed=args.seed,
     )
     print(
         f"{result.framework} {result.app} on {result.dataset} "
@@ -230,7 +233,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write_bench,
     )
 
-    doc = run_bench(quick=args.quick)
+    doc = run_bench(quick=args.quick, seed=args.seed)
     print(render_bench(doc))
     if args.out:
         write_bench(doc, args.out)
@@ -243,6 +246,42 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                 f"--fail-below {args.fail_below:.2f}x"
             )
             return 1
+    return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.harness.chaos import (
+        CHAOS_VARIANTS,
+        chaos_grid,
+        render_chaos,
+        verify_inert,
+    )
+
+    if args.verify_inert:
+        verify_inert(seed=args.seed, apps=("bfs", "pagerank"))
+        print("inertness verified: zero-fault plan is trace-identical "
+              "to no plan (bfs, pagerank)")
+    drop_rates = tuple(
+        float(rate) for rate in args.drop_rates.split(",") if rate
+    )
+    apps = ("bfs",) if args.quick else ("bfs", "pagerank")
+    variants = (
+        ("standard-persistent", "priority-discrete")
+        if args.quick
+        else tuple(CHAOS_VARIANTS)
+    )
+    cells = chaos_grid(
+        drop_rates=drop_rates,
+        apps=apps,
+        variants=variants,
+        seed=args.seed,
+        n_gpus=args.gpus,
+    )
+    print(render_chaos(cells))
+    failures = [cell for cell in cells if not cell.ok]
+    if failures:
+        print(f"\n{len(failures)} chaos cell(s) FAILED")
+        return 1
     return 0
 
 
@@ -268,6 +307,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=__version__)
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_seed_flag(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--seed",
+            type=int,
+            default=0,
+            help="partition/workload seed (0 = the evaluation default)",
+        )
+
     sub.add_parser("datasets", help="Table I dataset summary").set_defaults(
         func=_cmd_datasets
     )
@@ -281,6 +328,7 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--gpus", type=int, default=1)
     run_parser.add_argument("--counters", action="store_true",
                             help="print run counters")
+    add_seed_flag(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 
     def add_pool_flags(p: argparse.ArgumentParser) -> None:
@@ -298,6 +346,7 @@ def build_parser() -> argparse.ArgumentParser:
             metavar="SECONDS",
             help="per-run deadline when --jobs > 1",
         )
+        add_seed_flag(p)
 
     for name, fn, help_text in [
         ("table2", _cmd_table2, "Table II: BFS on NVLink"),
@@ -357,7 +406,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 if the headline cell's speedup is below RATIO "
         "(CI uses 1.0: fail only on regression)",
     )
+    add_seed_flag(bench)
     bench.set_defaults(func=_cmd_bench)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection grid: drop rate x app x queue variant",
+    )
+    chaos.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller grid (BFS only, two variants)",
+    )
+    chaos.add_argument(
+        "--drop-rates",
+        default="0,0.05,0.1",
+        metavar="R,R,...",
+        help="comma-separated message drop probabilities",
+    )
+    chaos.add_argument("--gpus", type=int, default=4)
+    chaos.add_argument(
+        "--verify-inert",
+        action="store_true",
+        help="also prove a zero-fault plan is trace-identical to none",
+    )
+    add_seed_flag(chaos)
+    chaos.set_defaults(func=_cmd_chaos)
 
     topo = sub.add_parser("topology", help="show a machine topology")
     topo.add_argument("machine",

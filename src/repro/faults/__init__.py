@@ -1,0 +1,47 @@
+"""Deterministic fault injection and the resilient delivery layer.
+
+The paper's runtime assumes NVSHMEM delivers every one-sided op exactly
+once; the DES inherited that, so every link and every message was
+perfectly reliable.  This package drops that assumption:
+
+* :mod:`repro.faults.plan` — a seeded, fully deterministic
+  :class:`FaultPlan`: a replayable schedule of link faults (drop,
+  duplicate, delay/jitter, transient partition) and device faults
+  (straggler slowdown, transient stall).
+* :mod:`repro.faults.injectors` — the hooks that apply a plan to the
+  existing layers: :class:`LinkFaultInjector` decides the fate of each
+  fabric message, :class:`DeviceFaultInjector` perturbs GPU round
+  durations.
+* :mod:`repro.faults.transport` — :class:`ReliableTransport`, the
+  machinery that makes the runtime survive an unreliable fabric:
+  sequence-numbered sends, receiver-side dedup, ack/timeout/retransmit
+  with exponential backoff and a retry budget, and loss-safe
+  termination accounting (work tokens retire on *ack*, not on send).
+
+An executor given no plan — or a plan with every rate at zero and no
+scheduled windows — takes exactly the pre-fault code path: the golden
+trace suite pins that a zero-fault run is bit-identical to a run
+without the subsystem.
+"""
+
+from repro.faults.plan import (
+    FaultPlan,
+    MessageFate,
+    PartitionWindow,
+    StallEvent,
+    StragglerWindow,
+)
+from repro.faults.injectors import DeviceFaultInjector, LinkFaultInjector
+from repro.faults.transport import ReliableTransport, RetryPolicy
+
+__all__ = [
+    "FaultPlan",
+    "MessageFate",
+    "PartitionWindow",
+    "StragglerWindow",
+    "StallEvent",
+    "LinkFaultInjector",
+    "DeviceFaultInjector",
+    "ReliableTransport",
+    "RetryPolicy",
+]

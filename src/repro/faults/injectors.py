@@ -1,0 +1,93 @@
+"""Injectors: apply a :class:`FaultPlan` to the existing layers.
+
+:class:`LinkFaultInjector` plugs into
+:class:`repro.interconnect.transfer.NetworkFabric` (its
+``fault_injector`` attribute) and decides the fate of every wire
+message; :class:`DeviceFaultInjector` plugs into the executor's GPU
+processes and perturbs round durations (straggler windows) and injects
+one-shot stalls.
+
+Both write their activity into a shared :class:`Counters` bag under the
+``fault_*`` family (see :data:`repro.metrics.counters.FAULT_COUNTERS`),
+so every chaos run reports exactly what was injected.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults.plan import FaultPlan, MessageFate
+from repro.metrics.counters import Counters
+
+__all__ = ["LinkFaultInjector", "DeviceFaultInjector"]
+
+
+class LinkFaultInjector:
+    """Per-message fate decisions for the network fabric.
+
+    Keeps one message counter per directed link; since the DES is
+    deterministic, the ``index``-th message on a link is the same
+    message across replays, so the injected schedule replays exactly.
+    """
+
+    def __init__(self, plan: FaultPlan, counters: Optional[Counters] = None):
+        self.plan = plan
+        self.counters = counters if counters is not None else Counters()
+        self._message_index: dict[tuple[int, int], int] = {}
+
+    def fate(self, src: int, dst: int, now: float) -> MessageFate:
+        """Decide (and count) the fate of the next (src -> dst) message."""
+        key = (src, dst)
+        index = self._message_index.get(key, 0)
+        self._message_index[key] = index + 1
+        fate = self.plan.message_fate(src, dst, index, now)
+        if fate.dropped:
+            self.counters["fault_dropped"] += 1
+        if fate.duplicates:
+            self.counters["fault_duplicated"] += fate.duplicates
+        if fate.extra_delay:
+            self.counters["fault_delayed"] += 1
+        return fate
+
+
+class DeviceFaultInjector:
+    """Straggler slowdowns and transient stalls for GPU processes.
+
+    ``round_duration`` is the single application point: the executor
+    passes each round's modeled duration through it.  Straggler windows
+    stretch the round multiplicatively; pending :class:`StallEvent`\\ s
+    whose time has come are consumed once and added as dead time.
+    """
+
+    def __init__(self, plan: FaultPlan, counters: Optional[Counters] = None):
+        self.plan = plan
+        self.counters = counters if counters is not None else Counters()
+        #: Per-PE stall events, soonest first, consumed front to back.
+        self._stalls: dict[int, list] = {}
+        for event in sorted(plan.stalls, key=lambda e: (e.pe, e.at)):
+            self._stalls.setdefault(event.pe, []).append(event)
+
+    def slowdown(self, pe: int, now: float) -> float:
+        """Compound straggler factor for ``pe`` at ``now`` (1.0 = none)."""
+        return self.plan.slowdown(pe, now)
+
+    def take_stall(self, pe: int, now: float) -> float:
+        """Consume every due stall for ``pe``; returns total dead time."""
+        queue = self._stalls.get(pe)
+        if not queue:
+            return 0.0
+        taken = 0.0
+        while queue and queue[0].at <= now:
+            taken += queue.pop(0).duration
+        return taken
+
+    def round_duration(self, pe: int, now: float, base: float) -> float:
+        """One round's duration with device faults applied."""
+        factor = self.slowdown(pe, now)
+        if factor != 1.0:
+            self.counters["fault_straggler_rounds"] += 1
+        stall = self.take_stall(pe, now)
+        if stall:
+            self.counters["fault_stalls"] += 1
+            self.counters["fault_stall_time_us"] += stall
+        return base * factor + stall

@@ -1,0 +1,246 @@
+"""Seeded, fully deterministic fault plans.
+
+A :class:`FaultPlan` is a *replayable schedule* of fault events, not a
+live random process: every decision is a pure function of the plan's
+seed plus stable coordinates of the thing being decided (link endpoint
+pair, per-link message index, decision kind).  Two simulations of the
+same workload with the same plan therefore inject bit-identical
+faults, which is what makes chaos runs debuggable — a failing cell can
+be replayed under a tracer and hits the same drops at the same message
+indices every time.
+
+Probabilistic faults (drop / duplicate / delay-with-jitter) are drawn
+from a counter-based hash stream; scheduled faults (transient link
+partitions, straggler windows, transient device stalls) are explicit
+time windows carried by the plan itself.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "FaultPlan",
+    "MessageFate",
+    "PartitionWindow",
+    "StragglerWindow",
+    "StallEvent",
+    "uniform",
+]
+
+# Decision-kind tags: each fault dimension reads its own hash stream so
+# e.g. raising the drop rate never shifts which messages get delayed.
+_DROP = 0
+_DUPLICATE = 1
+_DELAY = 2
+_JITTER = 3
+
+
+def uniform(seed: int, *key: int) -> float:
+    """Deterministic uniform in [0, 1) for an integer key tuple.
+
+    A counter-based generator (hash of ``(seed, *key)``) rather than a
+    stateful RNG: the value depends only on the coordinates, never on
+    how many draws other links or decision kinds have made.
+    """
+    packed = struct.pack(f"<{len(key) + 1}q", seed, *key)
+    digest = hashlib.blake2b(packed, digest_size=8).digest()
+    return int.from_bytes(digest, "little") / 2.0**64
+
+
+@dataclass(frozen=True, slots=True)
+class MessageFate:
+    """What the plan decided for one wire message."""
+
+    #: The message is lost in flight (serialized, never delivered).
+    dropped: bool = False
+    #: Extra copies delivered besides the original.
+    duplicates: int = 0
+    #: Added one-way latency (us) — delay/jitter faults.
+    extra_delay: float = 0.0
+
+    @property
+    def clean(self) -> bool:
+        """True when the message is delivered exactly once, on time."""
+        return (
+            not self.dropped
+            and self.duplicates == 0
+            and self.extra_delay == 0.0
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionWindow:
+    """A transient partition: the link drops everything in [start, end).
+
+    ``src``/``dst`` of ``-1`` are wildcards, so a whole PE can be cut
+    off (``PartitionWindow(src=-1, dst=3, ...)`` kills all traffic
+    *into* PE 3 for the window).
+    """
+
+    src: int
+    dst: int
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ConfigurationError("partition window ends before it starts")
+
+    def covers(self, src: int, dst: int, now: float) -> bool:
+        """Is a (src -> dst) message at time ``now`` inside the window?"""
+        return (
+            self.start <= now < self.end
+            and self.src in (-1, src)
+            and self.dst in (-1, dst)
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class StragglerWindow:
+    """A device runs ``factor`` x slower during [start, end)."""
+
+    pe: int
+    start: float
+    end: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ConfigurationError("straggler window ends before it starts")
+        if self.factor < 1.0:
+            raise ConfigurationError("straggler factor must be >= 1")
+
+    def covers(self, pe: int, now: float) -> bool:
+        """Is device ``pe`` inside this slowdown window at ``now``?"""
+        return self.pe == pe and self.start <= now < self.end
+
+
+@dataclass(frozen=True, slots=True)
+class StallEvent:
+    """A one-shot transient stall: device ``pe`` loses ``duration`` us
+    at its first scheduling round at or after ``at``."""
+
+    pe: int
+    at: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ConfigurationError("stall duration must be non-negative")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A replayable schedule of link and device faults.
+
+    Rates are per-message probabilities on every directed link (the
+    control traffic of the resilient transport — acks, retransmissions
+    — is subject to the same fates as data).  An all-zero plan is
+    *inert*: ``active`` is False and the runtime takes the exact
+    pre-fault code path, which the golden-trace suite pins.
+    """
+
+    seed: int = 0
+    #: Probability a message is lost in flight.
+    drop_rate: float = 0.0
+    #: Probability a message is delivered twice.
+    duplicate_rate: float = 0.0
+    #: Probability a message is delayed by up to ``delay_jitter`` us.
+    delay_rate: float = 0.0
+    #: Maximum added one-way latency (us) for delayed messages.
+    delay_jitter: float = 25.0
+    partitions: tuple[PartitionWindow, ...] = ()
+    stragglers: tuple[StragglerWindow, ...] = ()
+    stalls: tuple[StallEvent, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "duplicate_rate", "delay_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1]")
+        if self.delay_jitter < 0:
+            raise ConfigurationError("delay_jitter must be non-negative")
+        # Tolerate lists in hand-written plans; store tuples (hashable,
+        # immutable — a plan is a value).
+        for name in ("partitions", "stragglers", "stalls"):
+            value = getattr(self, name)
+            if not isinstance(value, tuple):
+                object.__setattr__(self, name, tuple(value))
+
+    # ----------------------------------------------------------- state
+    @property
+    def active(self) -> bool:
+        """True if this plan can ever inject a fault."""
+        return bool(
+            self.drop_rate
+            or self.duplicate_rate
+            or (self.delay_rate and self.delay_jitter)
+            or self.partitions
+            or self.stragglers
+            or self.stalls
+        )
+
+    # ----------------------------------------------------- link fates
+    def message_fate(
+        self, src: int, dst: int, index: int, now: float
+    ) -> MessageFate:
+        """The fate of the ``index``-th message on link (src, dst).
+
+        Pure in (plan, src, dst, index, now): replaying a simulation
+        replays the schedule.
+        """
+        for window in self.partitions:
+            if window.covers(src, dst, now):
+                return MessageFate(dropped=True)
+        if self.drop_rate and (
+            uniform(self.seed, _DROP, src, dst, index) < self.drop_rate
+        ):
+            return MessageFate(dropped=True)
+        duplicates = 0
+        if self.duplicate_rate and (
+            uniform(self.seed, _DUPLICATE, src, dst, index)
+            < self.duplicate_rate
+        ):
+            duplicates = 1
+        extra_delay = 0.0
+        if (
+            self.delay_rate
+            and self.delay_jitter
+            and uniform(self.seed, _DELAY, src, dst, index) < self.delay_rate
+        ):
+            extra_delay = self.delay_jitter * uniform(
+                self.seed, _JITTER, src, dst, index
+            )
+        return MessageFate(duplicates=duplicates, extra_delay=extra_delay)
+
+    def preview(
+        self, src: int, dst: int, n: int, now: float = 0.0
+    ) -> list[MessageFate]:
+        """The fates of the first ``n`` messages on one link — the
+        replayable schedule made visible (for tests and debugging)."""
+        return [self.message_fate(src, dst, i, now) for i in range(n)]
+
+    # ---------------------------------------------------- device view
+    def slowdown(self, pe: int, now: float) -> float:
+        """Compound straggler factor for device ``pe`` at ``now``."""
+        factor = 1.0
+        for window in self.stragglers:
+            if window.covers(pe, now):
+                factor *= window.factor
+        return factor
+
+    def describe(self) -> str:
+        """One-line human summary (chaos tables, logs)."""
+        parts = [f"seed={self.seed}"]
+        for name in ("drop_rate", "duplicate_rate", "delay_rate"):
+            if getattr(self, name):
+                parts.append(f"{name.split('_')[0]}={getattr(self, name):g}")
+        for name in ("partitions", "stragglers", "stalls"):
+            if getattr(self, name):
+                parts.append(f"{name}={len(getattr(self, name))}")
+        return "FaultPlan(" + ", ".join(parts) + ")"

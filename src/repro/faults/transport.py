@@ -1,0 +1,231 @@
+"""The resilient delivery layer: acks, retransmission, dedup.
+
+On a faulty fabric a one-sided update can be lost, duplicated, or
+delayed.  :class:`ReliableTransport` restores exactly-once *effective*
+delivery on top of at-most-once links, with the classic trio:
+
+* **sequence numbers** — every wire message carries a per-link sequence
+  number; the receiver keeps a seen-set and suppresses duplicate
+  applications (a duplicate still triggers an ack, because the first
+  ack may be the thing that was lost);
+* **ack / timeout / retransmit** — the sender holds each message until
+  its ack arrives; a retransmit timer fires with exponential backoff up
+  to a retry budget, after which the run fails loudly with
+  :class:`SimulationError` (a silently hung simulation is the one
+  unacceptable outcome);
+* **loss-safe termination accounting** — the work tokens a message
+  carries are *leased* (held) from send until ack, via the ledger the
+  executor passes in (:class:`repro.runtime.termination.InFlightLedger`),
+  so the global work counter can only drain once every update has
+  provably been applied.
+
+Acks and retransmissions travel through the same fabric and are subject
+to the same fault plan: a dropped ack causes a retransmit whose
+duplicate application the receiver's seen-set suppresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.metrics.counters import Counters
+
+__all__ = ["RetryPolicy", "ReliableTransport"]
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """Retransmission knobs: deadline, backoff, budget, ack size."""
+
+    #: Initial ack deadline (us) counted from each transmission.
+    timeout: float = 50.0
+    #: Deadline multiplier per retry (exponential backoff).
+    backoff: float = 2.0
+    #: Deadline ceiling (us) so backoff cannot sleep past a healed
+    #: partition forever.
+    max_timeout: float = 5_000.0
+    #: Retransmissions allowed per message before the run fails.
+    budget: int = 16
+    #: Wire size (bytes) charged for an ack message.
+    ack_bytes: int = 16
+
+    def __post_init__(self) -> None:
+        if self.timeout <= 0:
+            raise ConfigurationError("retry timeout must be positive")
+        if self.backoff < 1.0:
+            raise ConfigurationError("retry backoff must be >= 1")
+        if self.max_timeout < self.timeout:
+            raise ConfigurationError("max_timeout must be >= timeout")
+        if self.budget < 0:
+            raise ConfigurationError("retry budget must be non-negative")
+        if self.ack_bytes < 1:
+            raise ConfigurationError("ack_bytes must be positive")
+
+    def deadline(self, attempt: int) -> float:
+        """Ack deadline (us) for the ``attempt``-th transmission."""
+        return min(self.timeout * self.backoff**attempt, self.max_timeout)
+
+
+@dataclass(slots=True)
+class _DataPacket:
+    """One sequence-numbered wire message: (src, dst, seq) + payload."""
+
+    key: tuple[int, int, int]
+    payload: Any
+
+
+@dataclass(slots=True)
+class _AckPacket:
+    """Receiver -> sender acknowledgement of one data packet."""
+
+    key: tuple[int, int, int]
+
+
+@dataclass(slots=True)
+class _PendingSend:
+    """Sender-side record of an unacknowledged message."""
+
+    key: tuple[int, int, int]
+    payload_bytes: int
+    payload: Any
+    tokens: int
+    attempt: int = 0
+
+
+class ReliableTransport:
+    """Sequence-numbered, acked, retransmitting sends over the fabric.
+
+    ``deliver_fn(dst, payload)`` is the executor's apply-side handler:
+    it must register any derived work with the tracker *itself* and
+    must **not** retire the message's tokens — those are leased in the
+    ledger and retire here, on ack.
+    """
+
+    def __init__(
+        self,
+        env: Any,
+        fabric: Any,
+        ledger: Any,
+        deliver_fn: Callable[[int, Any], None],
+        policy: RetryPolicy | None = None,
+        counters: Counters | None = None,
+        extra_latency_fn: Callable[[], float] | None = None,
+    ):
+        self.env = env
+        self.fabric = fabric
+        self.ledger = ledger
+        self.deliver_fn = deliver_fn
+        self.policy = policy or RetryPolicy()
+        self.counters = counters if counters is not None else Counters()
+        self._extra_latency = extra_latency_fn or (lambda: 0.0)
+        self._next_seq: dict[tuple[int, int], int] = {}
+        self._pending: dict[tuple[int, int, int], _PendingSend] = {}
+        #: Receiver-side dedup state: (src, dst) -> seqs already applied.
+        self._seen: dict[tuple[int, int], set[int]] = {}
+
+    # ------------------------------------------------------------ state
+    @property
+    def quiescent(self) -> bool:
+        """True when no message is awaiting its ack."""
+        return not self._pending
+
+    @property
+    def pending_messages(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------------- send
+    def send(
+        self, src: int, dst: int, payload_bytes: int, payload: Any,
+        tokens: int,
+    ) -> None:
+        """Reliable one-sided send of ``payload`` carrying ``tokens``.
+
+        The caller must already have added ``tokens`` to the work
+        tracker (the usual add-before-consume ordering); this leases
+        them until the ack arrives.
+        """
+        link = (src, dst)
+        seq = self._next_seq.get(link, 0)
+        self._next_seq[link] = seq + 1
+        record = _PendingSend(
+            key=(src, dst, seq),
+            payload_bytes=payload_bytes,
+            payload=payload,
+            tokens=tokens,
+        )
+        self._pending[record.key] = record
+        self.ledger.lease(tokens)
+        self.counters["transport_sends"] += 1
+        self._transmit(record)
+
+    def _transmit(self, record: _PendingSend) -> None:
+        src, dst, _seq = record.key
+        self.fabric.send(
+            src,
+            dst,
+            record.payload_bytes,
+            _DataPacket(record.key, record.payload),
+            self._on_data,
+            extra_latency=self._extra_latency(),
+        )
+        deadline = self.policy.deadline(record.attempt)
+        timer = self.env.timeout(deadline)
+        attempt = record.attempt
+        timer.callbacks.append(
+            lambda _ev, key=record.key, attempt=attempt: self._on_timeout(
+                key, attempt
+            )
+        )
+
+    def _on_timeout(self, key: tuple[int, int, int], attempt: int) -> None:
+        record = self._pending.get(key)
+        if record is None or record.attempt != attempt:
+            return  # acked, or a later transmission owns the deadline
+        if record.attempt >= self.policy.budget:
+            src, dst, seq = key
+            raise SimulationError(
+                f"retry budget exhausted: message {src}->{dst}#{seq} "
+                f"unacknowledged after {record.attempt + 1} transmissions"
+            )
+        record.attempt += 1
+        self.counters["transport_retransmits"] += 1
+        self._transmit(record)
+
+    # ---------------------------------------------------------- receive
+    def _on_data(self, message: Any) -> None:
+        packet: _DataPacket = message.payload
+        src, dst, seq = packet.key
+        seen = self._seen.setdefault((src, dst), set())
+        if seq in seen:
+            # Duplicate (fabric duplication or a retransmission whose
+            # original landed): suppress the re-apply, but still ack —
+            # the retransmit implies our previous ack may be lost.
+            self.counters["transport_duplicates_suppressed"] += 1
+        else:
+            seen.add(seq)
+            self.deliver_fn(dst, packet.payload)
+        self.counters["transport_acks_sent"] += 1
+        self.fabric.send(
+            dst,
+            src,
+            self.policy.ack_bytes,
+            _AckPacket(packet.key),
+            self._on_ack,
+            extra_latency=self._extra_latency(),
+        )
+
+    def _on_ack(self, message: Any) -> None:
+        key = message.payload.key
+        record = self._pending.pop(key, None)
+        if record is None:
+            # Ack for an already-retired message (duplicated ack, or
+            # acks of both the original and a retransmission).
+            self.counters["transport_stale_acks"] += 1
+            return
+        self.counters["transport_acks_received"] += 1
+        src, dst, seq = key
+        self.ledger.retire(
+            record.tokens, source=f"ack {src}->{dst}#{seq}"
+        )

@@ -12,10 +12,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from typing import Any
 
 from repro.config import CostModel
 
-__all__ = ["KernelStrategy", "KernelModel"]
+__all__ = ["KernelStrategy", "KernelModel", "FaultyKernelModel"]
 
 
 class KernelStrategy(str, Enum):
@@ -51,3 +52,42 @@ class KernelModel:
             # Final stop-condition propagation + host sync.
             return self.cost.cpu_sync_overhead
         return 0.0
+
+
+class FaultyKernelModel:
+    """A :class:`KernelModel` seen through a device-fault injector.
+
+    Wraps the per-device time quantities the executor charges so that
+    straggler windows stretch them and pending transient stalls land on
+    round boundaries — the way a throttled or ECC-retiring GPU actually
+    degrades: every kernel quantum gets slower, and occasionally the
+    device simply goes away for a while.
+
+    Only constructed when a fault plan is active; the fault-free
+    executor keeps calling the plain :class:`KernelModel`, so the
+    zero-fault event trace is untouched.
+    """
+
+    __slots__ = ("inner", "faults")
+
+    def __init__(self, inner: KernelModel, faults: Any):
+        self.inner = inner
+        #: A :class:`repro.faults.DeviceFaultInjector` (duck-typed).
+        self.faults = faults
+
+    def startup_overhead(self, pe: int, now: float) -> float:
+        """Launch cost on ``pe`` at ``now``, straggler-stretched."""
+        return self.inner.startup_overhead() * self.faults.slowdown(pe, now)
+
+    def teardown_overhead(self) -> float:
+        """Teardown is charged after quiescence; faults are over."""
+        return self.inner.teardown_overhead()
+
+    def round_duration(self, pe: int, now: float, base: float) -> float:
+        """One scheduling round's duration with device faults applied.
+
+        ``base`` already includes the plain kernel round overhead; the
+        injector stretches the whole round (straggler) and consumes any
+        due one-shot stalls.
+        """
+        return self.faults.round_duration(pe, now, base)

@@ -19,6 +19,15 @@ from repro.harness.cache import (
     get_cache,
     machine_fingerprint,
 )
+from repro.harness.chaos import (
+    CHAOS_VARIANTS,
+    ChaosCell,
+    ChaosSpec,
+    chaos_grid,
+    render_chaos,
+    run_chaos_cell,
+    verify_inert,
+)
 from repro.harness.pool import (
     CellResult,
     GridFailure,
@@ -64,6 +73,13 @@ from repro.harness.experiments import (
 
 __all__ = [
     "run",
+    "CHAOS_VARIANTS",
+    "ChaosCell",
+    "ChaosSpec",
+    "chaos_grid",
+    "render_chaos",
+    "run_chaos_cell",
+    "verify_inert",
     "run_bench",
     "render_bench",
     "write_bench",

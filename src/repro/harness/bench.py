@@ -72,12 +72,12 @@ def _env(**overrides: str) -> Iterator[None]:
 
 
 # ------------------------------------------------------------ micro cells
-def _bench_queue_push(quick: bool) -> dict:
+def _bench_queue_push(quick: bool, seed: int = 0) -> dict:
     """One ``push_batch`` vs one reserve/commit per payload (AtosQueue)."""
     from repro.queues import AtosQueue
 
     n_payloads = 512 if quick else 2048
-    rng = np.random.default_rng(0)
+    rng = np.random.default_rng(seed)
     payloads = [
         rng.integers(0, 1 << 30, rng.integers(1, 17))
         for _ in range(n_payloads)
@@ -102,13 +102,13 @@ def _bench_queue_push(quick: bool) -> dict:
     )
 
 
-def _bench_broker_pop(quick: bool) -> dict:
+def _bench_broker_pop(quick: bool, seed: int = 0) -> dict:
     """Vectorized readable-run pop vs the per-item flag walk."""
     from repro.queues import BrokerQueue
 
     n_items = 20_000 if quick else 100_000
     chunk = 4096
-    rng = np.random.default_rng(1)
+    rng = np.random.default_rng(seed + 1)
     items = rng.integers(0, 1 << 30, n_items)
 
     def _fill() -> BrokerQueue:
@@ -147,13 +147,13 @@ def _bench_broker_pop(quick: bool) -> dict:
     )
 
 
-def _bench_atomics(quick: bool) -> dict:
+def _bench_atomics(quick: bool, seed: int = 0) -> dict:
     """Segmented-scan exact atomics vs the per-rank Python loop."""
     from repro.gpu.atomics import atomic_add_exact
 
     n_ops = 40_000 if quick else 200_000
     n_addr = 512
-    rng = np.random.default_rng(2)
+    rng = np.random.default_rng(seed + 2)
     idx = rng.integers(0, n_addr, n_ops)
     vals = rng.integers(-100, 100, n_ops)
     base = rng.integers(-100, 100, n_addr)
@@ -191,7 +191,7 @@ def _bench_atomics(quick: bool) -> dict:
     )
 
 
-def _bench_messaging_datapath(quick: bool) -> dict:
+def _bench_messaging_datapath(quick: bool, seed: int = 0) -> dict:
     """HEADLINE: the aggregator enqueue -> flush -> delivery pipeline.
 
     Replays the executor's messaging hot path over a fixed payload
@@ -210,7 +210,7 @@ def _bench_messaging_datapath(quick: bool) -> dict:
     n_rounds = 30 if quick else 120
     payloads_per_round = 320  # segment-buffered runs (many tiny payloads)
     bytes_per_update = 8
-    rng = np.random.default_rng(3)
+    rng = np.random.default_rng(seed + 3)
     # Messaging-heavy regime: many tiny (k, 2) update arrays per
     # segment flush, as segment_rounds > 1 configurations accumulate.
     rounds = [
@@ -333,13 +333,17 @@ def _bench_end_to_end(
 
 
 # ---------------------------------------------------------------- driver
-def run_bench(quick: bool = False) -> dict:
-    """Run every cell; returns the ``BENCH_datapath.json`` document."""
+def run_bench(quick: bool = False, seed: int = 0) -> dict:
+    """Run every cell; returns the ``BENCH_datapath.json`` document.
+
+    ``seed`` re-rolls the synthetic micro-cell workloads (payload
+    sizes/values); 0 reproduces the historical fixed streams.
+    """
     cells: dict[str, dict] = {
-        "queue-push-batch": _bench_queue_push(quick),
-        "broker-pop-run": _bench_broker_pop(quick),
-        "atomics-exact": _bench_atomics(quick),
-        HEADLINE_CELL: _bench_messaging_datapath(quick),
+        "queue-push-batch": _bench_queue_push(quick, seed),
+        "broker-pop-run": _bench_broker_pop(quick, seed),
+        "atomics-exact": _bench_atomics(quick, seed),
+        HEADLINE_CELL: _bench_messaging_datapath(quick, seed),
     }
     e2e = [("atos-standard-persistent", "bfs", "road-usa", "summit-ib", 4)]
     if not quick:
@@ -359,6 +363,7 @@ def run_bench(quick: bool = False) -> dict:
     return {
         "schema": SCHEMA,
         "quick": quick,
+        "seed": seed,
         "headline": HEADLINE_CELL,
         "cells": cells,
     }

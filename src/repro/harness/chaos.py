@@ -1,0 +1,332 @@
+"""Chaos harness: fault grids that must validate and terminate.
+
+The resilience claim of :mod:`repro.faults` is behavioral, not
+structural: under a deterministic schedule of dropped / duplicated /
+delayed messages and degraded devices, every run must still (a)
+terminate — no hang, no work-token underflow — and (b) produce output
+identical to the fault-free serial reference.  This module turns that
+claim into a grid: fault rate x application x queue variant, each cell
+a seeded end-to-end simulation validated against
+:mod:`repro.apps.validation`.
+
+Two entry points:
+
+* :func:`chaos_grid` runs the grid and reports per-cell verdicts plus
+  the fault/transport counters (what was injected, what the delivery
+  layer absorbed);
+* :func:`verify_inert` pins the subsystem's zero-cost guarantee — a
+  run with ``faults=None`` and a run with an all-zero
+  :class:`~repro.faults.FaultPlan` dispatch bit-identical event traces
+  (the golden-digest technique from the determinism suite).
+
+``python -m repro chaos`` drives both.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.apps import AtosBFS, AtosPageRank
+from repro.apps.validation import (
+    pagerank_close,
+    reference_bfs,
+    reference_pagerank,
+)
+from repro.config import daisy
+from repro.errors import SimulationError
+from repro.faults import FaultPlan, RetryPolicy
+from repro.gpu.kernel import KernelStrategy
+from repro.graph import bfs_grow_partition, largest_component_vertex, rmat
+from repro.metrics.counters import fault_summary
+from repro.metrics.tables import format_generic_table
+from repro.runtime import AtosConfig, AtosExecutor
+
+__all__ = [
+    "CHAOS_VARIANTS",
+    "CHAOS_EPSILON",
+    "ChaosSpec",
+    "ChaosCell",
+    "run_chaos_cell",
+    "chaos_grid",
+    "render_chaos",
+    "trace_digest_for",
+    "verify_inert",
+]
+
+#: The paper's three evaluated queue configurations, by short name.
+CHAOS_VARIANTS: dict[str, tuple[KernelStrategy, bool]] = {
+    "standard-persistent": (KernelStrategy.PERSISTENT, False),
+    "priority-discrete": (KernelStrategy.DISCRETE, True),
+    "standard-discrete": (KernelStrategy.DISCRETE, False),
+}
+
+#: PageRank validation threshold for chaos cells.
+CHAOS_EPSILON = 1e-4
+
+#: Default drop-rate sweep (the issue's acceptance range: up to 10%).
+DEFAULT_DROP_RATES = (0.0, 0.05, 0.10)
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """One chaos cell: app x queue variant x fault intensity, seeded.
+
+    The graph, the partition, and the fault schedule are all pure
+    functions of ``seed``, so a cell is exactly replayable.
+    """
+
+    app: str
+    variant: str
+    drop_rate: float
+    duplicate_rate: float = 0.02
+    delay_rate: float = 0.05
+    seed: int = 0
+    scale: int = 9
+    edge_factor: int = 8
+    n_gpus: int = 4
+
+    def __post_init__(self) -> None:
+        if self.app not in ("bfs", "pagerank"):
+            raise ValueError(f"unknown chaos app {self.app!r}")
+        if self.variant not in CHAOS_VARIANTS:
+            raise ValueError(
+                f"unknown variant {self.variant!r}; "
+                f"known: {sorted(CHAOS_VARIANTS)}"
+            )
+
+    def label(self) -> str:
+        return (
+            f"{self.app}/{self.variant}/drop{self.drop_rate:g}"
+            f"/seed{self.seed}"
+        )
+
+    def plan(self) -> FaultPlan:
+        """The deterministic fault schedule this cell injects."""
+        return FaultPlan(
+            seed=self.seed,
+            drop_rate=self.drop_rate,
+            duplicate_rate=self.duplicate_rate,
+            delay_rate=self.delay_rate,
+        )
+
+
+@dataclass
+class ChaosCell:
+    """Verdict of one chaos cell."""
+
+    spec: ChaosSpec
+    ok: bool
+    time_ms: float = 0.0
+    error: str = ""
+    #: Injected-fault and transport counters (``fault_summary``).
+    faults: dict = field(default_factory=dict)
+
+    def summary(self) -> str:
+        f = self.faults
+        return (
+            f"drops={f.get('fault_dropped', 0):.0f} "
+            f"retx={f.get('transport_retransmits', 0):.0f} "
+            f"dupsup={f.get('transport_duplicates_suppressed', 0):.0f}"
+        )
+
+
+def _build_app(spec: ChaosSpec):
+    """The seeded graph/app pair for a cell, plus its validator."""
+    graph = rmat(
+        scale=spec.scale, edge_factor=spec.edge_factor, seed=spec.seed + 31
+    )
+    partition = bfs_grow_partition(graph, spec.n_gpus, seed=spec.seed)
+    if spec.app == "bfs":
+        source = largest_component_vertex(graph)
+        app = AtosBFS(graph, partition, source)
+        reference = reference_bfs(graph, source)
+
+        def validate(output) -> bool:
+            return bool(np.array_equal(np.asarray(output), reference))
+
+    else:
+        app = AtosPageRank(graph, partition, epsilon=CHAOS_EPSILON)
+        reference = reference_pagerank(graph, epsilon=CHAOS_EPSILON)
+
+        def validate(output) -> bool:
+            return pagerank_close(
+                np.asarray(output), reference, CHAOS_EPSILON
+            )
+
+    return app, validate
+
+
+def _config(
+    spec: ChaosSpec,
+    faults: Optional[FaultPlan],
+    retry: Optional[RetryPolicy],
+) -> AtosConfig:
+    kernel, priority = CHAOS_VARIANTS[spec.variant]
+    return AtosConfig(
+        kernel=kernel,
+        priority=priority,
+        fetch_size=1 if spec.app == "bfs" else 8,
+        # Always exercise the aggregator flush path: it is the batch
+        # send site the reliable transport wraps.  The small batch size
+        # forces frequent size-triggered flushes, so even these small
+        # seeded graphs put enough messages on the wire for the fault
+        # rates to actually bite.
+        use_aggregator=True,
+        batch_size=1 << 12,
+        faults=faults,
+        retry=retry,
+    )
+
+
+def run_chaos_cell(
+    spec: ChaosSpec, retry: Optional[RetryPolicy] = None
+) -> ChaosCell:
+    """Run one cell end to end and validate it.
+
+    A cell passes only if the simulation terminates cleanly (the
+    resilient transport's retry budget was never exhausted, no
+    work-token underflow), every leased in-flight token was retired,
+    and the output matches the fault-free serial reference.
+    """
+    app, validate = _build_app(spec)
+    executor = AtosExecutor(
+        daisy(spec.n_gpus), app, _config(spec, spec.plan(), retry)
+    )
+    try:
+        makespan, counters = executor.run()
+    except SimulationError as exc:
+        return ChaosCell(spec, ok=False, error=str(exc))
+    if executor.ledger is not None and executor.ledger.leased != 0:
+        return ChaosCell(
+            spec,
+            ok=False,
+            time_ms=makespan / 1000.0,
+            error=f"{executor.ledger.leased} in-flight token(s) never "
+            "retired",
+            faults=fault_summary(counters),
+        )
+    if not validate(app.result()):
+        return ChaosCell(
+            spec,
+            ok=False,
+            time_ms=makespan / 1000.0,
+            error="output does not match the serial reference",
+            faults=fault_summary(counters),
+        )
+    return ChaosCell(
+        spec,
+        ok=True,
+        time_ms=makespan / 1000.0,
+        faults=fault_summary(counters),
+    )
+
+
+def chaos_grid(
+    drop_rates: tuple[float, ...] = DEFAULT_DROP_RATES,
+    apps: tuple[str, ...] = ("bfs", "pagerank"),
+    variants: tuple[str, ...] = tuple(CHAOS_VARIANTS),
+    seed: int = 0,
+    n_gpus: int = 4,
+    retry: Optional[RetryPolicy] = None,
+) -> list[ChaosCell]:
+    """Run the full chaos grid in deterministic loop order."""
+    return [
+        run_chaos_cell(
+            ChaosSpec(
+                app=app,
+                variant=variant,
+                drop_rate=rate,
+                seed=seed,
+                n_gpus=n_gpus,
+            ),
+            retry=retry,
+        )
+        for app in apps
+        for variant in variants
+        for rate in drop_rates
+    ]
+
+
+def render_chaos(cells: list[ChaosCell]) -> str:
+    """Paper-style text table of a chaos grid's verdicts."""
+    rows = []
+    for cell in cells:
+        f = cell.faults
+        rows.append(
+            (
+                cell.spec.app,
+                cell.spec.variant,
+                f"{cell.spec.drop_rate:.2f}",
+                "pass" if cell.ok else "FAIL",
+                f"{cell.time_ms:.3f}",
+                f"{f.get('fault_dropped', 0):.0f}",
+                f"{f.get('transport_retransmits', 0):.0f}",
+                f"{f.get('transport_duplicates_suppressed', 0):.0f}",
+                cell.error,
+            )
+        )
+    return format_generic_table(
+        "Chaos grid: validated runs under injected faults "
+        "(drop/dup/delay; ack+retransmit transport)",
+        ["app", "variant", "drop", "verdict", "ms", "dropped", "retx",
+         "dupsup", "error"],
+        rows,
+    )
+
+
+# ----------------------------------------------------- inertness check
+class _TraceDigest:
+    """Folds every dispatched heap entry into one SHA-256."""
+
+    def __init__(self) -> None:
+        self._hash = hashlib.sha256()
+        self.n_events = 0
+
+    def __call__(self, entry) -> None:
+        when, priority, seq, event = entry
+        self.n_events += 1
+        self._hash.update(
+            f"{when!r}|{priority}|{seq}|{type(event).__name__}\n".encode()
+        )
+
+    def hexdigest(self) -> str:
+        return self._hash.hexdigest()
+
+
+def trace_digest_for(
+    spec: ChaosSpec, faults: Optional[FaultPlan]
+) -> tuple[str, float, dict]:
+    """(event digest, makespan, counters) of one traced cell run."""
+    app, _ = _build_app(spec)
+    executor = AtosExecutor(
+        daisy(spec.n_gpus), app, _config(spec, faults, None)
+    )
+    digest = _TraceDigest()
+    executor.env.trace_hook = digest
+    makespan, counters = executor.run()
+    return digest.hexdigest(), makespan, dict(counters)
+
+
+def verify_inert(seed: int = 0, apps: tuple[str, ...] = ("bfs",)) -> bool:
+    """Pin the zero-fault guarantee: an all-zero plan changes nothing.
+
+    For each app, runs the same seeded cell twice — ``faults=None``
+    versus an inert :class:`FaultPlan` — and requires bit-identical
+    event digests, makespans, and counters.  Raises
+    :class:`AssertionError` on any divergence; returns ``True``.
+    """
+    for app in apps:
+        spec = ChaosSpec(app=app, variant="standard-persistent",
+                         drop_rate=0.0, seed=seed)
+        baseline = trace_digest_for(spec, None)
+        inert = trace_digest_for(spec, FaultPlan(seed=seed))
+        if baseline != inert:
+            raise AssertionError(
+                f"inert fault plan perturbed the {app} trace: "
+                f"{baseline[0][:16]} != {inert[0][:16]}"
+            )
+    return True

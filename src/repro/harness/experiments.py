@@ -86,10 +86,13 @@ def runtime_grid(
     skip: set[tuple[str, str]] = frozenset(),
     jobs: int | None = None,
     timeout_s: float | None = None,
+    seed: int = 0,
 ) -> GridResult:
     """Run a full (framework x dataset x #GPU) evaluation grid."""
     results = run_cells(
-        grid_specs(app, frameworks, datasets, machine, gpu_counts, skip),
+        grid_specs(
+            app, frameworks, datasets, machine, gpu_counts, skip, seed=seed
+        ),
         jobs=jobs,
         timeout_s=timeout_s,
     )
@@ -100,7 +103,9 @@ def runtime_grid(
             if (framework, dataset) in skip:
                 continue
             rows[dataset] = [
-                results[RunSpec(framework, app, dataset, machine, n)].time_ms
+                results[
+                    RunSpec(framework, app, dataset, machine, n, seed=seed)
+                ].time_ms
                 for n in gpu_counts
             ]
         grid.times[framework] = rows
@@ -153,6 +158,7 @@ def table2_bfs_nvlink(
     gpu_counts: tuple[int, ...] = NVLINK_GPUS,
     jobs: int | None = None,
     timeout_s: float | None = None,
+    seed: int = 0,
 ) -> GridResult:
     """Table II: BFS on Daisy, 4 frameworks x datasets x GPU counts."""
     return runtime_grid(
@@ -164,6 +170,7 @@ def table2_bfs_nvlink(
         skip=TABLE2_SKIP,
         jobs=jobs,
         timeout_s=timeout_s,
+        seed=seed,
     )
 
 
@@ -173,6 +180,7 @@ def table3_priority_workload(
     gpu_counts: tuple[int, ...] = NVLINK_GPUS,
     jobs: int | None = None,
     timeout_s: float | None = None,
+    seed: int = 0,
 ) -> tuple[str, dict]:
     """Normalized BFS workload without -> with the priority queue."""
     datasets = datasets or SCALE_FREE
@@ -183,6 +191,7 @@ def table3_priority_workload(
             datasets,
             "daisy",
             gpu_counts,
+            seed=seed,
         ),
         jobs=jobs,
         timeout_s=timeout_s,
@@ -199,12 +208,14 @@ def table3_priority_workload(
         for n in gpu_counts:
             without = results[
                 RunSpec(
-                    "atos-standard-persistent", "bfs", dataset, "daisy", n
+                    "atos-standard-persistent", "bfs", dataset, "daisy", n,
+                    seed=seed,
                 )
             ].counters["vertices_visited"] / reached
             with_pq = results[
                 RunSpec(
-                    "atos-priority-discrete", "bfs", dataset, "daisy", n
+                    "atos-priority-discrete", "bfs", dataset, "daisy", n,
+                    seed=seed,
                 )
             ].counters["vertices_visited"] / reached
             data[dataset][n] = (without, with_pq)
@@ -232,6 +243,7 @@ def table4_pagerank_nvlink(
     gpu_counts: tuple[int, ...] = NVLINK_GPUS,
     jobs: int | None = None,
     timeout_s: float | None = None,
+    seed: int = 0,
 ) -> GridResult:
     """Table IV: PageRank on Daisy, 4 frameworks x datasets x GPUs."""
     return runtime_grid(
@@ -243,6 +255,7 @@ def table4_pagerank_nvlink(
         skip=TABLE2_SKIP,
         jobs=jobs,
         timeout_s=timeout_s,
+        seed=seed,
     )
 
 
@@ -253,6 +266,7 @@ def table5_ib(
     gpu_counts: tuple[int, ...] = IB_GPUS,
     jobs: int | None = None,
     timeout_s: float | None = None,
+    seed: int = 0,
 ) -> GridResult:
     """Galois vs Atos on the InfiniBand machine.
 
@@ -273,6 +287,7 @@ def table5_ib(
             datasets,
             "summit-ib",
             gpu_counts,
+            seed=seed,
         ),
         jobs=jobs,
         timeout_s=timeout_s,
@@ -280,7 +295,9 @@ def table5_ib(
     grid = GridResult(app=app, machine="summit-ib", gpu_counts=gpu_counts)
     grid.times["galois"] = {
         d: [
-            results[RunSpec("galois", app, d, "summit-ib", n)].time_ms
+            results[
+                RunSpec("galois", app, d, "summit-ib", n, seed=seed)
+            ].time_ms
             for n in gpu_counts
         ]
         for d in datasets
@@ -289,7 +306,9 @@ def table5_ib(
     for d in datasets:
         atos_rows[d] = [
             min(
-                results[RunSpec(v, app, d, "summit-ib", n)].time_ms
+                results[
+                    RunSpec(v, app, d, "summit-ib", n, seed=seed)
+                ].time_ms
                 for v in atos_variants
             )
             for n in gpu_counts

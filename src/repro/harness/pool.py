@@ -62,11 +62,16 @@ class RunSpec:
     machine: str
     n_gpus: int
     validate: bool = True
+    #: Partition seed for the run.  0 is the evaluation default; other
+    #: values re-partition the graph, giving independent repetitions of
+    #: a cell (``--seed`` on the grid CLIs).
+    seed: int = 0
 
     def label(self) -> str:
+        suffix = f"/seed{self.seed}" if self.seed else ""
         return (
             f"{self.framework}/{self.app}/{self.dataset}/"
-            f"{self.machine}/{self.n_gpus}gpu"
+            f"{self.machine}/{self.n_gpus}gpu{suffix}"
         )
 
 
@@ -119,11 +124,12 @@ def grid_specs(
     machine: str,
     gpu_counts: Iterable[int],
     skip: Iterable[tuple[str, str]] = frozenset(),
+    seed: int = 0,
 ) -> list[RunSpec]:
     """Specs for a full grid, in the deterministic serial-loop order."""
     skip = set(skip)
     return [
-        RunSpec(framework, app, dataset, machine, n)
+        RunSpec(framework, app, dataset, machine, n, seed=seed)
         for framework in frameworks
         for dataset in datasets
         if (framework, dataset) not in skip
@@ -142,6 +148,7 @@ def execute_spec(spec: RunSpec) -> Any:
         spec.machine,
         spec.n_gpus,
         validate=spec.validate,
+        seed=spec.seed,
     )
 
 

@@ -113,6 +113,13 @@ class NetworkFabric:
         self.in_flight = 0
         self.total_messages = 0
         self.total_bytes = 0
+        #: Optional :class:`repro.faults.LinkFaultInjector`.  When set,
+        #: every message's fate (drop / duplicate / delay) is consulted
+        #: at send time; when ``None`` (the default) the send path is
+        #: byte-for-byte the pre-fault code.
+        self.fault_injector: Any = None
+        self.dropped_messages = 0
+        self.duplicate_messages = 0
         #: (send time, payload bytes) per message — the communication
         #: timeline the smoothness analyses consume.
         self.timeline: list[tuple[float, float]] = []
@@ -126,7 +133,15 @@ class NetworkFabric:
         on_arrival: Callable[[Message], None],
         extra_latency: float = 0.0,
     ) -> float:
-        """One-sided send; returns arrival time."""
+        """One-sided send; returns arrival time.
+
+        With a ``fault_injector`` installed, the message's fate is
+        decided here: a *dropped* message still serializes (it occupies
+        the wire) but its arrival is swallowed; a *duplicated* message
+        serializes and delivers an extra copy; a *delayed* message
+        picks up extra one-way latency.  In-flight accounting covers
+        every copy, dropped or not, so ``quiescent`` stays truthful.
+        """
         if src == dst:
             raise ValueError("no self-sends through the fabric")
         channel = self.channels[(src, dst)]
@@ -137,11 +152,35 @@ class NetworkFabric:
         self.total_bytes += payload_bytes
         self.timeline.append((self.env.now, float(payload_bytes)))
 
-        def deliver(msg: Message) -> None:
-            self.in_flight -= 1
-            on_arrival(msg)
+        fate = None
+        if self.fault_injector is not None:
+            fate = self.fault_injector.fate(src, dst, self.env.now)
+            extra_latency += fate.extra_delay
 
-        return channel.send(message, deliver, extra_latency=extra_latency)
+        if fate is not None and fate.dropped:
+            self.dropped_messages += 1
+
+            def deliver(msg: Message) -> None:
+                self.in_flight -= 1  # lost in flight: no arrival
+
+        else:
+
+            def deliver(msg: Message) -> None:
+                self.in_flight -= 1
+                on_arrival(msg)
+
+        arrival = channel.send(message, deliver, extra_latency=extra_latency)
+
+        if fate is not None and not fate.dropped and fate.duplicates:
+            for _ in range(fate.duplicates):
+                self.duplicate_messages += 1
+                copy = Message(src=src, dst=dst,
+                               payload_bytes=payload_bytes, payload=payload)
+                self.in_flight += 1
+                # The copy re-serializes: a duplicated message occupies
+                # the wire twice, like a spurious hardware retransmit.
+                channel.send(copy, deliver, extra_latency=extra_latency)
+        return arrival
 
     @property
     def quiescent(self) -> bool:
@@ -151,6 +190,8 @@ class NetworkFabric:
         return {
             "messages": float(self.total_messages),
             "bytes": float(self.total_bytes),
+            "dropped_messages": float(self.dropped_messages),
+            "duplicate_messages": float(self.duplicate_messages),
             "wire_bytes": float(
                 sum(c.wire_bytes_sent for c in self.channels.values())
             ),

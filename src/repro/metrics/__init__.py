@@ -1,11 +1,18 @@
 """Measurement: counters, run results, tables, timeline analyses."""
 
 from repro.metrics.analysis import burstiness, byte_histogram, peak_to_mean
-from repro.metrics.counters import Counters, RunResult
+from repro.metrics.counters import (
+    FAULT_COUNTERS,
+    Counters,
+    RunResult,
+    fault_summary,
+)
 
 __all__ = [
     "Counters",
     "RunResult",
+    "FAULT_COUNTERS",
+    "fault_summary",
     "burstiness",
     "byte_histogram",
     "peak_to_mean",

@@ -9,7 +9,39 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["Counters", "RunResult"]
+__all__ = ["Counters", "RunResult", "FAULT_COUNTERS", "fault_summary"]
+
+#: The canonical fault/resilience counter family.  Injectors write the
+#: ``fault_*`` names (what the plan did to the run); the reliable
+#: transport writes the ``transport_*`` names (what the runtime did to
+#: survive it).  All are zero — in fact absent — on fault-free runs.
+FAULT_COUNTERS = (
+    "fault_dropped",
+    "fault_duplicated",
+    "fault_delayed",
+    "fault_straggler_rounds",
+    "fault_stalls",
+    "fault_stall_time_us",
+    "transport_sends",
+    "transport_retransmits",
+    "transport_acks_sent",
+    "transport_acks_received",
+    "transport_stale_acks",
+    "transport_duplicates_suppressed",
+)
+
+
+def fault_summary(counters: "Counters") -> dict[str, float]:
+    """The fault/resilience counters present in a counter bag.
+
+    Chaos tables and reports use this to show exactly what was injected
+    into a run and how the delivery layer absorbed it.
+    """
+    return {
+        name: float(counters[name])
+        for name in FAULT_COUNTERS
+        if name in counters
+    }
 
 
 class Counters(Counter):

@@ -12,9 +12,10 @@ from repro.runtime.priority_queue import (
     DistributedPriorityQueues,
     PEPriorityQueues,
 )
-from repro.runtime.termination import WorkTracker
+from repro.runtime.termination import InFlightLedger, WorkTracker
 
 __all__ = [
+    "InFlightLedger",
     "DistributedQueues",
     "PEQueues",
     "DistributedPriorityQueues",

@@ -27,7 +27,10 @@ import numpy as np
 from repro.batchpath import batch_path_enabled
 from repro.config import MachineConfig
 from repro.errors import ConfigurationError
-from repro.gpu.kernel import KernelModel, KernelStrategy
+from repro.faults.injectors import DeviceFaultInjector, LinkFaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.transport import ReliableTransport, RetryPolicy
+from repro.gpu.kernel import FaultyKernelModel, KernelModel, KernelStrategy
 from repro.gpu.memory import MemoryModel
 from repro.gpu.worker import CTA, WorkerConfig
 from repro.interconnect.transfer import NetworkFabric
@@ -37,7 +40,7 @@ from repro.sim.monitor import IntervalAccumulator
 from repro.runtime.aggregator import Aggregator, MergedBatch
 from repro.runtime.distributed_queue import DistributedQueues
 from repro.runtime.priority_queue import DistributedPriorityQueues
-from repro.runtime.termination import WorkTracker
+from repro.runtime.termination import InFlightLedger, WorkTracker
 from repro.sim.core import AnyOf, Environment
 
 __all__ = ["AtosConfig", "AtosApplication", "RoundOutcome", "AtosExecutor"]
@@ -125,6 +128,14 @@ class AtosConfig:
     fetch_size: int = 8
     queue_capacity: int = 1 << 22
     num_recv_queues: int = 2
+    #: Deterministic fault schedule (:mod:`repro.faults`).  ``None`` or
+    #: an inert plan (all rates zero, no windows) leaves the executor
+    #: on the exact fault-free code path; an active plan engages the
+    #: link/device injectors *and* the resilient ack/retransmit
+    #: transport with loss-safe termination accounting.
+    faults: Optional[FaultPlan] = None
+    #: Retransmission policy when ``faults`` is active (None = default).
+    retry: Optional[RetryPolicy] = None
     #: Fallback poll interval for idle GPUs (us).
     idle_poll: float = 5.0
     #: Polling cadence of the persistent aggregator kernel (us): the
@@ -166,6 +177,41 @@ class AtosExecutor:
         #: the paper's "small messages ... better overlap with
         #: computation, hiding latency".
         self.intervals = IntervalAccumulator()
+
+        # Fault injection + resilient delivery.  Everything below is
+        # ``None`` unless the plan can actually inject a fault, so the
+        # zero-fault executor is provably the pre-fault executor (the
+        # golden-trace suite pins bit-identical event traces).
+        plan = config.faults
+        self.fault_plan: Optional[FaultPlan] = (
+            plan if (plan is not None and plan.active) else None
+        )
+        self.link_faults: Optional[LinkFaultInjector] = None
+        self.device_faults: Optional[DeviceFaultInjector] = None
+        self.faulty_kernel: Optional[FaultyKernelModel] = None
+        self.transport: Optional[ReliableTransport] = None
+        self.ledger: Optional[InFlightLedger] = None
+        if self.fault_plan is not None:
+            self.link_faults = LinkFaultInjector(
+                self.fault_plan, counters=self.counters
+            )
+            self.fabric.fault_injector = self.link_faults
+            self.device_faults = DeviceFaultInjector(
+                self.fault_plan, counters=self.counters
+            )
+            self.faulty_kernel = FaultyKernelModel(
+                self.kernel, self.device_faults
+            )
+            self.ledger = InFlightLedger(self.tracker)
+            self.transport = ReliableTransport(
+                self.env,
+                self.fabric,
+                self.ledger,
+                self._apply_remote,
+                policy=config.retry,
+                counters=self.counters,
+                extra_latency_fn=self._control_extra_latency,
+            )
 
         worker_cfg = config.worker
         self.tasks_per_round = (
@@ -240,6 +286,14 @@ class AtosExecutor:
     def _make_agg_sender(self, src_pe: int):
         def send(dst: int, payloads: list[np.ndarray], n_bytes: int) -> None:
             self.counters["aggregated_messages"] += 1
+            if self.transport is not None:
+                # Resilient path: the flushed batch carries one work
+                # token per aggregated payload; the transport leases
+                # them until the destination's ack lands.
+                self.transport.send(
+                    src_pe, dst, n_bytes, payloads, tokens=len(payloads)
+                )
+                return
             self.fabric.send(
                 src_pe,
                 dst,
@@ -297,6 +351,39 @@ class AtosExecutor:
             )
         self._notify(pe)
 
+    def _apply_remote(self, pe: int, payloads: Any) -> None:
+        """Transport delivery: apply update batches, enqueue derived work.
+
+        The resilient counterpart of :meth:`_deliver` — same merge and
+        apply logic, but the message's work tokens are *not* retired
+        here: they stay leased in the :class:`InFlightLedger` until the
+        sender receives the ack (loss-safe termination accounting).
+        The transport has already deduplicated, so this runs at most
+        once per sequence number.
+        """
+        if isinstance(payloads, MergedBatch):
+            tasks, priorities = self.app.handle_remote(pe, payloads.data)
+            if len(tasks):
+                self.tracker.add(len(tasks))
+                self._enqueue_recv(pe, tasks, priorities)
+            self._notify(pe)
+            return
+        batch = payloads if isinstance(payloads, list) else [payloads]
+        if (
+            len(batch) > 1
+            and all(
+                isinstance(p, np.ndarray) and p.ndim == 2 for p in batch
+            )
+            and len({p.shape[1] for p in batch}) == 1
+        ):
+            batch = [np.vstack(batch)]
+        for payload in batch:
+            tasks, priorities = self.app.handle_remote(pe, payload)
+            if len(tasks):
+                self.tracker.add(len(tasks))
+                self._enqueue_recv(pe, tasks, priorities)
+        self._notify(pe)
+
     def _enqueue_local(
         self, pe: int, tasks: np.ndarray, priorities: Optional[np.ndarray]
     ) -> None:
@@ -336,6 +423,9 @@ class AtosExecutor:
             self.aggregators[src].add(dst, payload, n_bytes)
             return
         self.counters["direct_messages"] += 1
+        if self.transport is not None:
+            self.transport.send(src, dst, n_bytes, payload, tokens=1)
+            return
         self.fabric.send(
             src,
             dst,
@@ -436,7 +526,12 @@ class AtosExecutor:
     # ------------------------------------------------------- GPU process
     def _gpu_process(self, pe: int):
         config = self.config
-        yield self.env.timeout(self.kernel.startup_overhead())
+        if self.faulty_kernel is not None:
+            yield self.env.timeout(
+                self.faulty_kernel.startup_overhead(pe, self.env.now)
+            )
+        else:
+            yield self.env.timeout(self.kernel.startup_overhead())
         rounds_since_flush = 0
         while not self.tracker.finished:
             if self.env.now > config.max_sim_time:
@@ -502,9 +597,15 @@ class AtosExecutor:
                     len(tasks) + len(outcome.local_pushes)
                 )
             )
+            if self.faulty_kernel is not None:
+                # Straggler windows stretch the round; due transient
+                # stalls land here as dead time.
+                duration = self.faulty_kernel.round_duration(
+                    pe, self.env.now, duration
+                )
             # Retire the popped tasks only after derived work is
             # registered (termination-detection ordering).
-            self.tracker.remove(len(tasks))
+            self.tracker.remove(len(tasks), source=f"round pe{pe}")
             self.intervals.add(
                 "compute", self.env.now, self.env.now + duration
             )

@@ -17,7 +17,7 @@ from __future__ import annotations
 from repro.errors import SimulationError
 from repro.sim.core import Environment, Event
 
-__all__ = ["WorkTracker"]
+__all__ = ["WorkTracker", "InFlightLedger"]
 
 
 class WorkTracker:
@@ -50,19 +50,70 @@ class WorkTracker:
         self.total_added += count
         self._ever_added = True
 
-    def remove(self, count: int = 1) -> None:
+    def remove(self, count: int = 1, source: str = "") -> None:
         """Retire completed work.  Order matters for correctness: callers
         must ``add`` any derived work *before* removing the work that
-        produced it, otherwise the counter can transiently hit zero."""
+        produced it, otherwise the counter can transiently hit zero.
+
+        Removing more tokens than are outstanding means some message
+        was double-counted (e.g. a duplicated delivery retired twice) —
+        the counter must never go negative, so this raises
+        :class:`SimulationError` naming the offending ``source``.
+        """
         if count < 0:
             raise ValueError("count must be non-negative")
         if count == 0:
             return
         if count > self._outstanding:
             raise SimulationError(
-                f"removing {count} tokens but only "
+                f"work-token underflow: removing {count} token(s) but only "
                 f"{self._outstanding} outstanding"
+                + (f" (source: {source})" if source else "")
             )
         self._outstanding -= count
         if self._outstanding == 0 and self._ever_added and not self.finished:
             self.done.succeed(self.env.now)
+
+
+class InFlightLedger:
+    """Loss-safe token accounting for unacknowledged messages.
+
+    On a perfectly reliable fabric a message's work token can retire at
+    delivery.  Once messages can be lost, that retires a token for work
+    that never happened — the counter hits zero while a task is gone,
+    and termination fires on a half-finished run.  The resilient
+    transport instead *leases* tokens here at send time and retires
+    them only when the sender's ack arrives: a lost message keeps its
+    lease (the retransmit timer still holds it), so the tracker can
+    only drain when every message has provably landed.
+    """
+
+    def __init__(self, tracker: WorkTracker):
+        self.tracker = tracker
+        self._leased = 0
+        self.total_leased = 0
+        self.total_retired = 0
+
+    @property
+    def leased(self) -> int:
+        """Tokens currently held by unacknowledged messages."""
+        return self._leased
+
+    def lease(self, tokens: int) -> None:
+        """Hold ``tokens`` (already added to the tracker) until ack."""
+        if tokens < 0:
+            raise ValueError("tokens must be non-negative")
+        self._leased += tokens
+        self.total_leased += tokens
+
+    def retire(self, tokens: int, source: str = "") -> None:
+        """Ack arrived: release the lease and retire the tokens."""
+        if tokens > self._leased:
+            raise SimulationError(
+                f"retiring {tokens} leased token(s) but only "
+                f"{self._leased} leased"
+                + (f" (source: {source})" if source else "")
+            )
+        self._leased -= tokens
+        self.total_retired += tokens
+        self.tracker.remove(tokens, source=source)

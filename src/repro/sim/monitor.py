@@ -9,6 +9,7 @@ usage, communication/computation overlap).
 from __future__ import annotations
 
 from bisect import bisect_right
+from collections import deque
 from dataclasses import dataclass
 from typing import Any, Iterable, Optional
 
@@ -34,16 +35,41 @@ class Trace:
 
     Tracing can be disabled (``enabled=False``) to make production runs
     allocation-free; all ``record`` calls become no-ops.
+
+    ``max_records`` bounds memory for long chaos/soak runs: when set,
+    the trace becomes a ring buffer keeping only the most recent
+    ``max_records`` entries (oldest evicted first).  ``total_recorded``
+    still counts every record ever made, so ``evicted`` reports exactly
+    how much history was discarded.  The default (``None``) keeps the
+    historical unbounded behavior.
     """
 
-    def __init__(self, env: Environment, enabled: bool = True):
+    def __init__(
+        self,
+        env: Environment,
+        enabled: bool = True,
+        max_records: Optional[int] = None,
+    ):
+        if max_records is not None and max_records <= 0:
+            raise ValueError("max_records must be positive (or None)")
         self.env = env
         self.enabled = enabled
-        self.records: list[TraceRecord] = []
+        self.max_records = max_records
+        self.total_recorded = 0
+        if max_records is None:
+            self.records: Any = []
+        else:
+            self.records = deque(maxlen=max_records)
+
+    @property
+    def evicted(self) -> int:
+        """How many records the ring buffer has discarded."""
+        return self.total_recorded - len(self.records)
 
     def record(self, kind: str, source: str, payload: Any = None) -> None:
         if not self.enabled:
             return
+        self.total_recorded += 1
         self.records.append(
             TraceRecord(self.env.now, kind, source, payload)
         )

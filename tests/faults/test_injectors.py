@@ -1,0 +1,76 @@
+"""Injectors: per-link schedules, device slowdowns, counter accounting."""
+
+from repro.faults import (
+    DeviceFaultInjector,
+    FaultPlan,
+    LinkFaultInjector,
+    StallEvent,
+    StragglerWindow,
+)
+from repro.metrics.counters import Counters
+
+
+def test_link_injector_walks_the_plan_schedule():
+    plan = FaultPlan(seed=2, drop_rate=0.4, duplicate_rate=0.2)
+    injector = LinkFaultInjector(plan, counters=Counters())
+    observed = [injector.fate(0, 1, now=0.0) for _ in range(32)]
+    assert observed == plan.preview(0, 1, 32)
+
+
+def test_link_injector_keeps_per_link_indices():
+    plan = FaultPlan(seed=2, drop_rate=0.5)
+    injector = LinkFaultInjector(plan)
+    # Interleave two links; each must still see its own schedule.
+    a = [injector.fate(0, 1, 0.0) for _ in range(8)]
+    b = [injector.fate(1, 0, 0.0) for _ in range(8)]
+    assert a == plan.preview(0, 1, 8)
+    assert b == plan.preview(1, 0, 8)
+
+
+def test_link_injector_counts_faults():
+    counters = Counters()
+    plan = FaultPlan(seed=7, drop_rate=0.5, duplicate_rate=0.5,
+                     delay_rate=0.5)
+    injector = LinkFaultInjector(plan, counters=counters)
+    fates = [injector.fate(0, 1, 0.0) for _ in range(200)]
+    assert counters["fault_dropped"] == sum(f.dropped for f in fates)
+    assert counters["fault_duplicated"] == sum(f.duplicates for f in fates)
+    assert counters["fault_delayed"] == sum(
+        1 for f in fates if f.extra_delay
+    )
+    assert counters["fault_dropped"] > 0
+    assert counters["fault_duplicated"] > 0
+    assert counters["fault_delayed"] > 0
+
+
+def test_device_injector_round_duration_stretches_and_stalls():
+    counters = Counters()
+    plan = FaultPlan(
+        seed=0,
+        stragglers=(StragglerWindow(1, 0.0, 100.0, 4.0),),
+        stalls=(StallEvent(1, 10.0, 7.0),),
+    )
+    injector = DeviceFaultInjector(plan, counters=counters)
+    # Outside any window: identity.
+    assert injector.round_duration(0, 50.0, 2.0) == 2.0
+    # Inside the straggler window, before the stall is due.
+    assert injector.round_duration(1, 5.0, 2.0) == 8.0
+    # Stall due at t=10: consumed exactly once.
+    assert injector.round_duration(1, 20.0, 2.0) == 8.0 + 7.0
+    assert injector.round_duration(1, 30.0, 2.0) == 8.0
+    assert counters["fault_straggler_rounds"] == 3
+    assert counters["fault_stalls"] == 1
+    assert counters["fault_stall_time_us"] == 7.0
+
+
+def test_device_injector_consumes_multiple_due_stalls():
+    plan = FaultPlan(seed=0, stalls=(
+        StallEvent(0, 1.0, 2.0),
+        StallEvent(0, 3.0, 5.0),
+        StallEvent(0, 500.0, 11.0),
+    ))
+    injector = DeviceFaultInjector(plan)
+    assert injector.take_stall(0, now=10.0) == 7.0  # both due stalls
+    assert injector.take_stall(0, now=10.0) == 0.0  # consumed
+    assert injector.take_stall(0, now=600.0) == 11.0
+    assert injector.take_stall(1, now=600.0) == 0.0

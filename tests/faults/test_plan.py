@@ -1,0 +1,149 @@
+"""FaultPlan: determinism, stream independence, validation, windows."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    FaultPlan,
+    PartitionWindow,
+    StallEvent,
+    StragglerWindow,
+)
+from repro.faults.plan import uniform
+
+
+# ----------------------------------------------------------- uniform
+def test_uniform_is_deterministic_and_in_range():
+    a = uniform(7, 1, 2, 3)
+    b = uniform(7, 1, 2, 3)
+    assert a == b
+    assert 0.0 <= a < 1.0
+    assert uniform(8, 1, 2, 3) != a  # seed matters
+    assert uniform(7, 1, 2, 4) != a  # key matters
+
+
+def test_uniform_roughly_uniform():
+    draws = [uniform(0, i) for i in range(2000)]
+    mean = sum(draws) / len(draws)
+    assert 0.45 < mean < 0.55
+
+
+# ------------------------------------------------------ message fates
+def test_message_fate_is_replayable():
+    plan = FaultPlan(seed=3, drop_rate=0.2, duplicate_rate=0.1,
+                     delay_rate=0.3)
+    first = plan.preview(0, 1, 50)
+    again = plan.preview(0, 1, 50)
+    assert first == again
+    # A second identical plan gives the identical schedule.
+    clone = FaultPlan(seed=3, drop_rate=0.2, duplicate_rate=0.1,
+                      delay_rate=0.3)
+    assert clone.preview(0, 1, 50) == first
+
+
+def test_fault_streams_are_independent():
+    # Raising the drop rate must not shift which surviving messages
+    # get delayed (a dropped message has no delay, so compare only the
+    # messages the noisy plan actually delivers).
+    base = FaultPlan(seed=5, delay_rate=0.3)
+    noisy = FaultPlan(seed=5, delay_rate=0.3, drop_rate=0.5)
+    base_fates = base.preview(1, 0, 200)
+    noisy_fates = noisy.preview(1, 0, 200)
+    survived = [i for i, f in enumerate(noisy_fates) if not f.dropped]
+    assert survived  # the 50% drop plan delivers something
+    for i in survived:
+        assert noisy_fates[i].extra_delay == base_fates[i].extra_delay
+
+
+def test_links_have_independent_schedules():
+    plan = FaultPlan(seed=1, drop_rate=0.5)
+    ab = [f.dropped for f in plan.preview(0, 1, 64)]
+    ba = [f.dropped for f in plan.preview(1, 0, 64)]
+    assert ab != ba
+
+
+def test_drop_rate_statistics():
+    plan = FaultPlan(seed=11, drop_rate=0.3)
+    drops = sum(f.dropped for f in plan.preview(0, 1, 2000))
+    assert 0.25 < drops / 2000 < 0.35
+
+
+def test_clean_fate():
+    plan = FaultPlan(seed=0)
+    fate = plan.message_fate(0, 1, 0, 0.0)
+    assert fate.clean and not fate.dropped and fate.duplicates == 0
+
+
+# --------------------------------------------------------- validation
+@pytest.mark.parametrize("kwargs", [
+    {"drop_rate": 1.5},
+    {"drop_rate": -0.1},
+    {"duplicate_rate": 2.0},
+    {"delay_rate": -1.0},
+    {"delay_jitter": -5.0},
+])
+def test_invalid_rates_rejected(kwargs):
+    with pytest.raises(ConfigurationError):
+        FaultPlan(seed=0, **kwargs)
+
+
+def test_window_validation():
+    with pytest.raises(ConfigurationError):
+        PartitionWindow(0, 1, start=10.0, end=5.0)
+    with pytest.raises(ConfigurationError):
+        StragglerWindow(0, start=0.0, end=10.0, factor=0.5)
+    with pytest.raises(ConfigurationError):
+        StallEvent(0, at=0.0, duration=-1.0)
+
+
+def test_lists_coerced_to_tuples():
+    plan = FaultPlan(
+        seed=0,
+        partitions=[PartitionWindow(0, 1, 0.0, 5.0)],
+        stalls=[StallEvent(0, 1.0, 2.0)],
+    )
+    assert isinstance(plan.partitions, tuple)
+    assert isinstance(plan.stalls, tuple)
+
+
+# ------------------------------------------------------------- active
+def test_inert_plan_is_not_active():
+    assert not FaultPlan(seed=42).active
+    # delay_rate without jitter can never delay anything.
+    assert not FaultPlan(seed=0, delay_rate=0.5, delay_jitter=0.0).active
+    assert FaultPlan(seed=0, drop_rate=0.01).active
+    assert FaultPlan(seed=0, stalls=(StallEvent(0, 1.0, 2.0),)).active
+
+
+# ---------------------------------------------------------- partitions
+def test_partition_window_drops_everything_inside():
+    plan = FaultPlan(seed=0,
+                     partitions=(PartitionWindow(0, 1, 10.0, 20.0),))
+    assert plan.message_fate(0, 1, 0, 15.0).dropped
+    assert not plan.message_fate(0, 1, 0, 5.0).dropped
+    assert not plan.message_fate(0, 1, 0, 20.0).dropped  # half-open
+    assert not plan.message_fate(1, 0, 0, 15.0).dropped  # other link
+
+
+def test_partition_wildcards():
+    into_pe3 = PartitionWindow(-1, 3, 0.0, 10.0)
+    assert into_pe3.covers(0, 3, 5.0)
+    assert into_pe3.covers(2, 3, 5.0)
+    assert not into_pe3.covers(3, 0, 5.0)
+
+
+# ------------------------------------------------------------- device
+def test_straggler_slowdown_compounds():
+    plan = FaultPlan(seed=0, stragglers=(
+        StragglerWindow(0, 0.0, 100.0, 2.0),
+        StragglerWindow(0, 50.0, 100.0, 3.0),
+    ))
+    assert plan.slowdown(0, 10.0) == 2.0
+    assert plan.slowdown(0, 60.0) == 6.0
+    assert plan.slowdown(0, 200.0) == 1.0
+    assert plan.slowdown(1, 10.0) == 1.0
+
+
+def test_describe_mentions_what_is_set():
+    text = FaultPlan(seed=9, drop_rate=0.1).describe()
+    assert "seed=9" in text and "drop=0.1" in text

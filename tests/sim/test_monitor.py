@@ -175,3 +175,62 @@ def test_meter_value_before_start():
     env = Environment(initial_time=10.0)
     meter = UtilizationMeter(env, initial=3.0)
     assert meter.value_at(0.0) == 3.0
+
+
+def test_trace_ring_buffer_keeps_most_recent():
+    env = Environment()
+    trace = Trace(env, max_records=3)
+    for i in range(7):
+        trace.record("tick", "src", payload=i)
+    assert len(trace.records) == 3
+    assert [r.payload for r in trace.records] == [4, 5, 6]
+    assert trace.total_recorded == 7
+    assert trace.evicted == 4
+
+
+def test_trace_ring_buffer_queries_still_work():
+    env = Environment()
+    trace = Trace(env, max_records=4)
+
+    def proc(env):
+        for i in range(6):
+            trace.record("send", "gpu0", payload=i)
+            yield env.timeout(1.0)
+
+    env.process(proc(env))
+    env.run()
+    # Only the last 4 survive; queries see exactly those.
+    assert [r.time for r in trace.of_kind("send")] == [2.0, 3.0, 4.0, 5.0]
+    assert list(trace.times("send")) == [2.0, 3.0, 4.0, 5.0]
+    _, counts = trace.histogram("send", n_bins=2)
+    assert counts.sum() == 4
+
+
+def test_trace_unbounded_default_never_evicts():
+    env = Environment()
+    trace = Trace(env)
+    for i in range(100):
+        trace.record("x", "y")
+    assert trace.max_records is None
+    assert isinstance(trace.records, list)
+    assert trace.evicted == 0 and trace.total_recorded == 100
+
+
+def test_trace_rejects_nonpositive_bound():
+    env = Environment()
+    with pytest.raises(ValueError):
+        Trace(env, max_records=0)
+    with pytest.raises(ValueError):
+        Trace(env, max_records=-5)
+
+
+def test_merge_traces_accepts_ring_buffers():
+    env = Environment()
+    bounded = Trace(env, max_records=2)
+    unbounded = Trace(env)
+    bounded.record("a", "s")
+    bounded.record("a", "s")
+    bounded.record("a", "s")  # evicts the first
+    unbounded.record("b", "s")
+    merged = merge_traces([bounded, unbounded])
+    assert len(merged) == 3

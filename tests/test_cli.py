@@ -126,3 +126,49 @@ def test_report_quick(capsys):
     out = capsys.readouterr().out
     assert "winner agreement" in out
     assert "Table II" in out and "Table IV" in out
+
+
+def test_chaos_quick(capsys):
+    code = main(["chaos", "--quick", "--drop-rates", "0,0.1"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Chaos grid" in out
+    assert "pass" in out and "FAIL" not in out
+
+
+def test_chaos_parser_flags():
+    args = build_parser().parse_args(
+        ["chaos", "--quick", "--seed", "7", "--drop-rates", "0,0.2",
+         "--gpus", "2", "--verify-inert"]
+    )
+    assert args.seed == 7
+    assert args.verify_inert
+    assert args.gpus == 2
+
+
+def test_seed_flag_on_grid_and_bench_parsers():
+    parser = build_parser()
+    assert parser.parse_args(["table2", "--seed", "3"]).seed == 3
+    assert parser.parse_args(["table5", "--seed", "5"]).seed == 5
+    assert parser.parse_args(["bench", "--quick", "--seed", "2"]).seed == 2
+    assert parser.parse_args(["report", "--quick"]).seed == 0
+
+
+def test_run_accepts_seed(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    from repro.harness import clear_memory_cache
+
+    clear_memory_cache()
+    code = main(
+        [
+            "run",
+            "--framework", "gunrock",
+            "--app", "bfs",
+            "--dataset", "hollywood-2009",
+            "--gpus", "2",
+            "--seed", "1",
+        ]
+    )
+    assert code == 0
+    assert "gunrock bfs on hollywood-2009" in capsys.readouterr().out
+    clear_memory_cache()

@@ -25,6 +25,7 @@ SUBPACKAGES = [
     "repro.graph",
     "repro.metrics",
     "repro.harness",
+    "repro.faults",
 ]
 
 
