@@ -144,6 +144,29 @@ class AtosBFS(AtosApplication):
             candidate[improved].astype(np.float64),
         )
 
+    # ---------------------------------------------------------- recovery
+    supports_recovery = True
+
+    def checkpoint_state(self) -> dict[str, np.ndarray]:
+        """Global depth array — the whole BFS state at a quiesced cut."""
+        return {"depth": self.result()}
+
+    def restore_state(
+        self, state: dict[str, np.ndarray], partition: Partition
+    ) -> None:
+        """Re-slice the checkpointed depths onto a (re-homed) partition.
+
+        Safe to replay from: the relaxation is an atomic-min, so
+        re-processing a frontier vertex at its checkpointed depth is
+        idempotent.
+        """
+        depth = state["depth"]
+        self.partition = partition
+        self.depth_slices = [
+            depth[partition.part_vertices[pe]].copy()
+            for pe in range(partition.n_parts)
+        ]
+
     # ------------------------------------------------------------ output
     def result(self) -> np.ndarray:
         """Global depth array (UNREACHED where BFS never arrived)."""

@@ -170,6 +170,53 @@ class AtosPageRank(AtosApplication):
             None,
         )
 
+    # ---------------------------------------------------------- recovery
+    supports_recovery = True
+
+    def checkpoint_state(self) -> dict[str, np.ndarray]:
+        """Raw global rank and residual arrays at a quiesced cut.
+
+        Deliberately *not* :meth:`result` (which folds residual into
+        rank for output): restore needs the two arrays separate so the
+        replayed frontier re-absorbs exactly the checkpointed residuals.
+        """
+        n = self.graph.n_vertices
+        rank = np.zeros(n)
+        residual = np.zeros(n)
+        for pe in range(self.partition.n_parts):
+            verts = self.partition.part_vertices[pe]
+            rank[verts] = self.rank_slices[pe]
+            residual[verts] = self.residual_slices[pe]
+        return {"rank": rank, "residual": residual}
+
+    def restore_state(
+        self, state: dict[str, np.ndarray], partition: Partition
+    ) -> None:
+        """Re-slice ranks/residuals onto a (re-homed) partition.
+
+        Queue membership is cleared here and re-marked per rank by
+        :meth:`mark_queued` as the recovery coordinator replays the
+        checkpoint frontier — the flags must mirror the queues exactly
+        or a vertex could be enqueued twice (or never again).
+        """
+        self.partition = partition
+        self.rank_slices = [
+            state["rank"][partition.part_vertices[pe]].copy()
+            for pe in range(partition.n_parts)
+        ]
+        self.residual_slices = [
+            state["residual"][partition.part_vertices[pe]].copy()
+            for pe in range(partition.n_parts)
+        ]
+        self.in_queue_slices = [
+            np.zeros(partition.part_size(pe), dtype=bool)
+            for pe in range(partition.n_parts)
+        ]
+
+    def mark_queued(self, pe: int, tasks: np.ndarray) -> None:
+        """Replayed frontier vertices are back in the queue."""
+        self.in_queue_slices[pe][self.partition.local_index[tasks]] = True
+
     # ------------------------------------------------------------ output
     def result(self) -> np.ndarray:
         """Global rank array (un-normalized residual-push ranks)."""

@@ -285,6 +285,52 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_recover(args: argparse.Namespace) -> int:
+    from repro.harness.chaos import (
+        DEFAULT_CRASH_TIMES,
+        crash_grid,
+        render_crash,
+        verify_recovery_inert,
+    )
+
+    if args.verify_inert:
+        verify_recovery_inert(seed=args.seed, apps=("bfs", "pagerank"))
+        print("recovery inertness verified: crash-free run with a "
+              "recovery policy is trace-identical to none (bfs, pagerank)")
+    if args.crash_times:
+        times = tuple(
+            float(t) for t in args.crash_times.split(",") if t
+        )
+        crash_times = {app: times for app in ("bfs", "pagerank")}
+    else:
+        crash_times = None
+    if args.quick:
+        # CI smoke: one crash per app, one variant.
+        apps = ("bfs", "pagerank")
+        variants = ("standard-persistent",)
+        crash_times = crash_times or {
+            app: times[:1] for app, times in DEFAULT_CRASH_TIMES.items()
+        }
+    else:
+        apps = ("bfs", "pagerank")
+        variants = ("standard-persistent", "priority-discrete")
+    cells = crash_grid(
+        crash_times=crash_times,
+        apps=apps,
+        variants=variants,
+        crash_pes=tuple(int(pe) for pe in args.crash_pes.split(",") if pe),
+        seed=args.seed,
+        n_gpus=args.gpus,
+        jobs=args.jobs,
+    )
+    print(render_crash(cells))
+    failures = [cell for cell in cells if not cell.ok]
+    if failures:
+        print(f"\n{len(failures)} crash cell(s) FAILED")
+        return 1
+    return 0
+
+
 def _cmd_topology(args: argparse.Namespace) -> int:
     from repro.harness import get_machine
     from repro.interconnect import Topology
@@ -432,6 +478,44 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_seed_flag(chaos)
     chaos.set_defaults(func=_cmd_chaos)
+
+    recover = sub.add_parser(
+        "recover",
+        help="fail-stop crash grid: checkpoint/rollback/re-home recovery",
+    )
+    recover.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: one crash x two apps, one variant",
+    )
+    recover.add_argument(
+        "--crash-times",
+        default="",
+        metavar="T,T,...",
+        help="comma-separated crash times in sim us (default: per-app "
+        "early+late schedule)",
+    )
+    recover.add_argument(
+        "--crash-pes",
+        default="1",
+        metavar="PE,PE,...",
+        help="comma-separated ranks to fail-stop (one cell per rank)",
+    )
+    recover.add_argument("--gpus", type=int, default=4)
+    recover.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the grid (0 = one per CPU)",
+    )
+    recover.add_argument(
+        "--verify-inert",
+        action="store_true",
+        help="also prove a crash-free run with a recovery policy is "
+        "trace-identical to none",
+    )
+    add_seed_flag(recover)
+    recover.set_defaults(func=_cmd_recover)
 
     topo = sub.add_parser("topology", help="show a machine topology")
     topo.add_argument("machine",

@@ -20,6 +20,29 @@ class DeadlockError(SimulationError):
     """The event loop ran out of events while processes were still waiting."""
 
 
+class RetryBudgetExhausted(SimulationError):
+    """A reliable-transport message ran out of retransmission attempts.
+
+    Carries the link coordinates so a recovery layer can tell "the
+    receiving rank is dead" (escalate to rank recovery) apart from "the
+    link is flaky" (a genuine delivery failure that must stay loud).
+    """
+
+    def __init__(self, src: int, dst: int, seq: int, attempts: int):
+        super().__init__(
+            f"retry budget exhausted: message {src}->{dst}#{seq} "
+            f"unacked after {attempts} attempts"
+        )
+        self.src = src
+        self.dst = dst
+        self.seq = seq
+        self.attempts = attempts
+
+
+class RecoveryError(SimulationError):
+    """The fail-stop recovery protocol reached an inconsistent state."""
+
+
 class ProcessInterrupt(ReproError):
     """Raised inside a process generator when it is interrupted."""
 

@@ -25,6 +25,7 @@ without the subsystem.
 """
 
 from repro.faults.plan import (
+    CrashEvent,
     FaultPlan,
     MessageFate,
     PartitionWindow,
@@ -35,6 +36,7 @@ from repro.faults.injectors import DeviceFaultInjector, LinkFaultInjector
 from repro.faults.transport import ReliableTransport, RetryPolicy
 
 __all__ = [
+    "CrashEvent",
     "FaultPlan",
     "MessageFate",
     "PartitionWindow",

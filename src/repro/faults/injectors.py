@@ -14,6 +14,7 @@ so every chaos run reports exactly what was injected.
 
 from __future__ import annotations
 
+import math
 from typing import Optional
 
 from repro.faults.plan import FaultPlan, MessageFate
@@ -66,6 +67,19 @@ class DeviceFaultInjector:
         self._stalls: dict[int, list] = {}
         for event in sorted(plan.stalls, key=lambda e: (e.pe, e.at)):
             self._stalls.setdefault(event.pe, []).append(event)
+        #: Per-PE fail-stop time (the plan admits one crash per rank).
+        self._crash_time: dict[int, float] = {
+            crash.pe: crash.at for crash in plan.crashes
+        }
+
+    # ---------------------------------------------------- fail-stop view
+    def crash_time(self, pe: int) -> float:
+        """When rank ``pe`` fail-stops (``math.inf`` if it never does)."""
+        return self._crash_time.get(pe, math.inf)
+
+    def is_crashed(self, pe: int, now: float) -> bool:
+        """Has rank ``pe`` fail-stopped at or before ``now``?"""
+        return now >= self._crash_time.get(pe, math.inf)
 
     def slowdown(self, pe: int, now: float) -> float:
         """Compound straggler factor for ``pe`` at ``now`` (1.0 = none)."""

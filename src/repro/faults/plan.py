@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from repro.errors import ConfigurationError
 
 __all__ = [
+    "CrashEvent",
     "FaultPlan",
     "MessageFate",
     "PartitionWindow",
@@ -134,6 +135,26 @@ class StallEvent:
             raise ConfigurationError("stall duration must be non-negative")
 
 
+@dataclass(frozen=True, slots=True)
+class CrashEvent:
+    """A fail-stop crash: rank ``pe`` ceases at sim time ``at`` (us).
+
+    Fail-stop means the rank stops executing rounds, stops acking, and
+    stops serving its graph partition — it does not corrupt state or
+    send wrong messages (no Byzantine behavior).  Recovery is the job
+    of :mod:`repro.recovery`.
+    """
+
+    pe: int
+    at: float
+
+    def __post_init__(self) -> None:
+        if self.pe < 0:
+            raise ConfigurationError("crash pe must be non-negative")
+        if self.at < 0:
+            raise ConfigurationError("crash time must be non-negative")
+
+
 @dataclass(frozen=True)
 class FaultPlan:
     """A replayable schedule of link and device faults.
@@ -157,6 +178,8 @@ class FaultPlan:
     partitions: tuple[PartitionWindow, ...] = ()
     stragglers: tuple[StragglerWindow, ...] = ()
     stalls: tuple[StallEvent, ...] = field(default=())
+    #: Fail-stop crashes (rank recovery territory, not message faults).
+    crashes: tuple[CrashEvent, ...] = ()
 
     def __post_init__(self) -> None:
         for name in ("drop_rate", "duplicate_rate", "delay_rate"):
@@ -167,10 +190,18 @@ class FaultPlan:
             raise ConfigurationError("delay_jitter must be non-negative")
         # Tolerate lists in hand-written plans; store tuples (hashable,
         # immutable — a plan is a value).
-        for name in ("partitions", "stragglers", "stalls"):
+        for name in ("partitions", "stragglers", "stalls", "crashes"):
             value = getattr(self, name)
             if not isinstance(value, tuple):
                 object.__setattr__(self, name, tuple(value))
+        seen_pes = set()
+        for crash in self.crashes:
+            if crash.pe in seen_pes:
+                raise ConfigurationError(
+                    f"rank {crash.pe} crashes more than once; fail-stop "
+                    "ranks do not restart"
+                )
+            seen_pes.add(crash.pe)
 
     # ----------------------------------------------------------- state
     @property
@@ -183,6 +214,7 @@ class FaultPlan:
             or self.partitions
             or self.stragglers
             or self.stalls
+            or self.crashes
         )
 
     # ----------------------------------------------------- link fates
@@ -240,7 +272,7 @@ class FaultPlan:
         for name in ("drop_rate", "duplicate_rate", "delay_rate"):
             if getattr(self, name):
                 parts.append(f"{name.split('_')[0]}={getattr(self, name):g}")
-        for name in ("partitions", "stragglers", "stalls"):
+        for name in ("partitions", "stragglers", "stalls", "crashes"):
             if getattr(self, name):
                 parts.append(f"{name}={len(getattr(self, name))}")
         return "FaultPlan(" + ", ".join(parts) + ")"

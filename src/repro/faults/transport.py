@@ -11,8 +11,10 @@ delivery on top of at-most-once links, with the classic trio:
 * **ack / timeout / retransmit** — the sender holds each message until
   its ack arrives; a retransmit timer fires with exponential backoff up
   to a retry budget, after which the run fails loudly with
-  :class:`SimulationError` (a silently hung simulation is the one
-  unacceptable outcome);
+  :class:`repro.errors.RetryBudgetExhausted` — or escalates to the
+  ``on_exhausted`` hook, which is how the rank-recovery coordinator
+  tells "receiver is dead" apart from "link is flaky" (a silently hung
+  simulation is the one unacceptable outcome);
 * **loss-safe termination accounting** — the work tokens a message
   carries are *leased* (held) from send until ack, via the ledger the
   executor passes in (:class:`repro.runtime.termination.InFlightLedger`),
@@ -27,9 +29,9 @@ duplicate application the receiver's seen-set suppresses.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Optional
 
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import ConfigurationError, RetryBudgetExhausted
 from repro.metrics.counters import Counters
 
 __all__ = ["RetryPolicy", "ReliableTransport"]
@@ -70,10 +72,16 @@ class RetryPolicy:
 
 @dataclass(slots=True)
 class _DataPacket:
-    """One sequence-numbered wire message: (src, dst, seq) + payload."""
+    """One sequence-numbered wire message: (src, dst, seq) + payload.
+
+    ``incarnation`` stamps the transport epoch the packet was sent in;
+    rank recovery bumps the epoch, so packets still in flight from
+    before a rollback arrive stale and are dropped without effect.
+    """
 
     key: tuple[int, int, int]
     payload: Any
+    incarnation: int = 0
 
 
 @dataclass(slots=True)
@@ -124,6 +132,17 @@ class ReliableTransport:
         self._pending: dict[tuple[int, int, int], _PendingSend] = {}
         #: Receiver-side dedup state: (src, dst) -> seqs already applied.
         self._seen: dict[tuple[int, int], set[int]] = {}
+        #: Transport epoch; rank recovery bumps it to fence stale traffic.
+        self.incarnation = 0
+        #: Liveness oracle ``alive_fn(pe, now)``: a fail-stopped rank
+        #: neither applies nor acks (the recovery layer wires this).
+        self.alive_fn: Optional[Callable[[int, float], bool]] = None
+        #: Escalation hook: called with the typed exhaustion error
+        #: instead of raising, so a recovery coordinator can absorb
+        #: "receiver is dead" and re-raise anything else.
+        self.on_exhausted: Optional[
+            Callable[[RetryBudgetExhausted], None]
+        ] = None
 
     # ------------------------------------------------------------ state
     @property
@@ -166,7 +185,7 @@ class ReliableTransport:
             src,
             dst,
             record.payload_bytes,
-            _DataPacket(record.key, record.payload),
+            _DataPacket(record.key, record.payload, self.incarnation),
             self._on_data,
             extra_latency=self._extra_latency(),
         )
@@ -183,12 +202,23 @@ class ReliableTransport:
         record = self._pending.get(key)
         if record is None or record.attempt != attempt:
             return  # acked, or a later transmission owns the deadline
+        src, dst, seq = key
+        if self.alive_fn is not None and not self.alive_fn(src, self.env.now):
+            # Fail-stop sender: the ghost of a crashed rank does not
+            # retransmit.  The lease stays held until recovery reclaims
+            # the whole pending set.
+            self.counters["transport_dead_sender_timeouts"] += 1
+            return
         if record.attempt >= self.policy.budget:
-            src, dst, seq = key
-            raise SimulationError(
-                f"retry budget exhausted: message {src}->{dst}#{seq} "
-                f"unacknowledged after {record.attempt + 1} transmissions"
+            error = RetryBudgetExhausted(
+                src, dst, seq, attempts=record.attempt + 1
             )
+            if self.on_exhausted is not None:
+                # Escalate instead of failing: the handler re-raises
+                # unless the receiver is known dead (rank recovery).
+                self.on_exhausted(error)
+                return
+            raise error
         record.attempt += 1
         self.counters["transport_retransmits"] += 1
         self._transmit(record)
@@ -197,6 +227,16 @@ class ReliableTransport:
     def _on_data(self, message: Any) -> None:
         packet: _DataPacket = message.payload
         src, dst, seq = packet.key
+        if packet.incarnation != self.incarnation:
+            # In flight across a rollback: the checkpoint it was sent
+            # from no longer exists.  Drop without applying *or* acking
+            # (its lease was already reclaimed by recovery).
+            self.counters["transport_stale_incarnation_drops"] += 1
+            return
+        if self.alive_fn is not None and not self.alive_fn(dst, self.env.now):
+            # Fail-stop receiver: a dead rank neither applies nor acks.
+            self.counters["transport_dead_receiver_drops"] += 1
+            return
         seen = self._seen.setdefault((src, dst), set())
         if seq in seen:
             # Duplicate (fabric duplication or a retransmission whose
@@ -229,3 +269,24 @@ class ReliableTransport:
         self.ledger.retire(
             record.tokens, source=f"ack {src}->{dst}#{seq}"
         )
+
+    # --------------------------------------------------------- recovery
+    def reclaim_pending(self) -> int:
+        """Void every unacknowledged send and release its lease.
+
+        Rollback recovery discards all in-flight state: the restored
+        checkpoint re-derives the work those messages carried.  Returns
+        the number of tokens reclaimed.  Leftover retransmit timers
+        no-op (their pending records are gone), and any copies still on
+        the wire arrive with a stale incarnation once the caller bumps
+        :attr:`incarnation`.
+        """
+        reclaimed = 0
+        for key in sorted(self._pending):
+            record = self._pending.pop(key)
+            src, dst, seq = key
+            self.ledger.reclaim(
+                record.tokens, source=f"reclaim {src}->{dst}#{seq}"
+            )
+            reclaimed += record.tokens
+        return reclaimed

@@ -24,6 +24,7 @@ from repro.graph.partition import (
     edge_cut,
     make_partition,
     random_partition,
+    rehome_partition,
 )
 from repro.graph.io import (
     read_edge_list,
@@ -64,6 +65,7 @@ __all__ = [
     "block_partition",
     "bfs_grow_partition",
     "make_partition",
+    "rehome_partition",
     "edge_cut",
     "GraphStats",
     "UNREACHED",

@@ -36,6 +36,7 @@ __all__ = [
     "bfs_grow_partition",
     "edge_cut",
     "make_partition",
+    "rehome_partition",
     "PARTITIONERS",
 ]
 
@@ -215,6 +216,47 @@ def bfs_grow_partition(
         frontiers[pe] = absorbed.astype(np.int64)
         stalled[:] = False  # new assignments may unblock others
     return make_partition(graph, owner, n_parts)
+
+
+def rehome_partition(
+    graph: CSRGraph,
+    partition: Partition,
+    dead: frozenset | set,
+    seed: int = 0,
+) -> Partition:
+    """Reassign dead ranks' vertices to survivors by rendezvous hashing.
+
+    Highest-random-weight assignment: each orphaned vertex goes to the
+    surviving rank with the largest ``hash(seed, vertex, rank)`` weight.
+    Survivor-owned vertices never move (the minimal-disruption property
+    rendezvous hashing exists for), the orphans spread evenly across
+    survivors, and the result is a pure function of (partition, dead
+    set, seed) — every recovering replica computes the same map with no
+    coordination.
+    """
+    import hashlib
+    import struct
+
+    survivors = [pe for pe in range(partition.n_parts) if pe not in dead]
+    if not survivors:
+        raise PartitionError("no surviving ranks to re-home onto")
+    if not dead:
+        return partition
+    owner = partition.owner.copy()
+    orphans = np.flatnonzero(np.isin(owner, sorted(dead)))
+    for v in orphans:
+        best_pe, best_weight = -1, -1
+        for pe in survivors:
+            packed = struct.pack("<3q", seed, int(v), pe)
+            weight = int.from_bytes(
+                hashlib.blake2b(packed, digest_size=8).digest(), "little"
+            )
+            if weight > best_weight:
+                best_pe, best_weight = pe, weight
+        owner[v] = best_pe
+    # n_parts is unchanged: dead ranks keep their (now empty) slots so
+    # rank ids stay stable for the fabric and the surviving queues.
+    return make_partition(graph, owner, partition.n_parts)
 
 
 def edge_cut(graph: CSRGraph, partition: Partition) -> int:

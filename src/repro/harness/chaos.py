@@ -31,6 +31,7 @@ from typing import Optional
 import numpy as np
 
 from repro.apps import AtosBFS, AtosPageRank
+from repro.recovery import RecoveryPolicy
 from repro.apps.validation import (
     pagerank_close,
     reference_bfs,
@@ -38,7 +39,7 @@ from repro.apps.validation import (
 )
 from repro.config import daisy
 from repro.errors import SimulationError
-from repro.faults import FaultPlan, RetryPolicy
+from repro.faults import CrashEvent, FaultPlan, RetryPolicy
 from repro.gpu.kernel import KernelStrategy
 from repro.graph import bfs_grow_partition, largest_component_vertex, rmat
 from repro.metrics.counters import fault_summary
@@ -55,6 +56,13 @@ __all__ = [
     "render_chaos",
     "trace_digest_for",
     "verify_inert",
+    "DEFAULT_CRASH_TIMES",
+    "CrashSpec",
+    "CrashCell",
+    "run_crash_cell",
+    "crash_grid",
+    "render_crash",
+    "verify_recovery_inert",
 ]
 
 #: The paper's three evaluated queue configurations, by short name.
@@ -161,9 +169,10 @@ def _build_app(spec: ChaosSpec):
 
 
 def _config(
-    spec: ChaosSpec,
+    spec,
     faults: Optional[FaultPlan],
     retry: Optional[RetryPolicy],
+    recovery: Optional[RecoveryPolicy] = None,
 ) -> AtosConfig:
     kernel, priority = CHAOS_VARIANTS[spec.variant]
     return AtosConfig(
@@ -179,6 +188,7 @@ def _config(
         batch_size=1 << 12,
         faults=faults,
         retry=retry,
+        recovery=recovery,
     )
 
 
@@ -298,12 +308,14 @@ class _TraceDigest:
 
 
 def trace_digest_for(
-    spec: ChaosSpec, faults: Optional[FaultPlan]
+    spec: ChaosSpec,
+    faults: Optional[FaultPlan],
+    recovery: Optional[RecoveryPolicy] = None,
 ) -> tuple[str, float, dict]:
     """(event digest, makespan, counters) of one traced cell run."""
     app, _ = _build_app(spec)
     executor = AtosExecutor(
-        daisy(spec.n_gpus), app, _config(spec, faults, None)
+        daisy(spec.n_gpus), app, _config(spec, faults, None, recovery)
     )
     digest = _TraceDigest()
     executor.env.trace_hook = digest
@@ -328,5 +340,258 @@ def verify_inert(seed: int = 0, apps: tuple[str, ...] = ("bfs",)) -> bool:
             raise AssertionError(
                 f"inert fault plan perturbed the {app} trace: "
                 f"{baseline[0][:16]} != {inert[0][:16]}"
+            )
+    return True
+
+
+# ------------------------------------------------------------ crash grid
+#: Default crash times (sim us) per app, chosen to land mid-run on the
+#: seeded chaos graphs (fault-free makespans: BFS ~40-80 us, PageRank
+#: ~300-1500 us depending on variant).  An early and a late crash per
+#: app: the early one rolls back to the bootstrap (epoch-0) checkpoint,
+#: the late one exercises replay from a periodic epoch.
+DEFAULT_CRASH_TIMES: dict[str, tuple[float, ...]] = {
+    "bfs": (15.0, 30.0),
+    "pagerank": (80.0, 180.0),
+}
+
+
+@dataclass(frozen=True)
+class CrashSpec:
+    """One crash cell: app x variant x (crash rank, crash time), seeded.
+
+    Like :class:`ChaosSpec`, the graph, partition, crash schedule, and
+    recovery policy are pure functions of the fields, so a cell is
+    exactly replayable — including its checkpoint content digests.
+    """
+
+    app: str
+    variant: str
+    crash_pe: int
+    crash_at: float
+    seed: int = 0
+    scale: int = 9
+    edge_factor: int = 8
+    n_gpus: int = 4
+    checkpoint_interval: float = 40.0
+    detect_interval: float = 5.0
+    drain_poll: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.app not in ("bfs", "pagerank"):
+            raise ValueError(f"unknown crash app {self.app!r}")
+        if self.variant not in CHAOS_VARIANTS:
+            raise ValueError(
+                f"unknown variant {self.variant!r}; "
+                f"known: {sorted(CHAOS_VARIANTS)}"
+            )
+        if not 0 <= self.crash_pe < self.n_gpus:
+            raise ValueError("crash_pe out of range")
+        if self.crash_at < 0:
+            raise ValueError("crash_at must be non-negative")
+
+    def label(self) -> str:
+        return (
+            f"{self.app}/{self.variant}/pe{self.crash_pe}"
+            f"@{self.crash_at:g}/seed{self.seed}"
+        )
+
+    def plan(self) -> FaultPlan:
+        """The fail-stop schedule: one crash, no message faults."""
+        return FaultPlan(
+            seed=self.seed,
+            crashes=(CrashEvent(pe=self.crash_pe, at=self.crash_at),),
+        )
+
+    def policy(self) -> RecoveryPolicy:
+        return RecoveryPolicy(
+            checkpoint_interval=self.checkpoint_interval,
+            detect_interval=self.detect_interval,
+            drain_poll=self.drain_poll,
+        )
+
+
+@dataclass
+class CrashCell:
+    """Verdict of one crash cell."""
+
+    spec: CrashSpec
+    ok: bool
+    time_ms: float = 0.0
+    error: str = ""
+    #: Ranks the coordinator actually recovered around.  Zero is legal:
+    #: a crash landing after the rank's last useful round lets the run
+    #: finish before the detector's next tick.
+    recovered: int = 0
+    #: SHA-256 of the validated output array (determinism suite).
+    result_digest: str = ""
+    #: Content digest of every checkpoint epoch, in order.
+    checkpoint_digests: list[str] = field(default_factory=list)
+    #: Fault/transport/recovery counters (``fault_summary``).
+    faults: dict = field(default_factory=dict)
+
+    def summary(self) -> str:
+        f = self.faults
+        return (
+            f"ckpts={f.get('recovery_checkpoints_taken', 0):.0f} "
+            f"reclaimed={f.get('recovery_tokens_reclaimed', 0):.0f} "
+            f"replayed={f.get('recovery_replay_messages', 0):.0f}"
+        )
+
+
+def _result_digest(output) -> str:
+    array = np.ascontiguousarray(np.asarray(output))
+    h = hashlib.sha256(f"{array.dtype}|{array.shape}\n".encode())
+    h.update(array.tobytes())
+    return h.hexdigest()
+
+
+def run_crash_cell(spec: CrashSpec) -> CrashCell:
+    """Run one fail-stop cell end to end and validate it.
+
+    A cell passes only if the simulation terminates (recovery rerouted
+    the dead rank's work), every leased token was retired or reclaimed,
+    and the output matches the fault-free serial reference — i.e. a
+    crashed run is *indistinguishable by result* from a clean one.
+    """
+    app, validate = _build_app(spec)
+    executor = AtosExecutor(
+        daisy(spec.n_gpus),
+        app,
+        _config(spec, spec.plan(), None, spec.policy()),
+    )
+    try:
+        makespan, counters = executor.run()
+    except SimulationError as exc:
+        return CrashCell(spec, ok=False, error=str(exc))
+    digests = list(executor.recovery.checkpoint_digests)
+    recovered = int(counters["recovery_ranks_recovered"])
+    if executor.ledger.leased != 0:
+        return CrashCell(
+            spec,
+            ok=False,
+            time_ms=makespan / 1000.0,
+            error=f"{executor.ledger.leased} in-flight token(s) never "
+            "retired",
+            recovered=recovered,
+            checkpoint_digests=digests,
+            faults=fault_summary(counters),
+        )
+    output = app.result()
+    if not validate(output):
+        return CrashCell(
+            spec,
+            ok=False,
+            time_ms=makespan / 1000.0,
+            error="output does not match the serial reference",
+            recovered=recovered,
+            checkpoint_digests=digests,
+            faults=fault_summary(counters),
+        )
+    return CrashCell(
+        spec,
+        ok=True,
+        time_ms=makespan / 1000.0,
+        recovered=recovered,
+        result_digest=_result_digest(output),
+        checkpoint_digests=digests,
+        faults=fault_summary(counters),
+    )
+
+
+def crash_grid(
+    crash_times: Optional[dict[str, tuple[float, ...]]] = None,
+    apps: tuple[str, ...] = ("bfs", "pagerank"),
+    variants: tuple[str, ...] = ("standard-persistent", "priority-discrete"),
+    crash_pes: tuple[int, ...] = (1,),
+    seed: int = 0,
+    n_gpus: int = 4,
+    jobs: Optional[int] = None,
+) -> list[CrashCell]:
+    """Run the fail-stop grid: app x variant x crash rank x crash time.
+
+    With ``jobs`` > 1 the cells run in worker processes through the
+    pool harness (:func:`repro.harness.pool.run_grid`), which doubles
+    as the determinism check's serial-vs-pooled executor.  Results are
+    in deterministic spec order either way.
+    """
+    times = crash_times or DEFAULT_CRASH_TIMES
+    specs = [
+        CrashSpec(
+            app=app,
+            variant=variant,
+            crash_pe=pe,
+            crash_at=at,
+            seed=seed,
+            n_gpus=n_gpus,
+        )
+        for app in apps
+        for variant in variants
+        for pe in crash_pes
+        for at in times[app]
+    ]
+    if jobs is not None and jobs != 1:
+        from repro.harness.pool import run_grid
+
+        results = run_grid(specs, jobs=jobs, run_fn=run_crash_cell)
+        return [
+            cell.result
+            if cell.ok
+            else CrashCell(spec, ok=False, error=cell.error or cell.status)
+            for spec, cell in zip(specs, results)
+        ]
+    return [run_crash_cell(spec) for spec in specs]
+
+
+def render_crash(cells: list[CrashCell]) -> str:
+    """Paper-style text table of a crash grid's verdicts."""
+    rows = []
+    for cell in cells:
+        f = cell.faults
+        rows.append(
+            (
+                cell.spec.app,
+                cell.spec.variant,
+                f"pe{cell.spec.crash_pe}@{cell.spec.crash_at:g}",
+                "pass" if cell.ok else "FAIL",
+                f"{cell.time_ms:.3f}",
+                f"{f.get('recovery_checkpoints_taken', 0):.0f}",
+                f"{cell.recovered}",
+                f"{f.get('recovery_tokens_reclaimed', 0):.0f}",
+                f"{f.get('recovery_replay_messages', 0):.0f}",
+                cell.error,
+            )
+        )
+    return format_generic_table(
+        "Crash grid: fail-stop rank recovery (checkpoint/rollback/"
+        "re-home), validated against the serial reference",
+        ["app", "variant", "crash", "verdict", "ms", "ckpts", "recov",
+         "reclaim", "replay", "error"],
+        rows,
+    )
+
+
+def verify_recovery_inert(
+    seed: int = 0, apps: tuple[str, ...] = ("bfs",)
+) -> bool:
+    """Pin the recovery layer's zero-cost guarantee.
+
+    For each app, runs the same seeded crash-free cell twice — no
+    recovery policy versus an explicit :class:`RecoveryPolicy` — and
+    requires bit-identical event digests, makespans, and counters: a
+    plan without crashes must never construct a coordinator.  Raises
+    :class:`AssertionError` on divergence; returns ``True``.
+    """
+    for app in apps:
+        spec = ChaosSpec(app=app, variant="standard-persistent",
+                         drop_rate=0.0, seed=seed)
+        baseline = trace_digest_for(spec, None, recovery=None)
+        with_policy = trace_digest_for(
+            spec, None, recovery=RecoveryPolicy()
+        )
+        if baseline != with_policy:
+            raise AssertionError(
+                f"idle recovery policy perturbed the {app} trace: "
+                f"{baseline[0][:16]} != {with_policy[0][:16]}"
             )
     return True

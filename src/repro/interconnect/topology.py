@@ -47,10 +47,31 @@ class Topology:
         for (i, j) in self.machine.links:
             models[(i, j)] = link_model_for(self.machine, i, j)
         object.__setattr__(self, "_models", models)
+        # Ranks marked down by fail-stop recovery (degraded mode).  The
+        # dataclass stays a frozen value; the down-set is runtime state,
+        # like the link-model cache above.
+        object.__setattr__(self, "_down", set())
 
     @property
     def n_gpus(self) -> int:
         return self.machine.n_gpus
+
+    # ------------------------------------------------------ degraded mode
+    @property
+    def down_ranks(self) -> frozenset:
+        """Ranks whose routes are administratively down."""
+        return frozenset(self._down)  # type: ignore[attr-defined]
+
+    def mark_rank_down(self, pe: int) -> None:
+        """Take every route to and from ``pe`` out of service."""
+        if not 0 <= pe < self.n_gpus:
+            raise TopologyError(f"no rank {pe} on {self.machine.name}")
+        self._down.add(pe)  # type: ignore[attr-defined]
+
+    def route_up(self, src: int, dst: int) -> bool:
+        """Is the (src -> dst) route in service (both endpoints up)?"""
+        down = self._down  # type: ignore[attr-defined]
+        return src not in down and dst not in down
 
     def link(self, src: int, dst: int) -> LinkModel:
         try:

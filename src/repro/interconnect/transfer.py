@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Any, Callable
 
 from repro.config import MachineConfig
+from repro.errors import TopologyError
 from repro.interconnect.topology import Topology
 from repro.sim.core import Environment
 
@@ -144,6 +145,10 @@ class NetworkFabric:
         """
         if src == dst:
             raise ValueError("no self-sends through the fabric")
+        if self.topology.down_ranks and not self.topology.route_up(src, dst):
+            raise TopologyError(
+                f"route {src}->{dst} is marked down (degraded mode)"
+            )
         channel = self.channels[(src, dst)]
         message = Message(src=src, dst=dst, payload_bytes=payload_bytes,
                           payload=payload)

@@ -3,6 +3,7 @@
 from repro.metrics.analysis import burstiness, byte_histogram, peak_to_mean
 from repro.metrics.counters import (
     FAULT_COUNTERS,
+    RECOVERY_COUNTERS,
     Counters,
     RunResult,
     fault_summary,
@@ -12,6 +13,7 @@ __all__ = [
     "Counters",
     "RunResult",
     "FAULT_COUNTERS",
+    "RECOVERY_COUNTERS",
     "fault_summary",
     "burstiness",
     "byte_histogram",

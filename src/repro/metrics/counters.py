@@ -9,7 +9,13 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["Counters", "RunResult", "FAULT_COUNTERS", "fault_summary"]
+__all__ = [
+    "Counters",
+    "RunResult",
+    "FAULT_COUNTERS",
+    "RECOVERY_COUNTERS",
+    "fault_summary",
+]
 
 #: The canonical fault/resilience counter family.  Injectors write the
 #: ``fault_*`` names (what the plan did to the run); the reliable
@@ -28,18 +34,32 @@ FAULT_COUNTERS = (
     "transport_acks_received",
     "transport_stale_acks",
     "transport_duplicates_suppressed",
+    "transport_stale_incarnation_drops",
+    "transport_dead_receiver_drops",
+    "transport_dead_sender_timeouts",
+)
+
+#: The fail-stop recovery counter family (:mod:`repro.recovery`):
+#: what the checkpoint/recovery layer did during a crashed run.  Like
+#: the fault counters, absent on runs without a recovery coordinator.
+RECOVERY_COUNTERS = (
+    "recovery_checkpoints_taken",
+    "recovery_bytes_snapshotted",
+    "recovery_ranks_recovered",
+    "recovery_tokens_reclaimed",
+    "recovery_replay_messages",
 )
 
 
 def fault_summary(counters: "Counters") -> dict[str, float]:
-    """The fault/resilience counters present in a counter bag.
+    """The fault/resilience/recovery counters present in a counter bag.
 
     Chaos tables and reports use this to show exactly what was injected
-    into a run and how the delivery layer absorbed it.
+    into a run and how the delivery and recovery layers absorbed it.
     """
     return {
         name: float(counters[name])
-        for name in FAULT_COUNTERS
+        for name in (*FAULT_COUNTERS, *RECOVERY_COUNTERS)
         if name in counters
     }
 

@@ -111,6 +111,15 @@ class AtosQueue(ConcurrentQueue):
         self.stats.items_popped += take
         return out
 
+    def snapshot(self) -> np.ndarray:
+        """Copy of the committed window ``[start, end)`` — the exact
+        items a drain would pop — without consuming anything
+        (checkpointing)."""
+        take = self.end - self.start
+        if take == 0:
+            return np.empty(0, dtype=self.storage.dtype)
+        return self._ring_read(self.start, take)
+
     def check_invariants(self) -> None:
         """Assert the counter invariants (used heavily by tests)."""
         assert 0 <= self.start <= self.end, "pop cursor passed end"

@@ -105,6 +105,28 @@ class BucketedPriorityQueue:
             self.threshold_raises += 1
         return bucket.pop(bucket.readable)
 
+    def snapshot(self) -> tuple[np.ndarray, np.ndarray]:
+        """Non-destructive (priorities, values) copy of every bucket.
+
+        Exact priorities are not stored inside a bucket (pushing
+        quantizes them to the band), so each item comes back with its
+        band's *representative* priority — the band midpoint — which
+        re-inserts into the same bucket.  Buckets are visited in key
+        order, so the snapshot is deterministic.
+        """
+        priorities: list[np.ndarray] = []
+        values: list[np.ndarray] = []
+        for key in sorted(self._buckets):
+            items = self._buckets[key].snapshot()
+            if len(items) == 0:
+                continue
+            representative = (key + 0.5) * self.threshold_delta
+            priorities.append(np.full(len(items), representative))
+            values.append(items)
+        if not values:
+            return np.empty(0), np.empty(0, dtype=self.dtype)
+        return np.concatenate(priorities), np.concatenate(values)
+
     def _lowest_nonempty(self) -> int | None:
         live = [k for k, b in self._buckets.items() if b.readable > 0]
         return min(live) if live else None

@@ -1,0 +1,34 @@
+"""Fail-stop rank recovery: checkpoint/restore, re-homing, rerouting.
+
+The fault layer (:mod:`repro.faults`) makes the runtime survive
+*message-level* faults; this package makes it survive a whole GPU rank
+dying.  The model is classic coordinated rollback recovery specialized
+to the Atos runtime's idempotent relaxations:
+
+* a :class:`~repro.faults.CrashEvent` in the fault plan fail-stops a
+  rank at a deterministic sim time (it stops executing, acking, and
+  serving its partition);
+* the :class:`RecoveryCoordinator` takes periodic **consistent
+  checkpoints** of the quiesced system (:class:`Checkpoint`, optionally
+  persisted content-addressed via :class:`CheckpointStore`);
+* on detection it **rolls back**: reclaims the dead rank's leased
+  tokens, re-homes its partition by rendezvous hashing, replays the
+  checkpoint frontier on the survivors, and continues in **degraded
+  mode** with routes to the dead rank marked down.
+
+Re-executing re-homed work is safe because the supported applications
+relax monotonically (BFS atomic-min depths, PageRank residual pushes)
+— the recovery protocol requires ``supports_recovery`` and the
+checkpoint/restore methods on the application.  Fail-stop only: a
+crashed rank never sends corrupt state (no Byzantine tolerance).
+"""
+
+from repro.recovery.checkpoint import Checkpoint, CheckpointStore
+from repro.recovery.coordinator import RecoveryCoordinator, RecoveryPolicy
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointStore",
+    "RecoveryCoordinator",
+    "RecoveryPolicy",
+]

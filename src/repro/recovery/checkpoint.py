@@ -1,0 +1,137 @@
+"""Epoch-stamped consistent checkpoints of a quiesced run.
+
+A :class:`Checkpoint` is taken only at a *consistent cut*: every rank
+parked at the coordinator's barrier, every aggregation/segment buffer
+force-flushed, and the fabric + reliable transport fully drained.  At
+that instant the entire global state of the computation is exactly (a)
+the application's vertex arrays and (b) the queued frontier per rank —
+no update is in flight, no token is leased — so the snapshot is a pure
+value, content-addressable by hash.
+
+:class:`CheckpointStore` persists checkpoints through the same
+atomic-write + SHA-256-checksum machinery as the run cache
+(:class:`repro.harness.cache.RunCache`), keyed by checkpoint content
+digest.  Persistence is optional: the recovery coordinator always keeps
+the latest checkpoint in memory (rollback never does disk IO inside the
+simulated hot path), the store exists for post-mortem inspection and
+the determinism suite.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.runtime.termination import TrackerSnapshot
+
+__all__ = ["Checkpoint", "CheckpointStore"]
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One consistent snapshot of a quiesced run.
+
+    Attributes
+    ----------
+    epoch:
+        Monotone checkpoint counter (epoch 0 is the post-seed state).
+    sim_time:
+        Simulation time (us) the cut was taken at.
+    app_state:
+        The application's global arrays (e.g. ``{"depth": ...}`` for
+        BFS, ``{"rank": ..., "residual": ...}`` for PageRank) —
+        partition-independent, so restore can re-slice them onto a
+        re-homed ownership map.
+    frontier:
+        Per-rank ``(tasks, priorities)`` queue snapshots; ``priorities``
+        is ``None`` for FIFO variants.  Tasks are global vertex ids, so
+        a restored frontier can be re-routed to new owners.
+    tracker:
+        The work tracker's counts at the cut.  At a consistent cut the
+        outstanding count equals the total queued tasks — verified at
+        snapshot time.
+    """
+
+    epoch: int
+    sim_time: float
+    app_state: dict[str, np.ndarray]
+    frontier: tuple[tuple[np.ndarray, Optional[np.ndarray]], ...]
+    tracker: TrackerSnapshot
+
+    @property
+    def total_tasks(self) -> int:
+        """Total queued tasks across all ranks at the cut."""
+        return sum(len(tasks) for tasks, _ in self.frontier)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of array state the snapshot holds."""
+        total = sum(a.nbytes for a in self.app_state.values())
+        for tasks, priorities in self.frontier:
+            total += tasks.nbytes
+            if priorities is not None:
+                total += priorities.nbytes
+        return total
+
+    def digest(self) -> str:
+        """SHA-256 over the checkpoint's canonical content.
+
+        Two runs that reach the same cut produce the same digest — the
+        determinism suite pins this across repeats and across serial vs
+        pooled execution.
+        """
+        h = hashlib.sha256()
+        h.update(
+            f"epoch={self.epoch}|t={self.sim_time!r}"
+            f"|outstanding={self.tracker.outstanding}"
+            f"|added={self.tracker.total_added}\n".encode()
+        )
+        for name in sorted(self.app_state):
+            array = self.app_state[name]
+            h.update(f"{name}|{array.dtype}|{array.shape}\n".encode())
+            h.update(np.ascontiguousarray(array).tobytes())
+        for pe, (tasks, priorities) in enumerate(self.frontier):
+            h.update(f"pe{pe}|{len(tasks)}\n".encode())
+            h.update(np.ascontiguousarray(tasks).tobytes())
+            if priorities is None:
+                h.update(b"fifo\n")
+            else:
+                h.update(np.ascontiguousarray(priorities).tobytes())
+        return h.hexdigest()
+
+
+class CheckpointStore:
+    """Content-addressed on-disk checkpoint storage.
+
+    A thin layer over :class:`repro.harness.cache.RunCache`: entries
+    are written atomically (temp file + ``os.replace``), carry an
+    embedded payload checksum, and corrupt entries read back as misses
+    — exactly the durability contract checkpoints need.
+    """
+
+    def __init__(self, directory: Path | str):
+        # Imported here, not at module level: repro.harness pulls in the
+        # whole experiment stack (including repro.runtime), and this
+        # module sits below it in the layering.
+        from repro.harness.cache import RunCache
+
+        self.cache = RunCache(directory)
+
+    def put(self, checkpoint: Checkpoint) -> str:
+        """Persist a checkpoint; returns its content digest (the key)."""
+        key = checkpoint.digest()
+        self.cache.store(key, checkpoint)
+        return key
+
+    def get(self, key: str) -> Optional[Checkpoint]:
+        """Fetch by digest; ``None`` on miss or corruption."""
+        value = self.cache.load(key)
+        return value if isinstance(value, Checkpoint) else None
+
+    def keys(self) -> list[str]:
+        """Digests of every stored checkpoint, sorted."""
+        return [path.stem for path in self.cache.entries()]

@@ -1,0 +1,373 @@
+"""The fail-stop recovery coordinator.
+
+Runs as one extra DES process alongside the GPU processes and does
+three jobs:
+
+1. **Periodic consistent checkpoints.**  Every
+   ``checkpoint_interval`` us the coordinator raises a barrier; each
+   live rank parks at its :meth:`RecoveryCoordinator.rank_gate` at the
+   top of its round loop.  Once all live ranks are parked the
+   coordinator force-flushes segment buffers and aggregators, waits for
+   the fabric and the reliable transport to drain (deliveries and acks
+   run via callbacks while ranks are parked, and a parked rank enqueues
+   but never sends, so the drain terminates), and snapshots: global app
+   arrays, per-rank queued frontier, and the work tracker's counts.  At
+   that cut the snapshot invariant holds — outstanding tokens equal
+   queued tasks — which :meth:`_snapshot` asserts.  A crash observed
+   mid-barrier aborts the attempt; the next tick recovers first.
+
+2. **Failure detection.**  Every ``detect_interval`` us the coordinator
+   polls the :class:`~repro.faults.injectors.DeviceFaultInjector` crash
+   schedule (the model of a heartbeat failure detector — detection
+   latency is one detect interval, not zero).  The reliable transport's
+   retry-budget escalation is the second detection path: its
+   ``on_exhausted`` hook lands in :meth:`note_exhausted`, which absorbs
+   exhaustion against a rank that really fail-stopped and re-raises the
+   typed error for a merely flaky link.
+
+3. **Rollback recovery.**  :meth:`_recover` is synchronous state
+   surgery at one sim instant: mark the dead rank's routes down,
+   reclaim every leased in-flight token, bump the transport incarnation
+   (packets still on the wire arrive fenced), drop buffered
+   communication, re-home the dead rank's partition onto survivors by
+   rendezvous hashing, restore app arrays and tracker counts from the
+   last checkpoint, rebuild the queues, and re-enqueue the checkpoint
+   frontier grouped by its *new* owners.  The run then continues in
+   degraded mode on the surviving ranks.
+
+Everything here is constructed only when the fault plan schedules at
+least one crash, so a crash-free configuration runs the exact pre-
+recovery code path (pinned by golden-trace digest equality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.errors import (
+    ConfigurationError,
+    RecoveryError,
+    RetryBudgetExhausted,
+)
+from repro.graph.partition import rehome_partition
+from repro.recovery.checkpoint import Checkpoint, CheckpointStore
+
+__all__ = ["RecoveryPolicy", "RecoveryCoordinator"]
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Knobs of the checkpoint/recovery layer.
+
+    All times in simulated us.  ``store_dir`` optionally persists every
+    checkpoint through the content-addressed
+    :class:`~repro.recovery.checkpoint.CheckpointStore`; the in-memory
+    latest checkpoint is authoritative either way.
+    """
+
+    #: Target gap between consistent checkpoints.
+    checkpoint_interval: float = 200.0
+    #: Failure-detector polling period (the modeled heartbeat).
+    detect_interval: float = 20.0
+    #: Polling period while parking ranks / draining the fabric.
+    drain_poll: float = 2.0
+    #: Optional directory for persisted checkpoint objects.
+    store_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_interval <= 0:
+            raise ConfigurationError("checkpoint_interval must be positive")
+        if self.detect_interval <= 0:
+            raise ConfigurationError("detect_interval must be positive")
+        if self.drain_poll <= 0:
+            raise ConfigurationError("drain_poll must be positive")
+
+
+class RecoveryCoordinator:
+    """Checkpoints, detects, and recovers fail-stopped ranks."""
+
+    def __init__(self, executor: Any, policy: RecoveryPolicy):
+        if executor.device_faults is None or executor.transport is None:
+            raise ConfigurationError(
+                "recovery requires an active fault plan (crash schedule "
+                "and reliable transport)"
+            )
+        if not getattr(executor.app, "supports_recovery", False):
+            raise ConfigurationError(
+                f"application {executor.app.name!r} does not implement the "
+                "checkpoint/restore protocol"
+            )
+        self.executor = executor
+        self.policy = policy
+        self.env = executor.env
+        self.tracker = executor.tracker
+        self.counters = executor.counters
+        self.n_ranks: int = executor.machine.n_gpus
+        self._rehome_seed: int = executor.fault_plan.seed
+        self.store: Optional[CheckpointStore] = (
+            CheckpointStore(policy.store_dir) if policy.store_dir else None
+        )
+        #: Ranks already detected and recovered around.
+        self.dead: set[int] = set()
+        #: Ranks the transport escalated (ack exhaustion) before the
+        #: detector's poll noticed them.
+        self._suspect: set[int] = set()
+        self.last_checkpoint: Optional[Checkpoint] = None
+        #: Content digest of every checkpoint, in epoch order (the
+        #: determinism suite compares these across runs).
+        self.checkpoint_digests: list[str] = []
+        self._epoch = 0
+        self._barrier_release: Optional[Any] = None
+        self._parked: set[int] = set()
+
+    # ----------------------------------------------------------- liveness
+    def rank_failed(self, pe: int) -> bool:
+        """Ground truth: has ``pe`` fail-stopped per the crash schedule?"""
+        return self.executor.device_faults.is_crashed(pe, self.env.now)
+
+    def alive_for_transport(self, pe: int, now: float) -> bool:
+        """Transport liveness oracle: a fail-stopped rank cannot ack."""
+        return not self.executor.device_faults.is_crashed(pe, now)
+
+    def note_exhausted(self, error: RetryBudgetExhausted) -> None:
+        """Transport escalation: dead receiver is ours, flaky link isn't."""
+        if self.executor.device_faults.is_crashed(error.dst, self.env.now):
+            self._suspect.add(error.dst)
+            return
+        raise error
+
+    def _failed_undetected(self) -> list[int]:
+        return sorted(
+            pe
+            for pe in range(self.n_ranks)
+            if pe not in self.dead
+            and (self.rank_failed(pe) or pe in self._suspect)
+        )
+
+    def alive_ranks(self) -> list[int]:
+        """Ranks not yet recovered around (may include undetected dead)."""
+        return [pe for pe in range(self.n_ranks) if pe not in self.dead]
+
+    # ------------------------------------------------------------ barrier
+    def rank_gate(self, pe: int):
+        """Per-round gate each GPU process runs at its loop top.
+
+        Returns False when the rank has fail-stopped (the process must
+        exit).  While a checkpoint barrier is up, parks the rank until
+        the coordinator releases it.
+        """
+        if self.rank_failed(pe):
+            return False
+        while self._barrier_release is not None:
+            release = self._barrier_release
+            self._parked.add(pe)
+            yield release
+            self._parked.discard(pe)
+            if self.rank_failed(pe):
+                return False
+        return True
+
+    # ---------------------------------------------------------- lifecycle
+    def bootstrap(self) -> None:
+        """Epoch-0 checkpoint, taken right after seeding.
+
+        The system is trivially quiescent before any process runs, so
+        this is a plain synchronous snapshot — and it guarantees
+        recovery always has a checkpoint to roll back to, even for a
+        crash before the first periodic epoch.
+        """
+        self._snapshot()
+
+    def run(self):
+        """The coordinator DES process (spawned by the executor)."""
+        interval = self.policy.checkpoint_interval
+        next_checkpoint = self.env.now + interval
+        while not self.tracker.finished:
+            yield self.env.timeout(self.policy.detect_interval)
+            if self.tracker.finished:
+                return
+            if self._failed_undetected():
+                self._recover()
+                next_checkpoint = self.env.now + interval
+                continue
+            if self.env.now >= next_checkpoint:
+                yield from self._take_checkpoint()
+                next_checkpoint = self.env.now + interval
+
+    # -------------------------------------------------------- checkpoint
+    def _take_checkpoint(self):
+        """Barrier, flush, drain, snapshot (a DES sub-generator).
+
+        Returns True if a checkpoint was taken; False if the attempt
+        was aborted (crash observed mid-barrier, or the run finished).
+        """
+        ex = self.executor
+        env = self.env
+        release = env.event()
+        self._parked = set()
+        self._barrier_release = release
+        ok = False
+        try:
+            while True:
+                if self.tracker.finished or self._failed_undetected():
+                    break
+                expected = {
+                    pe
+                    for pe in range(self.n_ranks)
+                    if pe not in self.dead and not self.rank_failed(pe)
+                }
+                if expected <= self._parked:
+                    ok = True
+                    break
+                yield env.timeout(self.policy.drain_poll)
+            if ok:
+                # All live ranks parked at one sim instant: push every
+                # buffered update onto the wire, then wait for the wire
+                # (and the transport's ack window) to empty.
+                for pe in sorted(expected):
+                    ex._flush_segment(pe)
+                    if ex.aggregators is not None:
+                        ex.aggregators[pe].flush_all()
+                while not (
+                    ex.fabric.in_flight == 0 and ex.transport.quiescent
+                ):
+                    if self.tracker.finished or self._failed_undetected():
+                        ok = False
+                        break
+                    yield env.timeout(self.policy.drain_poll)
+            if ok:
+                self._snapshot()
+        finally:
+            self._barrier_release = None
+            release.succeed(None)
+        return ok
+
+    def _snapshot(self) -> None:
+        """Record the current (quiesced) global state as a checkpoint."""
+        ex = self.executor
+        if ex.ledger is not None and ex.ledger.leased:
+            raise RecoveryError(
+                f"snapshot of a non-quiescent cut: {ex.ledger.leased} "
+                "token(s) still leased"
+            )
+        frontier = tuple(
+            ex.queues[pe].snapshot() for pe in range(self.n_ranks)
+        )
+        snap = ex.tracker.snapshot()
+        total = sum(len(tasks) for tasks, _ in frontier)
+        if total != snap.outstanding:
+            raise RecoveryError(
+                f"inconsistent cut: {total} queued task(s) vs "
+                f"{snap.outstanding} outstanding token(s)"
+            )
+        checkpoint = Checkpoint(
+            epoch=self._epoch,
+            sim_time=self.env.now,
+            app_state=ex.app.checkpoint_state(),
+            frontier=frontier,
+            tracker=snap,
+        )
+        self._epoch += 1
+        self.last_checkpoint = checkpoint
+        self.checkpoint_digests.append(checkpoint.digest())
+        self.counters["recovery_checkpoints_taken"] += 1
+        self.counters["recovery_bytes_snapshotted"] += checkpoint.nbytes
+        if self.store is not None:
+            self.store.put(checkpoint)
+
+    # ---------------------------------------------------------- recovery
+    def _recover(self) -> None:
+        """Roll back to the last checkpoint around newly dead ranks.
+
+        Synchronous state surgery — no sim time passes, so every other
+        process observes either the pre-recovery or the post-recovery
+        state, never a half-rebuilt one.
+        """
+        ex = self.executor
+        newly = self._failed_undetected()
+        if not newly:
+            return
+        checkpoint = self.last_checkpoint
+        if checkpoint is None:
+            raise RecoveryError("no checkpoint to roll back to")
+        for pe in newly:
+            self.dead.add(pe)
+            ex.fabric.topology.mark_rank_down(pe)
+        self._suspect.clear()
+        alive = self.alive_ranks()
+        if not alive:
+            raise RecoveryError("every rank has fail-stopped")
+
+        # 1. Void all in-flight state.  Reclaim bypasses the tracker
+        # (restore below re-derives its count); the incarnation bump
+        # fences whatever is still on the wire.
+        reclaimed = ex.transport.reclaim_pending()
+        ex.transport.incarnation += 1
+        if ex.ledger.leased:
+            raise RecoveryError(
+                f"{ex.ledger.leased} token(s) still leased after reclaim"
+            )
+        for buffers in ex._segment_buffers:
+            buffers.clear()
+        if ex.aggregators is not None:
+            for aggregator in ex.aggregators:
+                aggregator.reset()
+
+        # 2. Re-home ownership and roll application state back.
+        partition = rehome_partition(
+            ex.app.graph,
+            ex.app.partition,
+            frozenset(self.dead),
+            seed=self._rehome_seed,
+        )
+        ex.app.restore_state(checkpoint.app_state, partition)
+
+        # 3. Fresh queues, tracker rollback, frontier replay routed to
+        # the new owners.
+        ex.queues = ex._make_queues()
+        ex.tracker.restore(checkpoint.tracker)
+        tasks_parts = [t for t, _ in checkpoint.frontier if len(t)]
+        prio_parts = [
+            p for t, p in checkpoint.frontier if len(t) and p is not None
+        ]
+        if tasks_parts:
+            all_tasks = np.concatenate(tasks_parts)
+            all_prios = (
+                np.concatenate(prio_parts)
+                if len(prio_parts) == len(tasks_parts)
+                else None
+            )
+        else:
+            all_tasks = np.empty(0, dtype=np.int64)
+            all_prios = None
+        owners = partition.owner[all_tasks]
+        replayed = 0
+        for pe in alive:
+            mine = owners == pe
+            count = int(mine.sum())
+            if count == 0:
+                continue
+            tasks = all_tasks[mine]
+            priorities = all_prios[mine] if all_prios is not None else None
+            ex._enqueue_local(pe, tasks, priorities)
+            ex.app.mark_queued(pe, tasks)
+            ex._notify(pe)
+            replayed += count
+        if replayed != checkpoint.tracker.outstanding:
+            raise RecoveryError(
+                f"replayed {replayed} task(s) but the checkpoint holds "
+                f"{checkpoint.tracker.outstanding} outstanding token(s)"
+            )
+
+        self.counters["recovery_ranks_recovered"] += len(newly)
+        self.counters["recovery_tokens_reclaimed"] += reclaimed
+        self.counters["recovery_replay_messages"] += replayed
+
+        # 4. The post-recovery state is itself a consistent cut (nothing
+        # leased, queues exactly the replayed frontier): snapshot it so
+        # a later crash rolls back here instead of replaying this
+        # recovery's work again.
+        self._snapshot()

@@ -12,10 +12,15 @@ from repro.runtime.priority_queue import (
     DistributedPriorityQueues,
     PEPriorityQueues,
 )
-from repro.runtime.termination import InFlightLedger, WorkTracker
+from repro.runtime.termination import (
+    InFlightLedger,
+    TrackerSnapshot,
+    WorkTracker,
+)
 
 __all__ = [
     "InFlightLedger",
+    "TrackerSnapshot",
     "DistributedQueues",
     "PEQueues",
     "DistributedPriorityQueues",

@@ -372,6 +372,14 @@ class Aggregator:
             if not buffer.empty:
                 self._flush(buffer)
 
+    def reset(self) -> None:
+        """Discard every buffered payload without sending (rollback
+        recovery: buffered updates are re-derived from the restored
+        checkpoint, so flushing them would double-apply)."""
+        for buffer in self.buffers.values():
+            if not buffer.empty:
+                buffer.take()
+
     def _flush(self, buffer: AggregationBuffer) -> None:
         payloads, n_bytes, _count = buffer.take()
         self._send_fn(buffer.dst, payloads, n_bytes)

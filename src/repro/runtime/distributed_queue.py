@@ -88,6 +88,16 @@ class PEQueues:
     def empty(self) -> bool:
         return self.readable == 0
 
+    def snapshot(self) -> tuple[np.ndarray, None]:
+        """Non-destructive copy of every queued task on this PE
+        (local first, then receive queues), for checkpointing.  FIFO
+        queues carry no priorities, hence the ``None`` slot."""
+        parts = [self.local.snapshot()] + [q.snapshot() for q in self.recv]
+        parts = [p for p in parts if len(p)]
+        if not parts:
+            return np.empty(0, dtype=self.local.storage.dtype), None
+        return np.concatenate(parts), None
+
 
 class DistributedQueues:
     """The whole system's queues: one :class:`PEQueues` per PE.

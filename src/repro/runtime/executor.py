@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 import numpy as np
 
@@ -42,6 +42,12 @@ from repro.runtime.distributed_queue import DistributedQueues
 from repro.runtime.priority_queue import DistributedPriorityQueues
 from repro.runtime.termination import InFlightLedger, WorkTracker
 from repro.sim.core import AnyOf, Environment
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.recovery.coordinator import (
+        RecoveryCoordinator,
+        RecoveryPolicy,
+    )
 
 __all__ = ["AtosConfig", "AtosApplication", "RoundOutcome", "AtosExecutor"]
 
@@ -101,6 +107,32 @@ class AtosApplication(ABC):
         """Application-level counters to merge into the run result."""
         return Counters()
 
+    # ------------------------------------------- recovery protocol (opt-in)
+    #: True when the application implements checkpoint/restore (required
+    #: to run under a fault plan that schedules rank crashes).
+    supports_recovery: bool = False
+
+    def checkpoint_state(self) -> dict[str, np.ndarray]:
+        """Global (partition-independent) state arrays at a quiesced cut."""
+        raise NotImplementedError(
+            f"{self.name} does not implement checkpoint_state"
+        )
+
+    def restore_state(
+        self, state: dict[str, np.ndarray], partition: Any
+    ) -> None:
+        """Roll back to ``state`` re-sliced onto a (re-homed) partition."""
+        raise NotImplementedError(
+            f"{self.name} does not implement restore_state"
+        )
+
+    def mark_queued(self, pe: int, tasks: np.ndarray) -> None:
+        """Recovery re-enqueued ``tasks`` on ``pe`` (frontier replay).
+
+        Default no-op; applications with queue-membership flags (e.g.
+        PageRank's ``in_queue``) re-set them here.
+        """
+
 
 @dataclass(frozen=True)
 class AtosConfig:
@@ -136,6 +168,10 @@ class AtosConfig:
     faults: Optional[FaultPlan] = None
     #: Retransmission policy when ``faults`` is active (None = default).
     retry: Optional[RetryPolicy] = None
+    #: Checkpoint/recovery policy (:class:`repro.recovery.RecoveryPolicy`).
+    #: Only consulted when the fault plan schedules rank crashes; a
+    #: crash schedule with ``recovery=None`` uses the default policy.
+    recovery: Optional["RecoveryPolicy"] = None
     #: Fallback poll interval for idle GPUs (us).
     idle_poll: float = 5.0
     #: Polling cadence of the persistent aggregator kernel (us): the
@@ -219,22 +255,26 @@ class AtosExecutor:
         )
 
         n = machine.n_gpus
-        if config.priority:
-            self.queues: Any = DistributedPriorityQueues(
-                n,
-                config.queue_capacity,
-                config.queue_capacity,
-                config.num_recv_queues,
-                config.threshold,
-                config.threshold_delta,
+        self.queues: Any = self._make_queues()
+
+        # Fail-stop rank recovery.  Installed only when the plan
+        # schedules crashes, so crash-free runs (faulty or not) never
+        # construct a coordinator — the zero-crash trace-identity test
+        # pins this.
+        self.recovery: Optional[RecoveryCoordinator] = None
+        if self.fault_plan is not None and self.fault_plan.crashes:
+            # Imported lazily: repro.recovery sits above the runtime in
+            # the layering (its coordinator drives this executor).
+            from repro.recovery.coordinator import (
+                RecoveryCoordinator,
+                RecoveryPolicy,
             )
-        else:
-            self.queues = DistributedQueues(
-                n,
-                config.queue_capacity,
-                config.queue_capacity,
-                config.num_recv_queues,
-            )
+
+            policy = config.recovery or RecoveryPolicy()
+            self.recovery = RecoveryCoordinator(self, policy)
+            assert self.transport is not None
+            self.transport.alive_fn = self.recovery.alive_for_transport
+            self.transport.on_exhausted = self.recovery.note_exhausted
 
         #: Vectorized data path (read once at construction; the
         #: ``REPRO_BATCH_PATH=0`` escape hatch restores the per-payload
@@ -268,6 +308,31 @@ class AtosExecutor:
         self._work_notify = [self.env.event() for _ in range(n)]
 
     # ------------------------------------------------------------ wiring
+    def _make_queues(self) -> Any:
+        """Fresh distributed queues per the configuration.
+
+        Called at construction and again by the recovery coordinator,
+        which discards the post-crash queues wholesale and replays the
+        checkpoint frontier into a clean set.
+        """
+        config = self.config
+        n = self.machine.n_gpus
+        if config.priority:
+            return DistributedPriorityQueues(
+                n,
+                config.queue_capacity,
+                config.queue_capacity,
+                config.num_recv_queues,
+                config.threshold,
+                config.threshold_delta,
+            )
+        return DistributedQueues(
+            n,
+            config.queue_capacity,
+            config.queue_capacity,
+            config.num_recv_queues,
+        )
+
     def _notify(self, pe: int) -> None:
         event = self._work_notify[pe]
         if not event.triggered:
@@ -483,6 +548,13 @@ class AtosExecutor:
         if not any_seed:
             raise ConfigurationError("no seed work on any PE")
 
+        if self.recovery is not None:
+            # Epoch-0 checkpoint of the freshly seeded (quiescent) state
+            # so even a crash before the first periodic checkpoint can
+            # roll back.
+            self.recovery.bootstrap()
+            self.env.process(self.recovery.run(), name="recovery")
+
         for pe in range(self.machine.n_gpus):
             self.env.process(self._gpu_process(pe), name=f"gpu{pe}")
             if self.aggregators is not None:
@@ -520,6 +592,8 @@ class AtosExecutor:
         aggregators = self.aggregators
         assert aggregators is not None
         while not self.tracker.finished:
+            if self.recovery is not None and self.recovery.rank_failed(pe):
+                return  # fail-stop: the rank's aggregator dies with it
             aggregators[pe].tick()
             yield self.env.timeout(self.config.aggregator_poll)
 
@@ -534,6 +608,14 @@ class AtosExecutor:
             yield self.env.timeout(self.kernel.startup_overhead())
         rounds_since_flush = 0
         while not self.tracker.finished:
+            if self.recovery is not None:
+                # Fail-stop check + checkpoint barrier.  A crashed rank
+                # exits here (its queued tokens stay outstanding until
+                # recovery re-homes them); a live rank may park while
+                # the coordinator quiesces the system for a snapshot.
+                alive = yield from self.recovery.rank_gate(pe)
+                if not alive:
+                    return
             if self.env.now > config.max_sim_time:
                 raise ConfigurationError(
                     "simulation exceeded max_sim_time; likely livelock"

@@ -114,6 +114,21 @@ class PEPriorityQueues:
     def empty(self) -> bool:
         return self.readable == 0
 
+    def snapshot(self) -> tuple[np.ndarray, np.ndarray]:
+        """Non-destructive (tasks, priorities) copy of every queue on
+        this PE, for checkpointing.  Priorities are each bucket's
+        representative (see ``BucketedPriorityQueue.snapshot``)."""
+        tasks: list[np.ndarray] = []
+        priorities: list[np.ndarray] = []
+        for q in (self.local, *self.recv):
+            prios, values = q.snapshot()
+            if len(values):
+                tasks.append(values)
+                priorities.append(prios)
+        if not tasks:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        return np.concatenate(tasks), np.concatenate(priorities)
+
 
 class DistributedPriorityQueues:
     """System-wide priority queues, one :class:`PEPriorityQueues` per PE."""

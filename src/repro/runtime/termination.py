@@ -14,10 +14,20 @@ event fires at that moment.
 
 from __future__ import annotations
 
-from repro.errors import SimulationError
+from dataclasses import dataclass
+
+from repro.errors import RecoveryError, SimulationError
 from repro.sim.core import Environment, Event
 
-__all__ = ["WorkTracker", "InFlightLedger"]
+__all__ = ["WorkTracker", "TrackerSnapshot", "InFlightLedger"]
+
+
+@dataclass(frozen=True, slots=True)
+class TrackerSnapshot:
+    """A :class:`WorkTracker`'s counts, frozen at a consistent cut."""
+
+    outstanding: int
+    total_added: int
 
 
 class WorkTracker:
@@ -74,6 +84,40 @@ class WorkTracker:
         if self._outstanding == 0 and self._ever_added and not self.finished:
             self.done.succeed(self.env.now)
 
+    # ------------------------------------------------ checkpoint support
+    def snapshot(self) -> TrackerSnapshot:
+        """Freeze the current counts (taken at a quiesced cut)."""
+        return TrackerSnapshot(
+            outstanding=self._outstanding, total_added=self.total_added
+        )
+
+    def restore(self, snapshot: TrackerSnapshot) -> None:
+        """Roll the counter back to ``snapshot`` (rank recovery).
+
+        Only legal while the run is live: a tracker whose ``done`` event
+        has fired cannot be rewound (processes have already observed
+        termination).  After the call the counts must equal the
+        snapshot's exactly — verified here so a corrupted checkpoint
+        fails loudly instead of silently mis-terminating.
+        """
+        if self.finished:
+            raise RecoveryError(
+                "cannot restore a WorkTracker after termination fired"
+            )
+        if snapshot.outstanding <= 0:
+            raise RecoveryError(
+                f"tracker snapshot has {snapshot.outstanding} outstanding "
+                "token(s); a live checkpoint always holds work"
+            )
+        self._outstanding = snapshot.outstanding
+        self.total_added = snapshot.total_added
+        self._ever_added = True
+        if (
+            self._outstanding != snapshot.outstanding
+            or self.total_added != snapshot.total_added
+        ):
+            raise RecoveryError("tracker restore diverged from snapshot")
+
 
 class InFlightLedger:
     """Loss-safe token accounting for unacknowledged messages.
@@ -117,3 +161,20 @@ class InFlightLedger:
         self._leased -= tokens
         self.total_retired += tokens
         self.tracker.remove(tokens, source=source)
+
+    def reclaim(self, tokens: int, source: str = "") -> None:
+        """Void leases without touching the tracker (rank recovery).
+
+        Rollback recovery re-derives the tracker's count from the
+        restored checkpoint, so reclaiming a dead rank's in-flight
+        leases must *not* route through :meth:`WorkTracker.remove` —
+        that could transiently hit zero and fire spurious termination
+        mid-recovery.
+        """
+        if tokens > self._leased:
+            raise SimulationError(
+                f"reclaiming {tokens} leased token(s) but only "
+                f"{self._leased} leased"
+                + (f" (source: {source})" if source else "")
+            )
+        self._leased -= tokens

@@ -74,3 +74,20 @@ def test_device_injector_consumes_multiple_due_stalls():
     assert injector.take_stall(0, now=10.0) == 0.0  # consumed
     assert injector.take_stall(0, now=600.0) == 11.0
     assert injector.take_stall(1, now=600.0) == 0.0
+
+
+def test_device_injector_crash_schedule():
+    import math
+
+    from repro.faults import CrashEvent
+
+    plan = FaultPlan(seed=0, crashes=(
+        CrashEvent(pe=1, at=30.0), CrashEvent(pe=3, at=90.0),
+    ))
+    injector = DeviceFaultInjector(plan)
+    assert injector.crash_time(1) == 30.0
+    assert injector.crash_time(0) == math.inf
+    assert not injector.is_crashed(1, 29.9)
+    assert injector.is_crashed(1, 30.0)  # crash instant inclusive
+    assert injector.is_crashed(3, 90.0)
+    assert not injector.is_crashed(0, 1e9)

@@ -147,3 +147,31 @@ def test_straggler_slowdown_compounds():
 def test_describe_mentions_what_is_set():
     text = FaultPlan(seed=9, drop_rate=0.1).describe()
     assert "seed=9" in text and "drop=0.1" in text
+
+
+# -------------------------------------------------------------- crashes
+def test_crash_event_validation():
+    from repro.faults import CrashEvent
+
+    with pytest.raises(ConfigurationError):
+        CrashEvent(pe=-1, at=5.0)
+    with pytest.raises(ConfigurationError):
+        CrashEvent(pe=0, at=-1.0)
+    assert CrashEvent(pe=0, at=0.0).at == 0.0
+
+
+def test_crashes_make_a_plan_active_and_described():
+    from repro.faults import CrashEvent
+
+    plan = FaultPlan(seed=0, crashes=(CrashEvent(pe=2, at=50.0),))
+    assert plan.active
+    assert "crashes=1" in plan.describe()
+
+
+def test_plan_rejects_a_rank_crashing_twice():
+    from repro.faults import CrashEvent
+
+    with pytest.raises(ConfigurationError, match="more than once"):
+        FaultPlan(seed=0, crashes=(
+            CrashEvent(pe=1, at=10.0), CrashEvent(pe=1, at=20.0),
+        ))

@@ -135,3 +135,58 @@ def test_termination_under_drop_and_reorder_combined():
     assert executor.tracker.finished
     assert executor.ledger.leased == 0
     assert np.array_equal(app.result(), reference)
+
+
+# ------------------------------------------------- checkpoint support
+def test_tracker_snapshot_restore_roundtrip():
+    from repro.runtime import TrackerSnapshot
+
+    tracker = WorkTracker(Environment())
+    tracker.add(7)
+    tracker.remove(2)
+    snap = tracker.snapshot()
+    assert snap == TrackerSnapshot(outstanding=5, total_added=7)
+    # The run races ahead, then recovery rolls it back.
+    tracker.add(4)
+    tracker.remove(6)
+    tracker.restore(snap)
+    assert tracker.outstanding == 5
+    assert tracker.total_added == 7
+    # The restored tracker still terminates normally.
+    tracker.remove(5)
+    assert tracker.finished
+
+
+def test_tracker_restore_after_termination_raises():
+    from repro.errors import RecoveryError
+
+    tracker = WorkTracker(Environment())
+    tracker.add(1)
+    snap = tracker.snapshot()
+    tracker.remove(1)
+    assert tracker.finished
+    with pytest.raises(RecoveryError, match="after termination"):
+        tracker.restore(snap)
+
+
+def test_tracker_restore_rejects_empty_snapshot():
+    from repro.errors import RecoveryError
+    from repro.runtime import TrackerSnapshot
+
+    tracker = WorkTracker(Environment())
+    tracker.add(1)
+    with pytest.raises(RecoveryError, match="outstanding"):
+        tracker.restore(TrackerSnapshot(outstanding=0, total_added=3))
+
+
+def test_ledger_reclaim_bypasses_tracker():
+    tracker = WorkTracker(Environment())
+    tracker.add(5)
+    ledger = InFlightLedger(tracker)
+    ledger.lease(3)
+    ledger.reclaim(2, source="reclaim 0->1#0")
+    assert ledger.leased == 1
+    # Reclaim must NOT remove tracker tokens (restore re-derives them).
+    assert tracker.outstanding == 5
+    with pytest.raises(SimulationError, match="reclaiming"):
+        ledger.reclaim(2)

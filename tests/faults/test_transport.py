@@ -44,6 +44,7 @@ class RecordingLedger:
     def __init__(self):
         self.leased = 0
         self.retired = 0
+        self.reclaimed = 0
 
     def lease(self, tokens):
         self.leased += tokens
@@ -51,6 +52,10 @@ class RecordingLedger:
     def retire(self, tokens, source=""):
         assert tokens <= self.leased - self.retired
         self.retired += tokens
+
+    def reclaim(self, tokens, source=""):
+        assert tokens <= self.leased - self.retired - self.reclaimed
+        self.reclaimed += tokens
 
 
 def _transport(fates, policy=None):
@@ -168,3 +173,93 @@ def test_backoff_deadlines():
 def test_retry_policy_validation(kwargs):
     with pytest.raises(ConfigurationError):
         RetryPolicy(**kwargs)
+
+
+# ------------------------------------------- recovery-facing features
+def test_budget_exhaustion_error_is_typed():
+    from repro.errors import RetryBudgetExhausted
+
+    policy = RetryPolicy(timeout=10.0, budget=1)
+    env, transport, ledger, delivered, counters = _transport(
+        [DROP, DROP], policy=policy
+    )
+    transport.send(0, 1, 64, "p", tokens=1)
+    with pytest.raises(RetryBudgetExhausted) as exc:
+        env.run()
+    error = exc.value
+    assert (error.src, error.dst, error.seq) == (0, 1, 0)
+    assert error.attempts == 2  # original + one retransmission
+    assert isinstance(error, SimulationError)
+
+
+def test_on_exhausted_hook_absorbs_instead_of_raising():
+    from repro.errors import RetryBudgetExhausted
+
+    policy = RetryPolicy(timeout=10.0, budget=0)
+    env, transport, ledger, delivered, counters = _transport(
+        [DROP], policy=policy
+    )
+    escalated = []
+    transport.on_exhausted = escalated.append
+    transport.send(0, 1, 64, "p", tokens=1)
+    env.run()  # must not raise
+    assert len(escalated) == 1
+    assert isinstance(escalated[0], RetryBudgetExhausted)
+    # The lease is kept: only recovery may reclaim it.
+    assert ledger.retired == 0
+
+
+def test_dead_receiver_neither_applies_nor_acks():
+    policy = RetryPolicy(timeout=10.0, budget=1)
+    env, transport, ledger, delivered, counters = _transport(
+        [], policy=policy
+    )
+    transport.alive_fn = lambda pe, now: pe != 1
+    transport.on_exhausted = lambda error: None
+    transport.send(0, 1, 64, "p", tokens=1)
+    env.run()
+    assert delivered == []
+    assert counters["transport_dead_receiver_drops"] >= 1
+    assert counters["transport_acks_sent"] == 0
+
+
+def test_dead_sender_does_not_retransmit():
+    policy = RetryPolicy(timeout=10.0, budget=5)
+    env, transport, ledger, delivered, counters = _transport(
+        [DROP], policy=policy
+    )
+    transport.alive_fn = lambda pe, now: pe != 0
+    transport.send(0, 1, 64, "p", tokens=1)
+    env.run()
+    assert delivered == []
+    assert counters["transport_retransmits"] == 0
+    assert counters["transport_dead_sender_timeouts"] == 1
+    assert not transport.quiescent  # lease held for recovery to reclaim
+
+
+def test_stale_incarnation_packet_is_fenced():
+    env, transport, ledger, delivered, counters = _transport([])
+    transport.send(0, 1, 64, "p", tokens=1)
+    # Recovery happens while the packet is in flight.
+    transport.reclaim_pending()
+    transport.incarnation += 1
+    env.run()
+    assert delivered == []
+    assert counters["transport_stale_incarnation_drops"] == 1
+    assert counters["transport_acks_sent"] == 0
+    assert transport.quiescent
+
+
+def test_reclaim_pending_releases_every_lease():
+    env, transport, ledger, delivered, counters = _transport(
+        [DROP, DROP, DROP, DROP, DROP, DROP], policy=RetryPolicy(
+            timeout=1e6, max_timeout=1e6, budget=1
+        )
+    )
+    transport.send(0, 1, 64, "a", tokens=2)
+    transport.send(0, 1, 64, "b", tokens=3)
+    assert transport.pending_messages == 2
+    reclaimed = transport.reclaim_pending()
+    assert reclaimed == 5
+    assert ledger.leased - ledger.retired - ledger.reclaimed == 0
+    assert transport.quiescent

@@ -133,3 +133,62 @@ def test_property_partitions_cover_and_disjoint(params):
         for pe in range(n_parts):
             seen[part.part_vertices[pe]] += 1
         assert np.all(seen == 1)
+
+
+# ---------------------------------------------------------- re-homing
+def test_rehome_moves_only_orphans():
+    from repro.graph import rehome_partition
+
+    graph = toy()
+    part = bfs_grow_partition(graph, 4, seed=0)
+    rehomed = rehome_partition(graph, part, {1}, seed=0)
+    _check_partition_invariants(graph, rehomed)
+    assert rehomed.n_parts == 4  # dead rank keeps its (empty) slot
+    assert rehomed.part_size(1) == 0
+    moved = part.owner != rehomed.owner
+    # Exactly the dead rank's vertices moved, all onto survivors.
+    assert set(np.flatnonzero(moved)) == set(np.flatnonzero(part.owner == 1))
+    assert set(np.unique(rehomed.owner[moved])) <= {0, 2, 3}
+
+
+def test_rehome_is_deterministic_and_seed_sensitive():
+    from repro.graph import rehome_partition
+
+    graph = toy()
+    part = bfs_grow_partition(graph, 4, seed=0)
+    a = rehome_partition(graph, part, {2}, seed=5)
+    b = rehome_partition(graph, part, {2}, seed=5)
+    np.testing.assert_array_equal(a.owner, b.owner)
+    c = rehome_partition(graph, part, {2}, seed=6)
+    assert not np.array_equal(a.owner, c.owner)
+
+
+def test_rehome_spreads_orphans_and_is_incremental():
+    from repro.graph import rehome_partition
+
+    graph = toy()
+    part = bfs_grow_partition(graph, 4, seed=0)
+    one = rehome_partition(graph, part, {1}, seed=0)
+    # Rendezvous hashing: survivors each get a nontrivial share.
+    orphans = np.flatnonzero(part.owner == 1)
+    gains = {
+        pe: int(np.sum(one.owner[orphans] == pe)) for pe in (0, 2, 3)
+    }
+    assert all(gain > 0 for gain in gains.values())
+    # A second failure only moves the newly dead rank's vertices
+    # (minimal disruption): vertices already re-homed do not move again
+    # unless their new owner is the one that died.
+    two = rehome_partition(graph, one, {1, 3}, seed=0)
+    _check_partition_invariants(graph, two)
+    moved_again = np.flatnonzero(one.owner != two.owner)
+    assert set(moved_again) == set(np.flatnonzero(one.owner == 3))
+
+
+def test_rehome_edge_cases():
+    from repro.graph import rehome_partition
+
+    graph = toy()
+    part = bfs_grow_partition(graph, 4, seed=0)
+    assert rehome_partition(graph, part, set(), seed=0) is part
+    with pytest.raises(PartitionError, match="no surviving"):
+        rehome_partition(graph, part, {0, 1, 2, 3}, seed=0)

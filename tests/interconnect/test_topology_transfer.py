@@ -187,3 +187,31 @@ def test_link_channel_counters():
     assert channel.messages_sent == 1
     assert channel.bytes_sent == 100
     assert channel.busy_time > 0
+
+
+# ------------------------------------------------------- degraded mode
+def test_mark_rank_down_blocks_routes():
+    machine = daisy()
+    topo = Topology(machine)
+    assert topo.down_ranks == frozenset()
+    assert topo.route_up(0, 1)
+    topo.mark_rank_down(1)
+    assert topo.down_ranks == frozenset({1})
+    assert not topo.route_up(0, 1)
+    assert not topo.route_up(1, 2)  # dead as source too
+    assert topo.route_up(0, 2)
+    with pytest.raises(TopologyError):
+        topo.mark_rank_down(99)
+
+
+def test_fabric_refuses_sends_on_down_routes():
+    env = Environment()
+    fabric = NetworkFabric(env, daisy())
+    fabric.topology.mark_rank_down(2)
+    with pytest.raises(TopologyError, match="degraded"):
+        fabric.send(0, 2, 64, "p", lambda msg: None)
+    with pytest.raises(TopologyError, match="degraded"):
+        fabric.send(2, 0, 64, "p", lambda msg: None)
+    # Survivor-to-survivor traffic is unaffected.
+    fabric.send(0, 1, 64, "p", lambda msg: None)
+    env.run()

@@ -1,0 +1,74 @@
+"""Checkpoint objects: content digests and the content-addressed store."""
+
+import numpy as np
+import pytest
+
+from repro.recovery import Checkpoint, CheckpointStore
+from repro.runtime import TrackerSnapshot
+
+
+def _checkpoint(epoch=0, depth_fill=7, tasks=(3, 9)):
+    tasks = np.asarray(tasks, dtype=np.int64)
+    return Checkpoint(
+        epoch=epoch,
+        sim_time=12.5,
+        app_state={"depth": np.full(16, depth_fill, dtype=np.int64)},
+        frontier=(
+            (tasks, None),
+            (np.empty(0, dtype=np.int64), None),
+        ),
+        tracker=TrackerSnapshot(outstanding=len(tasks), total_added=40),
+    )
+
+
+def test_properties_count_tasks_and_bytes():
+    ckpt = _checkpoint()
+    assert ckpt.total_tasks == 2
+    assert ckpt.nbytes == 16 * 8 + 2 * 8
+
+
+def test_digest_is_deterministic_and_content_sensitive():
+    assert _checkpoint().digest() == _checkpoint().digest()
+    assert _checkpoint().digest() != _checkpoint(epoch=1).digest()
+    assert _checkpoint().digest() != _checkpoint(depth_fill=8).digest()
+    assert _checkpoint().digest() != _checkpoint(tasks=(3, 10)).digest()
+
+
+def test_digest_distinguishes_fifo_from_priorities():
+    fifo = _checkpoint()
+    tasks = np.array([3, 9], dtype=np.int64)
+    prio = Checkpoint(
+        epoch=0,
+        sim_time=12.5,
+        app_state=dict(fifo.app_state),
+        frontier=(
+            (tasks, np.zeros(2)),
+            (np.empty(0, dtype=np.int64), None),
+        ),
+        tracker=fifo.tracker,
+    )
+    assert fifo.digest() != prio.digest()
+
+
+def test_store_roundtrip_is_content_addressed(tmp_path):
+    store = CheckpointStore(tmp_path)
+    ckpt = _checkpoint()
+    key = store.put(ckpt)
+    assert key == ckpt.digest()
+    assert store.keys() == [key]
+    loaded = store.get(key)
+    assert loaded is not None
+    assert loaded.epoch == ckpt.epoch
+    assert loaded.digest() == key
+    np.testing.assert_array_equal(
+        loaded.app_state["depth"], ckpt.app_state["depth"]
+    )
+    np.testing.assert_array_equal(loaded.frontier[0][0], ckpt.frontier[0][0])
+    assert store.get("0" * 64) is None  # miss
+
+
+def test_store_holds_every_epoch(tmp_path):
+    store = CheckpointStore(tmp_path)
+    keys = {store.put(_checkpoint(epoch=e)) for e in range(3)}
+    assert len(keys) == 3
+    assert sorted(keys) == store.keys()

@@ -117,7 +117,7 @@ def test_parser_help_lists_subcommands():
     parser = build_parser()
     help_text = parser.format_help()
     for command in ("datasets", "run", "table2", "table5", "fig1",
-                    "topology", "cache"):
+                    "topology", "cache", "chaos", "recover"):
         assert command in help_text
 
 
@@ -144,6 +144,28 @@ def test_chaos_parser_flags():
     assert args.seed == 7
     assert args.verify_inert
     assert args.gpus == 2
+
+
+def test_recover_quick(capsys):
+    code = main(["recover", "--quick"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "Crash grid" in out
+    assert "pass" in out and "FAIL" not in out
+
+
+def test_recover_parser_flags():
+    args = build_parser().parse_args(
+        ["recover", "--quick", "--seed", "7", "--crash-times", "20,45",
+         "--crash-pes", "0,2", "--gpus", "2", "--jobs", "2",
+         "--verify-inert"]
+    )
+    assert args.seed == 7
+    assert args.verify_inert
+    assert args.crash_times == "20,45"
+    assert args.crash_pes == "0,2"
+    assert args.gpus == 2
+    assert args.jobs == 2
 
 
 def test_seed_flag_on_grid_and_bench_parsers():

@@ -26,6 +26,7 @@ SUBPACKAGES = [
     "repro.metrics",
     "repro.harness",
     "repro.faults",
+    "repro.recovery",
 ]
 
 
