@@ -12,6 +12,7 @@ subcommands::
     python -m repro cache stats                 # persistent run cache
     python -m repro bench --quick               # data-path perf cells
     python -m repro chaos --verify-inert        # fault-injection grid
+    python -m repro profile --export trace.json # span tracing / crit path
 
 Every experiment subcommand prints the paper-style table to stdout.
 Grid subcommands take ``--jobs N`` (0 = one worker per CPU; default
@@ -174,6 +175,22 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.harness.profile import run_profile
+
+    profile = run_profile(
+        args.framework,
+        args.app,
+        args.dataset,
+        args.machine,
+        args.gpus,
+        seed=args.seed,
+        export=args.export,
+    )
+    print(profile.render(top_k=args.top))
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     from repro.harness import (
         PAPER_TABLE2_BFS_NVLINK,
@@ -182,6 +199,22 @@ def _cmd_report(args: argparse.Namespace) -> int:
         table2_bfs_nvlink,
         table4_pagerank_nvlink,
     )
+
+    if args.utilization:
+        # Per-rank compute/comm/idle split of one traced cell instead
+        # of the grid shape report (grids would re-simulate everything).
+        from repro.harness.profile import run_profile
+
+        profile = run_profile(
+            "atos-standard-persistent",
+            "bfs",
+            "road-usa",
+            "summit-ib",
+            4,
+            seed=args.seed,
+        )
+        print(profile.render())
+        return 0
 
     datasets, gpus = _grid_args(args.quick)
     reports = [
@@ -414,8 +447,46 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="paper-vs-measured shape report (NVLink tables)"
     )
     report.add_argument("--quick", action="store_true")
+    report.add_argument(
+        "--utilization",
+        action="store_true",
+        help="print the per-rank compute/comm/idle split of a traced "
+        "headline cell instead of the grid shape report",
+    )
     add_pool_flags(report)
     report.set_defaults(func=_cmd_report)
+
+    profile = sub.add_parser(
+        "profile",
+        help="trace one cell: utilization, imbalance, critical path, "
+        "optional Perfetto JSON export",
+    )
+    profile.add_argument(
+        "--framework",
+        default="atos-standard-persistent",
+        help="executor-based framework (atos-* or groute)",
+    )
+    profile.add_argument("--app", default="bfs",
+                         choices=["bfs", "pagerank"])
+    profile.add_argument("--dataset", default="road-usa")
+    profile.add_argument("--machine", default="summit-ib")
+    profile.add_argument("--gpus", type=int, default=4)
+    profile.add_argument(
+        "--export",
+        default=None,
+        metavar="PATH",
+        help="write a Chrome/Perfetto trace_event JSON (load in "
+        "ui.perfetto.dev or chrome://tracing)",
+    )
+    profile.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="K",
+        help="critical-path segments to list (default 10)",
+    )
+    add_seed_flag(profile)
+    profile.set_defaults(func=_cmd_profile)
 
     cache = sub.add_parser(
         "cache", help="persistent run cache: stats / clear / verify"

@@ -17,6 +17,11 @@ from repro.errors import ConfigurationError
 
 __all__ = [
     "GB_PER_S",
+    "DEFAULT_BATCH_SIZE",
+    "BFS_WAIT_TIME",
+    "PAGERANK_WAIT_TIME",
+    "DEFAULT_WAIT_TIME",
+    "wait_time_for",
     "GPUSpec",
     "LinkSpec",
     "CostModel",
@@ -30,6 +35,30 @@ __all__ = [
 
 #: Conversion: 1 GB/s expressed in bytes per microsecond.
 GB_PER_S = 1000.0
+
+#: Aggregator BATCH_SIZE (bytes): 1 MiB, the knee of the paper's
+#: Figure 4 IB bandwidth curve.  The one source of truth — the
+#: aggregator default, ``AtosConfig``, and
+#: :func:`repro.interconnect.infiniband.optimal_batch_size` all derive
+#: from here.
+DEFAULT_BATCH_SIZE = 1 << 20
+
+#: Aggregator WAIT_TIME (inspection visits before a timeout flush) for
+#: latency-oriented apps: BFS sends eagerly (paper Section V-C).
+BFS_WAIT_TIME = 4
+
+#: WAIT_TIME for bandwidth-oriented apps: PageRank batches harder.
+PAGERANK_WAIT_TIME = 32
+
+#: WAIT_TIME used when an app has no tuned value of its own.
+DEFAULT_WAIT_TIME = BFS_WAIT_TIME
+
+_WAIT_TIMES = {"bfs": BFS_WAIT_TIME, "pagerank": PAGERANK_WAIT_TIME}
+
+
+def wait_time_for(app: str) -> int:
+    """The paper's per-application aggregator WAIT_TIME tuning."""
+    return _WAIT_TIMES.get(app, DEFAULT_WAIT_TIME)
 
 
 @dataclass(frozen=True, slots=True)

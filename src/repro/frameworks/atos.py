@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from repro.config import MachineConfig
+from repro.config import MachineConfig, wait_time_for
 from repro.gpu.kernel import KernelStrategy
 from repro.graph.csr import CSRGraph
 from repro.graph.partition import Partition
@@ -57,13 +57,12 @@ class AtosDriver(FrameworkDriver):
         # interleaving that drives the paper's speculation numbers;
         # PageRank has abundant parallelism and uses deeper fetches.
         fetch = 1 if app == "bfs" else 8
-        wait_time = 4 if app == "bfs" else 32
         return replace(
             self.base_config,
             kernel=self.kernel,
             priority=self.priority and app == "bfs",
             fetch_size=fetch,
-            wait_time=wait_time,
+            wait_time=wait_time_for(app),
         )
 
     def run_bfs(
@@ -86,6 +85,7 @@ class AtosDriver(FrameworkDriver):
             counters=counters,
             output=app.result(),
             timeline=executor.fabric.timeline,
+            telemetry=executor.telemetry,
         )
 
     def run_pagerank(
@@ -111,4 +111,5 @@ class AtosDriver(FrameworkDriver):
             counters=counters,
             output=app.result(),
             timeline=executor.fabric.timeline,
+            telemetry=executor.telemetry,
         )

@@ -28,6 +28,7 @@ from repro.harness.chaos import (
     run_chaos_cell,
     verify_inert,
 )
+from repro.harness.profile import ProfileResult, run_profile
 from repro.harness.pool import (
     CellResult,
     GridFailure,
@@ -84,6 +85,8 @@ __all__ = [
     "render_bench",
     "write_bench",
     "HEADLINE_CELL",
+    "ProfileResult",
+    "run_profile",
     "run_key",
     "seed_memo",
     "clear_memory_cache",

@@ -329,7 +329,42 @@ def _bench_end_to_end(
         n_gpus=n_gpus,
         time_ms=reference.time_ms,
         digest=reference.digest(),
+        phases=_cell_phases(framework, app, dataset, machine, n_gpus),
     )
+
+
+def _cell_phases(
+    framework: str,
+    app: str,
+    dataset: str,
+    machine: str,
+    n_gpus: int,
+) -> dict[str, float]:
+    """Untimed traced re-run of the cell: category -> simulated us.
+
+    Sits next to each end-to-end cell's digest so the bench document
+    says not only *how fast* the cell simulated but *where its
+    simulated time went* (compute vs queue vs idle, plus the comm and
+    agg_wait overlays).  Runs outside the timed region and outside the
+    cache, so it affects neither the wall-clock numbers nor the cached
+    results.
+    """
+    from repro.harness.runner import clear_memory_cache, run
+    from repro.telemetry.report import phase_breakdown
+    from repro.telemetry.spans import TELEMETRY_ENV
+
+    with _env(**{TELEMETRY_ENV: "1", "REPRO_CACHE": "0"}):
+        clear_memory_cache()
+        result = run(framework, app, dataset, machine, n_gpus)
+    clear_memory_cache()  # the traced result must not leak into the memo
+    if result.telemetry is None:
+        return {}
+    return {
+        cat: round(us, 3)
+        for cat, us in phase_breakdown(
+            result.telemetry, result.time_ms * 1000.0
+        ).items()
+    }
 
 
 # ---------------------------------------------------------------- driver

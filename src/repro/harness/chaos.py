@@ -132,6 +132,9 @@ class ChaosCell:
     error: str = ""
     #: Injected-fault and transport counters (``fault_summary``).
     faults: dict = field(default_factory=dict)
+    #: Telemetry phase breakdown (category -> simulated us summed over
+    #: ranks) when the cell ran traced; empty otherwise.
+    phases: dict = field(default_factory=dict)
 
     def summary(self) -> str:
         f = self.faults
@@ -173,6 +176,7 @@ def _config(
     faults: Optional[FaultPlan],
     retry: Optional[RetryPolicy],
     recovery: Optional[RecoveryPolicy] = None,
+    telemetry: Optional[bool] = None,
 ) -> AtosConfig:
     kernel, priority = CHAOS_VARIANTS[spec.variant]
     return AtosConfig(
@@ -189,11 +193,28 @@ def _config(
         faults=faults,
         retry=retry,
         recovery=recovery,
+        telemetry=telemetry,
     )
 
 
+def _cell_phases(executor: AtosExecutor, makespan: float) -> dict:
+    """Category -> simulated us for a traced cell (empty when untraced)."""
+    if executor.telemetry is None:
+        return {}
+    from repro.telemetry.report import phase_breakdown
+
+    return {
+        cat: round(us, 3)
+        for cat, us in phase_breakdown(
+            executor.telemetry, makespan
+        ).items()
+    }
+
+
 def run_chaos_cell(
-    spec: ChaosSpec, retry: Optional[RetryPolicy] = None
+    spec: ChaosSpec,
+    retry: Optional[RetryPolicy] = None,
+    telemetry: Optional[bool] = None,
 ) -> ChaosCell:
     """Run one cell end to end and validate it.
 
@@ -201,15 +222,22 @@ def run_chaos_cell(
     resilient transport's retry budget was never exhausted, no
     work-token underflow), every leased in-flight token was retired,
     and the output matches the fault-free serial reference.
+
+    ``telemetry=True`` traces the cell and attaches its phase breakdown
+    (where the simulated time went during the faulted run) to the
+    verdict; ``None`` follows ``REPRO_TELEMETRY``.
     """
     app, validate = _build_app(spec)
     executor = AtosExecutor(
-        daisy(spec.n_gpus), app, _config(spec, spec.plan(), retry)
+        daisy(spec.n_gpus),
+        app,
+        _config(spec, spec.plan(), retry, telemetry=telemetry),
     )
     try:
         makespan, counters = executor.run()
     except SimulationError as exc:
         return ChaosCell(spec, ok=False, error=str(exc))
+    phases = _cell_phases(executor, makespan)
     if executor.ledger is not None and executor.ledger.leased != 0:
         return ChaosCell(
             spec,
@@ -218,6 +246,7 @@ def run_chaos_cell(
             error=f"{executor.ledger.leased} in-flight token(s) never "
             "retired",
             faults=fault_summary(counters),
+            phases=phases,
         )
     if not validate(app.result()):
         return ChaosCell(
@@ -226,12 +255,14 @@ def run_chaos_cell(
             time_ms=makespan / 1000.0,
             error="output does not match the serial reference",
             faults=fault_summary(counters),
+            phases=phases,
         )
     return ChaosCell(
         spec,
         ok=True,
         time_ms=makespan / 1000.0,
         faults=fault_summary(counters),
+        phases=phases,
     )
 
 
@@ -429,6 +460,9 @@ class CrashCell:
     checkpoint_digests: list[str] = field(default_factory=list)
     #: Fault/transport/recovery counters (``fault_summary``).
     faults: dict = field(default_factory=dict)
+    #: Telemetry phase breakdown (category -> simulated us summed over
+    #: ranks, recovery parking included) when traced; empty otherwise.
+    phases: dict = field(default_factory=dict)
 
     def summary(self) -> str:
         f = self.faults
@@ -446,24 +480,31 @@ def _result_digest(output) -> str:
     return h.hexdigest()
 
 
-def run_crash_cell(spec: CrashSpec) -> CrashCell:
+def run_crash_cell(
+    spec: CrashSpec, telemetry: Optional[bool] = None
+) -> CrashCell:
     """Run one fail-stop cell end to end and validate it.
 
     A cell passes only if the simulation terminates (recovery rerouted
     the dead rank's work), every leased token was retired or reclaimed,
     and the output matches the fault-free serial reference — i.e. a
     crashed run is *indistinguishable by result* from a clean one.
+
+    ``telemetry=True`` traces the cell — recovery barrier parking shows
+    up as the ``recovery`` category in the attached phase breakdown.
     """
     app, validate = _build_app(spec)
     executor = AtosExecutor(
         daisy(spec.n_gpus),
         app,
-        _config(spec, spec.plan(), None, spec.policy()),
+        _config(spec, spec.plan(), None, spec.policy(),
+                telemetry=telemetry),
     )
     try:
         makespan, counters = executor.run()
     except SimulationError as exc:
         return CrashCell(spec, ok=False, error=str(exc))
+    phases = _cell_phases(executor, makespan)
     digests = list(executor.recovery.checkpoint_digests)
     recovered = int(counters["recovery_ranks_recovered"])
     if executor.ledger.leased != 0:
@@ -476,6 +517,7 @@ def run_crash_cell(spec: CrashSpec) -> CrashCell:
             recovered=recovered,
             checkpoint_digests=digests,
             faults=fault_summary(counters),
+            phases=phases,
         )
     output = app.result()
     if not validate(output):
@@ -487,6 +529,7 @@ def run_crash_cell(spec: CrashSpec) -> CrashCell:
             recovered=recovered,
             checkpoint_digests=digests,
             faults=fault_summary(counters),
+            phases=phases,
         )
     return CrashCell(
         spec,
@@ -496,6 +539,7 @@ def run_crash_cell(spec: CrashSpec) -> CrashCell:
         result_digest=_result_digest(output),
         checkpoint_digests=digests,
         faults=fault_summary(counters),
+        phases=phases,
     )
 
 

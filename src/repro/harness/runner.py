@@ -253,7 +253,14 @@ def run(
     result.cache_misses = 1 if use_cache else 0
     if use_cache:
         try:
-            get_cache().store(key, result)
+            # Span hubs are per-run observation, not outcome: stripping
+            # them keeps cache entries small and keeps a cache-hit
+            # replay honest (it did not trace anything).
+            telemetry, result.telemetry = result.telemetry, None
+            try:
+                get_cache().store(key, result)
+            finally:
+                result.telemetry = telemetry
         except OSError:
             # Persistence is best-effort: an unwritable cache dir must
             # never fail the run itself.

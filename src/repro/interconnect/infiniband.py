@@ -85,6 +85,9 @@ def optimal_batch_size(
 
     This is the procedure the paper uses to pick BATCH_SIZE = 1 MiB:
     large enough to saturate the rail, no larger (latency matters too).
+    With the default EDR constants the result is exactly
+    :data:`repro.config.DEFAULT_BATCH_SIZE` — the pinned-constant test
+    keeps the derivation and the config knob from drifting apart.
     """
     if sizes is None:
         sizes = 2 ** np.arange(0, 31)

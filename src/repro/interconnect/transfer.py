@@ -121,6 +121,12 @@ class NetworkFabric:
         self.fault_injector: Any = None
         self.dropped_messages = 0
         self.duplicate_messages = 0
+        #: Optional :class:`repro.telemetry.Telemetry` hub.  When set,
+        #: every send records a ``comm`` span (the serialization window
+        #: on the source rank) and — for copies that actually arrive —
+        #: a send→recv dependency edge for the critical-path walk.
+        #: ``None`` (the default) leaves the send path untouched.
+        self.telemetry: Any = None
         #: (send time, payload bytes) per message — the communication
         #: timeline the smoothness analyses consume.
         self.timeline: list[tuple[float, float]] = []
@@ -174,7 +180,11 @@ class NetworkFabric:
                 self.in_flight -= 1
                 on_arrival(msg)
 
+        queued_at = channel.next_free
         arrival = channel.send(message, deliver, extra_latency=extra_latency)
+        if self.telemetry is not None:
+            self._record(channel, src, dst, payload_bytes, queued_at,
+                         arrival, dropped=fate is not None and fate.dropped)
 
         if fate is not None and not fate.dropped and fate.duplicates:
             for _ in range(fate.duplicates):
@@ -184,8 +194,47 @@ class NetworkFabric:
                 self.in_flight += 1
                 # The copy re-serializes: a duplicated message occupies
                 # the wire twice, like a spurious hardware retransmit.
-                channel.send(copy, deliver, extra_latency=extra_latency)
+                queued_at = channel.next_free
+                copy_arrival = channel.send(
+                    copy, deliver, extra_latency=extra_latency
+                )
+                if self.telemetry is not None:
+                    self._record(channel, src, dst, payload_bytes,
+                                 queued_at, copy_arrival, dropped=False)
         return arrival
+
+    def _record(
+        self,
+        channel: LinkChannel,
+        src: int,
+        dst: int,
+        payload_bytes: int,
+        queued_at: float,
+        arrival: float,
+        dropped: bool,
+    ) -> None:
+        """Telemetry for one message copy just handed to ``channel``.
+
+        The serialization window is reconstructed from the channel's
+        bookkeeping: the copy started at ``max(send time, link free
+        time)`` and the link is next free when it finished.  Dropped
+        copies still burned the wire (comm span) but nothing downstream
+        depends on them, so they produce no dependency edge.
+        """
+        start = max(self.env.now, queued_at)
+        self.telemetry.span(
+            src,
+            "comm",
+            start,
+            channel.next_free,
+            f"link{src}->{dst}" + (" (dropped)" if dropped else ""),
+            n_bytes=payload_bytes,
+            n_items=1,
+        )
+        if not dropped:
+            self.telemetry.edge(
+                src, dst, self.env.now, arrival, n_bytes=payload_bytes
+            )
 
     @property
     def quiescent(self) -> bool:

@@ -1,6 +1,11 @@
 """Measurement: counters, run results, tables, timeline analyses."""
 
-from repro.metrics.analysis import burstiness, byte_histogram, peak_to_mean
+from repro.metrics.analysis import (
+    burstiness,
+    byte_histogram,
+    peak_to_mean,
+    utilization_table,
+)
 from repro.metrics.counters import (
     FAULT_COUNTERS,
     RECOVERY_COUNTERS,
@@ -18,4 +23,5 @@ __all__ = [
     "burstiness",
     "byte_histogram",
     "peak_to_mean",
+    "utilization_table",
 ]

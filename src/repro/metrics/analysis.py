@@ -12,7 +12,12 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["burstiness", "peak_to_mean", "byte_histogram"]
+__all__ = [
+    "burstiness",
+    "peak_to_mean",
+    "byte_histogram",
+    "utilization_table",
+]
 
 
 def byte_histogram(
@@ -60,3 +65,44 @@ def peak_to_mean(
     if mean == 0:
         return 1.0
     return float(per_bin.max() / mean)
+
+
+#: Column order of :func:`utilization_table` — the sequential timeline
+#: split first (sums to 100% of the makespan per rank), then the
+#: concurrent comm/agg_wait overlays (may exceed 100%; overlap with
+#: compute is the latency-hiding point).
+_UTILIZATION_COLUMNS = (
+    "compute", "queue", "idle", "recovery", "comm", "agg_wait",
+)
+
+
+def utilization_table(
+    per_rank: dict[int, dict[str, float]], makespan_us: float
+) -> str:
+    """Format a per-rank compute/comm/idle split as an aligned table.
+
+    ``per_rank`` is :func:`repro.telemetry.rank_breakdown` output: rank
+    -> category -> simulated us.  Each cell shows the category's share
+    of the makespan; timeline categories sum to 100% per rank, overlay
+    categories (comm, agg_wait) are concurrent and reported as-is.
+    """
+    columns = [
+        c
+        for c in _UTILIZATION_COLUMNS
+        if any(row.get(c, 0.0) for row in per_rank.values())
+        or c in ("compute", "idle")
+    ]
+    header = "rank" + "".join(f"{c:>10}" for c in columns)
+    lines = [header, "-" * len(header)]
+    denom = makespan_us if makespan_us > 0 else 1.0
+    for rank in sorted(per_rank):
+        row = per_rank[rank]
+        cells = "".join(
+            f"{100.0 * row.get(c, 0.0) / denom:>9.1f}%" for c in columns
+        )
+        lines.append(f"{rank:>4}{cells}")
+    lines.append(
+        f"(makespan {makespan_us:.1f} us; timeline columns sum to 100% "
+        "per rank, comm/agg_wait overlap the timeline)"
+    )
+    return "\n".join(lines)

@@ -97,6 +97,11 @@ class RunResult:
     #: Optional communication timeline [(time_us, bytes), ...] for the
     #: smoothness analyses (repro.metrics.analysis).
     timeline: Any = None
+    #: The run's :class:`repro.telemetry.Telemetry` span hub when the
+    #: run traced itself, else None.  Like the wall-clock fields it is
+    #: excluded from :meth:`digest` (spans are observation, not
+    #: outcome) and stripped before persistent-cache storage.
+    telemetry: Any = None
     #: Host wall-clock seconds spent computing this run (0.0 when the
     #: result came out of a cache rather than a simulation).
     wall_clock_s: float = 0.0

@@ -161,10 +161,20 @@ class RecoveryCoordinator:
         """
         if self.rank_failed(pe):
             return False
+        telemetry = self.executor.telemetry
         while self._barrier_release is not None:
             release = self._barrier_release
             self._parked.add(pe)
+            parked_at = self.executor.env.now
             yield release
+            if telemetry is not None:
+                telemetry.span(
+                    pe,
+                    "recovery",
+                    parked_at,
+                    self.executor.env.now,
+                    "barrier-park",
+                )
             self._parked.discard(pe)
             if self.rank_failed(pe):
                 return False

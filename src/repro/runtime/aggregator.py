@@ -38,6 +38,7 @@ from typing import Any, Callable, Optional
 import numpy as np
 
 from repro.batchpath import batch_path_enabled
+from repro.config import DEFAULT_BATCH_SIZE, DEFAULT_WAIT_TIME
 from repro.errors import ConfigurationError
 
 __all__ = ["MergedBatch", "AggregationBuffer", "Aggregator"]
@@ -88,6 +89,7 @@ class AggregationBuffer:
         "dst",
         "n_bytes",
         "visits_since_first",
+        "open_time",
         "vectorize",
         "_list",
         "_data",
@@ -99,6 +101,9 @@ class AggregationBuffer:
         self.dst = dst
         self.n_bytes = 0
         self.visits_since_first = 0
+        #: Sim time the buffer last became non-empty (telemetry only;
+        #: None while the buffer is empty or when tracing is off).
+        self.open_time: Optional[float] = None
         self.vectorize = (
             batch_path_enabled() if vectorize is None else vectorize
         )
@@ -250,6 +255,7 @@ class AggregationBuffer:
             self._list = []
         self.n_bytes = 0
         self.visits_since_first = 0
+        self.open_time = None
         return payload, n_bytes, count
 
 
@@ -260,6 +266,12 @@ class Aggregator:
     (the executor wires it to the fabric).  ``payloads`` is a
     :class:`MergedBatch` on the vectorized path and a plain list on the
     reference path; both carry identical update rows.
+
+    ``telemetry``/``clock`` (both optional, wired by the executor when
+    tracing is on) record one ``agg_wait`` span per flush covering the
+    buffer's residency — the time updates sat batching before hitting
+    the wire.  Observation only: with ``telemetry=None`` (the default)
+    no span state is touched at all.
     """
 
     def __init__(
@@ -267,18 +279,24 @@ class Aggregator:
         my_pe: int,
         n_pes: int,
         send_fn: Callable[[int, Any, int], None],
-        batch_size: int = 1 << 20,
-        wait_time: int = 4,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        wait_time: int = DEFAULT_WAIT_TIME,
         vectorize: Optional[bool] = None,
+        telemetry: Optional[Any] = None,
+        clock: Optional[Callable[[], float]] = None,
     ):
         if batch_size < 1:
             raise ConfigurationError("batch_size must be positive")
         if wait_time < 1:
             raise ConfigurationError("wait_time must be positive")
+        if telemetry is not None and clock is None:
+            raise ConfigurationError("telemetry requires a clock")
         self.my_pe = my_pe
         self.batch_size = batch_size
         self.wait_time = wait_time
         self._send_fn = send_fn
+        self._telemetry = telemetry
+        self._clock = clock
         self.vectorize = (
             batch_path_enabled() if vectorize is None else vectorize
         )
@@ -300,6 +318,8 @@ class Aggregator:
         if dst == self.my_pe:
             raise ConfigurationError("aggregator is for remote traffic only")
         buffer = self.buffers[dst]
+        if self._telemetry is not None and buffer.empty:
+            buffer.open_time = self._clock()
         buffer.append(payload, n_bytes)
         if buffer.n_bytes >= self.batch_size:
             self.flushes_on_size += 1
@@ -325,6 +345,8 @@ class Aggregator:
         pre-computed payload lengths.
         """
         buffer = self.buffers[dst]
+        if self._telemetry is not None and buffer.empty:
+            buffer.open_time = self._clock()
         total = sum(n_bytes_each)
         if buffer.n_bytes + total < self.batch_size:
             buffer.append_run(payloads, total, lengths)
@@ -381,7 +403,18 @@ class Aggregator:
                 buffer.take()
 
     def _flush(self, buffer: AggregationBuffer) -> None:
-        payloads, n_bytes, _count = buffer.take()
+        opened = buffer.open_time
+        payloads, n_bytes, count = buffer.take()
+        if self._telemetry is not None and opened is not None:
+            self._telemetry.span(
+                self.my_pe,
+                "agg_wait",
+                opened,
+                self._clock(),
+                f"agg->pe{buffer.dst}",
+                n_bytes=n_bytes,
+                n_items=count,
+            )
         self._send_fn(buffer.dst, payloads, n_bytes)
 
     # ------------------------------------------------------------ state

@@ -25,7 +25,11 @@ from typing import TYPE_CHECKING, Any, Optional
 import numpy as np
 
 from repro.batchpath import batch_path_enabled
-from repro.config import MachineConfig
+from repro.config import (
+    DEFAULT_BATCH_SIZE,
+    DEFAULT_WAIT_TIME,
+    MachineConfig,
+)
 from repro.errors import ConfigurationError
 from repro.faults.injectors import DeviceFaultInjector, LinkFaultInjector
 from repro.faults.plan import FaultPlan
@@ -42,6 +46,11 @@ from repro.runtime.distributed_queue import DistributedQueues
 from repro.runtime.priority_queue import DistributedPriorityQueues
 from repro.runtime.termination import InFlightLedger, WorkTracker
 from repro.sim.core import AnyOf, Environment
+from repro.telemetry.spans import (
+    DEFAULT_MAX_SPANS,
+    Telemetry,
+    telemetry_enabled,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.recovery.coordinator import (
@@ -145,8 +154,15 @@ class AtosConfig:
     threshold_delta: float = 1.0
     #: None = use the aggregator iff the machine is inter-node (IB).
     use_aggregator: Optional[bool] = None
-    batch_size: int = 1 << 20
-    wait_time: int = 4
+    batch_size: int = DEFAULT_BATCH_SIZE
+    wait_time: int = DEFAULT_WAIT_TIME
+    #: Span-based tracing (:mod:`repro.telemetry`).  ``None`` = follow
+    #: the ``REPRO_TELEMETRY`` environment toggle (default off); off
+    #: means no :class:`~repro.telemetry.spans.Telemetry` hub is even
+    #: constructed, so the run is bit-identical to the untraced seed.
+    telemetry: Optional[bool] = None
+    #: Per-rank span ring-buffer bound when tracing is on.
+    telemetry_max_spans: int = DEFAULT_MAX_SPANS
     #: "gpu" = Atos's in-kernel control path; "cpu" = the baseline
     #: frameworks' host-mediated control path.
     control_path: str = "gpu"
@@ -213,6 +229,22 @@ class AtosExecutor:
         #: the paper's "small messages ... better overlap with
         #: computation, hiding latency".
         self.intervals = IntervalAccumulator()
+
+        #: Span tracing hub (:mod:`repro.telemetry`).  ``None`` when
+        #: tracing is off — every instrumentation site below is a single
+        #: ``is not None`` branch, so the disabled executor is provably
+        #: the untraced executor (golden-digest inertness test).
+        self.telemetry: Optional[Telemetry] = None
+        trace = (
+            telemetry_enabled()
+            if config.telemetry is None
+            else config.telemetry
+        )
+        if trace:
+            self.telemetry = Telemetry(
+                machine.n_gpus, config.telemetry_max_spans
+            )
+            self.fabric.telemetry = self.telemetry
 
         # Fault injection + resilient delivery.  Everything below is
         # ``None`` unless the plan can actually inject a fault, so the
@@ -297,6 +329,12 @@ class AtosExecutor:
                     batch_size=config.batch_size,
                     wait_time=config.wait_time,
                     vectorize=self.batch_path,
+                    telemetry=self.telemetry,
+                    clock=(
+                        None
+                        if self.telemetry is None
+                        else lambda: self.env.now
+                    ),
                 )
                 for pe in range(n)
             ]
@@ -570,6 +608,12 @@ class AtosExecutor:
         stats = self.fabric.stats()
         self.counters["fabric_messages"] += stats["messages"]
         self.counters["fabric_bytes"] += stats["bytes"]
+        if self.telemetry is not None:
+            self.counters["telemetry_spans"] += self.telemetry.total_spans
+            self.counters["telemetry_edges"] += self.telemetry.total_edges
+            self.counters["telemetry_spans_evicted"] += (
+                self.telemetry.evicted
+            )
         return makespan, self.counters
 
     def _pop(self, pe: int) -> np.ndarray:
@@ -600,12 +644,16 @@ class AtosExecutor:
     # ------------------------------------------------------- GPU process
     def _gpu_process(self, pe: int):
         config = self.config
+        telemetry = self.telemetry
+        started = self.env.now
         if self.faulty_kernel is not None:
             yield self.env.timeout(
                 self.faulty_kernel.startup_overhead(pe, self.env.now)
             )
         else:
             yield self.env.timeout(self.kernel.startup_overhead())
+        if telemetry is not None:
+            telemetry.span(pe, "compute", started, self.env.now, "startup")
         rounds_since_flush = 0
         while not self.tracker.finished:
             if self.recovery is not None:
@@ -630,6 +678,7 @@ class AtosExecutor:
                 if self.tracker.finished:
                     break
                 self._work_notify[pe] = self.env.event()
+                idle_from = self.env.now
                 yield AnyOf(
                     self.env,
                     [
@@ -638,6 +687,10 @@ class AtosExecutor:
                         self.tracker.done,
                     ],
                 )
+                if telemetry is not None:
+                    telemetry.span(
+                        pe, "idle", idle_from, self.env.now, "starved"
+                    )
                 self.counters[f"idle_polls_pe{pe}"] += 1
                 continue
 
@@ -669,15 +722,16 @@ class AtosExecutor:
                 self._flush_segment(pe)
                 rounds_since_flush = 0
 
+            queue_time = self.memory.queue_ops_time(
+                len(tasks) + len(outcome.local_pushes)
+            )
             duration = (
                 self.kernel.round_overhead()
                 + config.round_host_overhead
                 + self.memory.edge_batch_time(
                     outcome.edges_processed, outcome.conflicts
                 )
-                + self.memory.queue_ops_time(
-                    len(tasks) + len(outcome.local_pushes)
-                )
+                + queue_time
             )
             if self.faulty_kernel is not None:
                 # Straggler windows stretch the round; due transient
@@ -691,4 +745,28 @@ class AtosExecutor:
             self.intervals.add(
                 "compute", self.env.now, self.env.now + duration
             )
+            if telemetry is not None:
+                # Round attribution: queue pop/push bookkeeping is its
+                # own category; everything else (kernel + host overhead,
+                # edge batch, fault stretch) is compute.  The two spans
+                # tile [now, now + duration] exactly.
+                split = self.env.now + duration - queue_time
+                telemetry.span(
+                    pe,
+                    "compute",
+                    self.env.now,
+                    split,
+                    "round",
+                    n_bytes=outcome.edges_processed
+                    * self.machine.cost.bytes_per_edge_update,
+                    n_items=len(tasks),
+                )
+                telemetry.span(
+                    pe,
+                    "queue",
+                    split,
+                    self.env.now + duration,
+                    "queue-ops",
+                    n_items=len(tasks) + len(outcome.local_pushes),
+                )
             yield self.env.timeout(duration)

@@ -8,6 +8,7 @@ usage, communication/computation overlap).
 
 from __future__ import annotations
 
+import warnings
 from bisect import bisect_right
 from collections import deque
 from dataclasses import dataclass
@@ -40,8 +41,10 @@ class Trace:
     the trace becomes a ring buffer keeping only the most recent
     ``max_records`` entries (oldest evicted first).  ``total_recorded``
     still counts every record ever made, so ``evicted`` reports exactly
-    how much history was discarded.  The default (``None``) keeps the
-    historical unbounded behavior.
+    how much history was discarded.  The first eviction raises a loud
+    (once-per-trace) :class:`RuntimeWarning` — a truncated trace must
+    never silently read as a complete one.  The default (``None``)
+    keeps the historical unbounded behavior.
     """
 
     def __init__(
@@ -56,6 +59,7 @@ class Trace:
         self.enabled = enabled
         self.max_records = max_records
         self.total_recorded = 0
+        self._warned_eviction = False
         if max_records is None:
             self.records: Any = []
         else:
@@ -70,6 +74,20 @@ class Trace:
         if not self.enabled:
             return
         self.total_recorded += 1
+        if (
+            self.max_records is not None
+            and not self._warned_eviction
+            and self.total_recorded > self.max_records
+        ):
+            self._warned_eviction = True
+            warnings.warn(
+                f"Trace ring buffer full (max_records={self.max_records}): "
+                "oldest records are being evicted — analyses over this "
+                "trace see truncated history (raise max_records to keep "
+                "it all)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         self.records.append(
             TraceRecord(self.env.now, kind, source, payload)
         )

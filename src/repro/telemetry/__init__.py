@@ -1,0 +1,80 @@
+"""Span-based tracing, timeline export, and critical-path profiling.
+
+``repro.telemetry`` is the observability layer for the whole simulated
+stack: the DES executor, GPU kernel model, queues, aggregator,
+interconnect, and recovery coordinator all record attributed
+:class:`Span` slices (rank, category, sim-time interval, byte/item
+counts) into a bounded per-rank :class:`SpanLog` when tracing is on.
+
+Three consumers build on the recorded spans:
+
+* :mod:`repro.telemetry.export` — Chrome/Perfetto ``trace_event`` JSON
+  (``python -m repro profile --export trace.json``);
+* :mod:`repro.telemetry.report` — per-rank utilization timelines and
+  load-imbalance statistics;
+* :mod:`repro.telemetry.critical_path` — the send→recv→pop→process
+  dependency walk attributing the makespan to its longest chain.
+
+Tracing is **zero-cost when disabled** (the default): no
+:class:`Telemetry` hub is constructed and every instrumentation site is
+a single ``if telemetry is not None`` branch, so disabled runs produce
+event traces bit-identical to the pre-telemetry seed (pinned by golden
+digests).  Enable per run via ``AtosConfig(telemetry=True)`` or
+globally via ``REPRO_TELEMETRY=1``.
+"""
+
+from repro.telemetry.critical_path import (
+    CriticalPath,
+    PathSegment,
+    critical_path,
+)
+from repro.telemetry.export import (
+    TRACE_SCHEMA,
+    to_trace_events,
+    validate_trace_events,
+    write_trace,
+)
+from repro.telemetry.report import (
+    ProfileReport,
+    build_report,
+    imbalance_stats,
+    phase_breakdown,
+    rank_breakdown,
+)
+from repro.telemetry.spans import (
+    CATEGORIES,
+    DEFAULT_MAX_SPANS,
+    OVERLAY_CATEGORIES,
+    TELEMETRY_ENV,
+    TIMELINE_CATEGORIES,
+    DepEdge,
+    Span,
+    SpanLog,
+    Telemetry,
+    telemetry_enabled,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "TIMELINE_CATEGORIES",
+    "OVERLAY_CATEGORIES",
+    "TELEMETRY_ENV",
+    "DEFAULT_MAX_SPANS",
+    "telemetry_enabled",
+    "Span",
+    "DepEdge",
+    "SpanLog",
+    "Telemetry",
+    "TRACE_SCHEMA",
+    "to_trace_events",
+    "validate_trace_events",
+    "write_trace",
+    "rank_breakdown",
+    "imbalance_stats",
+    "phase_breakdown",
+    "ProfileReport",
+    "build_report",
+    "PathSegment",
+    "CriticalPath",
+    "critical_path",
+]

@@ -1,0 +1,257 @@
+"""Critical-path analysis over recorded spans and dependency edges.
+
+The DES event graph already contains the dependencies that determine
+the makespan: each rank's sequential round chain (pop → process →
+push), and every cross-rank message (send → recv → handler).  The
+fabric records the latter as :class:`~repro.telemetry.spans.DepEdge`
+instances; the GPU processes record the former implicitly as their
+non-overlapping timeline spans.  This module walks those dependencies
+*backwards* from the last work span to attribute the makespan to a
+chain of segments — the paper-style answer to "which phase would I
+shorten to make this run faster?".
+
+Walk rule, from the current span ``s`` on rank ``r``:
+
+* the binding predecessor is whichever finished **latest**: the most
+  recent message arrival into ``r`` at or before ``s.start``, or the
+  previous timeline span on ``r``;
+* following a message edge jumps to the sending rank at the send time
+  and resumes from the span active there (truncated at the send);
+* a gap between ``s`` and its same-rank predecessor is attributed as
+  an explicit ``wait`` segment (idle on the critical path — the
+  genuinely wasted time).
+
+Because the walk is strictly backwards-monotone in simulated time, the
+resulting segments never overlap, so the attributed path time is
+always ≤ the makespan — the property test pins this along with
+segment-sum consistency.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass, field
+
+from repro.telemetry.spans import TIMELINE_CATEGORIES, DepEdge, Span, Telemetry
+
+__all__ = ["PathSegment", "CriticalPath", "critical_path"]
+
+#: Work categories the walker chains through (idle spans are treated as
+#: gaps, not work).
+_WORK_CATEGORIES = tuple(c for c in TIMELINE_CATEGORIES if c != "idle")
+
+#: Time-comparison slack for same-instant events (sim time is float us).
+_EPS = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class PathSegment:
+    """One attributed slice of the critical path.
+
+    ``kind`` is ``"span"`` (work on a rank), ``"msg"`` (a message in
+    flight between ranks), or ``"wait"`` (idle time on the path).
+    """
+
+    rank: int
+    category: str
+    start: float
+    end: float
+    kind: str = "span"
+    name: str = ""
+
+    @property
+    def duration(self) -> float:
+        """Segment length in simulated microseconds."""
+        return self.end - self.start
+
+
+@dataclass
+class CriticalPath:
+    """The walked path, chronological, plus its attribution totals."""
+
+    segments: list[PathSegment] = field(default_factory=list)
+    makespan_us: float = 0.0
+    #: True when the walk stopped early (span eviction or step cap)
+    #: rather than reaching simulated time ~0.
+    complete: bool = True
+
+    @property
+    def path_time_us(self) -> float:
+        """Total attributed time (≤ makespan by construction)."""
+        return sum(seg.duration for seg in self.segments)
+
+    def by_category(self) -> dict[str, float]:
+        """Attributed time per category (``msg``/``wait`` included)."""
+        out: dict[str, float] = {}
+        for seg in self.segments:
+            out[seg.category] = out.get(seg.category, 0.0) + seg.duration
+        return out
+
+    def top_segments(self, k: int = 10) -> list[PathSegment]:
+        """The ``k`` longest path segments, longest first."""
+        return sorted(
+            self.segments, key=lambda s: s.duration, reverse=True
+        )[:k]
+
+    def render(self, top_k: int = 10) -> str:
+        """Human-readable path summary for the profile CLI."""
+        lines = [
+            f"critical path: {self.path_time_us:.1f} us attributed of "
+            f"{self.makespan_us:.1f} us makespan "
+            f"({len(self.segments)} segment(s))"
+            + ("" if self.complete else " [walk truncated]")
+        ]
+        totals = sorted(
+            self.by_category().items(), key=lambda kv: kv[1], reverse=True
+        )
+        lines.append(
+            "  by category: "
+            + ", ".join(f"{cat}={us:.1f}us" for cat, us in totals)
+        )
+        lines.append(f"  top {top_k} segments by attributed time:")
+        for seg in self.top_segments(top_k):
+            where = (
+                f"rank{seg.rank}" if seg.kind != "msg" else f"->rank{seg.rank}"
+            )
+            label = seg.name or seg.category
+            lines.append(
+                f"    {seg.duration:>10.2f} us  {where:<9} {seg.category:<9}"
+                f" [{seg.start:.2f}, {seg.end:.2f})  {label}"
+            )
+        return "\n".join(lines)
+
+
+class _RankIndex:
+    """Sorted-by-end work spans of one rank, with bisect lookup."""
+
+    __slots__ = ("spans", "ends")
+
+    def __init__(self, spans: list[Span]):
+        self.spans = sorted(spans, key=lambda s: s.end)
+        self.ends = [s.end for s in self.spans]
+
+    def last_ending_at_or_before(self, t: float) -> Span | None:
+        """The work span with the greatest end ≤ ``t`` (+slack)."""
+        i = bisect_right(self.ends, t + _EPS)
+        return self.spans[i - 1] if i else None
+
+    def active_at(self, t: float) -> Span | None:
+        """The span covering ``t``, else the last one ending before it."""
+        i = bisect_right(self.ends, t + _EPS)
+        if i < len(self.spans) and self.spans[i].start <= t + _EPS:
+            return self.spans[i]
+        return self.spans[i - 1] if i else None
+
+
+class _EdgeIndex:
+    """Per-destination delivered edges, sorted by arrival time."""
+
+    __slots__ = ("by_dst",)
+
+    def __init__(self, edges: list[DepEdge], n_ranks: int):
+        self.by_dst: list[tuple[list[float], list[DepEdge]]] = []
+        for rank in range(n_ranks):
+            mine = sorted(
+                (e for e in edges if e.dst_rank == rank),
+                key=lambda e: e.recv_time,
+            )
+            self.by_dst.append(([e.recv_time for e in mine], mine))
+
+    def last_arrival_at_or_before(
+        self, rank: int, t: float
+    ) -> DepEdge | None:
+        recvs, edges = self.by_dst[rank]
+        i = bisect_right(recvs, t + _EPS)
+        return edges[i - 1] if i else None
+
+
+def critical_path(
+    telemetry: Telemetry,
+    makespan: float,
+    max_steps: int = 100_000,
+) -> CriticalPath:
+    """Walk the send→recv→pop→process dependency chain backwards.
+
+    Starts at the work span that ends last anywhere in the system and
+    follows binding predecessors to simulated time ~0.  ``max_steps``
+    caps pathological walks (and eviction can remove early history);
+    either sets ``complete=False`` on the result.
+    """
+    ranks = [
+        _RankIndex(telemetry.rank_spans(r, _WORK_CATEGORIES))
+        for r in range(telemetry.n_ranks)
+    ]
+    edges = _EdgeIndex(list(telemetry.edges), telemetry.n_ranks)
+
+    terminal: Span | None = None
+    for index in ranks:
+        if index.spans and (
+            terminal is None or index.spans[-1].end > terminal.end
+        ):
+            terminal = index.spans[-1]
+    path = CriticalPath(makespan_us=makespan)
+    if terminal is None:
+        return path
+
+    segments: list[PathSegment] = []
+    cur = terminal
+    cursor = terminal.end  # segment upper bound (walks toward 0)
+    complete = True
+    for _ in range(max_steps):
+        start = min(cur.start, cursor)
+        if cursor > start:
+            segments.append(
+                PathSegment(
+                    cur.rank, cur.category, start, cursor, "span", cur.name
+                )
+            )
+        t = start
+        if t <= _EPS:
+            break
+        edge = edges.last_arrival_at_or_before(cur.rank, t)
+        prev = ranks[cur.rank].last_ending_at_or_before(t)
+        if prev is cur:
+            # Guard against same-end self-matches under float slack.
+            prev = ranks[cur.rank].last_ending_at_or_before(t - _EPS)
+        edge_bound = edge.recv_time if edge is not None else float("-inf")
+        prev_bound = prev.end if prev is not None else float("-inf")
+        if edge is None and prev is None:
+            break
+        if edge_bound >= prev_bound:
+            assert edge is not None
+            if t > edge.recv_time + _EPS:
+                segments.append(
+                    PathSegment(
+                        cur.rank, "wait", edge.recv_time, t, "wait"
+                    )
+                )
+            segments.append(
+                PathSegment(
+                    edge.dst_rank,
+                    "msg",
+                    edge.send_time,
+                    edge.recv_time,
+                    "msg",
+                    f"rank{edge.src_rank}->rank{edge.dst_rank} {edge.kind}",
+                )
+            )
+            sender = ranks[edge.src_rank].active_at(edge.send_time)
+            if sender is None:
+                break
+            cur = sender
+            cursor = min(sender.end, edge.send_time)
+        else:
+            assert prev is not None
+            if t > prev.end + _EPS:
+                segments.append(
+                    PathSegment(cur.rank, "wait", prev.end, t, "wait")
+                )
+            cur = prev
+            cursor = prev.end
+    else:
+        complete = False
+
+    segments.reverse()
+    path.segments = segments
+    path.complete = complete and not telemetry.truncated
+    return path

@@ -1,0 +1,148 @@
+"""Chrome/Perfetto ``trace_event`` export of a telemetry timeline.
+
+Produces the legacy Chrome tracing JSON format (a ``traceEvents`` array
+of complete ``"ph": "X"`` events), which both ``chrome://tracing`` and
+https://ui.perfetto.dev load directly.  Simulated time is already in
+microseconds — exactly the unit ``ts``/``dur`` expect — so no scaling
+happens on export.
+
+Mapping:
+
+* ``pid`` — the rank (one Perfetto "process" per simulated GPU);
+* ``tid`` — ``0`` for the sequential timeline lane (compute / queue /
+  idle / recovery) and ``1``/``2`` for the concurrent comm / agg_wait
+  overlay lanes, so overlap with compute is visible as parallel tracks;
+* ``cat`` — the span category, ``args`` — byte/item counts.
+
+Per-rank gaps between timeline spans are gap-filled with derived
+``idle`` events, so summing a rank's timeline-category ``dur`` values
+in the exported file reproduces that rank's makespan exactly — the
+property the profile acceptance test checks on the JSON itself.
+
+Only uniform complete events are emitted (no metadata or flow events):
+every event carries ``pid``/``tid``/``ts``/``dur``/``cat``/``name``,
+which keeps :func:`validate_trace_events` a total schema check.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry.spans import (
+    OVERLAY_CATEGORIES,
+    TIMELINE_CATEGORIES,
+    Span,
+    Telemetry,
+)
+
+__all__ = [
+    "TRACE_SCHEMA",
+    "to_trace_events",
+    "write_trace",
+    "validate_trace_events",
+]
+
+#: Schema tag recorded in the exported document's ``otherData``.
+TRACE_SCHEMA = "repro-trace-events/1"
+
+#: Overlay lanes get stable tids after the timeline lane (tid 0).
+_OVERLAY_TID = {cat: i + 1 for i, cat in enumerate(OVERLAY_CATEGORIES)}
+
+
+def _event(span: Span, tid: int) -> dict:
+    return {
+        "name": span.name or span.category,
+        "cat": span.category,
+        "ph": "X",
+        "pid": span.rank,
+        "tid": tid,
+        "ts": span.start,
+        "dur": span.duration,
+        "args": {"bytes": span.n_bytes, "items": span.n_items},
+    }
+
+
+def _gap_fill(rank: int, spans: list[Span], makespan: float) -> list[Span]:
+    """Derived idle spans covering every timeline gap up to makespan."""
+    fills: list[Span] = []
+    cursor = 0.0
+    for span in sorted(spans, key=lambda s: s.start):
+        if span.start > cursor:
+            fills.append(
+                Span(rank, "idle", cursor, span.start, "idle (derived)")
+            )
+        cursor = max(cursor, span.end)
+    if makespan > cursor:
+        fills.append(Span(rank, "idle", cursor, makespan, "idle (derived)"))
+    return fills
+
+
+def to_trace_events(telemetry: Telemetry, makespan: float) -> dict:
+    """Build the Chrome/Perfetto ``trace_event`` document.
+
+    ``makespan`` (simulated us) bounds the gap-filled idle so that each
+    rank's timeline lane tiles ``[0, makespan]`` exactly.
+    """
+    events: list[dict] = []
+    timeline = set(TIMELINE_CATEGORIES)
+    for rank in range(telemetry.n_ranks):
+        rank_timeline: list[Span] = []
+        for span in telemetry.logs[rank]:
+            if span.category in timeline:
+                rank_timeline.append(span)
+                events.append(_event(span, tid=0))
+            else:
+                events.append(_event(span, _OVERLAY_TID[span.category]))
+        for fill in _gap_fill(rank, rank_timeline, makespan):
+            events.append(_event(fill, tid=0))
+    events.sort(key=lambda e: (e["pid"], e["tid"], e["ts"]))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "schema": TRACE_SCHEMA,
+            "makespan_us": makespan,
+            "n_ranks": telemetry.n_ranks,
+            "spans_recorded": telemetry.total_spans,
+            "spans_evicted": telemetry.evicted,
+        },
+    }
+
+
+def validate_trace_events(doc: dict) -> int:
+    """Schema-check an exported document; returns the event count.
+
+    Every event must be a complete (``"ph": "X"``) event carrying
+    ``pid``/``tid``/``ts``/``dur``/``cat``/``name`` with non-negative
+    ``ts`` and ``dur`` — the contract the profile-smoke CI job and the
+    export test suite enforce.  Raises :class:`ValueError` on the first
+    violation.
+    """
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("traceEvents must be a list")
+    for i, event in enumerate(events):
+        for key in ("pid", "tid", "ts", "dur", "cat", "name", "ph"):
+            if key not in event:
+                raise ValueError(f"event {i} lacks {key!r}: {event!r}")
+        if event["ph"] != "X":
+            raise ValueError(f"event {i} is not a complete event")
+        if event["dur"] < 0:
+            raise ValueError(f"event {i} has negative dur: {event['dur']}")
+        if event["ts"] < 0:
+            raise ValueError(f"event {i} has negative ts: {event['ts']}")
+    return len(events)
+
+
+def write_trace(telemetry: Telemetry, makespan: float, path: str) -> int:
+    """Export, validate, and write the trace JSON; returns event count.
+
+    Validation runs *before* the write, so a file on disk is always
+    loadable.
+    """
+    doc = to_trace_events(telemetry, makespan)
+    count = validate_trace_events(doc)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+    return count

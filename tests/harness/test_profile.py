@@ -1,0 +1,61 @@
+"""The profile workflow: traced cells, knobs, exports, and guardrails."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.harness import run_profile
+from repro.harness.runner import clear_memory_cache
+from repro.telemetry import TELEMETRY_ENV, validate_trace_events
+
+
+@pytest.fixture(autouse=True)
+def _fresh(monkeypatch):
+    # Profiled runs must not be served from (or leak into) caches, and
+    # the ambient environment must not pre-enable telemetry.
+    monkeypatch.setenv("REPRO_CACHE", "0")
+    monkeypatch.delenv(TELEMETRY_ENV, raising=False)
+    clear_memory_cache()
+    yield
+    clear_memory_cache()
+
+
+def _profile(**kwargs):
+    return run_profile(
+        "atos-standard-persistent", "bfs", "hollywood-2009",
+        "summit-ib", 4, **kwargs
+    )
+
+
+def test_profile_builds_report_and_path():
+    profile = _profile()
+    assert profile.result.telemetry is not None
+    assert profile.makespan_us > 0
+    assert not profile.report.truncated
+    assert profile.path.segments
+    assert profile.path.path_time_us <= profile.makespan_us + 1e-6
+    # The knobs come from the one config source of truth.
+    assert profile.report.knobs["wait_time"] == 4.0
+    text = profile.render(top_k=3)
+    assert "load imbalance" in text and "critical path" in text
+
+
+def test_profile_export_writes_valid_trace(tmp_path):
+    path = tmp_path / "trace.json"
+    profile = _profile(export=str(path))
+    assert profile.trace_path == str(path)
+    doc = json.loads(path.read_text())
+    assert validate_trace_events(doc) == profile.trace_events > 0
+
+
+def test_profile_restores_telemetry_env():
+    assert TELEMETRY_ENV not in os.environ
+    _profile()
+    assert TELEMETRY_ENV not in os.environ
+
+
+def test_profile_rejects_untraceable_framework():
+    with pytest.raises(ConfigurationError, match="does not support"):
+        run_profile("gunrock", "bfs", "hollywood-2009", "summit-ib", 4)

@@ -199,3 +199,11 @@ def test_property_wire_bytes_monotone(a, b):
 def test_property_transfer_time_exceeds_latency(payload):
     for model in (default_nvlink(), default_pcie(), default_ib()):
         assert model.transfer_time(payload) > model.spec.latency
+
+
+def test_ib_optimal_batch_size_matches_config_default():
+    # The derivation (Figure 4 knee) and the shared config knob must
+    # not drift apart: the paper's BATCH_SIZE is *derived*, then pinned.
+    from repro.config import DEFAULT_BATCH_SIZE
+
+    assert optimal_batch_size(default_ib()) == DEFAULT_BATCH_SIZE

@@ -234,3 +234,28 @@ def test_merge_traces_accepts_ring_buffers():
     unbounded.record("b", "s")
     merged = merge_traces([bounded, unbounded])
     assert len(merged) == 3
+
+
+def test_trace_eviction_warns_loudly_once():
+    import warnings
+
+    env = Environment()
+    trace = Trace(env, max_records=2)
+    trace.record("a", "s")
+    trace.record("a", "s")
+    with pytest.warns(RuntimeWarning, match="ring buffer full"):
+        trace.record("a", "s")  # first eviction
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        trace.record("a", "s")  # further evictions stay quiet
+
+
+def test_trace_within_bound_never_warns():
+    import warnings
+
+    env = Environment()
+    trace = Trace(env, max_records=5)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        for _ in range(5):
+            trace.record("a", "s")

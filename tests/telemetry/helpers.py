@@ -1,0 +1,70 @@
+"""Shared toy application for the telemetry test suite.
+
+A token bounces between PEs; each hop sends a remote update to the
+next rank.  That exercises every span source — compute/queue from the
+GPU processes, comm from the fabric, agg_wait from the aggregator —
+plus cross-rank dependency edges, without any graph machinery.
+"""
+
+import numpy as np
+
+from repro.config import daisy
+from repro.runtime import (
+    AtosApplication,
+    AtosConfig,
+    AtosExecutor,
+    RoundOutcome,
+)
+
+
+class RelayApp(AtosApplication):
+    """Token relay: each processed task enqueues the next hop remotely."""
+
+    name = "telemetry-relay"
+
+    def __init__(self, hops: int):
+        self.hops = hops
+        self.n_pes = 0
+
+    def setup(self, n_pes):
+        self.n_pes = n_pes
+        seeds = [(np.empty(0, dtype=np.int64), None) for _ in range(n_pes)]
+        seeds[0] = (np.array([self.hops], dtype=np.int64), None)
+        return seeds
+
+    def process(self, pe, tasks):
+        outcome = RoundOutcome(edges_processed=len(tasks))
+        for remaining in tasks.tolist():
+            if remaining <= 0:
+                continue
+            dst = (pe + 1) % max(self.n_pes, 1)
+            if dst == pe:
+                outcome.local_pushes = np.append(
+                    outcome.local_pushes, remaining - 1
+                ).astype(np.int64)
+            else:
+                payload = np.array([[remaining - 1]], dtype=np.int64)
+                if dst in outcome.remote_updates:
+                    payload = np.vstack(
+                        [outcome.remote_updates[dst], payload]
+                    )
+                outcome.remote_updates[dst] = payload
+        return outcome
+
+    def handle_remote(self, pe, payload):
+        return payload[:, 0], None
+
+
+def traced_run(hops=12, n_gpus=4, **config_kwargs):
+    """Run the relay with telemetry on.
+
+    Returns ``(executor, makespan, counters)``; the executor's
+    ``telemetry`` hub holds the recorded spans and edges.  The
+    aggregator is forced on (daisy is intra-node, which would normally
+    skip it) so every span source is exercised.
+    """
+    config_kwargs.setdefault("use_aggregator", True)
+    config = AtosConfig(telemetry=True, **config_kwargs)
+    executor = AtosExecutor(daisy(n_gpus), RelayApp(hops), config)
+    makespan, counters = executor.run()
+    return executor, makespan, dict(counters)

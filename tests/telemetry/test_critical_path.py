@@ -1,0 +1,102 @@
+"""Critical-path walker: hand-built chains and walk invariants."""
+
+import pytest
+
+from repro.telemetry import Telemetry, critical_path
+from tests.telemetry.helpers import traced_run
+
+
+# ------------------------------------------------------- hand-built paths
+def test_empty_telemetry_yields_empty_path():
+    path = critical_path(Telemetry(2), makespan=10.0)
+    assert path.segments == []
+    assert path.path_time_us == 0.0
+    assert path.complete
+
+
+def test_cross_rank_chain_is_fully_attributed():
+    hub = Telemetry(2)
+    hub.span(0, "compute", 0.0, 5.0, "produce")
+    hub.edge(0, 1, 5.0, 7.0)
+    hub.span(1, "compute", 7.0, 12.0, "consume")
+    path = critical_path(hub, makespan=12.0)
+    assert [seg.kind for seg in path.segments] == ["span", "msg", "span"]
+    assert [seg.rank for seg in path.segments] == [0, 1, 1]
+    assert path.path_time_us == pytest.approx(12.0)
+    assert path.complete
+
+
+def test_late_pop_shows_up_as_wait_segment():
+    hub = Telemetry(2)
+    hub.span(0, "compute", 0.0, 5.0)
+    hub.edge(0, 1, 5.0, 7.0)
+    hub.span(1, "compute", 9.0, 12.0)  # popped 2 us after arrival
+    path = critical_path(hub, makespan=12.0)
+    kinds = [seg.kind for seg in path.segments]
+    assert kinds == ["span", "msg", "wait", "span"]
+    wait = path.segments[2]
+    assert wait.start == pytest.approx(7.0)
+    assert wait.end == pytest.approx(9.0)
+    assert path.by_category()["wait"] == pytest.approx(2.0)
+
+
+def test_same_rank_chain_walks_previous_spans():
+    hub = Telemetry(1)
+    hub.span(0, "compute", 0.0, 3.0, "r0")
+    hub.span(0, "queue", 3.0, 4.0, "q0")
+    hub.span(0, "compute", 4.0, 9.0, "r1")
+    path = critical_path(hub, makespan=9.0)
+    assert [seg.name for seg in path.segments] == ["r0", "q0", "r1"]
+    assert path.path_time_us == pytest.approx(9.0)
+
+
+def test_truncated_telemetry_marks_path_incomplete():
+    hub = Telemetry(1, max_spans_per_rank=2)
+    for i in range(5):
+        hub.span(0, "compute", float(i), float(i) + 1.0)
+    path = critical_path(hub, makespan=5.0)
+    assert hub.truncated
+    assert not path.complete
+
+
+def test_top_segments_sorted_longest_first():
+    hub = Telemetry(1)
+    hub.span(0, "compute", 0.0, 1.0)
+    hub.span(0, "compute", 1.0, 6.0)
+    hub.span(0, "compute", 6.0, 8.0)
+    path = critical_path(hub, makespan=8.0)
+    tops = path.top_segments(2)
+    assert len(tops) == 2
+    assert tops[0].duration >= tops[1].duration
+    assert tops[0].duration == pytest.approx(5.0)
+
+
+def test_render_mentions_path_and_makespan():
+    hub = Telemetry(1)
+    hub.span(0, "compute", 0.0, 4.0, "round")
+    text = critical_path(hub, makespan=4.0).render(top_k=3)
+    assert "critical path" in text and "4.0 us makespan" in text
+
+
+# --------------------------------------------------------- walk invariants
+def test_walk_invariants_on_real_run():
+    executor, makespan, _ = traced_run(hops=14, n_gpus=4)
+    path = critical_path(executor.telemetry, makespan)
+    assert path.segments, "a real run must have a critical path"
+    assert path.complete
+
+    # Property 1: attributed time never exceeds the makespan.
+    assert path.path_time_us <= makespan + 1e-6
+
+    # Property 2: segments are chronological and non-overlapping.
+    for before, after in zip(path.segments, path.segments[1:]):
+        assert before.end <= after.start + 1e-6
+
+    # Property 3: category totals sum to the attributed path time.
+    assert sum(path.by_category().values()) == pytest.approx(
+        path.path_time_us
+    )
+
+    # Property 4: the path ends at the end of the last work span.
+    assert path.segments[-1].end <= makespan + 1e-6
+    assert path.segments[0].start >= -1e-6

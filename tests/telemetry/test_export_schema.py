@@ -1,0 +1,124 @@
+"""Perfetto export: schema validity, lane mapping, gap-filled timelines."""
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    TIMELINE_CATEGORIES,
+    TRACE_SCHEMA,
+    Telemetry,
+    to_trace_events,
+    validate_trace_events,
+    write_trace,
+)
+from tests.telemetry.helpers import traced_run
+
+
+def _small_hub():
+    hub = Telemetry(2)
+    hub.span(0, "compute", 0.0, 5.0, "round", n_bytes=128, n_items=4)
+    hub.span(0, "comm", 1.0, 3.0, "link0->1", n_bytes=64)
+    hub.span(0, "agg_wait", 0.5, 4.0, "agg->pe1")
+    hub.span(1, "queue", 2.0, 4.0, "queue-ops")
+    return hub
+
+
+def _timeline_sum(events, pid):
+    timeline = set(TIMELINE_CATEGORIES)
+    return sum(
+        e["dur"]
+        for e in events
+        if e["pid"] == pid and e["tid"] == 0 and e["cat"] in timeline
+    )
+
+
+# ---------------------------------------------------------------- schema
+def test_every_event_passes_schema():
+    doc = to_trace_events(_small_hub(), makespan=10.0)
+    count = validate_trace_events(doc)
+    assert count == len(doc["traceEvents"]) > 0
+    for event in doc["traceEvents"]:
+        assert event["ph"] == "X"
+        assert event["dur"] >= 0 and event["ts"] >= 0
+
+
+def test_other_data_carries_schema_tag():
+    doc = to_trace_events(_small_hub(), makespan=10.0)
+    other = doc["otherData"]
+    assert other["schema"] == TRACE_SCHEMA
+    assert other["makespan_us"] == 10.0
+    assert other["n_ranks"] == 2
+    assert other["spans_recorded"] == 4
+    assert other["spans_evicted"] == 0
+
+
+def test_overlay_categories_get_their_own_lanes():
+    doc = to_trace_events(_small_hub(), makespan=10.0)
+    tids = {e["cat"]: e["tid"] for e in doc["traceEvents"]}
+    assert tids["compute"] == 0 and tids["queue"] == 0
+    assert tids["comm"] != 0 and tids["agg_wait"] != 0
+    assert tids["comm"] != tids["agg_wait"]
+
+
+def test_gap_fill_makes_timeline_tile_makespan():
+    doc = to_trace_events(_small_hub(), makespan=10.0)
+    events = doc["traceEvents"]
+    # rank0: compute [0,5) + derived idle [5,10); rank1: idle [0,2) +
+    # queue [2,4) + idle [4,10).
+    for pid in (0, 1):
+        assert _timeline_sum(events, pid) == pytest.approx(10.0)
+    derived = [e for e in events if e["name"] == "idle (derived)"]
+    assert len(derived) == 3
+
+
+def test_events_sorted_by_pid_tid_ts():
+    doc = to_trace_events(_small_hub(), makespan=10.0)
+    keys = [(e["pid"], e["tid"], e["ts"]) for e in doc["traceEvents"]]
+    assert keys == sorted(keys)
+
+
+# ------------------------------------------------------------- rejection
+def test_validate_rejects_non_list():
+    with pytest.raises(ValueError, match="must be a list"):
+        validate_trace_events({"traceEvents": "nope"})
+
+
+def test_validate_rejects_missing_key():
+    with pytest.raises(ValueError, match="lacks 'dur'"):
+        validate_trace_events(
+            {"traceEvents": [{"pid": 0, "tid": 0, "ts": 0.0,
+                              "cat": "compute", "name": "x", "ph": "X"}]}
+        )
+
+
+def test_validate_rejects_wrong_phase_and_negative_times():
+    event = {"pid": 0, "tid": 0, "ts": 0.0, "dur": 1.0,
+             "cat": "compute", "name": "x", "ph": "X"}
+    with pytest.raises(ValueError, match="not a complete event"):
+        validate_trace_events({"traceEvents": [dict(event, ph="B")]})
+    with pytest.raises(ValueError, match="negative dur"):
+        validate_trace_events({"traceEvents": [dict(event, dur=-1.0)]})
+    with pytest.raises(ValueError, match="negative ts"):
+        validate_trace_events({"traceEvents": [dict(event, ts=-0.5)]})
+
+
+# ----------------------------------------------------------------- file
+def test_write_trace_roundtrips(tmp_path):
+    path = tmp_path / "trace.json"
+    count = write_trace(_small_hub(), 10.0, str(path))
+    doc = json.loads(path.read_text())
+    assert validate_trace_events(doc) == count
+
+
+# ----------------------------------------------- executor integration
+def test_traced_run_export_tiles_makespan():
+    executor, makespan, _ = traced_run(hops=12, n_gpus=4)
+    doc = to_trace_events(executor.telemetry, makespan)
+    validate_trace_events(doc)
+    # Acceptance property: per-rank timeline category totals in the
+    # exported JSON sum to that rank's makespan (±1 tick).
+    for rank in range(4):
+        assert _timeline_sum(doc["traceEvents"], rank) == pytest.approx(
+            makespan, abs=1.0
+        )

@@ -1,0 +1,90 @@
+"""Inertness golden tests: telemetry never perturbs the simulation.
+
+Two guarantees pinned here:
+
+* disabled telemetry is the seed behavior — no hub is constructed, no
+  counters appear (the pinned digests in tests/sim/test_golden_traces.py
+  cover the pre-PR traces themselves);
+* *enabled* telemetry is observation-only — the DES dispatches the
+  exact same event trace, same makespan, same counters (modulo the
+  ``telemetry_*`` bookkeeping keys).
+"""
+
+import hashlib
+
+from repro.config import daisy
+from repro.runtime import AtosConfig, AtosExecutor
+from repro.telemetry import TELEMETRY_ENV
+from tests.telemetry.helpers import RelayApp
+
+
+class _Digest:
+    """Folds every dispatched heap entry into one SHA-256."""
+
+    def __init__(self):
+        self._hash = hashlib.sha256()
+        self.n_events = 0
+
+    def __call__(self, entry):
+        when, priority, seq, event = entry
+        self.n_events += 1
+        self._hash.update(
+            f"{when!r}|{priority}|{seq}|{type(event).__name__}\n".encode()
+        )
+
+    def hexdigest(self):
+        return self._hash.hexdigest()
+
+
+def _digest_run(telemetry):
+    executor = AtosExecutor(
+        daisy(4), RelayApp(hops=12), AtosConfig(telemetry=telemetry)
+    )
+    digest = _Digest()
+    executor.env.trace_hook = digest
+    makespan, counters = executor.run()
+    return digest.hexdigest(), makespan, dict(counters), executor
+
+
+def _strip(counters):
+    return {
+        k: v for k, v in counters.items() if not k.startswith("telemetry_")
+    }
+
+
+def test_disabled_runs_are_deterministic():
+    a = _digest_run(telemetry=False)
+    b = _digest_run(telemetry=False)
+    assert a[:3] == b[:3]
+    assert a[3].telemetry is None
+
+
+def test_enabled_telemetry_is_trace_identical():
+    off_digest, off_makespan, off_counters, _ = _digest_run(telemetry=False)
+    on_digest, on_makespan, on_counters, executor = _digest_run(
+        telemetry=True
+    )
+    assert on_digest == off_digest
+    assert on_makespan == off_makespan
+    assert _strip(on_counters) == _strip(off_counters)
+    # The bookkeeping keys are the only difference, and only when on.
+    assert "telemetry_spans" not in off_counters
+    assert on_counters["telemetry_spans"] == executor.telemetry.total_spans
+
+
+def test_config_none_follows_environment(monkeypatch):
+    monkeypatch.delenv(TELEMETRY_ENV, raising=False)
+    executor = AtosExecutor(daisy(2), RelayApp(hops=2), AtosConfig())
+    assert executor.telemetry is None
+
+    monkeypatch.setenv(TELEMETRY_ENV, "1")
+    executor = AtosExecutor(daisy(2), RelayApp(hops=2), AtosConfig())
+    assert executor.telemetry is not None
+
+
+def test_explicit_config_overrides_environment(monkeypatch):
+    monkeypatch.setenv(TELEMETRY_ENV, "1")
+    executor = AtosExecutor(
+        daisy(2), RelayApp(hops=2), AtosConfig(telemetry=False)
+    )
+    assert executor.telemetry is None

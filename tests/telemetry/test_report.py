@@ -1,0 +1,99 @@
+"""Utilization reports: makespan tiling, imbalance stats, rendering."""
+
+import pytest
+
+from repro.metrics import utilization_table
+from repro.telemetry import (
+    TIMELINE_CATEGORIES,
+    Telemetry,
+    build_report,
+    imbalance_stats,
+    phase_breakdown,
+    rank_breakdown,
+)
+from tests.telemetry.helpers import traced_run
+
+
+def _hub():
+    hub = Telemetry(2)
+    hub.span(0, "compute", 0.0, 6.0)
+    hub.span(0, "queue", 6.0, 7.0)
+    hub.span(0, "comm", 1.0, 3.0)
+    hub.span(1, "compute", 2.0, 4.0)
+    return hub
+
+
+def _timeline_sum(row):
+    return sum(row[cat] for cat in TIMELINE_CATEGORIES)
+
+
+# ------------------------------------------------------------- breakdown
+def test_rank_breakdown_tiles_makespan():
+    per_rank = rank_breakdown(_hub(), makespan=10.0)
+    # rank0: 6 compute + 1 queue + 3 folded idle; rank1: 2 + 8 idle.
+    assert per_rank[0]["idle"] == pytest.approx(3.0)
+    assert per_rank[1]["idle"] == pytest.approx(8.0)
+    for row in per_rank.values():
+        assert _timeline_sum(row) == pytest.approx(10.0)
+    # Overlay categories sit outside the tiling sum.
+    assert per_rank[0]["comm"] == pytest.approx(2.0)
+
+
+def test_phase_breakdown_sums_over_ranks():
+    phases = phase_breakdown(_hub(), makespan=10.0)
+    assert phases["compute"] == pytest.approx(8.0)
+    timeline_total = sum(phases[cat] for cat in TIMELINE_CATEGORIES)
+    assert timeline_total == pytest.approx(2 * 10.0)
+
+
+# ------------------------------------------------------------- imbalance
+def test_imbalance_stats_known_values():
+    per_rank = {
+        0: {"compute": 10.0, "queue": 0.0},
+        1: {"compute": 30.0, "queue": 0.0},
+    }
+    stats = imbalance_stats(per_rank)
+    assert stats["imbalance"] == pytest.approx(1.5)  # 30 / mean(20)
+    assert stats["busy_max_us"] == pytest.approx(30.0)
+    assert stats["busy_mean_us"] == pytest.approx(20.0)
+
+
+def test_imbalance_stats_all_idle_is_balanced():
+    stats = imbalance_stats({0: {"compute": 0.0}, 1: {"compute": 0.0}})
+    assert stats["imbalance"] == 1.0 and stats["cv"] == 0.0
+
+
+# ------------------------------------------------------------- rendering
+def test_utilization_table_percentages():
+    per_rank = rank_breakdown(_hub(), makespan=10.0)
+    table = utilization_table(per_rank, 10.0)
+    assert "rank" in table and "compute" in table
+    assert "60.0%" in table  # rank0 compute 6/10
+    assert "makespan 10.0 us" in table
+
+
+def test_build_report_renders_without_warning():
+    hub = _hub()
+    report = build_report(hub, 10.0, knobs={"wait_time": 4.0})
+    assert not report.truncated
+    text = report.render()
+    assert "load imbalance" in text
+    assert "wait_time=4" in text
+    assert "TRUNCATED" not in text
+
+
+def test_truncated_report_warns_loudly():
+    hub = Telemetry(1, max_spans_per_rank=2)
+    for i in range(5):
+        hub.span(0, "compute", float(i), float(i) + 1.0)
+    report = build_report(hub, 5.0)
+    assert report.truncated
+    assert "WARNING: TIMELINE TRUNCATED" in report.render()
+
+
+# ----------------------------------------------- executor integration
+def test_real_run_breakdown_tiles_makespan():
+    executor, makespan, _ = traced_run(hops=12, n_gpus=4)
+    per_rank = rank_breakdown(executor.telemetry, makespan)
+    for row in per_rank.values():
+        assert _timeline_sum(row) == pytest.approx(makespan, abs=1.0)

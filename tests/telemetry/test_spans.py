@@ -1,0 +1,146 @@
+"""Span primitives: recording, validation, bounded logs, env gating."""
+
+import pickle
+
+import pytest
+
+from repro.telemetry import (
+    CATEGORIES,
+    OVERLAY_CATEGORIES,
+    TELEMETRY_ENV,
+    TIMELINE_CATEGORIES,
+    Span,
+    SpanLog,
+    Telemetry,
+    telemetry_enabled,
+)
+from tests.telemetry.helpers import traced_run
+
+
+# ------------------------------------------------------------ env gating
+def test_disabled_by_default(monkeypatch):
+    monkeypatch.delenv(TELEMETRY_ENV, raising=False)
+    assert not telemetry_enabled()
+
+
+@pytest.mark.parametrize("value", ["1", "true", "ON", " yes "])
+def test_enabled_values(monkeypatch, value):
+    monkeypatch.setenv(TELEMETRY_ENV, value)
+    assert telemetry_enabled()
+
+
+@pytest.mark.parametrize("value", ["0", "false", "off", "", "maybe"])
+def test_disabled_values(monkeypatch, value):
+    monkeypatch.setenv(TELEMETRY_ENV, value)
+    assert not telemetry_enabled()
+
+
+# ------------------------------------------------------------- categories
+def test_category_groups_partition_the_categories():
+    assert set(TIMELINE_CATEGORIES) | set(OVERLAY_CATEGORIES) == set(
+        CATEGORIES
+    )
+    assert not set(TIMELINE_CATEGORIES) & set(OVERLAY_CATEGORIES)
+
+
+# --------------------------------------------------------------- recording
+def test_span_duration_and_payload():
+    span = Span(0, "compute", 2.0, 5.5, "round", n_bytes=64, n_items=3)
+    assert span.duration == pytest.approx(3.5)
+    assert span.n_bytes == 64 and span.n_items == 3
+
+
+def test_rejects_unknown_category():
+    hub = Telemetry(1)
+    with pytest.raises(ValueError, match="unknown span category"):
+        hub.span(0, "sleeping", 0.0, 1.0)
+
+
+def test_rejects_backwards_span():
+    hub = Telemetry(1)
+    with pytest.raises(ValueError, match="ends before it starts"):
+        hub.span(0, "compute", 5.0, 1.0)
+
+
+def test_zero_length_spans_dropped_silently():
+    hub = Telemetry(1)
+    hub.span(0, "compute", 3.0, 3.0)
+    assert hub.total_spans == 0 and not list(hub.all_spans())
+
+
+def test_rejects_bad_sizes():
+    with pytest.raises(ValueError):
+        Telemetry(0)
+    with pytest.raises(ValueError):
+        SpanLog(0, max_spans=0)
+
+
+# -------------------------------------------------------- bounded storage
+def test_ring_buffer_evicts_oldest_and_counts():
+    hub = Telemetry(2, max_spans_per_rank=3)
+    for i in range(5):
+        hub.span(0, "compute", float(i), float(i) + 0.5, f"s{i}")
+    assert hub.total_spans == 5
+    assert len(hub.rank_spans(0)) == 3
+    assert [s.name for s in hub.rank_spans(0)] == ["s2", "s3", "s4"]
+    assert hub.evicted == 2
+    assert hub.truncated
+
+
+def test_unbounded_hub_never_truncates():
+    hub = Telemetry(1, max_spans_per_rank=None)
+    for i in range(100):
+        hub.span(0, "queue", float(i), float(i) + 1.0)
+    assert hub.total_spans == 100 and hub.evicted == 0
+    assert not hub.truncated
+
+
+def test_edge_eviction_counts_as_truncation():
+    hub = Telemetry(1, max_spans_per_rank=2)
+    for i in range(4):  # edges deque bounded at max * n_ranks = 2
+        hub.edge(0, 0, float(i), float(i) + 1.0)
+    assert hub.total_edges == 4 and len(hub.edges) == 2
+    assert hub.evicted == 2 and hub.truncated
+
+
+# ----------------------------------------------------------------- queries
+def test_rank_spans_category_filter_and_totals():
+    hub = Telemetry(1)
+    hub.span(0, "compute", 0.0, 4.0)
+    hub.span(0, "comm", 1.0, 2.0)
+    hub.span(0, "compute", 4.0, 5.0)
+    assert len(hub.rank_spans(0)) == 3
+    assert len(hub.rank_spans(0, ("compute",))) == 2
+    totals = hub.category_totals(0)
+    assert totals["compute"] == pytest.approx(5.0)
+    assert totals["comm"] == pytest.approx(1.0)
+
+
+def test_hub_is_picklable():
+    hub = Telemetry(2)
+    hub.span(0, "compute", 0.0, 1.0, "round")
+    hub.edge(0, 1, 0.5, 0.9)
+    clone = pickle.loads(pickle.dumps(hub))
+    assert clone.total_spans == 1 and clone.total_edges == 1
+
+
+# ----------------------------------------------- executor integration
+def test_executor_records_all_span_sources():
+    executor, makespan, counters = traced_run(hops=12, n_gpus=4)
+    hub = executor.telemetry
+    assert hub is not None and makespan > 0
+    seen = {span.category for span in hub.all_spans()}
+    # GPU process, memory model, fabric, and aggregator all reported.
+    assert {"compute", "queue", "comm", "agg_wait"} <= seen
+    assert seen <= set(CATEGORIES)
+    assert hub.total_edges > 0  # cross-rank hops produced dep edges
+    assert counters["telemetry_spans"] == hub.total_spans
+    assert counters["telemetry_edges"] == hub.total_edges
+    assert counters["telemetry_spans_evicted"] == hub.evicted == 0
+
+
+def test_spans_stay_within_makespan():
+    executor, makespan, _ = traced_run(hops=10, n_gpus=3)
+    for span in executor.telemetry.all_spans():
+        assert span.start >= 0.0
+        assert span.end <= makespan + 1e-6

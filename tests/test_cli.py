@@ -194,3 +194,53 @@ def test_run_accepts_seed(capsys, tmp_path, monkeypatch):
     assert code == 0
     assert "gunrock bfs on hollywood-2009" in capsys.readouterr().out
     clear_memory_cache()
+
+
+def test_profile_quick(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE", "0")
+    trace = tmp_path / "trace.json"
+    code = main(
+        [
+            "profile",
+            "--dataset", "hollywood-2009",
+            "--gpus", "4",
+            "--export", str(trace),
+            "--top", "3",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "profile: atos-standard-persistent / bfs" in out
+    assert "load imbalance" in out
+    assert "critical path" in out
+    assert "wrote" in out and trace.exists()
+
+    import json
+
+    from repro.telemetry import validate_trace_events
+
+    assert validate_trace_events(json.loads(trace.read_text())) > 0
+
+
+def test_profile_rejects_bsp_framework(monkeypatch):
+    from repro.errors import ConfigurationError
+
+    monkeypatch.setenv("REPRO_CACHE", "0")
+    with pytest.raises(ConfigurationError, match="does not support"):
+        main(["profile", "--framework", "gunrock",
+              "--dataset", "hollywood-2009"])
+
+
+def test_profile_parser_flags():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["profile", "--framework", "atos-priority-discrete",
+         "--app", "pagerank", "--dataset", "road-usa",
+         "--machine", "daisy", "--gpus", "2",
+         "--export", "out.json", "--top", "5", "--seed", "3"]
+    )
+    assert args.framework == "atos-priority-discrete"
+    assert args.app == "pagerank" and args.machine == "daisy"
+    assert args.export == "out.json" and args.top == 5
+    assert args.seed == 3
+    assert "profile" in parser.format_help()

@@ -101,3 +101,29 @@ def test_cost_model_defaults_sane():
 def test_gpu_spec_is_frozen():
     with pytest.raises(AttributeError):
         V100_32GB.n_sms = 100  # type: ignore[misc]
+
+
+def test_shared_aggregation_defaults():
+    # Satellite of the telemetry PR: the BATCH_SIZE / WAIT_TIME values
+    # every layer used to duplicate now live in one place.
+    from repro.config import (
+        BFS_WAIT_TIME,
+        DEFAULT_BATCH_SIZE,
+        DEFAULT_WAIT_TIME,
+        PAGERANK_WAIT_TIME,
+        wait_time_for,
+    )
+
+    assert DEFAULT_BATCH_SIZE == 1 << 20  # paper: 1 MiB IB batches
+    assert wait_time_for("bfs") == BFS_WAIT_TIME == 4
+    assert wait_time_for("pagerank") == PAGERANK_WAIT_TIME == 32
+    assert wait_time_for("no-such-app") == DEFAULT_WAIT_TIME
+
+
+def test_executor_defaults_track_config():
+    from repro.config import DEFAULT_BATCH_SIZE, DEFAULT_WAIT_TIME
+    from repro.runtime import AtosConfig
+
+    config = AtosConfig()
+    assert config.batch_size == DEFAULT_BATCH_SIZE
+    assert config.wait_time == DEFAULT_WAIT_TIME

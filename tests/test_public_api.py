@@ -27,6 +27,7 @@ SUBPACKAGES = [
     "repro.harness",
     "repro.faults",
     "repro.recovery",
+    "repro.telemetry",
 ]
 
 
