@@ -11,6 +11,7 @@ subcommands::
     python -m repro topology daisy
     python -m repro cache stats                 # persistent run cache
     python -m repro bench --quick               # data-path perf cells
+    python -m repro engine-bench --quick        # event-engine queue cells
     python -m repro chaos --verify-inert        # fault-injection grid
     python -m repro profile --export trace.json # span tracing / crit path
 
@@ -282,6 +283,39 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_engine_bench(args: argparse.Namespace) -> int:
+    from repro.harness.engine_bench import (
+        HEADLINE_CELL,
+        render_engine_bench,
+        run_engine_bench,
+        validate_engine_bench,
+        write_bench,
+    )
+
+    if args.validate:
+        import json
+
+        with open(args.validate) as fh:
+            doc = json.load(fh)
+        n_cells = validate_engine_bench(doc)
+        print(f"{args.validate}: valid ({n_cells} cells)")
+        return 0
+    doc = run_engine_bench(quick=args.quick, seed=args.seed)
+    print(render_engine_bench(doc))
+    if args.out:
+        write_bench(doc, args.out)
+        print(f"\nwrote {args.out}")
+    if args.fail_below is not None:
+        speedup = doc["cells"][HEADLINE_CELL]["speedup"]
+        if speedup < args.fail_below:
+            print(
+                f"FAIL: {HEADLINE_CELL} speedup {speedup:.2f}x is below "
+                f"--fail-below {args.fail_below:.2f}x"
+            )
+            return 1
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.harness.chaos import (
         CHAOS_VARIANTS,
@@ -525,6 +559,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_seed_flag(bench)
     bench.set_defaults(func=_cmd_bench)
+
+    engine_bench = sub.add_parser(
+        "engine-bench",
+        help="event-engine microbenchmark: heap vs calendar queue",
+    )
+    engine_bench.add_argument("--quick", action="store_true")
+    engine_bench.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write results as JSON (e.g. BENCH_engine.json)",
+    )
+    engine_bench.add_argument(
+        "--fail-below",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="exit 1 if the cohort-fire cell's speedup is below RATIO",
+    )
+    engine_bench.add_argument(
+        "--validate",
+        default=None,
+        metavar="PATH",
+        help="schema-check an existing BENCH_engine.json and exit "
+        "(no benchmark run)",
+    )
+    add_seed_flag(engine_bench)
+    engine_bench.set_defaults(func=_cmd_engine_bench)
 
     chaos = sub.add_parser(
         "chaos",

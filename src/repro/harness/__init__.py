@@ -13,6 +13,11 @@ from repro.harness.bench import (
     run_bench,
     write_bench,
 )
+from repro.harness.engine_bench import (
+    render_engine_bench,
+    run_engine_bench,
+    validate_engine_bench,
+)
 from repro.harness.cache import (
     RunCache,
     cache_enabled,
@@ -84,6 +89,9 @@ __all__ = [
     "run_bench",
     "render_bench",
     "write_bench",
+    "run_engine_bench",
+    "render_engine_bench",
+    "validate_engine_bench",
     "HEADLINE_CELL",
     "ProfileResult",
     "run_profile",

@@ -1,0 +1,401 @@
+"""Engine microbenchmark: heap vs calendar queue (``BENCH_engine.json``).
+
+The calendar queue (:mod:`repro.sim.equeue`) keeps the dispatched event
+trace bit-identical — the differential suite pins that — so, like the
+vectorized data path before it, its only justification is host
+wall-clock.  This module measures the engine's queue primitives the way
+asimpy benchmarks its event loop: per-primitive cells, each reporting
+best-of wall-clock *and* interpreter opcode counts (``sys.settrace``
+with ``f_trace_opcodes``), so a speedup can be traced to actually
+executing fewer Python instructions rather than cache luck:
+
+* ``schedule`` — push a mixed-time entry stream;
+* ``pop-drain`` — drain one entry at a time (the reference loop's
+  access pattern);
+* ``cohort-fire`` — drain a tie-heavy stream cohort by cohort (the
+  optimized dispatcher's access pattern): the calendar slices a whole
+  same-``(time, priority)`` run out of one sorted bucket per call
+  where the heap pays one sift per entry — the headline cell;
+* ``cancel`` — remove pending entries by seq: eager bucket removal vs
+  the heap's O(n) membership-checked tombstone.
+
+End-to-end cells then run whole harness cells twice, toggling
+``REPRO_ENGINE_QUEUE`` with the run cache disabled and asserting digest
+equality — same protocol as ``BENCH_datapath``'s e2e cells.
+
+``python -m repro engine-bench`` writes the results as JSON; CI's
+engine-bench smoke job validates the committed document's schema.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+import time
+from typing import Any, Callable, Optional
+
+from repro.sim.equeue import ENGINE_QUEUE_ENV, CalendarQueue, HeapQueue
+from repro.harness.bench import _best_of, _env, write_bench
+
+__all__ = [
+    "run_engine_bench",
+    "render_engine_bench",
+    "validate_engine_bench",
+    "write_bench",
+    "HEADLINE_CELL",
+    "REQUIRED_CELLS",
+    "SCHEMA",
+]
+
+SCHEMA = "repro-bench-engine/1"
+
+#: The cell the engine story rests on: batch cohort dispatch.
+HEADLINE_CELL = "cohort-fire"
+
+#: Primitive cells every valid document must carry.
+REQUIRED_CELLS = ("schedule", "pop-drain", "cohort-fire", "cancel")
+
+
+# -------------------------------------------------------------- workloads
+def _mixed_stream(n: int, seed: int) -> list:
+    """Entries with datapath-like times: clustered cadences + jitter."""
+    rng = random.Random(seed)
+    cadences = [1.0, 2.5, 4.0, 7.25, 64.0]
+    return [
+        (
+            rng.choice(cadences) * rng.randint(1, 64)
+            if rng.random() < 0.7
+            else rng.uniform(0.0, 4096.0),
+            rng.choice((0, 1)),
+            seq,
+            None,
+        )
+        for seq in range(n)
+    ]
+
+
+def _cohort_stream(n_times: int, cohort: int, seed: int) -> list:
+    """Entries heavily tied on (time, priority): the engine's regime —
+    every poll cadence and round boundary wakes a whole rank cohort."""
+    rng = random.Random(seed)
+    times = sorted(rng.uniform(0.0, 4096.0) for _ in range(n_times))
+    entries = []
+    seq = 0
+    for t in times:
+        for _ in range(cohort):
+            entries.append((t, 1, seq, None))
+            seq += 1
+    rng.shuffle(entries)  # pushes arrive interleaved across cohorts
+    return entries
+
+
+# -------------------------------------------------------- opcode counting
+def _count_opcodes(fn: Callable[[], Any]) -> int:
+    """Interpreter opcodes executed by one call of ``fn``.
+
+    Counts every opcode in every Python frame ``fn`` enters (C-level
+    work — ``heappush``, ``insort``, slice deletes — shows up as the
+    single CALL that invoked it, exactly the cost model that matters
+    for a pure-Python engine loop).
+    """
+    count = 0
+
+    def tracer(frame, event, arg):
+        nonlocal count
+        if event == "call":
+            frame.f_trace_opcodes = True
+            return tracer
+        if event == "opcode":
+            count += 1
+        return tracer
+
+    old = sys.gettrace()
+    sys.settrace(tracer)
+    try:
+        fn()
+    finally:
+        sys.settrace(old)
+    return count
+
+
+# ------------------------------------------------------------------ cells
+def _cell(heap_s: float, calendar_s: float, **detail: Any) -> dict:
+    return {
+        "heap_s": heap_s,
+        "calendar_s": calendar_s,
+        "speedup": heap_s / calendar_s if calendar_s else float("inf"),
+        **detail,
+    }
+
+
+def _primitive_cell(
+    quick: bool,
+    entries: list,
+    drive: Callable[[Any, list], None],
+    opcode_entries: list,
+    setup: Optional[Callable[[Any, list], None]] = None,
+    **detail: Any,
+) -> dict:
+    """Time ``drive(queue, entries)`` on both variants, plus opcode
+    counts per entry on a smaller stream (tracing is ~100x slower).
+
+    ``setup`` runs untimed and untraced before each measurement — the
+    per-primitive contract: the ``pop-drain`` cell must not charge its
+    fills to the pop, any more than ``schedule`` charges its pops.
+    """
+    repeats = 3 if quick else 7
+
+    def _timed(queue_cls: type, stream: list) -> Callable[[], None]:
+        def fn() -> None:
+            queue = queue_cls()
+            if setup is not None:
+                setup(queue, stream)
+            drive(queue, stream)
+
+        return fn
+
+    def _measure(queue_cls: type) -> float:
+        if setup is None:
+            return _best_of(_timed(queue_cls, entries), repeats)
+        best = float("inf")
+        for _ in range(repeats):
+            queue = queue_cls()
+            setup(queue, entries)
+            start = time.perf_counter()
+            drive(queue, entries)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    def _opcodes(queue_cls: type) -> float:
+        queue = queue_cls()
+        if setup is not None:
+            setup(queue, opcode_entries)
+        return round(
+            _count_opcodes(lambda: drive(queue, opcode_entries))
+            / len(opcode_entries),
+            1,
+        )
+
+    return _cell(
+        _measure(HeapQueue),
+        _measure(CalendarQueue),
+        entries=len(entries),
+        heap_opcodes_per_entry=_opcodes(HeapQueue),
+        calendar_opcodes_per_entry=_opcodes(CalendarQueue),
+        **detail,
+    )
+
+
+def _bench_schedule(quick: bool, seed: int) -> dict:
+    n = 4_000 if quick else 20_000
+
+    def drive(queue, entries):
+        push = queue.push
+        for e in entries:
+            push(e)
+
+    return _primitive_cell(
+        quick,
+        _mixed_stream(n, seed),
+        drive,
+        _mixed_stream(512, seed),
+    )
+
+
+def _fill(queue, entries):
+    push = queue.push
+    for e in entries:
+        push(e)
+
+
+def _bench_pop_drain(quick: bool, seed: int) -> dict:
+    n = 4_000 if quick else 20_000
+
+    def drive(queue, entries):
+        pop = queue.pop
+        while queue:
+            pop()
+
+    return _primitive_cell(
+        quick,
+        _mixed_stream(n, seed + 1),
+        drive,
+        _mixed_stream(512, seed + 1),
+        setup=_fill,
+    )
+
+
+def _bench_cohort_fire(quick: bool, seed: int) -> dict:
+    """HEADLINE: drain a tie-heavy stream with ``pop_cohort``.
+
+    The heap pays one ``heappop`` sift per cohort member; the calendar
+    finds the run's end with one bisect and removes it with one slice
+    delete — per-entry cost goes from O(log n) sifts to amortized O(1).
+    """
+    n_times, cohort = (64, 32) if quick else (256, 64)
+
+    def drive(queue, entries):
+        pop_cohort = queue.pop_cohort
+        fired = 0
+        while queue:
+            fired += len(pop_cohort())
+        assert fired == len(entries)
+
+    return _primitive_cell(
+        quick,
+        _cohort_stream(n_times, cohort, seed + 2),
+        drive,
+        _cohort_stream(16, 32, seed + 2),
+        setup=_fill,
+        cohort=cohort,
+        timestamps=n_times,
+    )
+
+
+def _bench_cancel(quick: bool, seed: int) -> dict:
+    """Cancel half the pending entries (eager removal vs the heap's
+    membership-checked tombstone)."""
+    n = 2_000 if quick else 8_000
+
+    def drive(queue, entries):
+        victims = random.Random(0).sample(entries, len(entries) // 2)
+        cancel = queue.cancel
+        for v in victims:
+            assert cancel(v)
+
+    return _primitive_cell(
+        quick,
+        _mixed_stream(n, seed + 3),
+        drive,
+        _mixed_stream(256, seed + 3),
+        setup=_fill,
+    )
+
+
+# ------------------------------------------------------- end-to-end cells
+def _bench_end_to_end(
+    framework: str,
+    app: str,
+    dataset: str,
+    machine: str,
+    n_gpus: int,
+) -> dict:
+    """One harness cell, simulated once per engine queue.
+
+    Mirrors the data-path bench's protocol: run cache disabled and the
+    memo cleared around each run (cache keys do not include the engine
+    flag), digests asserted equal — the queues are behaviorally
+    identical by construction, so only wall-clock may differ.
+    """
+    from repro.harness.runner import clear_memory_cache, run
+
+    def _simulate(queue: str):
+        with _env(**{ENGINE_QUEUE_ENV: queue, "REPRO_CACHE": "0"}):
+            clear_memory_cache()
+            return run(framework, app, dataset, machine, n_gpus)
+
+    _simulate("heap")  # warm graph/partition/reference caches
+    heap = _simulate("heap")
+    calendar = _simulate("calendar")
+    if heap.digest() != calendar.digest():
+        raise AssertionError(
+            f"engine divergence on {framework}/{app}/{dataset}: "
+            f"{heap.digest()[:16]} != {calendar.digest()[:16]}"
+        )
+    return _cell(
+        heap.wall_clock_s,
+        calendar.wall_clock_s,
+        framework=framework,
+        app=app,
+        dataset=dataset,
+        machine=machine,
+        n_gpus=n_gpus,
+        time_ms=heap.time_ms,
+        digest=heap.digest(),
+    )
+
+
+# ---------------------------------------------------------------- driver
+def run_engine_bench(quick: bool = False, seed: int = 0) -> dict:
+    """Run every cell; returns the ``BENCH_engine.json`` document."""
+    cells: dict[str, dict] = {
+        "schedule": _bench_schedule(quick, seed),
+        "pop-drain": _bench_pop_drain(quick, seed),
+        HEADLINE_CELL: _bench_cohort_fire(quick, seed),
+        "cancel": _bench_cancel(quick, seed),
+    }
+    e2e = [("atos-standard-persistent", "bfs", "road-usa", "summit-ib", 4)]
+    if not quick:
+        e2e.append(
+            (
+                "atos-standard-persistent",
+                "pagerank",
+                "soc-livejournal1",
+                "summit-ib",
+                4,
+            )
+        )
+    for framework, app, dataset, machine, n_gpus in e2e:
+        cells[f"e2e-{app}-{dataset}"] = _bench_end_to_end(
+            framework, app, dataset, machine, n_gpus
+        )
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "seed": seed,
+        "headline": HEADLINE_CELL,
+        "cells": cells,
+    }
+
+
+def render_engine_bench(doc: dict) -> str:
+    """Human-readable table of an engine bench document."""
+    lines = [
+        f"{'cell':<28}{'heap_s':>12}{'calendar_s':>12}{'speedup':>10}"
+    ]
+    for name, cell in doc["cells"].items():
+        marker = "  <- headline" if name == doc.get("headline") else ""
+        lines.append(
+            f"{name:<28}{cell['heap_s']:>12.4f}"
+            f"{cell['calendar_s']:>12.4f}{cell['speedup']:>9.2f}x{marker}"
+        )
+    return "\n".join(lines)
+
+
+def validate_engine_bench(doc: dict) -> int:
+    """Schema-check an engine bench document; returns the cell count.
+
+    The contract CI's engine-bench smoke job enforces on the committed
+    ``BENCH_engine.json``: schema tag, headline present, every required
+    primitive cell present with positive timings, a finite speedup, and
+    opcode counts for both variants.  Raises :class:`ValueError` on the
+    first violation.
+    """
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(
+            f"schema must be {SCHEMA!r}, got {doc.get('schema')!r}"
+        )
+    cells = doc.get("cells")
+    if not isinstance(cells, dict) or not cells:
+        raise ValueError("cells must be a non-empty mapping")
+    if doc.get("headline") not in cells:
+        raise ValueError(f"headline {doc.get('headline')!r} not in cells")
+    for name in REQUIRED_CELLS:
+        if name not in cells:
+            raise ValueError(f"missing required cell {name!r}")
+    for name, cell in cells.items():
+        for key in ("heap_s", "calendar_s", "speedup"):
+            value = cell.get(key)
+            if not isinstance(value, (int, float)) or value <= 0:
+                raise ValueError(f"cell {name!r}: bad {key}: {value!r}")
+        if name in REQUIRED_CELLS:
+            for key in (
+                "heap_opcodes_per_entry",
+                "calendar_opcodes_per_entry",
+            ):
+                value = cell.get(key)
+                if not isinstance(value, (int, float)) or value <= 0:
+                    raise ValueError(
+                        f"cell {name!r}: bad {key}: {value!r}"
+                    )
+    return len(cells)

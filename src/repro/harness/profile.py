@@ -49,9 +49,12 @@ class ProfileResult:
     def render(self, top_k: int = 10) -> str:
         """The full profile block ``python -m repro profile`` prints."""
         res = self.result
+        meta = getattr(res.telemetry, "meta", None) or {}
+        engine = meta.get("engine_queue", "")
         lines = [
             f"profile: {res.framework} / {res.app} / {res.dataset} "
-            f"on {res.n_gpus} GPU(s) — {res.time_ms:.3f} ms simulated",
+            f"on {res.n_gpus} GPU(s) — {res.time_ms:.3f} ms simulated"
+            + (f" (engine queue: {engine})" if engine else ""),
             "",
             self.report.render(),
             "",

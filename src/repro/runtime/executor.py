@@ -244,6 +244,7 @@ class AtosExecutor:
             self.telemetry = Telemetry(
                 machine.n_gpus, config.telemetry_max_spans
             )
+            self.telemetry.meta["engine_queue"] = self.env.engine_queue
             self.fabric.telemetry = self.telemetry
 
         # Fault injection + resilient delivery.  Everything below is

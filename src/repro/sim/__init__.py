@@ -8,6 +8,8 @@ Public surface:
 * :class:`~repro.sim.resources.Resource` / ``Store`` / ``PriorityStore``
   / ``Container`` — shared-resource primitives.
 * :class:`~repro.sim.monitor.Trace` — instrumentation.
+* :mod:`repro.sim.equeue` — pluggable event queues (``heap`` reference,
+  ``calendar`` with cohort dispatch), selected via ``REPRO_ENGINE_QUEUE``.
 """
 
 from repro.sim.core import (
@@ -17,6 +19,15 @@ from repro.sim.core import (
     Event,
     Process,
     Timeout,
+)
+from repro.sim.equeue import (
+    ENGINE_QUEUE_ENV,
+    ENGINE_QUEUES,
+    CalendarQueue,
+    EventQueue,
+    HeapQueue,
+    engine_queue_name,
+    make_queue,
 )
 from repro.sim.monitor import (
     IntervalAccumulator,
@@ -31,6 +42,13 @@ __all__ = [
     "Event",
     "Process",
     "Timeout",
+    "EventQueue",
+    "HeapQueue",
+    "CalendarQueue",
+    "ENGINE_QUEUE_ENV",
+    "ENGINE_QUEUES",
+    "engine_queue_name",
+    "make_queue",
     "AllOf",
     "AnyOf",
     "Resource",

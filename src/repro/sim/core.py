@@ -1,9 +1,11 @@
 """Discrete-event simulation core.
 
 A small, dependency-free event-loop in the style of SimPy: an
-:class:`Environment` owns a time-ordered event heap, a :class:`Process`
-wraps a Python generator that ``yield``\\ s events to wait on, and
-:class:`Timeout` models the passage of simulated time.
+:class:`Environment` owns a time-ordered event queue (pluggable via
+:mod:`repro.sim.equeue` — binary heap or calendar queue, selected by
+``REPRO_ENGINE_QUEUE``), a :class:`Process` wraps a Python generator
+that ``yield``\\ s events to wait on, and :class:`Timeout` models the
+passage of simulated time.
 
 The engine is deliberately deterministic: events scheduled for the same
 simulated time fire in (priority, insertion-order) order, so repeated
@@ -18,11 +20,11 @@ paper's tables are obtained by dividing by 1000).
 
 from __future__ import annotations
 
-import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import DeadlockError, ProcessInterrupt, SimulationError
+from repro.sim.equeue import EventQueue, make_queue
 
 __all__ = [
     "Environment",
@@ -135,14 +137,12 @@ class Timeout(Event):
         self.delay = delay
         self._value = value
         self._ok = True
-        # Fast-path schedule: timeouts dominate the heap traffic of a
+        # Fast-path schedule: timeouts dominate the queue traffic of a
         # busy simulation, and the delay was validated above, so push
         # directly instead of going through ``env._schedule`` (which
-        # would re-validate).  The heap entry shape must stay identical
-        # to ``_schedule``'s: (time, priority, sequence, event).
-        heapq.heappush(
-            env._heap, (env._now + delay, NORMAL, next(env._eid), self)
-        )
+        # would re-validate).  The entry shape must stay identical to
+        # ``_schedule``'s: (time, priority, sequence, event).
+        env._push((env._now + delay, NORMAL, next(env._eid), self))
 
 
 class _Initialize(Event):
@@ -307,7 +307,7 @@ class AnyOf(_MultiEvent):
 
 
 class Environment:
-    """Owns simulated time and the event heap.
+    """Owns simulated time and the event queue.
 
     Usage::
 
@@ -320,15 +320,33 @@ class Environment:
         p = env.process(proc(env))
         env.run()
         assert env.now == 5.0 and p.value == "done"
+
+    ``queue`` selects the event-queue implementation
+    (:mod:`repro.sim.equeue`): ``None`` follows ``REPRO_ENGINE_QUEUE``
+    (default ``heap``), a string names a variant (``"heap"`` /
+    ``"calendar"``), an :class:`~repro.sim.equeue.EventQueue` instance
+    is used as-is.  Read once at construction, so one simulation never
+    mixes queue disciplines mid-run; every variant dispatches the
+    bit-identical event order (the differential suite pins this).
     """
 
-    def __init__(self, initial_time: float = 0.0):
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        queue: "str | EventQueue | None" = None,
+    ):
         self._now = float(initial_time)
-        self._heap: list[tuple[float, int, int, Event]] = []
+        self._equeue: EventQueue = make_queue(queue)
+        #: Bound push — the one scheduling entry point (``_schedule``
+        #: and the :class:`Timeout` fast path both go through it, so
+        #: there is exactly one access path to the queue).
+        self._push = self._equeue.push
+        #: Name of the active queue variant ("heap" / "calendar").
+        self.engine_queue: str = self._equeue.name
         self._eid = itertools.count()
         self._active_process: Optional[Process] = None
         #: Optional instrumentation hook called once per dispatched
-        #: event with the popped heap entry ``(time, priority, seq,
+        #: event with the popped queue entry ``(time, priority, seq,
         #: event)`` *before* its callbacks run.  Used by the golden-
         #: trace determinism suite to digest the exact event order.
         #: Read once at the top of :meth:`run`; set it before running.
@@ -337,8 +355,8 @@ class Environment:
         ] = None
         #: When True, :meth:`run` uses the straightforward one-
         #: ``step()``-per-event reference loop instead of the inlined
-        #: fast loop.  Both must produce bit-identical traces; the
-        #: golden-trace suite pins that equivalence.
+        #: cohort-batched fast loop.  Both must produce bit-identical
+        #: traces; the golden-trace suite pins that equivalence.
         self.reference_loop: bool = False
 
     @property
@@ -374,21 +392,25 @@ class Environment:
     ) -> None:
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        heapq.heappush(
-            self._heap, (self._now + delay, priority, next(self._eid), event)
-        )
+        self._push((self._now + delay, priority, next(self._eid), event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
-        return self._heap[0][0] if self._heap else float("inf")
+        return self._equeue.peek()
 
     def step(self) -> None:
-        """Process the single next event (the reference dispatch path)."""
-        if not self._heap:
+        """Process the single next event (the reference dispatch path).
+
+        Pops through the same :class:`~repro.sim.equeue.EventQueue`
+        interface as the fast loop — there is no second access path
+        that could drift from it.
+        """
+        queue = self._equeue
+        if not queue:
             raise DeadlockError("no scheduled events")
-        entry = heapq.heappop(self._heap)
+        entry = queue.pop()
         when, _prio, _eid, event = entry
-        if when < self._now:  # pragma: no cover - heap invariant
+        if when < self._now:  # pragma: no cover - queue invariant
             raise SimulationError("event scheduled in the past")
         self._now = when
         if self.trace_hook is not None:
@@ -412,56 +434,100 @@ class Environment:
         """The inlined hot loop behind :meth:`run`.
 
         Runs until ``stop_event`` is processed (if given), simulated
-        time would pass ``horizon`` (if given), or the heap drains.
+        time would pass ``horizon`` (if given), or the queue drains.
         Semantically identical to calling :meth:`step` in a loop — the
         golden-trace suite asserts bit-identical event order against
-        that reference — but with the heap, ``heappop`` and callback
-        dispatch bound to locals, and same-time events drained
-        back-to-back without re-entering Python method dispatch.
+        that reference — but with queue methods and callback dispatch
+        bound to locals, and whole same-``(time, priority)`` cohorts
+        popped in one batch (:meth:`EventQueue.pop_cohort`) instead of
+        one sift per event.
+
+        Cohort batching preserves the documented (priority,
+        insertion-order) tie contract exactly: a fired callback can
+        only schedule entries with *larger* sequence numbers at the
+        *current or a later* time, so the only way the popped cohort
+        can become stale is an urgent (lower-priority-value) same-time
+        push.  After any fire that grew the queue, the head key is
+        compared against the next cohort member; on preemption the
+        unfired remainder is pushed back (its keys are unchanged, so
+        global order is untouched) and the outer loop re-pops.
         """
-        heap = self._heap
-        pop = heapq.heappop
+        queue = self._equeue
+        pop_cohort = queue.pop_cohort
+        push = queue.push
         hook = self.trace_hook
         while True:
             if stop_event is not None and stop_event._processed:
                 return
-            if not heap:
+            if not queue:
                 if stop_event is not None:
                     raise DeadlockError(
-                        f"event heap drained before {stop_event!r} triggered"
+                        f"event queue drained before {stop_event!r} "
+                        "triggered"
                     )
                 return
-            if horizon is not None and heap[0][0] > horizon:
+            if horizon is not None and queue.peek() > horizon:
                 return
-            entry = pop(heap)
-            when = entry[0]
-            event = entry[3]
-            if when < self._now:  # pragma: no cover - heap invariant
+            cohort = pop_cohort()
+            when = cohort[0][0]
+            priority = cohort[0][1]
+            if when < self._now:  # pragma: no cover - queue invariant
                 raise SimulationError("event scheduled in the past")
             self._now = when
-            if hook is not None:
-                hook(entry)
-            callbacks = event.callbacks
-            if (
-                callbacks is not None
-                and not callbacks
-                and not event._ok
-                and isinstance(event, Process)
-            ):
-                # Dead process with no waiter: surface the failure.
-                event._fire()
-                raise event._value  # type: ignore[misc]
-            # Inlined Event._fire(): detach callbacks, mark processed,
-            # dispatch the batch.
-            event.callbacks = None
-            event._processed = True
-            for cb in callbacks:  # type: ignore[union-attr]
-                cb(event)
+            pending = len(queue)
+            for i, entry in enumerate(cohort):
+                if i:
+                    if stop_event is not None and stop_event._processed:
+                        # The previous fire finished the run: the
+                        # unfired remainder stays scheduled, exactly as
+                        # the one-step reference loop would leave it.
+                        for e in cohort[i:]:
+                            push(e)
+                        return
+                    grown = len(queue)
+                    if grown != pending:
+                        key = queue.peek_key()
+                        if key is not None and key < (when, priority):
+                            # An urgent same-time event jumped ahead of
+                            # the rest of this cohort: yield to it.
+                            for e in cohort[i:]:
+                                push(e)
+                            break
+                        pending = grown
+                event = entry[3]
+                if hook is not None:
+                    hook(entry)
+                callbacks = event.callbacks
+                if (
+                    callbacks is not None
+                    and not callbacks
+                    and not event._ok
+                    and isinstance(event, Process)
+                ):
+                    # Dead process with no waiter: surface the failure.
+                    for e in cohort[i + 1:]:
+                        push(e)
+                    event._fire()
+                    raise event._value  # type: ignore[misc]
+                # Inlined Event._fire(): detach callbacks, mark
+                # processed, dispatch the batch.
+                event.callbacks = None
+                event._processed = True
+                try:
+                    for cb in callbacks:  # type: ignore[union-attr]
+                        cb(event)
+                except BaseException:
+                    # A callback raised out of the loop: requeue the
+                    # unfired remainder so the queue matches what the
+                    # reference loop would hold at the same raise.
+                    for e in cohort[i + 1:]:
+                        push(e)
+                    raise
 
     def run(self, until: Optional[float | Event] = None) -> Any:
         """Run the event loop.
 
-        ``until`` may be ``None`` (run until the heap drains), a time
+        ``until`` may be ``None`` (run until the queue drains), a time
         (run until simulated time reaches it), or an :class:`Event`
         (run until it is processed; returns/raises its value).
         """
@@ -469,9 +535,9 @@ class Environment:
             stop_event = until
             if self.reference_loop:
                 while not stop_event.processed:
-                    if not self._heap:
+                    if not self._equeue:
                         raise DeadlockError(
-                            f"event heap drained before {stop_event!r} "
+                            f"event queue drained before {stop_event!r} "
                             "triggered"
                         )
                     self.step()
@@ -485,14 +551,14 @@ class Environment:
             if horizon < self._now:
                 raise ValueError("cannot run backwards in time")
             if self.reference_loop:
-                while self._heap and self._heap[0][0] <= horizon:
+                while self._equeue.peek() <= horizon:
                     self.step()
             else:
                 self._dispatch(None, horizon)
             self._now = horizon
             return None
         if self.reference_loop:
-            while self._heap:
+            while self._equeue:
                 self.step()
         else:
             self._dispatch(None, None)

@@ -1,0 +1,423 @@
+"""Pluggable event queues for the DES engine (``REPRO_ENGINE_QUEUE``).
+
+The :class:`~repro.sim.core.Environment` schedules events as entries of
+the fixed shape ``(time, priority, seq, event)`` — the same tuple the
+golden-trace suite digests — and pops them in strictly increasing
+``(time, priority, seq)`` order.  That total order is the engine's
+whole determinism contract; the queue holding the entries is an
+implementation detail.  This module makes the queue pluggable:
+
+* :class:`HeapQueue` — the original ``heapq`` binary heap, kept as the
+  reference implementation;
+* :class:`CalendarQueue` — a Brown-style calendar queue (one sorted
+  bucket per ``width`` of simulated time, years wrap modulo the bucket
+  count) with lazy bucket resizing, tuned for the engine's workload:
+  events cluster at shared timestamps (round boundaries, poll
+  cadences), and :meth:`~EventQueue.pop_cohort` slices a whole
+  same-``(time, priority)`` run out of one bucket in one operation
+  instead of paying one ``heappop`` sift per event.
+
+Both variants produce the **identical pop order** for the identical
+push sequence — the differential suite pins bit-identical golden trace
+digests heap-vs-calendar across apps, machines, and fault plans.
+
+Select via the environment variable, read once per
+:class:`Environment` construction (mirroring ``REPRO_BATCH_PATH``)::
+
+    REPRO_ENGINE_QUEUE=calendar python -m repro table5
+
+``cancel`` exists for the differential fuzz suite and the engine
+microbench (the core engine never removes a scheduled entry): the heap
+tombstones lazily, the calendar removes eagerly — either way a
+cancelled entry never surfaces from ``pop``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+from bisect import bisect_right, insort
+from typing import Any, Optional
+
+__all__ = [
+    "ENGINE_QUEUE_ENV",
+    "ENGINE_QUEUES",
+    "engine_queue_name",
+    "make_queue",
+    "EventQueue",
+    "HeapQueue",
+    "CalendarQueue",
+]
+
+#: Environment variable selecting the engine's event queue.
+ENGINE_QUEUE_ENV = "REPRO_ENGINE_QUEUE"
+
+#: Known variants, in (reference, optimized) order.
+ENGINE_QUEUES = ("heap", "calendar")
+
+#: Entry shape shared with the environment: (time, priority, seq, event).
+Entry = tuple  # (float, int, int, Any)
+
+_INF = float("inf")
+
+
+def engine_queue_name() -> str:
+    """The variant ``REPRO_ENGINE_QUEUE`` selects (default ``heap``)."""
+    name = os.environ.get(ENGINE_QUEUE_ENV, "heap").strip().lower() or "heap"
+    if name not in ENGINE_QUEUES:
+        raise ValueError(
+            f"unknown {ENGINE_QUEUE_ENV}={name!r}; known: {ENGINE_QUEUES}"
+        )
+    return name
+
+
+def make_queue(queue: "str | EventQueue | None" = None) -> "EventQueue":
+    """Build (or pass through) an event queue.
+
+    ``None`` follows ``REPRO_ENGINE_QUEUE``; a string names a variant;
+    an :class:`EventQueue` instance is returned as-is (tests inject
+    pre-configured queues this way).
+    """
+    if isinstance(queue, EventQueue):
+        return queue
+    name = engine_queue_name() if queue is None else queue
+    if name == "heap":
+        return HeapQueue()
+    if name == "calendar":
+        return CalendarQueue()
+    raise ValueError(
+        f"unknown engine queue {name!r}; known: {ENGINE_QUEUES}"
+    )
+
+
+class EventQueue:
+    """Interface both variants implement.
+
+    Entries are ``(time, priority, seq, event)`` tuples; ``seq`` is
+    unique per queue lifetime (the environment's monotone event id), so
+    tuple comparison never reaches the event object.  ``pop`` returns
+    entries in strictly increasing ``(time, priority, seq)`` order.
+    """
+
+    #: Variant name (matches its :data:`ENGINE_QUEUES` key).
+    name: str = ""
+
+    def push(self, entry: Entry) -> None:
+        raise NotImplementedError
+
+    def pop(self) -> Entry:
+        """Remove and return the minimum entry (raises IndexError if empty)."""
+        raise NotImplementedError
+
+    def pop_cohort(self) -> list:
+        """Remove and return the maximal run of minimum entries sharing
+        the head's ``(time, priority)``, in insertion (``seq``) order."""
+        raise NotImplementedError
+
+    def peek(self) -> float:
+        """Time of the next entry, or ``inf`` when empty."""
+        raise NotImplementedError
+
+    def peek_key(self) -> Optional[tuple]:
+        """``(time, priority)`` of the next entry, or ``None`` when empty."""
+        raise NotImplementedError
+
+    def cancel(self, entry: Entry) -> bool:
+        """Remove ``entry`` (matched by its unique ``seq``) before it
+        pops.  Returns False if it is not pending (already popped or
+        already cancelled)."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def __bool__(self) -> bool:
+        return len(self) > 0
+
+
+class HeapQueue(EventQueue):
+    """The reference queue: a ``heapq`` binary heap.
+
+    Cancellation tombstones lazily (a binary heap cannot cheaply remove
+    an interior entry): cancelled seqs sit in a set and are discarded
+    whenever they surface at the heap head.
+    """
+
+    __slots__ = ("_heap", "_cancelled")
+
+    name = "heap"
+
+    def __init__(self) -> None:
+        self._heap: list[Entry] = []
+        self._cancelled: set[int] = set()
+
+    def push(self, entry: Entry) -> None:
+        heapq.heappush(self._heap, entry)
+
+    def _skim(self) -> None:
+        """Drop cancelled entries sitting at the heap head."""
+        heap, cancelled = self._heap, self._cancelled
+        while heap and heap[0][2] in cancelled:
+            cancelled.discard(heapq.heappop(heap)[2])
+
+    def pop(self) -> Entry:
+        self._skim()
+        return heapq.heappop(self._heap)
+
+    def pop_cohort(self) -> list:
+        self._skim()
+        heap = self._heap
+        head = heapq.heappop(heap)
+        when, priority = head[0], head[1]
+        cohort = [head]
+        cancelled = self._cancelled
+        while heap and heap[0][0] == when and heap[0][1] == priority:
+            entry = heapq.heappop(heap)
+            if entry[2] in cancelled:
+                cancelled.discard(entry[2])
+                continue
+            cohort.append(entry)
+        return cohort
+
+    def peek(self) -> float:
+        self._skim()
+        return self._heap[0][0] if self._heap else _INF
+
+    def peek_key(self) -> Optional[tuple]:
+        self._skim()
+        if not self._heap:
+            return None
+        head = self._heap[0]
+        return (head[0], head[1])
+
+    def cancel(self, entry: Entry) -> bool:
+        seq = entry[2]
+        if seq in self._cancelled:
+            return False
+        # Membership check keeps ``len`` exact; O(n) but cancel is a
+        # test/bench-only operation, never on the engine's hot path.
+        if not any(e[2] == seq for e in self._heap):
+            return False
+        self._cancelled.add(seq)
+        return True
+
+    def __len__(self) -> int:
+        return len(self._heap) - len(self._cancelled)
+
+
+class CalendarQueue(EventQueue):
+    """A calendar queue (Randy Brown, CACM 1988) with lazy resizing.
+
+    Simulated time is divided into buckets of ``width`` microseconds;
+    bucket ``v`` of "year" ``y`` shares a physical sorted list with
+    bucket ``v`` of every other year (``v mod n_buckets``).  Pops scan
+    buckets from the current virtual bucket forward, accepting an entry
+    only when it belongs to the bucket's current year, so a pop is O(1)
+    when the width matches the event density; pushes ``insort`` into
+    one bucket.  When the population outgrows (or undershoots) the
+    bucket count, the next operation lazily rebuilds with doubled
+    (halved) buckets and a width re-estimated from the live entries —
+    the classic adaptive scheme, made deterministic by sampling the
+    sorted population instead of wall-clock behavior.
+
+    Year membership is decided by integer virtual-bucket comparison
+    (``int(t / width) == current``), never by accumulating bucket-top
+    floats, so floating-point drift cannot reorder events: the pop
+    order is bit-identical to :class:`HeapQueue`'s.
+
+    One departure from Brown: resize triggers compare the number of
+    **occupied buckets** (tracked on empty/non-empty transitions) to
+    the bucket count, not the raw population.  The engine's workload is
+    tie-heavy — every poll cadence wakes a whole rank cohort at one
+    timestamp — and sizing buckets by population would spread 64
+    timestamps over a thousand mostly-empty buckets that the head scan
+    then walks one by one; a cohort of ties fills one bucket either
+    way, so it should count once.  Occupancy is also exactly the
+    quantity the head scan's cost depends on: grow while more than 3/4
+    of the buckets are full (collisions pile up), shrink below 1/8
+    (scans cross runs of empty buckets); the wide hysteresis stops
+    push/pop thrash at a threshold.
+    """
+
+    __slots__ = (
+        "_buckets", "_n_buckets", "_width", "_size", "_cur_v", "_occupied"
+    )
+
+    name = "calendar"
+
+    #: Bucket-count bounds: shrink stops at _MIN_BUCKETS; resize
+    #: triggers when bucket occupancy leaves [n/8, 3n/4].
+    _MIN_BUCKETS = 4
+
+    def __init__(self, n_buckets: int = _MIN_BUCKETS, width: float = 1.0):
+        if n_buckets < 1:
+            raise ValueError("n_buckets must be positive")
+        if width <= 0:
+            raise ValueError("width must be positive")
+        self._buckets: list[list[Entry]] = [[] for _ in range(n_buckets)]
+        self._n_buckets = n_buckets
+        self._width = width
+        self._size = 0
+        #: Virtual bucket index of the scan position: int(now / width).
+        self._cur_v = 0
+        #: Non-empty physical buckets (drives resizing).
+        self._occupied = 0
+
+    # ---------------------------------------------------------- plumbing
+    def push(self, entry: Entry) -> None:
+        vb = int(entry[0] / self._width)
+        bucket = self._buckets[vb % self._n_buckets]
+        if not bucket:
+            self._occupied += 1
+        insort(bucket, entry)
+        self._size += 1
+        if vb < self._cur_v:
+            # Earlier than the scan position (a re-push of a deferred
+            # cohort remainder, or a fuzz push into the past): rewind so
+            # the scan cannot skip it for a whole year.
+            self._cur_v = vb
+        if self._occupied * 4 > self._n_buckets * 3:
+            self._resize(2 * self._n_buckets)
+
+    def _locate_head(self) -> list:
+        """Advance the scan to the bucket holding the minimum entry and
+        return that bucket (its head is the minimum).  Requires a
+        non-empty queue."""
+        n = self._n_buckets
+        width = self._width
+        buckets = self._buckets
+        cur = self._cur_v
+        for _ in range(n):
+            bucket = buckets[cur % n]
+            if bucket and int(bucket[0][0] / width) == cur:
+                self._cur_v = cur
+                return bucket
+            cur += 1
+        # A full year scanned without a hit (sparse far-future jump):
+        # direct search for the global minimum head.
+        best: Optional[Entry] = None
+        best_bucket: Optional[list] = None
+        for bucket in buckets:
+            if bucket and (best is None or bucket[0] < best):
+                best = bucket[0]
+                best_bucket = bucket
+        assert best is not None and best_bucket is not None
+        self._cur_v = int(best[0] / width)
+        return best_bucket
+
+    def pop(self) -> Entry:
+        if not self._size:
+            raise IndexError("pop from an empty CalendarQueue")
+        bucket = self._locate_head()
+        entry = bucket.pop(0)
+        self._size -= 1
+        if not bucket:
+            self._occupied -= 1
+        if (
+            self._occupied * 8 < self._n_buckets
+            and self._n_buckets > self._MIN_BUCKETS
+        ):
+            self._resize(max(self._MIN_BUCKETS, self._n_buckets // 2))
+        return entry
+
+    def pop_cohort(self) -> list:
+        """Slice the whole same-``(time, priority)`` run out in one cut.
+
+        Equal times always map to the same physical bucket, so the run
+        is a contiguous prefix of one sorted bucket: one ``bisect``
+        finds its end and one slice removes it — the batch win the
+        heap's per-entry sift cannot offer.
+        """
+        if not self._size:
+            raise IndexError("pop from an empty CalendarQueue")
+        bucket = self._locate_head()
+        head = bucket[0]
+        # (time, priority, inf) sorts after every (time, priority, seq):
+        # bisect lands exactly past the cohort.
+        end = bisect_right(bucket, (head[0], head[1], _INF))
+        cohort = bucket[:end]
+        del bucket[:end]
+        self._size -= end
+        if not bucket:
+            self._occupied -= 1
+        if (
+            self._occupied * 8 < self._n_buckets
+            and self._n_buckets > self._MIN_BUCKETS
+        ):
+            self._resize(max(self._MIN_BUCKETS, self._n_buckets // 2))
+        return cohort
+
+    def peek(self) -> float:
+        if not self._size:
+            return _INF
+        return self._locate_head()[0][0]
+
+    def peek_key(self) -> Optional[tuple]:
+        if not self._size:
+            return None
+        head = self._locate_head()[0]
+        return (head[0], head[1])
+
+    def cancel(self, entry: Entry) -> bool:
+        bucket = self._buckets[
+            int(entry[0] / self._width) % self._n_buckets
+        ]
+        # All entries sharing the time are contiguous; scan the run for
+        # the matching seq (removal is eager — no tombstones to skip).
+        i = bisect_right(bucket, (entry[0], -1, -1))
+        seq = entry[2]
+        while i < len(bucket) and bucket[i][0] == entry[0]:
+            if bucket[i][2] == seq:
+                del bucket[i]
+                self._size -= 1
+                if not bucket:
+                    self._occupied -= 1
+                return True
+            i += 1
+        return False
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ----------------------------------------------------------- resizing
+    def _resize(self, n_buckets: int) -> None:
+        """Rebuild with ``n_buckets`` buckets and a re-estimated width.
+
+        Deterministic by construction: the new width is a pure function
+        of the live entry times (sampled in sorted order), never of
+        wall-clock or operation timing.
+        """
+        entries: list[Entry] = []
+        for bucket in self._buckets:
+            entries.extend(bucket)
+        entries.sort()
+        self._width = self._estimate_width(entries)
+        self._n_buckets = n_buckets
+        self._buckets = [[] for _ in range(n_buckets)]
+        width = self._width
+        for entry in entries:  # globally sorted -> appends stay sorted
+            self._buckets[int(entry[0] / width) % n_buckets].append(entry)
+        self._occupied = sum(1 for bucket in self._buckets if bucket)
+        if entries:
+            self._cur_v = int(entries[0][0] / width)
+
+    @staticmethod
+    def _estimate_width(entries: list) -> float:
+        """Brown's width heuristic: ~3x the mean gap between adjacent
+        live entries, so a bucket holds ~1-3 events.  Sampling is an
+        evenly-strided slice of the sorted population; duplicate
+        timestamps contribute no gap (the cohort dispatcher absorbs
+        them in one slice, so they should not shrink the width)."""
+        if len(entries) < 2:
+            return 1.0
+        step = max(1, len(entries) // 64)
+        times = [entries[i][0] for i in range(0, len(entries), step)]
+        gaps = [
+            b - a for a, b in zip(times, times[1:]) if b > a
+        ]
+        if not gaps:
+            return 1.0
+        width = 3.0 * (sum(gaps) / len(gaps))
+        # Degenerate spacings (denormal-scale gaps) fall back to unit
+        # width rather than creating astronomically many virtual years.
+        return width if width > 1e-12 else 1.0

@@ -105,6 +105,7 @@ def to_trace_events(telemetry: Telemetry, makespan: float) -> dict:
             "n_ranks": telemetry.n_ranks,
             "spans_recorded": telemetry.total_spans,
             "spans_evicted": telemetry.evicted,
+            **telemetry.meta,
         },
     }
 

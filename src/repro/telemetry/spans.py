@@ -166,6 +166,10 @@ class Telemetry:
         if n_ranks < 1:
             raise ValueError("telemetry needs at least one rank")
         self.n_ranks = n_ranks
+        #: Free-form run metadata (e.g. which engine queue produced the
+        #: spans) — carried into the trace export's ``otherData`` so a
+        #: Perfetto trace is self-describing about its engine config.
+        self.meta: dict[str, str] = {}
         self.logs = [
             SpanLog(rank, max_spans_per_rank) for rank in range(n_ranks)
         ]

@@ -117,8 +117,19 @@ def test_parser_help_lists_subcommands():
     parser = build_parser()
     help_text = parser.format_help()
     for command in ("datasets", "run", "table2", "table5", "fig1",
-                    "topology", "cache", "chaos", "recover"):
+                    "topology", "cache", "chaos", "recover",
+                    "engine-bench"):
         assert command in help_text
+
+
+def test_engine_bench_validate_committed_document(capsys):
+    # The committed BENCH_engine.json must satisfy the schema the CI
+    # engine-bench-smoke job enforces.
+    from pathlib import Path
+
+    doc = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+    assert main(["engine-bench", "--validate", str(doc)]) == 0
+    assert "valid" in capsys.readouterr().out
 
 
 def test_report_quick(capsys):
