@@ -1,0 +1,77 @@
+"""Partitioned-engine benchmark document (``BENCH_pdes.json`` shape).
+
+Regenerates the quick-mode pdes bench document — serial vs partitioned
+on a real evaluation cell, digest equality asserted inside every cell —
+renders it into ``results/``, and round-trips it through the same
+validator CI's pdes-smoke job runs against the committed artifact.
+
+Timing assertions are structural only (positive wall clocks, critical
+path below total busy time); the committed full-size document carries
+the actual speedup claim.
+"""
+
+import json
+
+from conftest import write_artifact
+from repro.harness.pdes import (
+    HEADLINE_CELL,
+    PARTITION_COUNTS,
+    SCHEMA,
+    render_pdes_bench,
+    run_pdes_bench,
+    validate_pdes_bench,
+)
+
+
+def test_pdes_bench_document(benchmark):
+    doc = benchmark.pedantic(
+        run_pdes_bench, kwargs={"quick": True}, rounds=1, iterations=1
+    )
+    assert validate_pdes_bench(doc) >= 1
+    write_artifact("pdes_bench.txt", render_pdes_bench(doc))
+    write_artifact("pdes_bench.json", json.dumps(doc, indent=2))
+
+    assert doc["schema"] == SCHEMA
+    cell = doc["cells"][doc["headline"]]
+    assert cell["serial_s"] > 0
+    for count, run in cell["pooled"].items():
+        assert int(count) in PARTITION_COUNTS
+        # The critical path can never exceed the summed per-partition
+        # work plus coordination: max-per-window <= sum-per-window.
+        assert run["critical_wall_s"] <= run["busy_wall_s"] + 1e-9
+        assert run["windows"] > 0
+        assert run["ipc_s"] > 0
+
+
+def test_full_document_headline_is_largest_cell():
+    # The committed document's speedup claim must rest on the largest
+    # serial cell; quick mode substitutes a smaller one and says so.
+    doc = run_pdes_bench(quick=True)
+    assert doc["quick"] is True
+    assert doc["headline"] in doc["cells"]
+    assert HEADLINE_CELL == "e2e-pagerank-road-usa"
+
+
+def test_validator_rejects_broken_documents():
+    import pytest
+
+    doc = run_pdes_bench(quick=True)
+    good = json.loads(json.dumps(doc))
+    assert validate_pdes_bench(good) == len(good["cells"])
+
+    for mutate in (
+        lambda d: d.update(schema="nope"),
+        lambda d: d.update(headline="missing-cell"),
+        lambda d: d["cells"][d["headline"]].update(serial_s=0),
+        lambda d: d["cells"][d["headline"]].update(digest=""),
+        lambda d: next(
+            iter(d["cells"][d["headline"]]["pooled"].values())
+        ).update(speedup_critical_path=0),
+        lambda d: next(
+            iter(d["cells"][d["headline"]]["pooled"].values())
+        ).update(windows=0),
+    ):
+        broken = json.loads(json.dumps(doc))
+        mutate(broken)
+        with pytest.raises(ValueError):
+            validate_pdes_bench(broken)

@@ -63,12 +63,15 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    from repro.harness import run
+    if args.partitions > 1:
+        result = _run_partitioned_cell(args)
+    else:
+        from repro.harness import run
 
-    result = run(
-        args.framework, args.app, args.dataset, args.machine, args.gpus,
-        seed=args.seed,
-    )
+        result = run(
+            args.framework, args.app, args.dataset, args.machine, args.gpus,
+            seed=args.seed,
+        )
     print(
         f"{result.framework} {result.app} on {result.dataset} "
         f"({args.machine}, {result.n_gpus} GPUs): {result.time_ms:.3f} ms"
@@ -77,6 +80,68 @@ def _cmd_run(args: argparse.Namespace) -> int:
         for key in sorted(result.counters):
             print(f"  {key:<28} {result.counters[key]:.0f}")
     return 0
+
+
+def _run_partitioned_cell(args: argparse.Namespace):
+    """``run --partitions N``: the partitioned engine instead of the
+    serial one (atos-* frameworks only — the partitioned driver mirrors
+    the Atos executor).  Simulated results are digest-identical to the
+    serial path; what changes is host wall-clock."""
+    from repro.graph import bfs_source, load
+    from repro.harness.runner import (
+        PR_EPSILON,
+        get_driver,
+        get_machine,
+        get_partition,
+    )
+    from repro.runtime.partitioned import run_partitioned
+    from repro.sim.partition import WindowStats
+
+    driver = get_driver(args.framework)
+    if not hasattr(driver, "kernel") or not hasattr(driver, "base_config"):
+        raise SystemExit(
+            f"--partitions requires an atos-* framework, got "
+            f"{args.framework!r}"
+        )
+    graph = load(args.dataset)
+    machine = get_machine(args.machine, args.gpus)
+    partition = get_partition(args.dataset, args.gpus, args.seed)
+    stats = WindowStats()
+    result = run_partitioned(
+        args.app,
+        graph,
+        partition,
+        machine,
+        n_partitions=args.partitions,
+        driver=args.pdes_driver,
+        source=bfs_source(args.dataset) if args.app == "bfs" else 0,
+        epsilon=PR_EPSILON,
+        dataset=args.dataset,
+        kernel=driver.kernel,
+        priority=driver.priority,
+        variant_name=driver.name,
+        base_config=driver.base_config,
+        stats=stats,
+    )
+    print(
+        f"partitioned ({args.pdes_driver}, {args.partitions} partitions): "
+        f"{stats.windows} windows, {stats.total_exports} cross-partition "
+        f"messages, {stats.idle_partition_windows} idle partition-windows"
+    )
+    if args.verify_digest:
+        from repro.harness import run
+
+        serial = run(
+            args.framework, args.app, args.dataset, args.machine,
+            args.gpus, seed=args.seed,
+        )
+        if result.digest() != serial.digest():
+            raise SystemExit(
+                f"digest mismatch vs serial: {result.digest()[:16]} != "
+                f"{serial.digest()[:16]}"
+            )
+        print(f"digest matches serial: {result.digest()[:16]}")
+    return result
 
 
 def _cmd_table2(args: argparse.Namespace) -> int:
@@ -316,6 +381,41 @@ def _cmd_engine_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_pdes_bench(args: argparse.Namespace) -> int:
+    from repro.harness.pdes import (
+        render_pdes_bench,
+        run_pdes_bench,
+        validate_pdes_bench,
+        write_bench,
+    )
+
+    if args.validate:
+        import json
+
+        with open(args.validate) as fh:
+            doc = json.load(fh)
+        n_cells = validate_pdes_bench(doc)
+        print(f"{args.validate}: valid ({n_cells} cells)")
+        return 0
+    doc = run_pdes_bench(quick=args.quick, seed=args.seed)
+    print(render_pdes_bench(doc))
+    if args.out:
+        write_bench(doc, args.out)
+        print(f"\nwrote {args.out}")
+    if args.fail_below is not None:
+        headline = doc["cells"][doc["headline"]]
+        largest = max(headline["pooled"], key=int)
+        speedup = headline["pooled"][largest]["speedup_critical_path"]
+        if speedup < args.fail_below:
+            print(
+                f"FAIL: {doc['headline']} P={largest} critical-path "
+                f"speedup {speedup:.2f}x is below "
+                f"--fail-below {args.fail_below:.2f}x"
+            )
+            return 1
+    return 0
+
+
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.harness.chaos import (
         CHAOS_VARIANTS,
@@ -441,6 +541,27 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--gpus", type=int, default=1)
     run_parser.add_argument("--counters", action="store_true",
                             help="print run counters")
+    run_parser.add_argument(
+        "--partitions",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run the simulation partitioned across N event loops "
+        "(digest-identical to serial; atos-* frameworks only)",
+    )
+    run_parser.add_argument(
+        "--pdes-driver",
+        default="pooled",
+        choices=["local", "pooled"],
+        help="partitioned engine driver: in-process round-robin or one "
+        "worker process per partition (default pooled)",
+    )
+    run_parser.add_argument(
+        "--verify-digest",
+        action="store_true",
+        help="with --partitions: also run the serial engine and fail "
+        "unless the result digests are bit-identical",
+    )
     add_seed_flag(run_parser)
     run_parser.set_defaults(func=_cmd_run)
 
@@ -587,6 +708,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_seed_flag(engine_bench)
     engine_bench.set_defaults(func=_cmd_engine_bench)
+
+    pdes_bench = sub.add_parser(
+        "pdes-bench",
+        help="partitioned-engine benchmark: serial vs pooled PDES",
+    )
+    pdes_bench.add_argument("--quick", action="store_true")
+    pdes_bench.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write results as JSON (e.g. BENCH_pdes.json)",
+    )
+    pdes_bench.add_argument(
+        "--fail-below",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="exit 1 if the headline cell's critical-path speedup at "
+        "the largest partition count is below RATIO",
+    )
+    pdes_bench.add_argument(
+        "--validate",
+        default=None,
+        metavar="PATH",
+        help="schema-check an existing BENCH_pdes.json and exit "
+        "(no benchmark run)",
+    )
+    add_seed_flag(pdes_bench)
+    pdes_bench.set_defaults(func=_cmd_pdes_bench)
 
     chaos = sub.add_parser(
         "chaos",

@@ -18,6 +18,11 @@ from repro.harness.engine_bench import (
     run_engine_bench,
     validate_engine_bench,
 )
+from repro.harness.pdes import (
+    render_pdes_bench,
+    run_pdes_bench,
+    validate_pdes_bench,
+)
 from repro.harness.cache import (
     RunCache,
     cache_enabled,
@@ -92,6 +97,9 @@ __all__ = [
     "run_engine_bench",
     "render_engine_bench",
     "validate_engine_bench",
+    "run_pdes_bench",
+    "render_pdes_bench",
+    "validate_pdes_bench",
     "HEADLINE_CELL",
     "ProfileResult",
     "run_profile",

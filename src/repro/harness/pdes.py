@@ -1,0 +1,329 @@
+"""Partitioned-engine benchmark: serial vs pooled PDES
+(``BENCH_pdes.json``).
+
+The partitioned engine (:mod:`repro.runtime.partitioned`) exists for
+one reason: host wall-clock.  Its simulated behavior is bit-identical
+to the serial engine — the partitioned-golden suite pins digest
+equality — so this harness measures what the process pool actually
+buys on real evaluation cells.
+
+Every cell runs one (app, dataset, machine, #GPUs) configuration
+serially and then pooled at each partition count, asserting digest
+equality along the way, and reports two speedups:
+
+* ``speedup_measured`` — serial wall clock over pooled wall clock on
+  *this* host.  Only meaningful when the host grants at least one core
+  per worker.
+* ``speedup_critical_path`` — serial wall clock over the run's
+  **parallel critical path**: Σ over windows of the slowest
+  partition's worker-measured execution time, plus everything the
+  measured run spent outside worker execution (coordination, pickling,
+  pipe transport).  This is what the same run achieves once each
+  worker has its own core: per-window execution times are measured
+  inside the workers (IPC wait excluded), and the conservative-window
+  protocol lets a window proceed only when its slowest partition
+  reports — so max-per-window is exactly the parallel schedule's span,
+  and the overhead term is charged in full rather than amortized.
+
+The committed document's ``headline`` is the largest end-to-end cell;
+``cores_available`` records the host parallelism so a reader can tell
+which speedup column the measurement environment could realize.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any
+
+from repro.harness.bench import _env, write_bench
+
+__all__ = [
+    "run_pdes_bench",
+    "render_pdes_bench",
+    "validate_pdes_bench",
+    "write_bench",
+    "HEADLINE_CELL",
+    "SCHEMA",
+    "PARTITION_COUNTS",
+]
+
+SCHEMA = "repro-bench-pdes/1"
+
+#: The largest end-to-end cell: the one the scaling claim rests on.
+HEADLINE_CELL = "e2e-pagerank-road-usa"
+
+#: Pooled partition counts measured per cell.
+PARTITION_COUNTS = (2, 4)
+
+
+def _cores_available() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-POSIX
+        return os.cpu_count() or 1
+
+
+_ipc_floor_memo: dict[int, float] = {}
+
+
+def _ipc_floor_s(n_partitions: int, rounds: int = 300) -> float:
+    """Measured per-window IPC cost of ``n_partitions`` pipe workers.
+
+    One window's coordination transport: a pickled ``("step", horizon,
+    imports)`` request down each worker's pipe and a pickled
+    :class:`~repro.sim.partition.WindowReport` back.  The workers echo
+    immediately (no simulation), so this isolates exactly the cost the
+    critical-path projection must charge on top of worker execution.
+    """
+    if n_partitions in _ipc_floor_memo:
+        return _ipc_floor_memo[n_partitions]
+    from repro.runtime.partitioned import _mp_context
+    from repro.sim.partition import Export, WindowReport
+
+    ctx = _mp_context()
+
+    def _echo(conn) -> None:
+        report = WindowReport(
+            frontier=1.0, net_tokens=1, last_delta_time=1.0
+        )
+        try:
+            while True:
+                request = conn.recv()
+                if request[0] == "exit":
+                    break
+                conn.send(("ok", report))
+        except EOFError:
+            pass
+        finally:
+            conn.close()
+
+    workers = []
+    for _ in range(n_partitions):
+        parent, child = ctx.Pipe()
+        proc = ctx.Process(target=_echo, args=(child,), daemon=True)
+        proc.start()
+        child.close()
+        workers.append((proc, parent))
+    imports = [
+        Export(
+            arrival_time=1.0, send_time=0.5, src=0, dst=1,
+            payload_bytes=64, payload=None, link_seq=0,
+        )
+    ]
+    try:
+        start = time.perf_counter()
+        for _ in range(rounds):
+            for _, conn in workers:
+                conn.send(("step", 1.0, imports))
+            for _, conn in workers:
+                conn.recv()
+        per_window = (time.perf_counter() - start) / rounds
+    finally:
+        for proc, conn in workers:
+            try:
+                conn.send(("exit",))
+            except (BrokenPipeError, OSError):
+                pass
+            conn.close()
+            proc.join(timeout=10)
+    _ipc_floor_memo[n_partitions] = per_window
+    return per_window
+
+
+def _bench_cell(
+    app: str,
+    dataset: str,
+    machine_name: str,
+    n_gpus: int,
+    counts: tuple[int, ...],
+) -> dict:
+    """One evaluation cell: serial, then local + pooled at each count.
+
+    The run cache is disabled (cache keys do not know about partition
+    counts, and a cache hit would time nothing); graph/partition/
+    reference caches are warmed by a throwaway serial run first so the
+    timed serial run measures simulation, not dataset I/O.
+
+    The critical-path projection is assembled from the *local* driver's
+    per-window measurements — in-process, no scheduler interference, so
+    its worker execution times are clean — plus the pooled transport's
+    measured per-window IPC floor.  The pooled run itself contributes
+    the measured wall clock and a digest check through the full
+    process/pickle path.
+    """
+    from repro.graph import bfs_source, load
+    from repro.harness.runner import PR_EPSILON, get_machine, get_partition
+    from repro.frameworks.atos import AtosDriver
+    from repro.runtime.partitioned import run_partitioned
+    from repro.sim.partition import WindowStats
+
+    graph = load(dataset)
+    machine = get_machine(machine_name, n_gpus)
+    partition = get_partition(dataset, n_gpus)
+    driver = AtosDriver()
+
+    def _serial():
+        if app == "bfs":
+            return driver.run_bfs(
+                graph, partition, bfs_source(dataset), machine,
+                dataset=dataset,
+            )
+        return driver.run_pagerank(
+            graph, partition, machine, epsilon=PR_EPSILON, dataset=dataset,
+        )
+
+    def _partitioned(count: int, engine: str, stats: WindowStats):
+        return run_partitioned(
+            app, graph, partition, machine,
+            n_partitions=count, driver=engine,
+            source=bfs_source(dataset) if app == "bfs" else 0,
+            epsilon=PR_EPSILON, dataset=dataset, stats=stats,
+        )
+
+    with _env(REPRO_CACHE="0"):
+        _serial()  # warm dataset/reference caches
+        start = time.perf_counter()
+        serial = _serial()
+        serial_s = time.perf_counter() - start
+
+        pooled: dict[str, Any] = {}
+        for count in counts:
+            local_stats = WindowStats()
+            start = time.perf_counter()
+            local = _partitioned(count, "local", local_stats)
+            local_s = time.perf_counter() - start
+
+            pooled_stats = WindowStats()
+            start = time.perf_counter()
+            result = _partitioned(count, "pooled", pooled_stats)
+            pooled_s = time.perf_counter() - start
+            for engine, run_result in (("local", local), ("pooled", result)):
+                if run_result.digest() != serial.digest():
+                    raise AssertionError(
+                        f"partitioned divergence on {app}/{dataset} "
+                        f"P={count} ({engine}): "
+                        f"{run_result.digest()[:16]} != "
+                        f"{serial.digest()[:16]}"
+                    )
+            coord_s = max(local_s - local_stats.busy_wall_s, 0.0)
+            ipc_s = local_stats.windows * _ipc_floor_s(count)
+            critical_s = local_stats.critical_wall_s + coord_s + ipc_s
+            pooled[str(count)] = {
+                "pooled_s": pooled_s,
+                "local_s": local_s,
+                "critical_path_s": critical_s,
+                "critical_wall_s": local_stats.critical_wall_s,
+                "busy_wall_s": local_stats.busy_wall_s,
+                "coordinator_s": coord_s,
+                "ipc_s": ipc_s,
+                "speedup_measured": serial_s / pooled_s,
+                "speedup_critical_path": serial_s / critical_s,
+                "windows": local_stats.windows,
+                "exports": local_stats.total_exports,
+                "idle_partition_windows": (
+                    local_stats.idle_partition_windows
+                ),
+            }
+
+    return {
+        "app": app,
+        "dataset": dataset,
+        "machine": machine_name,
+        "n_gpus": n_gpus,
+        "serial_s": serial_s,
+        "time_ms": serial.time_ms,
+        "digest": serial.digest(),
+        "pooled": pooled,
+    }
+
+
+def run_pdes_bench(quick: bool = False, seed: int = 0) -> dict:
+    """Run every cell; returns the ``BENCH_pdes.json`` document."""
+    cells: dict[str, dict] = {
+        "e2e-bfs-road-usa": _bench_cell(
+            "bfs", "road-usa", "summit-ib", 4,
+            PARTITION_COUNTS[:1] if quick else PARTITION_COUNTS,
+        ),
+    }
+    if not quick:
+        cells[HEADLINE_CELL] = _bench_cell(
+            "pagerank", "road-usa", "summit-ib", 4,
+            PARTITION_COUNTS,
+        )
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "seed": seed,
+        "headline": HEADLINE_CELL if not quick else "e2e-bfs-road-usa",
+        "cores_available": _cores_available(),
+        "cells": cells,
+    }
+
+
+def render_pdes_bench(doc: dict) -> str:
+    """Human-readable table of a pdes bench document."""
+    lines = [
+        f"cores available on bench host: {doc.get('cores_available')}",
+        f"{'cell':<36}{'P':>3}{'serial_s':>10}{'pooled_s':>10}"
+        f"{'critpath_s':>11}{'meas':>7}{'ideal':>7}{'windows':>9}",
+    ]
+    for name, cell in doc["cells"].items():
+        marker = "  <- headline" if name == doc.get("headline") else ""
+        for count, run in cell["pooled"].items():
+            lines.append(
+                f"{name:<36}{count:>3}{cell['serial_s']:>10.3f}"
+                f"{run['pooled_s']:>10.3f}{run['critical_path_s']:>11.3f}"
+                f"{run['speedup_measured']:>6.2f}x"
+                f"{run['speedup_critical_path']:>6.2f}x"
+                f"{run['windows']:>9}{marker}"
+            )
+            marker = ""
+    return "\n".join(lines)
+
+
+def validate_pdes_bench(doc: dict) -> int:
+    """Schema-check a pdes bench document; returns the cell count.
+
+    The contract CI's pdes smoke job enforces on the committed
+    ``BENCH_pdes.json``: schema tag, headline present, every cell
+    carrying a serial timing, at least one pooled run with positive
+    timings, window counts, and both speedup columns.  Raises
+    :class:`ValueError` on the first violation.
+    """
+    if doc.get("schema") != SCHEMA:
+        raise ValueError(
+            f"schema must be {SCHEMA!r}, got {doc.get('schema')!r}"
+        )
+    cells = doc.get("cells")
+    if not isinstance(cells, dict) or not cells:
+        raise ValueError("cells must be a non-empty mapping")
+    if doc.get("headline") not in cells:
+        raise ValueError(f"headline {doc.get('headline')!r} not in cells")
+    for name, cell in cells.items():
+        serial_s = cell.get("serial_s")
+        if not isinstance(serial_s, (int, float)) or serial_s <= 0:
+            raise ValueError(f"cell {name!r}: bad serial_s: {serial_s!r}")
+        if not cell.get("digest"):
+            raise ValueError(f"cell {name!r}: missing digest")
+        pooled = cell.get("pooled")
+        if not isinstance(pooled, dict) or not pooled:
+            raise ValueError(f"cell {name!r}: pooled must be non-empty")
+        for count, run in pooled.items():
+            for key in (
+                "pooled_s",
+                "critical_path_s",
+                "speedup_measured",
+                "speedup_critical_path",
+            ):
+                value = run.get(key)
+                if not isinstance(value, (int, float)) or value <= 0:
+                    raise ValueError(
+                        f"cell {name!r} P={count}: bad {key}: {value!r}"
+                    )
+            windows = run.get("windows")
+            if not isinstance(windows, int) or windows <= 0:
+                raise ValueError(
+                    f"cell {name!r} P={count}: bad windows: {windows!r}"
+                )
+    return len(cells)

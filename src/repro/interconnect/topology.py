@@ -87,6 +87,36 @@ class Topology:
     def bandwidth(self, src: int, dst: int) -> float:
         return self.link(src, dst).spec.bandwidth
 
+    # ----------------------------------------------------------- lookahead
+    def partition_lookahead(
+        self,
+        src_ranks,
+        dst_ranks,
+        extra_latency: float = 0.0,
+    ) -> float:
+        """Minimum one-way latency from any rank in ``src_ranks`` to any
+        rank in ``dst_ranks`` (plus ``extra_latency``, e.g. the CPU
+        control-path hop).
+
+        This is the conservative-PDES *lookahead* between two rank
+        partitions: every cross-partition event must traverse a link,
+        and a message sent at time ``t`` cannot arrive before ``t +
+        lookahead`` (serialization only adds to that).  Disjoint
+        partitions with no connecting link have infinite lookahead
+        (they can never affect each other).
+        """
+        best = float("inf")
+        for i in src_ranks:
+            for j in dst_ranks:
+                if i == j:
+                    continue
+                try:
+                    latency = self.latency(i, j)
+                except TopologyError:
+                    continue
+                best = min(best, latency + extra_latency)
+        return best
+
     # ---------------------------------------------------------- summaries
     def bandwidth_matrix(self) -> np.ndarray:
         """n×n matrix of link bandwidths (0 on the diagonal)."""

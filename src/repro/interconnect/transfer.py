@@ -52,16 +52,14 @@ class LinkChannel:
     #: Optional shared sink for (serialization start, end) intervals.
     intervals: Any = None
 
-    def send(
-        self,
-        message: Message,
-        on_arrival: Callable[[Message], None],
-        extra_latency: float = 0.0,
-    ) -> float:
-        """Schedule ``message``; returns its arrival time.
+    def reserve(self, message: Message, extra_latency: float = 0.0) -> float:
+        """Occupy the link for ``message``; returns its arrival time.
 
-        ``extra_latency`` models added control-path cost (e.g. a CPU
-        hop for Groute/Galois-style frameworks).
+        All of :meth:`send`'s source-side bookkeeping (serialization
+        window, wire bytes, busy time) without scheduling the local
+        delivery event — the partitioned engine uses this for messages
+        whose destination rank lives on another partition, where the
+        arrival fires in the *destination's* environment instead.
         """
         now = self.env.now
         start = max(now, self.next_free)
@@ -78,10 +76,23 @@ class LinkChannel:
         self.busy_time += serialization
         if self.intervals is not None:
             self.intervals.append((start, end))
+        return arrival
 
+    def send(
+        self,
+        message: Message,
+        on_arrival: Callable[[Message], None],
+        extra_latency: float = 0.0,
+    ) -> float:
+        """Schedule ``message``; returns its arrival time.
+
+        ``extra_latency`` models added control-path cost (e.g. a CPU
+        hop for Groute/Galois-style frameworks).
+        """
+        arrival = self.reserve(message, extra_latency=extra_latency)
         event = self.env.event()
         event.callbacks.append(lambda _ev: on_arrival(message))
-        event.succeed(message, delay=arrival - now)
+        event.succeed(message, delay=arrival - self.env.now)
         return arrival
 
     def utilization(self, t_end: float | None = None) -> float:
@@ -130,6 +141,15 @@ class NetworkFabric:
         #: (send time, payload bytes) per message — the communication
         #: timeline the smoothness analyses consume.
         self.timeline: list[tuple[float, float]] = []
+        #: Optional partition bridge (:mod:`repro.runtime.partitioned`).
+        #: When set, a send whose destination rank the bridge does not
+        #: own performs all source-side accounting (serialization,
+        #: counters, fault fate, telemetry) and then *exports* the
+        #: message — with its computed arrival time — instead of
+        #: scheduling a local delivery; the window coordinator injects
+        #: it into the owning partition's environment.  ``None`` (the
+        #: default) leaves the send path byte-for-byte the serial code.
+        self.partition_bridge: Any = None
 
     def send(
         self,
@@ -158,7 +178,6 @@ class NetworkFabric:
         channel = self.channels[(src, dst)]
         message = Message(src=src, dst=dst, payload_bytes=payload_bytes,
                           payload=payload)
-        self.in_flight += 1
         self.total_messages += 1
         self.total_bytes += payload_bytes
         self.timeline.append((self.env.now, float(payload_bytes)))
@@ -168,6 +187,14 @@ class NetworkFabric:
             fate = self.fault_injector.fate(src, dst, self.env.now)
             extra_latency += fate.extra_delay
 
+        bridge = self.partition_bridge
+        if bridge is not None and not bridge.owns(dst):
+            return self._send_foreign(
+                channel, message, src, dst, payload_bytes, payload,
+                fate, extra_latency,
+            )
+
+        self.in_flight += 1
         if fate is not None and fate.dropped:
             self.dropped_messages += 1
 
@@ -201,6 +228,56 @@ class NetworkFabric:
                 if self.telemetry is not None:
                     self._record(channel, src, dst, payload_bytes,
                                  queued_at, copy_arrival, dropped=False)
+        return arrival
+
+    def _send_foreign(
+        self,
+        channel: LinkChannel,
+        message: Message,
+        src: int,
+        dst: int,
+        payload_bytes: int,
+        payload: Any,
+        fate: Any,
+        extra_latency: float,
+    ) -> float:
+        """A send whose destination lives on another partition.
+
+        Source-side physics and accounting are identical to the local
+        path — the link serializes, counters and telemetry record, the
+        fault fate applies — but delivery becomes an export handed to
+        the partition bridge (surviving copies only; a dropped copy
+        burned the wire and vanishes, exactly as locally).  In-flight
+        accounting is skipped: the message is in the coordinator's
+        hands between windows, not in this environment's event queue
+        (``in_flight`` only feeds the recovery drain, and crash
+        recovery runs single-partition).
+        """
+        bridge = self.partition_bridge
+        dropped = fate is not None and fate.dropped
+        if dropped:
+            self.dropped_messages += 1
+        queued_at = channel.next_free
+        arrival = channel.reserve(message, extra_latency=extra_latency)
+        if self.telemetry is not None:
+            self._record(channel, src, dst, payload_bytes, queued_at,
+                         arrival, dropped=dropped)
+        if not dropped:
+            bridge.export(message)
+            if fate is not None and fate.duplicates:
+                for _ in range(fate.duplicates):
+                    self.duplicate_messages += 1
+                    copy = Message(src=src, dst=dst,
+                                   payload_bytes=payload_bytes,
+                                   payload=payload)
+                    queued_at = channel.next_free
+                    copy_arrival = channel.reserve(
+                        copy, extra_latency=extra_latency
+                    )
+                    if self.telemetry is not None:
+                        self._record(channel, src, dst, payload_bytes,
+                                     queued_at, copy_arrival, dropped=False)
+                    bridge.export(copy)
         return arrival
 
     def _record(

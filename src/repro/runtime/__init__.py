@@ -12,15 +12,27 @@ from repro.runtime.priority_queue import (
     DistributedPriorityQueues,
     PEPriorityQueues,
 )
+from repro.runtime.partitioned import (
+    LocalPartitionedEngine,
+    PartitionReplica,
+    PooledPartitionedEngine,
+    run_partitioned,
+)
 from repro.runtime.termination import (
     InFlightLedger,
     TrackerSnapshot,
+    WindowedWorkTracker,
     WorkTracker,
 )
 
 __all__ = [
     "InFlightLedger",
     "TrackerSnapshot",
+    "WindowedWorkTracker",
+    "PartitionReplica",
+    "LocalPartitionedEngine",
+    "PooledPartitionedEngine",
+    "run_partitioned",
     "DistributedQueues",
     "PEQueues",
     "DistributedPriorityQueues",

@@ -220,7 +220,7 @@ class AtosExecutor:
         self.env = Environment()
         self.fabric = NetworkFabric(self.env, machine)
         self.heap = SymmetricHeap(machine.n_gpus)
-        self.tracker = WorkTracker(self.env)
+        self.tracker = self._make_tracker()
         self.memory = MemoryModel(machine.gpu, machine.cost)
         self.kernel = KernelModel(config.kernel, machine.cost)
         self.counters = Counters()
@@ -345,8 +345,22 @@ class AtosExecutor:
             {} for _ in range(n)
         ]
         self._work_notify = [self.env.event() for _ in range(n)]
+        #: Starved-wake counts per PE.  Observability only — kept out of
+        #: the digested counters because the partitioned engine's final
+        #: windows legitimately run idle polls past the serial
+        #: termination time (they are side-effect-free otherwise).
+        self.idle_polls = [0] * n
 
     # ------------------------------------------------------------ wiring
+    def _make_tracker(self) -> WorkTracker:
+        """Tracker factory; the partitioned executor substitutes the
+        windowed (per-partition) variant here."""
+        return WorkTracker(self.env)
+
+    def _owned_ranks(self) -> range:
+        """Ranks this executor seeds and runs processes for (all of
+        them, serially; a partition replica overrides with its slice)."""
+        return range(self.machine.n_gpus)
     def _make_queues(self) -> Any:
         """Fresh distributed queues per the configuration.
 
@@ -573,18 +587,26 @@ class AtosExecutor:
         buffers.clear()
 
     # --------------------------------------------------------------- run
-    def run(self) -> tuple[float, Counters]:
-        """Execute to quiescence; returns (makespan in us, counters)."""
+    def prepare(self) -> int:
+        """Seed the owned ranks and start their processes.
+
+        Returns the *global* seed-task count (every replica of a
+        partitioned run computes the same deterministic setup, so each
+        can validate the whole run was seeded) while enqueuing — and
+        registering tracker tokens for — only the owned ranks' seeds.
+        """
         seeds = self.app.setup(self.machine.n_gpus)
         if len(seeds) != self.machine.n_gpus:
             raise ConfigurationError("setup() must return one seed per PE")
-        any_seed = False
+        owned = set(self._owned_ranks())
+        total_seeded = 0
         for pe, (tasks, priorities) in enumerate(seeds):
             if len(tasks):
-                any_seed = True
-                self.tracker.add(len(tasks))
-                self._enqueue_local(pe, tasks, priorities)
-        if not any_seed:
+                total_seeded += len(tasks)
+                if pe in owned:
+                    self.tracker.add(len(tasks))
+                    self._enqueue_local(pe, tasks, priorities)
+        if total_seeded == 0:
             raise ConfigurationError("no seed work on any PE")
 
         if self.recovery is not None:
@@ -594,17 +616,25 @@ class AtosExecutor:
             self.recovery.bootstrap()
             self.env.process(self.recovery.run(), name="recovery")
 
-        for pe in range(self.machine.n_gpus):
+        for pe in self._owned_ranks():
             self.env.process(self._gpu_process(pe), name=f"gpu{pe}")
             if self.aggregators is not None:
                 self.env.process(
                     self._aggregator_process(pe), name=f"agg{pe}"
                 )
+        return total_seeded
 
-        self.env.run(self.tracker.done)
-        makespan = self.env.now + self.kernel.teardown_overhead()
-        for start, end in self.fabric.transfer_intervals:
-            self.intervals.add("comm", start, end)
+    def finish(self, t_done: Optional[float] = None) -> tuple[float, Counters]:
+        """Close out a completed run; returns (makespan, counters).
+
+        ``t_done`` overrides the termination time for partitioned runs
+        (the coordinator's global last-token-delta time); serially it
+        is simply ``env.now`` at the ``done`` event.
+        """
+        end = self.env.now if t_done is None else t_done
+        makespan = end + self.kernel.teardown_overhead()
+        for start, end_ in self.fabric.transfer_intervals:
+            self.intervals.add("comm", start, end_)
         self.counters.merge(self.app.counters())
         stats = self.fabric.stats()
         self.counters["fabric_messages"] += stats["messages"]
@@ -616,6 +646,12 @@ class AtosExecutor:
                 self.telemetry.evicted
             )
         return makespan, self.counters
+
+    def run(self) -> tuple[float, Counters]:
+        """Execute to quiescence; returns (makespan in us, counters)."""
+        self.prepare()
+        self.env.run(self.tracker.done)
+        return self.finish()
 
     def _pop(self, pe: int) -> np.ndarray:
         """Pop one round's tasks, per the kernel strategy.
@@ -692,7 +728,7 @@ class AtosExecutor:
                     telemetry.span(
                         pe, "idle", idle_from, self.env.now, "starved"
                     )
-                self.counters[f"idle_polls_pe{pe}"] += 1
+                self.idle_polls[pe] += 1
                 continue
 
             outcome = self.app.process(pe, tasks)

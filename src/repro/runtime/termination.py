@@ -19,7 +19,12 @@ from dataclasses import dataclass
 from repro.errors import RecoveryError, SimulationError
 from repro.sim.core import Environment, Event
 
-__all__ = ["WorkTracker", "TrackerSnapshot", "InFlightLedger"]
+__all__ = [
+    "WorkTracker",
+    "WindowedWorkTracker",
+    "TrackerSnapshot",
+    "InFlightLedger",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -117,6 +122,57 @@ class WorkTracker:
             or self.total_added != snapshot.total_added
         ):
             raise RecoveryError("tracker restore diverged from snapshot")
+
+
+class WindowedWorkTracker(WorkTracker):
+    """Per-partition work accounting for the partitioned engine.
+
+    One partition of a windowed run sees only its *local* slice of the
+    global token flow: it adds tokens for work it produces and removes
+    tokens for work it completes — including work whose matching add
+    happened on another partition (a raw-fabric delivery retires a
+    token the sender's partition added).  Three consequences:
+
+    * the local balance may legitimately go **negative**, so the
+      underflow check is waived (the window coordinator verifies the
+      *global* sum is non-negative at every window boundary instead);
+    * quiescence is a global property, so ``done`` never fires here —
+      the coordinator detects global zero across all partitions and
+      abandons the environments;
+    * the coordinator needs the simulated time of the *last* token
+      delta on each partition: the global maximum over partitions is
+      exactly the serial engine's termination time (the serial run's
+      zeroing ``remove`` is its globally-latest delta, since no token
+      may move after ``done`` fires).
+    """
+
+    def __init__(self, env: Environment):
+        super().__init__(env)
+        #: Simulated time of this partition's most recent add/remove.
+        self.last_delta_time = 0.0
+
+    @property
+    def net(self) -> int:
+        """Local adds minus local removes (may be negative)."""
+        return self._outstanding
+
+    def add(self, count: int = 1) -> None:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return
+        self._outstanding += count
+        self.total_added += count
+        self._ever_added = True
+        self.last_delta_time = self.env.now
+
+    def remove(self, count: int = 1, source: str = "") -> None:
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if count == 0:
+            return
+        self._outstanding -= count
+        self.last_delta_time = self.env.now
 
 
 class InFlightLedger:

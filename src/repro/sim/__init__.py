@@ -35,6 +35,16 @@ from repro.sim.monitor import (
     TraceRecord,
     UtilizationMeter,
 )
+from repro.sim.partition import (
+    Export,
+    PartitionHost,
+    WindowCoordinator,
+    WindowReport,
+    WindowStats,
+    lookahead_matrix,
+    partition_ranks,
+    safe_horizons,
+)
 from repro.sim.resources import Container, PriorityStore, Resource, Store
 
 __all__ = [
@@ -59,4 +69,12 @@ __all__ = [
     "TraceRecord",
     "IntervalAccumulator",
     "UtilizationMeter",
+    "partition_ranks",
+    "lookahead_matrix",
+    "safe_horizons",
+    "Export",
+    "WindowReport",
+    "PartitionHost",
+    "WindowStats",
+    "WindowCoordinator",
 ]

@@ -330,6 +330,17 @@ class Environment:
     bit-identical event order (the differential suite pins this).
     """
 
+    __slots__ = (
+        "_now",
+        "_equeue",
+        "_push",
+        "engine_queue",
+        "_eid",
+        "_active_process",
+        "trace_hook",
+        "reference_loop",
+    )
+
     def __init__(
         self,
         initial_time: float = 0.0,
@@ -393,6 +404,27 @@ class Environment:
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
         self._push((self._now + delay, priority, next(self._eid), event))
+
+    def schedule_at(
+        self, event: Event, when: float, priority: int = NORMAL
+    ) -> None:
+        """Schedule a *triggered* ``event`` at the absolute time ``when``.
+
+        Entry point for externally-sourced events — the partitioned
+        engine (:mod:`repro.sim.partition`) injects cross-partition
+        arrivals whose timestamps were computed on the sending
+        partition's clock.  ``when`` must not lie in this
+        environment's past; conservative windowing guarantees that for
+        imports (an import's arrival time always exceeds the safe
+        horizon the receiver last executed through).
+        """
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when} before now={self._now}"
+            )
+        if event._value is _PENDING:
+            raise SimulationError("schedule_at requires a triggered event")
+        self._push((when, priority, next(self._eid), event))
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""

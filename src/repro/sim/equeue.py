@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import heapq
 import os
-from bisect import bisect_right, insort
+from bisect import bisect_right
 from typing import Any, Optional
 
 __all__ = [
@@ -213,8 +213,11 @@ class CalendarQueue(EventQueue):
     bucket ``v`` of every other year (``v mod n_buckets``).  Pops scan
     buckets from the current virtual bucket forward, accepting an entry
     only when it belongs to the bucket's current year, so a pop is O(1)
-    when the width matches the event density; pushes ``insort`` into
-    one bucket.  When the population outgrows (or undershoots) the
+    when the width matches the event density; pushes append to one
+    bucket (a push that breaks the bucket's sorted order marks it
+    dirty, and the first read sorts it — Timsort makes the deferred
+    sort nearly free for the mostly-ordered runs pushes produce).
+    When the population outgrows (or undershoots) the
     bucket count, the next operation lazily rebuilds with doubled
     (halved) buckets and a width re-estimated from the live entries —
     the classic adaptive scheme, made deterministic by sampling the
@@ -240,7 +243,8 @@ class CalendarQueue(EventQueue):
     """
 
     __slots__ = (
-        "_buckets", "_n_buckets", "_width", "_size", "_cur_v", "_occupied"
+        "_buckets", "_n_buckets", "_width", "_size", "_cur_v", "_occupied",
+        "_dirty",
     )
 
     name = "calendar"
@@ -262,14 +266,24 @@ class CalendarQueue(EventQueue):
         self._cur_v = 0
         #: Non-empty physical buckets (drives resizing).
         self._occupied = 0
+        #: Buckets whose tail append broke sorted order; sorted lazily
+        #: on first read so pushes stay append-only.
+        self._dirty: list[bool] = [False] * n_buckets
 
     # ---------------------------------------------------------- plumbing
     def push(self, entry: Entry) -> None:
         vb = int(entry[0] / self._width)
-        bucket = self._buckets[vb % self._n_buckets]
-        if not bucket:
+        i = vb % self._n_buckets
+        bucket = self._buckets[i]
+        if bucket:
+            # Appends arriving in order (the common monotone schedule)
+            # keep the bucket sorted for free; only an out-of-order
+            # tail marks the bucket for a sort-on-first-read.
+            if entry < bucket[-1]:
+                self._dirty[i] = True
+        else:
             self._occupied += 1
-        insort(bucket, entry)
+        bucket.append(entry)
         self._size += 1
         if vb < self._cur_v:
             # Earlier than the scan position (a re-push of a deferred
@@ -286,19 +300,30 @@ class CalendarQueue(EventQueue):
         n = self._n_buckets
         width = self._width
         buckets = self._buckets
+        dirty = self._dirty
         cur = self._cur_v
         for _ in range(n):
-            bucket = buckets[cur % n]
-            if bucket and int(bucket[0][0] / width) == cur:
-                self._cur_v = cur
-                return bucket
+            i = cur % n
+            bucket = buckets[i]
+            if bucket:
+                if dirty[i]:
+                    bucket.sort()
+                    dirty[i] = False
+                if int(bucket[0][0] / width) == cur:
+                    self._cur_v = cur
+                    return bucket
             cur += 1
         # A full year scanned without a hit (sparse far-future jump):
         # direct search for the global minimum head.
         best: Optional[Entry] = None
         best_bucket: Optional[list] = None
-        for bucket in buckets:
-            if bucket and (best is None or bucket[0] < best):
+        for i, bucket in enumerate(buckets):
+            if not bucket:
+                continue
+            if dirty[i]:
+                bucket.sort()
+                dirty[i] = False
+            if best is None or bucket[0] < best:
                 best = bucket[0]
                 best_bucket = bucket
         assert best is not None and best_bucket is not None
@@ -359,9 +384,11 @@ class CalendarQueue(EventQueue):
         return (head[0], head[1])
 
     def cancel(self, entry: Entry) -> bool:
-        bucket = self._buckets[
-            int(entry[0] / self._width) % self._n_buckets
-        ]
+        i = int(entry[0] / self._width) % self._n_buckets
+        bucket = self._buckets[i]
+        if self._dirty[i]:
+            bucket.sort()
+            self._dirty[i] = False
         # All entries sharing the time are contiguous; scan the run for
         # the matching seq (removal is eager — no tombstones to skip).
         i = bisect_right(bucket, (entry[0], -1, -1))
@@ -398,6 +425,7 @@ class CalendarQueue(EventQueue):
         for entry in entries:  # globally sorted -> appends stay sorted
             self._buckets[int(entry[0] / width) % n_buckets].append(entry)
         self._occupied = sum(1 for bucket in self._buckets if bucket)
+        self._dirty = [False] * n_buckets
         if entries:
             self._cur_v = int(entries[0][0] / width)
 

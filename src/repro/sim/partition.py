@@ -1,0 +1,423 @@
+"""Conservative time-windowed coordination for a partitioned DES run.
+
+One simulation's ranks are grouped into *partitions*, each owning a
+full :class:`~repro.sim.core.Environment` (and therefore its own
+pluggable event queue).  Partitions advance in lockstep *windows* under
+the classic conservative-PDES (Chandy–Misra–Bryant) contract:
+
+* every cross-partition event must traverse a link with a known
+  minimum latency — the **lookahead** ``L(q → p)`` (derived from
+  :meth:`repro.interconnect.topology.Topology.partition_lookahead`);
+* if partition ``q``'s earliest pending event is at time ``F_q`` (its
+  **frontier**), nothing ``q`` does can affect ``p`` before
+  ``F_q + L(q → p)``;
+* so ``p`` may safely execute every event with
+  ``t <= H_p = min over q != p of (F_q + L(q → p))`` — its **safe
+  horizon** for the window, additionally clamped by the echo bound
+  ``F_p + 2 L_min`` because a message ``p`` sends inside the window
+  can bounce off a neighbor and return (see :func:`safe_horizons`).
+  (Inclusive is safe because serialization time is strictly positive:
+  an import generated inside the window arrives strictly *after* the
+  horizon.)
+
+At each window boundary partitions exchange the cross-partition events
+their window produced (*exports*, carrying arrival times computed on
+the sender's clock) plus their new frontier — the frontier exchange is
+exactly a null-message broadcast, advancing neighbors even when no
+real event crossed.
+
+The module is engine-agnostic: a :class:`PartitionHost` is anything
+that can inject imports, run to a horizon, and report.  The runtime's
+in-process replica and the multiprocessing worker proxy both implement
+it, so the :class:`WindowCoordinator` is *identical code* for the
+local and pooled drivers — local/pooled digest equality holds by
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Protocol, Sequence
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "partition_ranks",
+    "lookahead_matrix",
+    "safe_horizons",
+    "Export",
+    "WindowReport",
+    "PartitionHost",
+    "WindowStats",
+    "WindowCoordinator",
+]
+
+_INF = float("inf")
+
+
+def partition_ranks(n_ranks: int, n_partitions: int) -> list[list[int]]:
+    """Contiguous rank → partition assignment.
+
+    Contiguity matters on hierarchical machines: Summit-node's fast
+    same-socket NVLinks stay *inside* a partition, so the lookahead
+    between partitions is the (larger) cross-socket latency — wider
+    windows, fewer synchronizations.
+    """
+    if n_partitions < 1:
+        raise ValueError("need at least one partition")
+    if n_partitions > n_ranks:
+        raise ValueError(
+            f"cannot split {n_ranks} rank(s) into {n_partitions} partitions"
+        )
+    base, extra = divmod(n_ranks, n_partitions)
+    parts: list[list[int]] = []
+    start = 0
+    for p in range(n_partitions):
+        size = base + (1 if p < extra else 0)
+        parts.append(list(range(start, start + size)))
+        start += size
+    return parts
+
+
+def lookahead_matrix(
+    topology: Any,
+    parts: Sequence[Sequence[int]],
+    extra_latency: float = 0.0,
+) -> dict[tuple[int, int], float]:
+    """``(q, p) -> L(q → p)`` for every ordered partition pair.
+
+    ``extra_latency`` is added to every link (the CPU control-path hop
+    for Groute-like configurations, where even the minimum-latency
+    message pays the host detour).
+    """
+    lookahead: dict[tuple[int, int], float] = {}
+    for q, src_ranks in enumerate(parts):
+        for p, dst_ranks in enumerate(parts):
+            if p == q:
+                continue
+            lookahead[(q, p)] = topology.partition_lookahead(
+                src_ranks, dst_ranks, extra_latency=extra_latency
+            )
+    return lookahead
+
+
+def safe_horizons(
+    frontiers: Sequence[float],
+    lookahead: dict[tuple[int, int], float],
+) -> list[float]:
+    """Per-partition safe horizon from a consistent frontier snapshot.
+
+    Two bounds compose, and both are necessary:
+
+    * the classic neighbor bound ``min over q != p of F_q + L(q -> p)``
+      — nothing a neighbor *already holds* can reach ``p`` earlier;
+    * the **echo bound** ``F_p + 2 L_min`` (``L_min`` the smallest
+      link lookahead) — windowed synchronization routes messages only
+      at boundaries, so a message ``p`` itself sends *inside* the
+      window can bounce off a neighbor and return while ``p`` is still
+      executing.  The earliest such echo leaves no sooner than ``F_p``
+      and traverses at least two links, so it cannot arrive before
+      ``F_p + 2 L_min``; executing past that time would execute ``p``'s
+      own future.  Per-message conservative engines get this for free
+      (channel clocks advance as replies are seen); a windowed engine
+      must bake it into the horizon.  The echo bound also keeps the
+      horizon finite when every neighbor is drained (``F_q = inf``).
+    """
+    n = len(frontiers)
+    l_min = min(lookahead.values()) if lookahead else _INF
+    horizons = []
+    for p in range(n):
+        h = _INF
+        for q in range(n):
+            if q == p:
+                continue
+            h = min(h, frontiers[q] + lookahead.get((q, p), _INF))
+        if n > 1 and frontiers[p] != _INF:
+            h = min(h, frontiers[p] + 2.0 * l_min)
+        horizons.append(h)
+    return horizons
+
+
+@dataclass(frozen=True, slots=True)
+class Export:
+    """One cross-partition message captured at its source.
+
+    Everything the destination needs to replay the arrival: the wire
+    times computed on the sender's clock plus the payload.  ``link_seq``
+    is a per-source-partition monotone counter so same-arrival-time
+    imports inject in a deterministic order (matching the sender-side
+    creation order the serial engine's sequence numbers would impose).
+    """
+
+    arrival_time: float
+    send_time: float
+    src: int
+    dst: int
+    payload_bytes: int
+    payload: Any
+    link_seq: int
+
+
+@dataclass(slots=True)
+class WindowReport:
+    """What one partition reports at a window boundary."""
+
+    #: Time of the partition's earliest pending event (inf if none).
+    frontier: float
+    #: Cumulative local work-token balance (adds − removes; the global
+    #: sum across partitions is the serial tracker's outstanding count).
+    net_tokens: int
+    #: Simulated time of the partition's latest token delta.
+    last_delta_time: float
+    #: Cross-partition messages produced by this window.
+    exports: list[Export] = field(default_factory=list)
+    #: Events dispatched during this window (progress/stats).
+    events: int = 0
+    #: Host-measured wall-clock seconds spent executing this window
+    #: (excludes transport/IPC wait — the coordinator derives the
+    #: parallel critical path from the per-window maxima).
+    wall_s: float = 0.0
+
+
+class PartitionHost(Protocol):
+    """One partition as the coordinator sees it (in-process or proxy)."""
+
+    def start(self) -> int:
+        """Seed and launch; returns the global seed-task count."""
+        ...
+
+    def step_window(
+        self, horizon: float, imports: Sequence[Export]
+    ) -> WindowReport:
+        """Inject ``imports``, execute every event with ``t <=
+        horizon``, and report."""
+        ...
+
+    def finalize(self, t_done: float) -> Any:
+        """Close out after global termination; returns driver-defined
+        final state (counters, results, telemetry)."""
+        ...
+
+    # Hosts that execute windows *concurrently* (the pooled driver's
+    # pipe proxies) may additionally implement the split-phase pair
+    # ``begin_window(horizon, imports)`` / ``end_window() ->
+    # WindowReport``; the coordinator then issues every begin before
+    # gathering any report, so partitions genuinely overlap.  The
+    # reports are identical to the synchronous path by construction —
+    # a window's inputs are fixed at its start — so the two stepping
+    # modes cannot diverge.
+
+
+@dataclass(slots=True)
+class WindowStats:
+    """Aggregate synchronization accounting for one coordinated run."""
+
+    windows: int = 0
+    total_exports: int = 0
+    total_events: int = 0
+    #: Windows in which a given partition dispatched zero events —
+    #: pure synchronization overhead (summed over partitions).
+    idle_partition_windows: int = 0
+    #: Σ over windows of the *slowest* partition's execution time: the
+    #: run's parallel critical path.  With one core per partition, the
+    #: run cannot finish faster than this (plus coordination).
+    critical_wall_s: float = 0.0
+    #: Σ over windows and partitions of execution time: the total
+    #: compute the run performed (the serial engine's equivalent work).
+    busy_wall_s: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "windows": self.windows,
+            "total_exports": self.total_exports,
+            "total_events": self.total_events,
+            "idle_partition_windows": self.idle_partition_windows,
+            "critical_wall_s": self.critical_wall_s,
+            "busy_wall_s": self.busy_wall_s,
+        }
+
+
+class WindowCoordinator:
+    """Runs hosts window-by-window until global quiescence.
+
+    Round-robin and deterministic: every window computes all horizons
+    from one frontier snapshot, steps every host (in partition order —
+    the correctness spine the pooled driver parallelizes without
+    changing observable order), routes exports, and checks the global
+    termination condition: zero net work tokens *and* no export still
+    in the coordinator's hands.
+
+    Safety argument (why imports never land in a receiver's past): an
+    import created during window ``W`` by partition ``q`` was sent at
+    ``t >= F_q(W)`` and arrives at ``t + serialization + latency >
+    F_q(W) + L(q → p) >= H_p(W)``.  The receiver injects it at the
+    start of window ``W+1``, when its clock is exactly ``H_p(W)`` —
+    strictly before the arrival.  Horizons are monotone in the
+    frontiers, and frontiers never retreat, so the windows sweep time
+    forward without revisiting it.
+    """
+
+    #: Safety valve: a conservative window always makes progress (the
+    #: globally-earliest event is below its own partition's horizon),
+    #: so hitting this means lookahead was computed wrong.
+    MAX_WINDOWS = 50_000_000
+
+    def __init__(
+        self,
+        hosts: Sequence[PartitionHost],
+        lookahead: dict[tuple[int, int], float],
+        on_window: Optional[Any] = None,
+    ):
+        if not hosts:
+            raise ValueError("need at least one partition host")
+        self.hosts = list(hosts)
+        self.lookahead = lookahead
+        self.stats = WindowStats()
+        #: Optional callback ``(window_index, horizons, reports)`` fired
+        #: after every window — telemetry taps sync spans here, tests
+        #: pin the no-event-past-horizon property.
+        self.on_window = on_window
+        self.t_done: Optional[float] = None
+        #: Lazily detected: all hosts offer begin/end split stepping.
+        self._split_phase: Optional[bool] = None
+
+    def run(self) -> float:
+        """Drive all hosts to global quiescence; returns the serial
+        termination time (the global last token-delta time)."""
+        hosts = self.hosts
+        n = len(hosts)
+        seeded = [host.start() for host in hosts]
+        if not any(seeded):
+            raise SimulationError("no seed work on any partition")
+
+        # Seeds are enqueued at t=0 on every partition that owns any,
+        # and even seedless partitions schedule their rank processes at
+        # t=0 — the exact initial frontier, no zeroth exchange needed.
+        frontiers = [0.0] * n
+        nets = [0] * n
+        last_delta = [0.0] * n
+        pending: list[list[Export]] = [[] for _ in range(n)]
+
+        while True:
+            if (
+                sum(nets) == 0
+                and not any(pending)
+                and self.stats.windows > 0
+            ):
+                break
+            if sum(nets) < 0:
+                raise SimulationError(
+                    "global work-token balance went negative: some "
+                    "message was retired twice across partitions"
+                )
+            if self.stats.windows >= self.MAX_WINDOWS:
+                raise SimulationError(
+                    f"window count exceeded {self.MAX_WINDOWS}; "
+                    "lookahead is likely zero or mis-derived"
+                )
+            # A partition's effective frontier includes the imports
+            # routed to it at the last boundary but not yet injected —
+            # its true next event may be one of them, and horizons
+            # derived from the bare local frontier would over-advance
+            # its neighbors.
+            eff_frontiers = list(frontiers)
+            for p in range(n):
+                for exp in pending[p]:
+                    if exp.arrival_time < eff_frontiers[p]:
+                        eff_frontiers[p] = exp.arrival_time
+            horizons = safe_horizons(eff_frontiers, self.lookahead)
+            # A partition with no imports whose next event lies beyond
+            # its horizon cannot execute anything this window — its
+            # report is fully predictable, so skip the host call (and,
+            # pooled, the IPC roundtrip) and synthesize it.  This is
+            # what keeps alternating workloads from paying a full
+            # exchange for every idle partition-window.  A *drained*
+            # partition (frontier inf) is skipped even when its horizon
+            # is unbounded: stepping it would advance its clock past
+            # every finite time, poisoning later import injection.
+            step = [
+                bool(pending[p])
+                or not (
+                    self.stats.windows
+                    and (
+                        frontiers[p] > horizons[p]
+                        or frontiers[p] == _INF
+                    )
+                )
+                for p in range(n)
+            ]
+            if self._split_phase is None:
+                self._split_phase = all(
+                    callable(getattr(host, "begin_window", None))
+                    for host in hosts
+                )
+            skipped = WindowReport(
+                frontier=0.0, net_tokens=0, last_delta_time=0.0
+            )
+            if self._split_phase:
+                # Fan out every window before gathering any report —
+                # this is where pooled partitions actually overlap.
+                for p, host in enumerate(hosts):
+                    if step[p]:
+                        imports, pending[p] = pending[p], []
+                        host.begin_window(horizons[p], imports)
+                reports = [
+                    host.end_window() if step[p] else skipped
+                    for p, host in enumerate(hosts)
+                ]
+            else:
+                reports = []
+                for p, host in enumerate(hosts):
+                    if step[p]:
+                        imports, pending[p] = pending[p], []
+                        reports.append(
+                            host.step_window(horizons[p], imports)
+                        )
+                    else:
+                        reports.append(skipped)
+            window_max_wall = 0.0
+            for p, report in enumerate(reports):
+                if report is skipped:
+                    # Nothing executed; frontier/net/last-delta stand.
+                    self.stats.idle_partition_windows += 1
+                    continue
+                frontiers[p] = report.frontier
+                nets[p] = report.net_tokens
+                last_delta[p] = max(last_delta[p], report.last_delta_time)
+                self.stats.total_events += report.events
+                if report.events == 0:
+                    self.stats.idle_partition_windows += 1
+                self.stats.busy_wall_s += report.wall_s
+                if report.wall_s > window_max_wall:
+                    window_max_wall = report.wall_s
+                for exp in report.exports:
+                    self.stats.total_exports += 1
+                    pending[self._owner_of(exp.dst)].append(exp)
+            self.stats.critical_wall_s += window_max_wall
+            self.stats.windows += 1
+            if self.on_window is not None:
+                self.on_window(self.stats.windows - 1, horizons, reports)
+
+        self.t_done = max(last_delta)
+        return self.t_done
+
+    # ------------------------------------------------------------ routing
+    def set_rank_owners(self, parts: Sequence[Sequence[int]]) -> None:
+        """Install the rank → partition map used to route exports."""
+        owners: dict[int, int] = {}
+        for p, ranks in enumerate(parts):
+            for rank in ranks:
+                if rank in owners:
+                    raise ValueError(f"rank {rank} owned twice")
+                owners[rank] = p
+        self._owners = owners
+
+    def _owner_of(self, rank: int) -> int:
+        try:
+            return self._owners[rank]
+        except AttributeError:  # pragma: no cover - wiring error
+            raise SimulationError(
+                "WindowCoordinator.set_rank_owners was never called"
+            ) from None
+        except KeyError:  # pragma: no cover - wiring error
+            raise SimulationError(f"no partition owns rank {rank}") from None

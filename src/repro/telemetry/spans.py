@@ -46,14 +46,20 @@ __all__ = [
     "DEFAULT_MAX_SPANS",
 ]
 
-#: Every legal span category.
-CATEGORIES = ("compute", "comm", "agg_wait", "queue", "idle", "recovery")
+#: Every legal span category.  ``sync`` is the partitioned engine's
+#: conservative-window accounting: one span per (partition, window) on
+#: the partition's lead rank, covering the window's simulated extent —
+#: the profile view then shows synchronization cadence and overhead
+#: next to compute/comm.
+CATEGORIES = (
+    "compute", "comm", "agg_wait", "queue", "idle", "recovery", "sync",
+)
 
 #: Categories that tile a rank's sequential timeline (sum to makespan).
 TIMELINE_CATEGORIES = ("compute", "queue", "idle", "recovery")
 
 #: Categories concurrent with the timeline (reported as overlap).
-OVERLAY_CATEGORIES = ("comm", "agg_wait")
+OVERLAY_CATEGORIES = ("comm", "agg_wait", "sync")
 
 #: Environment variable enabling telemetry for runs that don't set
 #: :attr:`repro.runtime.AtosConfig.telemetry` explicitly (default off).

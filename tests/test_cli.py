@@ -118,7 +118,7 @@ def test_parser_help_lists_subcommands():
     help_text = parser.format_help()
     for command in ("datasets", "run", "table2", "table5", "fig1",
                     "topology", "cache", "chaos", "recover",
-                    "engine-bench"):
+                    "engine-bench", "pdes-bench"):
         assert command in help_text
 
 
@@ -130,6 +130,25 @@ def test_engine_bench_validate_committed_document(capsys):
     doc = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
     assert main(["engine-bench", "--validate", str(doc)]) == 0
     assert "valid" in capsys.readouterr().out
+
+
+def test_pdes_bench_validate_committed_document(capsys):
+    # Same contract for the committed BENCH_pdes.json (pdes-smoke job).
+    from pathlib import Path
+
+    doc = Path(__file__).resolve().parents[1] / "BENCH_pdes.json"
+    assert main(["pdes-bench", "--validate", str(doc)]) == 0
+    assert "valid" in capsys.readouterr().out
+
+
+def test_run_partitions_flags_parse():
+    args = build_parser().parse_args(
+        ["run", "--framework", "atos-standard-persistent", "--app",
+         "bfs", "--dataset", "hollywood-2009", "--partitions", "2",
+         "--pdes-driver", "local"]
+    )
+    assert args.partitions == 2
+    assert args.pdes_driver == "local"
 
 
 def test_report_quick(capsys):
