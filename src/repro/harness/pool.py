@@ -23,8 +23,11 @@ default comes from the ``REPRO_JOBS`` environment variable.
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
 import os
+import signal
+import threading
 import time
 import traceback
 from collections import deque
@@ -37,6 +40,7 @@ __all__ = [
     "RunSpec",
     "CellResult",
     "GridFailure",
+    "GridInterrupted",
     "resolve_jobs",
     "grid_specs",
     "execute_spec",
@@ -107,6 +111,29 @@ class GridFailure(RuntimeError):
         )
 
 
+class GridInterrupted(KeyboardInterrupt):
+    """A grid run stopped by SIGINT/SIGTERM after a graceful drain.
+
+    Subclasses ``KeyboardInterrupt`` so existing Ctrl-C handling (the
+    CLI's, pytest's) still sees an interrupt, but carries what the
+    drain salvaged: every cell that finished before or during the
+    drain, and the specs that never ran.
+    """
+
+    def __init__(
+        self, cells: Sequence[CellResult], unstarted: Sequence[RunSpec]
+    ):
+        self.cells = list(cells)
+        self.unstarted = list(unstarted)
+        KeyboardInterrupt.__init__(self)
+
+    def __str__(self) -> str:  # KeyboardInterrupt's default is ""
+        return (
+            f"grid interrupted: {len(self.cells)} cell(s) salvaged, "
+            f"{len(self.unstarted)} never ran"
+        )
+
+
 def resolve_jobs(jobs: Optional[int]) -> int:
     """Normalize a jobs request: None -> $REPRO_JOBS or 1, 0 -> n_cpus."""
     if jobs is None:
@@ -154,6 +181,11 @@ def execute_spec(spec: RunSpec) -> Any:
 
 def _worker_main(conn, spec: RunSpec, run_fn: Callable[[RunSpec], Any]) -> None:
     """Worker entry point: run one cell, ship (status, payload, wall)."""
+    # Forked while the parent deferred interrupts: the inherited latch
+    # handler would swallow ``terminate()``, so restore the defaults.
+    with contextlib.suppress(ValueError, OSError):
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.signal(signal.SIGINT, signal.default_int_handler)
     start = time.perf_counter()
     try:
         result = run_fn(spec)
@@ -181,6 +213,85 @@ def _mp_context():
     return multiprocessing.get_context(
         "fork" if "fork" in methods else "spawn"
     )
+
+
+class _sigterm_as_interrupt:
+    """Route SIGTERM through ``KeyboardInterrupt`` for the grid's scope.
+
+    ``kill <pid>`` on a grid run should drain exactly like Ctrl-C does.
+    Only possible from the main thread (signal handlers are a
+    main-thread affair); elsewhere this is a no-op and SIGTERM keeps
+    its default fatal behaviour.
+    """
+
+    def __enter__(self):
+        self._previous = None
+        if threading.current_thread() is threading.main_thread():
+            try:
+                self._previous = signal.signal(
+                    signal.SIGTERM, self._raise_interrupt
+                )
+            except (ValueError, OSError):  # pragma: no cover - exotic host
+                self._previous = None
+        return self
+
+    def __exit__(self, *exc):
+        if self._previous is not None:
+            try:
+                signal.signal(signal.SIGTERM, self._previous)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+        return False
+
+    @staticmethod
+    def _raise_interrupt(signum, frame):
+        raise KeyboardInterrupt
+
+
+@contextlib.contextmanager
+def _deferred_interrupts():
+    """Hold SIGINT/SIGTERM across a supervisor bookkeeping section.
+
+    The supervisor's state transitions (registering a freshly forked
+    worker, recording a received result) must be atomic with respect
+    to the interrupt that triggers a drain: a ``KeyboardInterrupt``
+    landing between ``process.start()`` and the ``live`` registration
+    would leak the worker and lose its cell from both the salvage and
+    the unstarted report.
+
+    A thread signal mask is *not* enough here: a process-directed
+    signal is delivered on any thread with it unmasked, and CPython
+    then runs the Python-level handler on the main thread's next
+    bytecode regardless of the main thread's own mask.  So defer at
+    the handler level instead — swap in a latch that records the
+    signal, and re-raise ``KeyboardInterrupt`` once the section's
+    mutations are complete.  ``signal.signal`` is main-thread-only;
+    elsewhere this is a no-op (matching ``_sigterm_as_interrupt``).
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    latched: list[int] = []
+
+    def latch(signum, frame):
+        latched.append(signum)
+
+    previous = {}
+    try:
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            previous[sig] = signal.signal(sig, latch)
+    except (ValueError, OSError):  # pragma: no cover - exotic host
+        for sig, old in previous.items():
+            signal.signal(sig, old)
+        yield
+        return
+    try:
+        yield
+    finally:
+        for sig, old in previous.items():
+            signal.signal(sig, old)
+        if latched:
+            raise KeyboardInterrupt
 
 
 def _run_serial(
@@ -216,6 +327,7 @@ def run_grid(
     jobs: Optional[int] = None,
     timeout_s: Optional[float] = None,
     run_fn: Callable[[RunSpec], Any] = execute_spec,
+    drain_grace_s: float = 30.0,
 ) -> list[CellResult]:
     """Run every spec, ``jobs`` at a time; results are in spec order.
 
@@ -224,6 +336,12 @@ def run_grid(
     cannot be pre-empted without a subprocess).  With ``jobs > 1`` each
     cell gets its own process, a ``timeout_s`` deadline, and crash
     isolation: one failed cell never stops the rest of the grid.
+
+    SIGINT/SIGTERM trigger a **graceful drain** instead of orphaning
+    workers: no new cells launch, in-flight cells get up to
+    ``drain_grace_s`` to finish (their results are kept), survivors
+    are killed and reaped, and :class:`GridInterrupted` is raised
+    carrying the salvage.  A second interrupt skips the grace.
     """
     specs = list(specs)
     jobs = resolve_jobs(jobs)
@@ -244,8 +362,11 @@ def run_grid(
             worker.process.kill()
             worker.process.join(timeout=5.0)
 
-    try:
-        while pending or live:
+    def launch_ready() -> None:
+        # Interrupts held: a drain triggered mid-launch must see the
+        # worker either still in ``pending`` or fully registered in
+        # ``live`` — never forked-but-untracked.
+        with _deferred_interrupts():
             while pending and len(live) < jobs:
                 index, spec = pending.popleft()
                 parent_conn, child_conn = ctx.Pipe(duplex=False)
@@ -268,73 +389,106 @@ def run_grid(
                     deadline=(now + timeout_s) if timeout_s else None,
                 )
 
-            ready = _wait_connections(
-                [w.conn for w in live.values()], timeout=_REAP_POLL_S
-            )
-            ready_set = set(ready)
-            now = time.monotonic()
-            for worker in list(live.values()):
-                spec = specs[worker.index]
-                wall = now - worker.started
-                if worker.conn in ready_set:
-                    try:
-                        status, payload, worker_wall = worker.conn.recv()
-                    except (EOFError, OSError):
-                        # Pipe closed without a message: the worker died
-                        # mid-run (e.g. SIGKILL / segfault).
-                        finish(
-                            worker,
-                            CellResult(
-                                spec,
-                                "crashed",
-                                error="worker died without reporting "
-                                "a result",
-                                wall_clock_s=wall,
-                            ),
-                        )
-                        continue
-                    if status == "ok":
-                        finish(
-                            worker,
-                            CellResult(
-                                spec,
-                                "ok",
-                                result=payload,
-                                wall_clock_s=worker_wall,
-                            ),
-                        )
-                    else:
-                        finish(
-                            worker,
-                            CellResult(
-                                spec,
-                                "error",
-                                error=payload,
-                                wall_clock_s=worker_wall,
-                            ),
-                        )
-                elif worker.deadline is not None and now > worker.deadline:
-                    worker.process.terminate()
-                    worker.process.join(timeout=1.0)
-                    if worker.process.is_alive():  # pragma: no cover
-                        worker.process.kill()
+    def reap_once() -> None:
+        # The poll is the designated interruption point: an interrupt
+        # raised here finds every worker either live or finished.
+        ready = _wait_connections(
+            [w.conn for w in live.values()], timeout=_REAP_POLL_S
+        )
+        with _deferred_interrupts():
+            _reap_ready(set(ready))
+
+    def _reap_ready(ready_set: set) -> None:
+        now = time.monotonic()
+        for worker in list(live.values()):
+            spec = specs[worker.index]
+            wall = now - worker.started
+            if worker.conn in ready_set:
+                try:
+                    status, payload, worker_wall = worker.conn.recv()
+                except (EOFError, OSError):
+                    # Pipe closed without a message: the worker died
+                    # mid-run (e.g. SIGKILL / segfault).
                     finish(
                         worker,
                         CellResult(
                             spec,
-                            "timeout",
-                            error=f"exceeded {timeout_s:.3g}s deadline",
+                            "crashed",
+                            error="worker died without reporting "
+                            "a result",
                             wall_clock_s=wall,
                         ),
                     )
-    finally:
-        # Belt and braces: never leak workers on an unexpected exit.
-        for worker in list(live.values()):
-            worker.process.kill()
-            worker.process.join(timeout=5.0)
-            worker.conn.close()
+                    continue
+                if status == "ok":
+                    finish(
+                        worker,
+                        CellResult(
+                            spec,
+                            "ok",
+                            result=payload,
+                            wall_clock_s=worker_wall,
+                        ),
+                    )
+                else:
+                    finish(
+                        worker,
+                        CellResult(
+                            spec,
+                            "error",
+                            error=payload,
+                            wall_clock_s=worker_wall,
+                        ),
+                    )
+            elif worker.deadline is not None and now > worker.deadline:
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+                if worker.process.is_alive():  # pragma: no cover
+                    worker.process.kill()
+                finish(
+                    worker,
+                    CellResult(
+                        spec,
+                        "timeout",
+                        error=f"exceeded {timeout_s:.3g}s deadline",
+                        wall_clock_s=wall,
+                    ),
+                )
 
-    return [cell for cell in results if cell is not None]
+    unstarted: list[RunSpec] = []
+    interrupted = False
+    with _sigterm_as_interrupt():
+        try:
+            while pending or live:
+                launch_ready()
+                reap_once()
+        except KeyboardInterrupt:
+            # Graceful drain: stop launching, give in-flight cells a
+            # grace window, keep whatever they report.
+            interrupted = True
+            unstarted = [spec for _, spec in pending]
+            pending.clear()
+            deadline = time.monotonic() + drain_grace_s
+            try:
+                while live and time.monotonic() < deadline:
+                    reap_once()
+            except KeyboardInterrupt:
+                pass  # second interrupt: drop the grace, kill now
+        finally:
+            # Belt and braces: never leak workers on any exit path —
+            # under an interrupt this reaps the drain's survivors.
+            with _deferred_interrupts():
+                for worker in list(live.values()):
+                    unstarted.append(specs[worker.index])
+                    live.pop(worker.index, None)
+                    worker.process.kill()
+                    worker.process.join(timeout=5.0)
+                    worker.conn.close()
+
+    done = [cell for cell in results if cell is not None]
+    if interrupted:
+        raise GridInterrupted(done, unstarted)
+    return done
 
 
 def run_cells(

@@ -9,9 +9,11 @@ from repro.metrics.analysis import (
 from repro.metrics.counters import (
     FAULT_COUNTERS,
     RECOVERY_COUNTERS,
+    SERVICE_COUNTERS,
     Counters,
     RunResult,
     fault_summary,
+    service_summary,
 )
 
 __all__ = [
@@ -19,7 +21,9 @@ __all__ = [
     "RunResult",
     "FAULT_COUNTERS",
     "RECOVERY_COUNTERS",
+    "SERVICE_COUNTERS",
     "fault_summary",
+    "service_summary",
     "burstiness",
     "byte_histogram",
     "peak_to_mean",

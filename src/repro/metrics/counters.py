@@ -14,7 +14,9 @@ __all__ = [
     "RunResult",
     "FAULT_COUNTERS",
     "RECOVERY_COUNTERS",
+    "SERVICE_COUNTERS",
     "fault_summary",
+    "service_summary",
 ]
 
 #: The canonical fault/resilience counter family.  Injectors write the
@@ -49,6 +51,35 @@ RECOVERY_COUNTERS = (
     "recovery_tokens_reclaimed",
     "recovery_replay_messages",
 )
+
+
+#: The serving-layer counter family (:mod:`repro.serve`): what the
+#: ``repro serve`` front door did with the traffic it saw.  Requests
+#: are HTTP submits; cells are the run-grid units they expand to.
+#: ``service_deduped`` counts cells coalesced onto an identical
+#: in-flight execution (single-flight on the run-cache key);
+#: ``service_cache_hits`` counts cells answered by the persistent run
+#: cache inside a worker.
+SERVICE_COUNTERS = (
+    "service_requests",
+    "service_rejected",
+    "service_cells",
+    "service_deduped",
+    "service_cache_hits",
+    "service_completed",
+    "service_failed",
+    "service_cancelled",
+    "service_trace_exports",
+)
+
+
+def service_summary(counters: "Counters") -> dict[str, float]:
+    """The serving-layer counters present in a counter bag."""
+    return {
+        name: float(counters[name])
+        for name in SERVICE_COUNTERS
+        if name in counters
+    }
 
 
 def fault_summary(counters: "Counters") -> dict[str, float]:

@@ -1,0 +1,132 @@
+"""Stdlib HTTP client for the serving layer.
+
+Backs ``python -m repro submit/status/watch`` and the e2e tests.
+``http.client`` (not urllib) so the chunked NDJSON stream can be
+consumed line-by-line as events arrive.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from http.client import HTTPConnection
+from typing import Any, Iterator, Optional
+
+__all__ = [
+    "ServeError",
+    "ServeClient",
+]
+
+
+class ServeError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, payload: Any):
+        self.status = status
+        self.payload = payload
+        detail = payload.get("error") if isinstance(payload, dict) else payload
+        super().__init__(f"HTTP {status}: {detail}")
+
+    @property
+    def retry_after_s(self) -> Optional[int]:
+        """The server's 429 back-off hint, if it gave one."""
+        if isinstance(self.payload, dict):
+            value = self.payload.get("retry_after_s")
+            return int(value) if value is not None else None
+        return None
+
+
+class ServeClient:
+    """One service endpoint; each call uses a fresh connection."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8787,
+                 timeout_s: float = 60.0):
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+
+    # -- plumbing ---------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> Any:
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout_s)
+        try:
+            payload = None if body is None else json.dumps(body)
+            headers = {"Content-Type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            doc = json.loads(raw) if raw else {}
+            if response.status >= 400:
+                raise ServeError(response.status, doc)
+            return doc
+        finally:
+            conn.close()
+
+    # -- endpoints --------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def submit(self, body: dict) -> dict:
+        """POST a submit body; raises :class:`ServeError` on 429/503."""
+        return self._request("POST", "/submit", body)
+
+    def submit_with_retry(
+        self, body: dict, attempts: int = 5
+    ) -> dict:
+        """Submit, honouring 429 Retry-After up to ``attempts`` times."""
+        for attempt in range(attempts):
+            try:
+                return self.submit(body)
+            except ServeError as exc:
+                if exc.status != 429 or attempt == attempts - 1:
+                    raise
+                time.sleep(min(exc.retry_after_s or 1, 10))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def trace(self, job_id: str, cell: int = 0) -> dict:
+        return self._request("GET", f"/jobs/{job_id}/trace?cell={cell}")
+
+    def drain(self) -> dict:
+        return self._request("POST", "/drain")
+
+    def watch(self, job_id: str) -> Iterator[dict]:
+        """Yield the job's NDJSON events as the service streams them.
+
+        The stream replays history first, so watching a finished job
+        yields every event and returns; the final event has
+        ``"event": "done"``.
+        """
+        conn = HTTPConnection(self.host, self.port, timeout=self.timeout_s)
+        try:
+            conn.request("GET", f"/jobs/{job_id}/stream")
+            response = conn.getresponse()
+            if response.status >= 400:
+                raw = response.read()
+                raise ServeError(
+                    response.status, json.loads(raw) if raw else {}
+                )
+            # http.client decodes the chunked framing; readline gives
+            # us back the NDJSON lines the server wrote.
+            while True:
+                line = response.readline()
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+        finally:
+            conn.close()
+
+    def wait(self, job_id: str) -> dict:
+        """Block until the job finishes; return its final status."""
+        for event in self.watch(job_id):
+            if event.get("event") == "done":
+                break
+        return self.status(job_id)

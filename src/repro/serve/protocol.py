@@ -1,0 +1,118 @@
+"""Wire protocol for the serving layer: priorities and the JSON codec.
+
+Everything the HTTP service and the CLI client exchange is plain JSON
+built from these helpers, and the priority-class table here is the one
+the scheduler, the stats histograms, and the DES service model all
+share — one source of truth for the queueing discipline.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.harness.pool import RunSpec
+
+__all__ = [
+    "DEFAULT_PRIORITY",
+    "PRIORITY_CLASSES",
+    "expand_sweep",
+    "spec_from_json",
+    "spec_to_json",
+    "validate_priority",
+]
+
+#: Priority classes and their scheduling weights.  Weighted (not
+#: strict) priority: an overloaded service still serves ``bulk`` at
+#: ~1/12 of the pop rate instead of starving it — the starvation bound
+#: the queueing validator checks.
+PRIORITY_CLASSES: dict[str, int] = {
+    "interactive": 8,
+    "batch": 3,
+    "bulk": 1,
+}
+
+#: Priority assumed when a submit request names none.
+DEFAULT_PRIORITY = "batch"
+
+
+def validate_priority(priority: str) -> str:
+    if priority not in PRIORITY_CLASSES:
+        raise ValueError(
+            f"unknown priority {priority!r}; known: "
+            f"{sorted(PRIORITY_CLASSES)}"
+        )
+    return priority
+
+
+def spec_to_json(spec: RunSpec) -> dict[str, Any]:
+    """A :class:`RunSpec` as a JSON-safe dict (the submit body shape)."""
+    return {
+        "framework": spec.framework,
+        "app": spec.app,
+        "dataset": spec.dataset,
+        "machine": spec.machine,
+        "n_gpus": spec.n_gpus,
+        "validate": spec.validate,
+        "seed": spec.seed,
+    }
+
+
+def spec_from_json(doc: dict[str, Any]) -> RunSpec:
+    """Parse one run-spec dict; raises ``ValueError`` on a bad shape."""
+    if not isinstance(doc, dict):
+        raise ValueError(f"spec must be an object, got {type(doc).__name__}")
+    try:
+        framework = str(doc["framework"])
+        app = str(doc["app"])
+        dataset = str(doc["dataset"])
+    except KeyError as missing:
+        raise ValueError(f"spec missing required field {missing}") from None
+    return RunSpec(
+        framework=framework,
+        app=app,
+        dataset=dataset,
+        machine=str(doc.get("machine", "daisy")),
+        n_gpus=int(doc.get("n_gpus", 1)),
+        validate=bool(doc.get("validate", True)),
+        seed=int(doc.get("seed", 0)),
+    )
+
+
+def expand_sweep(doc: dict[str, Any]) -> list[RunSpec]:
+    """Expand a submit body into its cells.
+
+    The body carries either ``"spec": {...}`` (one cell) or
+    ``"specs": [{...}, ...]`` (an explicit sweep).  Sweep fields may
+    also be lists in a single spec (``"dataset": ["a", "b"]``,
+    ``"n_gpus": [1, 4]``), which cross-product into cells in
+    deterministic order — the same order a serial grid loop would use.
+    """
+    if "specs" in doc:
+        raw: Iterable[Any] = doc["specs"]
+        if not isinstance(raw, list) or not raw:
+            raise ValueError('"specs" must be a non-empty list')
+        specs: list[RunSpec] = []
+        for entry in raw:
+            specs.extend(_expand_one(entry))
+        return specs
+    if "spec" in doc:
+        return _expand_one(doc["spec"])
+    raise ValueError('submit body needs a "spec" or "specs" field')
+
+
+def _expand_one(entry: dict[str, Any]) -> list[RunSpec]:
+    """One spec dict -> cells, cross-producting any list-valued field."""
+    if not isinstance(entry, dict):
+        raise ValueError("each spec must be an object")
+    datasets = entry.get("dataset", None)
+    gpus = entry.get("n_gpus", 1)
+    datasets = datasets if isinstance(datasets, list) else [datasets]
+    gpus = gpus if isinstance(gpus, list) else [gpus]
+    out = []
+    for dataset in datasets:
+        for n in gpus:
+            cell = dict(entry)
+            cell["dataset"] = dataset
+            cell["n_gpus"] = n
+            out.append(spec_from_json(cell))
+    return out

@@ -1,0 +1,274 @@
+"""Service observability: counters, latency histograms, arrival log.
+
+Every admitted cell leaves three footprints here:
+
+* the ``service_*`` counters (:data:`repro.metrics.SERVICE_COUNTERS`),
+* per-priority **queue-wait** and **service-time** histograms, and
+* one row in the **arrival log** — ``(t_arrive, priority, service_s,
+  t_start, t_done, status)`` relative to service start.
+
+The arrival log is the bridge to self-validation: it is exactly the
+input :class:`repro.serve.model.ServiceModel` replays, so a drained
+service's stats file can be checked against the DES model's prediction
+of the same traffic (``python -m repro serve-validate --log``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.metrics.counters import Counters, service_summary
+from repro.serve.protocol import PRIORITY_CLASSES
+
+__all__ = ["Histogram", "ServiceStats", "STATS_SCHEMA"]
+
+#: Schema tag for persisted stats documents.
+STATS_SCHEMA = "repro-service-stats/1"
+
+#: Default histogram bucket upper bounds in seconds (1-2-5 decades:
+#: 1 ms .. 1000 s, then overflow).  Wide enough for cache hits (~ms)
+#: and cold sweeps (~minutes) alike.
+_DEFAULT_BOUNDS = tuple(
+    m * scale for scale in (1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0)
+    for m in (1.0, 2.0, 5.0)
+) + (1000.0,)
+
+
+class Histogram:
+    """Fixed-bucket latency histogram with exact count/sum/min/max."""
+
+    def __init__(self, bounds: tuple[float, ...] = _DEFAULT_BOUNDS):
+        self.bounds = tuple(bounds)
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError("histogram bounds must be ascending")
+        self.counts = [0] * (len(self.bounds) + 1)  # +1 = overflow
+        self.n = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def add(self, value: float) -> None:
+        value = max(0.0, float(value))
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.n += 1
+        self.total += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.n if self.n else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper-bound estimate of the ``q``-quantile from the buckets."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.n == 0:
+            return 0.0
+        rank = q * self.n
+        seen = 0
+        for i, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank and count:
+                return self.bounds[i] if i < len(self.bounds) else self.max
+        return self.max
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "bounds": list(self.bounds),
+            "counts": list(self.counts),
+            "n": self.n,
+            "total": self.total,
+            "min": self.min if self.n else None,
+            "max": self.max if self.n else None,
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict[str, Any]) -> "Histogram":
+        hist = cls(tuple(doc["bounds"]))
+        hist.counts = [int(c) for c in doc["counts"]]
+        hist.n = int(doc["n"])
+        hist.total = float(doc["total"])
+        hist.min = float(doc["min"]) if doc.get("min") is not None else float("inf")
+        hist.max = float(doc["max"]) if doc.get("max") is not None else float("-inf")
+        return hist
+
+
+@dataclass
+class ArrivalRecord:
+    """One cell's life through the service, in seconds since start."""
+
+    t_arrive: float
+    priority: str
+    status: str  # completed | failed | rejected | cancelled
+    service_s: float = 0.0
+    t_start: Optional[float] = None
+    t_done: Optional[float] = None
+    key: str = ""
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "t": round(self.t_arrive, 6),
+            "priority": self.priority,
+            "status": self.status,
+            "service_s": round(self.service_s, 6),
+            "t_start": None if self.t_start is None else round(self.t_start, 6),
+            "t_done": None if self.t_done is None else round(self.t_done, 6),
+            "key": self.key,
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict[str, Any]) -> "ArrivalRecord":
+        return cls(
+            t_arrive=float(doc["t"]),
+            priority=str(doc["priority"]),
+            status=str(doc["status"]),
+            service_s=float(doc.get("service_s", 0.0)),
+            t_start=(
+                None if doc.get("t_start") is None else float(doc["t_start"])
+            ),
+            t_done=(
+                None if doc.get("t_done") is None else float(doc["t_done"])
+            ),
+            key=str(doc.get("key", "")),
+        )
+
+
+@dataclass
+class ServiceStats:
+    """The live service's measurement hub (single-threaded: one loop)."""
+
+    counters: Counters = field(default_factory=Counters)
+    queue_wait: dict[str, Histogram] = field(
+        default_factory=lambda: {p: Histogram() for p in PRIORITY_CLASSES}
+    )
+    service_time: dict[str, Histogram] = field(
+        default_factory=lambda: {p: Histogram() for p in PRIORITY_CLASSES}
+    )
+    arrivals: list[ArrivalRecord] = field(default_factory=list)
+    started_monotonic: float = field(default_factory=time.monotonic)
+    config: dict[str, Any] = field(default_factory=dict)
+
+    # -- recording --------------------------------------------------------
+    def now(self) -> float:
+        """Seconds since service start (the arrival-log clock)."""
+        return time.monotonic() - self.started_monotonic
+
+    def record_rejected(self, priority: str, n: int = 1) -> None:
+        self.counters["service_rejected"] += n
+        for _ in range(n):
+            self.arrivals.append(
+                ArrivalRecord(self.now(), priority, "rejected")
+            )
+
+    def record_cell(self, record: ArrivalRecord) -> None:
+        """Account one finished (or failed/cancelled) cell."""
+        self.arrivals.append(record)
+        if record.status == "completed":
+            self.counters["service_completed"] += 1
+        elif record.status == "failed":
+            self.counters["service_failed"] += 1
+        else:
+            self.counters["service_cancelled"] += 1
+        if record.t_start is not None:
+            self.queue_wait[record.priority].add(
+                record.t_start - record.t_arrive
+            )
+        if record.t_done is not None and record.t_start is not None:
+            self.service_time[record.priority].add(
+                record.t_done - record.t_start
+            )
+
+    def mean_service_s(self) -> float:
+        """Aggregate mean service time (the Retry-After estimator)."""
+        n = sum(h.n for h in self.service_time.values())
+        total = sum(h.total for h in self.service_time.values())
+        return total / n if n else 0.05
+
+    # -- persistence ------------------------------------------------------
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "schema": STATS_SCHEMA,
+            "config": self.config,
+            "counters": {k: float(v) for k, v in sorted(self.counters.items())},
+            "queue_wait": {p: h.to_json() for p, h in self.queue_wait.items()},
+            "service_time": {
+                p: h.to_json() for p, h in self.service_time.items()
+            },
+            "arrivals": [r.to_json() for r in self.arrivals],
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict[str, Any]) -> "ServiceStats":
+        if doc.get("schema") != STATS_SCHEMA:
+            raise ValueError(
+                f"not a service stats document (schema={doc.get('schema')!r})"
+            )
+        stats = cls(config=dict(doc.get("config", {})))
+        stats.counters = Counters(
+            {k: float(v) for k, v in doc.get("counters", {}).items()}
+        )
+        stats.queue_wait = {
+            p: Histogram.from_json(h)
+            for p, h in doc.get("queue_wait", {}).items()
+        }
+        stats.service_time = {
+            p: Histogram.from_json(h)
+            for p, h in doc.get("service_time", {}).items()
+        }
+        stats.arrivals = [
+            ArrivalRecord.from_json(r) for r in doc.get("arrivals", [])
+        ]
+        return stats
+
+    def write(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_json(), handle, indent=1)
+            handle.write("\n")
+
+    @classmethod
+    def read(cls, path: str) -> "ServiceStats":
+        with open(path) as handle:
+            return cls.from_json(json.load(handle))
+
+    # -- rendering --------------------------------------------------------
+    def render(self) -> str:
+        """The ``python -m repro report --service`` block."""
+        lines = ["service counters:"]
+        summary = service_summary(self.counters)
+        if summary:
+            width = max(len(k) for k in summary)
+            lines += [
+                f"  {key:<{width}}  {value:.0f}"
+                for key, value in summary.items()
+            ]
+        else:
+            lines.append("  (none)")
+        lines.append("")
+        header = (
+            f"{'priority':<12}{'n':>7}{'wait mean':>11}{'wait p90':>10}"
+            f"{'svc mean':>10}{'svc p90':>9}"
+        )
+        lines.append("per-priority latency (seconds):")
+        lines.append(header)
+        for priority in sorted(
+            self.queue_wait, key=lambda p: -PRIORITY_CLASSES.get(p, 0)
+        ):
+            wait = self.queue_wait[priority]
+            svc = self.service_time.get(priority) or Histogram()
+            lines.append(
+                f"{priority:<12}{wait.n:>7}{wait.mean:>11.4f}"
+                f"{wait.quantile(0.9):>10.4f}{svc.mean:>10.4f}"
+                f"{svc.quantile(0.9):>9.4f}"
+            )
+        lines.append("")
+        lines.append(f"arrival log: {len(self.arrivals)} records")
+        return "\n".join(lines)
