@@ -13,6 +13,7 @@ subcommands::
     python -m repro bench --quick               # data-path perf cells
     python -m repro engine-bench --quick        # event-engine queue cells
     python -m repro chaos --verify-inert        # fault-injection grid
+    python -m repro pdes-chaos --quick          # worker-kill grid (PDES)
     python -m repro profile --export trace.json # span tracing / crit path
     python -m repro serve --workers 4           # simulation-as-a-service
     python -m repro submit --framework ... --app bfs --dataset road-usa
@@ -510,6 +511,50 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_pdes_chaos(args: argparse.Namespace) -> int:
+    from repro.harness.chaos import (
+        DEFAULT_KILL_WINDOWS,
+        pdes_kill_grid,
+        render_pdes_kill,
+        verify_pdes_checkpoint_inert,
+    )
+
+    if args.verify_inert:
+        verify_pdes_checkpoint_inert(
+            seed=args.seed, apps=("bfs", "pagerank"), scale=args.scale
+        )
+        print("checkpoint inertness verified: pooled run with window "
+              "checkpoints is digest-identical to one without "
+              "(bfs, pagerank)")
+    if args.kill_windows:
+        windows = tuple(
+            int(w) for w in args.kill_windows.split(",") if w
+        )
+    else:
+        windows = DEFAULT_KILL_WINDOWS
+    if args.quick:
+        # CI smoke: one app, one partition count, two kill sites.
+        apps: tuple = ("bfs",)
+        partition_counts: tuple = (2,)
+        windows = windows[:2]
+    else:
+        apps = ("bfs", "pagerank")
+        partition_counts = (2, 4)
+    cells = pdes_kill_grid(
+        apps=apps,
+        partition_counts=partition_counts,
+        kill_windows=windows,
+        seed=args.seed,
+        scale=args.scale,
+    )
+    print(render_pdes_kill(cells))
+    failures = [cell for cell in cells if not cell.ok]
+    if failures:
+        print(f"\n{len(failures)} pdes kill cell(s) FAILED")
+        return 1
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -920,6 +965,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_seed_flag(recover)
     recover.set_defaults(func=_cmd_recover)
+
+    pdes_chaos = sub.add_parser(
+        "pdes-chaos",
+        help="worker-kill grid for the pooled partitioned driver: "
+        "respawn + journal replay, digest-pinned to serial",
+    )
+    pdes_chaos.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: BFS only, two partitions, two kill sites",
+    )
+    pdes_chaos.add_argument(
+        "--kill-windows",
+        default="",
+        metavar="W,W,...",
+        help="comma-separated windows at which to kill the worker "
+        "(default: 0,2,5)",
+    )
+    pdes_chaos.add_argument(
+        "--scale", type=int, default=9, help="RMAT graph scale"
+    )
+    pdes_chaos.add_argument(
+        "--verify-inert",
+        action="store_true",
+        help="also prove a zero-kill checkpointed run is "
+        "digest-identical to a checkpoint-free run",
+    )
+    add_seed_flag(pdes_chaos)
+    pdes_chaos.set_defaults(func=_cmd_pdes_chaos)
 
     def add_endpoint_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument("--host", default="127.0.0.1")

@@ -43,6 +43,53 @@ class RecoveryError(SimulationError):
     """The fail-stop recovery protocol reached an inconsistent state."""
 
 
+class PartitionWorkerLost(SimulationError):
+    """A partitioned-run worker process died (pipe EOF / broken pipe).
+
+    The typed form of "the OS took a worker from us": raised by the
+    pooled driver's pipe proxies instead of the raw ``EOFError`` /
+    ``BrokenPipeError``, so the window coordinator can tell a
+    recoverable fail-stop loss (respawn the worker and replay its
+    journal) apart from a genuine protocol error.  ``window`` is filled
+    in by the coordinator when the loss surfaces mid-run (``None``
+    before the first window or during finalize).
+    """
+
+    def __init__(
+        self,
+        partition: int,
+        window: "int | None" = None,
+        exitcode: "int | None" = None,
+    ):
+        at = f" at window {window}" if window is not None else ""
+        code = f" (exitcode {exitcode})" if exitcode is not None else ""
+        super().__init__(
+            f"partition worker {partition} lost{at}{code}"
+        )
+        self.partition = partition
+        self.window = window
+        self.exitcode = exitcode
+
+
+class WorkerCrashed(ReproError):
+    """A serve-fleet worker died while executing a job.
+
+    Attached to the fleet's result (and threaded through the service's
+    retry path) instead of a bare "crashed" string, carrying what the
+    retry/quarantine policy needs: which job (``tag``), which spec
+    (``spec_key``), and which attempt this was.
+    """
+
+    def __init__(self, tag: int, spec_key: str, attempt: int = 1):
+        super().__init__(
+            f"fleet worker crashed on job #{tag} ({spec_key}), "
+            f"attempt {attempt}"
+        )
+        self.tag = tag
+        self.spec_key = spec_key
+        self.attempt = attempt
+
+
 class ProcessInterrupt(ReproError):
     """Raised inside a process generator when it is interrupted."""
 

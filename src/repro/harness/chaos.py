@@ -38,7 +38,7 @@ from repro.apps.validation import (
     reference_pagerank,
 )
 from repro.config import daisy
-from repro.errors import SimulationError
+from repro.errors import ReproError, SimulationError
 from repro.faults import CrashEvent, FaultPlan, RetryPolicy
 from repro.gpu.kernel import KernelStrategy
 from repro.graph import bfs_grow_partition, largest_component_vertex, rmat
@@ -63,6 +63,14 @@ __all__ = [
     "crash_grid",
     "render_crash",
     "verify_recovery_inert",
+    "DEFAULT_KILL_WINDOWS",
+    "PdesKillSpec",
+    "PdesKillCell",
+    "pdes_serial_digest",
+    "run_pdes_kill_cell",
+    "pdes_kill_grid",
+    "render_pdes_kill",
+    "verify_pdes_checkpoint_inert",
 ]
 
 #: The paper's three evaluated queue configurations, by short name.
@@ -637,5 +645,252 @@ def verify_recovery_inert(
             raise AssertionError(
                 f"idle recovery policy perturbed the {app} trace: "
                 f"{baseline[0][:16]} != {with_policy[0][:16]}"
+            )
+    return True
+
+
+# -- pdes kill grid: worker loss under the partitioned driver ------------
+
+#: Default windows at which the grid kills a worker.  Window 0 loses
+#: the worker before any barrier state exists (replay from an empty
+#: journal); later windows exercise mid-run journal replay across
+#: checkpoint barriers.
+DEFAULT_KILL_WINDOWS = (0, 2, 5)
+
+
+@dataclass(frozen=True)
+class PdesKillSpec:
+    """One kill cell: app x partition count x kill site, seeded.
+
+    The graph, the partition map, and the kill schedule are pure
+    functions of the spec, so a cell is exactly replayable.  The kill
+    fires in ``kill_partition``'s worker at its ``kill_window``-th
+    *executed* window (idle-skipped windows do not advance the count):
+    the worker closes its pipe and hard-exits before running the
+    window, and the coordinator must respawn + replay it.
+    """
+
+    app: str
+    n_partitions: int
+    kill_window: int
+    kill_partition: int = 1
+    seed: int = 0
+    scale: int = 9
+    edge_factor: int = 8
+    n_gpus: int = 4
+    checkpoint_every: Optional[int] = 3
+
+    def __post_init__(self) -> None:
+        if self.app not in ("bfs", "pagerank"):
+            raise ValueError(f"unknown pdes app {self.app!r}")
+        if not 0 <= self.kill_partition < self.n_partitions:
+            raise ValueError(
+                f"kill_partition {self.kill_partition} out of range for "
+                f"{self.n_partitions} partitions"
+            )
+        if self.kill_window < 0:
+            raise ValueError("kill_window must be >= 0")
+
+    def label(self) -> str:
+        return (
+            f"{self.app}/P{self.n_partitions}"
+            f"/kill p{self.kill_partition}@w{self.kill_window}"
+            f"/seed{self.seed}"
+        )
+
+
+@dataclass
+class PdesKillCell:
+    """Verdict for one kill cell (digest vs the serial reference)."""
+
+    spec: PdesKillSpec
+    ok: bool
+    time_ms: float = 0.0
+    windows: int = 0
+    kill_fired: bool = False
+    checkpoints_taken: int = 0
+    windows_replayed: int = 0
+    workers_respawned: int = 0
+    digest: str = ""
+    error: str = ""
+
+    def summary(self) -> str:
+        verdict = "pass" if self.ok else "FAIL"
+        return (
+            f"{self.spec.label():<36} {verdict}  "
+            f"respawned={self.workers_respawned} "
+            f"replayed={self.windows_replayed}"
+        )
+
+
+def _pdes_inputs(spec: PdesKillSpec):
+    """Seeded graph / partition / BFS source for one kill cell."""
+    graph = rmat(
+        scale=spec.scale, edge_factor=spec.edge_factor, seed=spec.seed + 31
+    )
+    partition = bfs_grow_partition(graph, spec.n_gpus, seed=spec.seed)
+    source = largest_component_vertex(graph)
+    return graph, partition, source
+
+
+def pdes_serial_digest(spec: PdesKillSpec) -> str:
+    """Digest of the single-partition (serial) reference for ``spec``."""
+    from repro.runtime.partitioned import run_partitioned
+
+    graph, partition, source = _pdes_inputs(spec)
+    result = run_partitioned(
+        spec.app, graph, partition, daisy(spec.n_gpus),
+        n_partitions=1, driver="local", source=source,
+        epsilon=CHAOS_EPSILON,
+    )
+    return result.digest()
+
+
+def run_pdes_kill_cell(
+    spec: PdesKillSpec, serial_digest: Optional[str] = None
+) -> PdesKillCell:
+    """One kill cell: pooled run with an injected worker kill.
+
+    Passes iff the run completes despite losing a worker and its final
+    :class:`~repro.metrics.counters.RunResult` digest is bit-identical
+    to the serial (single-partition) reference — respawn-and-replay
+    must be invisible in the outcome.
+    """
+    from repro.runtime.partitioned import WorkerKillPlan, run_partitioned
+    from repro.sim.partition import WindowStats
+
+    if serial_digest is None:
+        serial_digest = pdes_serial_digest(spec)
+    graph, partition, source = _pdes_inputs(spec)
+    stats = WindowStats()
+    try:
+        result = run_partitioned(
+            spec.app, graph, partition, daisy(spec.n_gpus),
+            n_partitions=spec.n_partitions, driver="pooled",
+            source=source, epsilon=CHAOS_EPSILON, stats=stats,
+            checkpoint_every=spec.checkpoint_every,
+            kill_plan=WorkerKillPlan(
+                partition=spec.kill_partition, window=spec.kill_window
+            ),
+        )
+    except (ReproError, SimulationError) as exc:
+        return PdesKillCell(spec, ok=False, error=str(exc))
+    ok = result.digest() == serial_digest
+    return PdesKillCell(
+        spec,
+        ok=ok,
+        time_ms=result.time_ms,
+        windows=stats.windows,
+        kill_fired=stats.workers_respawned > 0,
+        checkpoints_taken=stats.checkpoints_taken,
+        windows_replayed=stats.windows_replayed,
+        workers_respawned=stats.workers_respawned,
+        digest=result.digest()[:16],
+        error="" if ok else "digest mismatch vs serial reference",
+    )
+
+
+def pdes_kill_grid(
+    apps: tuple[str, ...] = ("bfs", "pagerank"),
+    partition_counts: tuple[int, ...] = (2, 4),
+    kill_windows: tuple[int, ...] = DEFAULT_KILL_WINDOWS,
+    seed: int = 0,
+    scale: int = 9,
+) -> list[PdesKillCell]:
+    """Run the kill grid: app x partition count x kill window.
+
+    The serial reference digest is computed once per app (it does not
+    depend on the partition count or the kill site) and shared across
+    that app's cells, so the grid's cost is dominated by the killed
+    pooled runs themselves.
+    """
+    cells: list[PdesKillCell] = []
+    for app in apps:
+        ref = pdes_serial_digest(
+            PdesKillSpec(
+                app=app, n_partitions=2, kill_window=0,
+                seed=seed, scale=scale,
+            )
+        )
+        for n_partitions in partition_counts:
+            for window in kill_windows:
+                spec = PdesKillSpec(
+                    app=app,
+                    n_partitions=n_partitions,
+                    kill_window=window,
+                    seed=seed,
+                    scale=scale,
+                )
+                cells.append(run_pdes_kill_cell(spec, serial_digest=ref))
+    return cells
+
+
+def render_pdes_kill(cells: list[PdesKillCell]) -> str:
+    """Paper-style text table of a pdes kill grid's verdicts."""
+    rows = []
+    for cell in cells:
+        rows.append(
+            (
+                cell.spec.app,
+                f"{cell.spec.n_partitions}",
+                f"p{cell.spec.kill_partition}@w{cell.spec.kill_window}",
+                "pass" if cell.ok else "FAIL",
+                f"{cell.time_ms:.3f}",
+                f"{cell.windows}",
+                f"{cell.checkpoints_taken}",
+                f"{cell.workers_respawned}",
+                f"{cell.windows_replayed}",
+                cell.error,
+            )
+        )
+    return format_generic_table(
+        "PDES kill grid: worker loss under the pooled partitioned "
+        "driver (respawn + journal replay), digest-pinned to the "
+        "serial reference",
+        ["app", "P", "kill", "verdict", "ms", "windows", "ckpts",
+         "respawn", "replay", "error"],
+        rows,
+    )
+
+
+def verify_pdes_checkpoint_inert(
+    seed: int = 0, apps: tuple[str, ...] = ("bfs",), scale: int = 9
+) -> bool:
+    """Pin the checkpoint layer's zero-cost guarantee.
+
+    For each app, runs the same seeded pooled two-partition cell twice
+    — checkpointing off versus ``checkpoint_every=2`` — with no kill
+    injected, and requires bit-identical result digests: taking a
+    checkpoint must observe replica state, never perturb it.  Raises
+    :class:`AssertionError` on divergence; returns ``True``.
+    """
+    from repro.runtime.partitioned import run_partitioned
+    from repro.sim.partition import WindowStats
+
+    for app in apps:
+        spec = PdesKillSpec(
+            app=app, n_partitions=2, kill_window=0, seed=seed, scale=scale
+        )
+        graph, partition, source = _pdes_inputs(spec)
+        baseline = run_partitioned(
+            app, graph, partition, daisy(spec.n_gpus),
+            n_partitions=2, driver="pooled", source=source,
+            epsilon=CHAOS_EPSILON,
+        )
+        stats = WindowStats()
+        checkpointed = run_partitioned(
+            app, graph, partition, daisy(spec.n_gpus),
+            n_partitions=2, driver="pooled", source=source,
+            epsilon=CHAOS_EPSILON, stats=stats, checkpoint_every=2,
+        )
+        if baseline.digest() != checkpointed.digest():
+            raise AssertionError(
+                f"checkpointing perturbed the {app} run: "
+                f"{baseline.digest()[:16]} != {checkpointed.digest()[:16]}"
+            )
+        if stats.checkpoints_taken == 0:
+            raise AssertionError(
+                f"checkpointed {app} run took no checkpoints "
+                f"({stats.windows} windows)"
             )
     return True

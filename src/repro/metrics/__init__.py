@@ -9,6 +9,7 @@ from repro.metrics.analysis import (
 from repro.metrics.counters import (
     FAULT_COUNTERS,
     RECOVERY_COUNTERS,
+    RESILIENCE_COUNTERS,
     SERVICE_COUNTERS,
     Counters,
     RunResult,
@@ -21,6 +22,7 @@ __all__ = [
     "RunResult",
     "FAULT_COUNTERS",
     "RECOVERY_COUNTERS",
+    "RESILIENCE_COUNTERS",
     "SERVICE_COUNTERS",
     "fault_summary",
     "service_summary",

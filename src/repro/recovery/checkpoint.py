@@ -54,6 +54,15 @@ class Checkpoint:
         The work tracker's counts at the cut.  At a consistent cut the
         outstanding count equals the total queued tasks — verified at
         snapshot time.
+    owned_ranks:
+        ``None`` for whole-run recovery snapshots.  Set by the
+        partitioned drivers' window-barrier snapshots
+        (:meth:`repro.runtime.partitioned.PartitionReplica.snapshot_state`)
+        to the replica's owned ranks — those snapshots cover one
+        partition's slice, not a quiesced global cut, and the field
+        keeps two partitions' otherwise-empty snapshots from
+        colliding.  Excluded from :meth:`digest` when ``None`` so
+        existing recovery digests are unchanged.
     """
 
     epoch: int
@@ -61,6 +70,7 @@ class Checkpoint:
     app_state: dict[str, np.ndarray]
     frontier: tuple[tuple[np.ndarray, Optional[np.ndarray]], ...]
     tracker: TrackerSnapshot
+    owned_ranks: Optional[tuple[int, ...]] = None
 
     @property
     def total_tasks(self) -> int:
@@ -90,6 +100,8 @@ class Checkpoint:
             f"|outstanding={self.tracker.outstanding}"
             f"|added={self.tracker.total_added}\n".encode()
         )
+        if self.owned_ranks is not None:
+            h.update(f"owned={self.owned_ranks!r}\n".encode())
         for name in sorted(self.app_state):
             array = self.app_state[name]
             h.update(f"{name}|{array.dtype}|{array.shape}\n".encode())

@@ -44,24 +44,43 @@ Both produce **bit-identical** :meth:`RunResult.digest` values to the
 serial engine — the partitioned-golden test suite pins that across
 apps × fault plans × partition counts.
 
-Crash-plan runs (fail-stop recovery) are collapsed to one partition:
-the recovery coordinator's quiesce barriers are global-synchronous
-(zero lookahead), so distributing them buys nothing and the collapse
-keeps digest equality trivially exact.
+Crash-plan runs (fail-stop recovery) are downgraded to one partition
+with a loud :class:`RuntimeWarning`: the recovery coordinator's
+quiesce barriers are global-synchronous (zero lookahead), so
+distributing them buys nothing and the collapse keeps digest equality
+trivially exact.  The downgrade lives in the engines (not a silent
+entrypoint rewrite), so callers constructing engines directly get the
+same documented behavior.
+
+Real (OS-level) worker loss is survivable: the pooled driver raises
+typed :class:`~repro.errors.PartitionWorkerLost` from its pipe
+proxies, supplies the coordinator a ``recover_host`` callback that
+spawns a replacement process, and the coordinator replays the lost
+partition's window journal into it (see
+:mod:`repro.sim.partition`).  ``checkpoint_every`` enables barrier
+checkpoints (replica snapshots via the ``snapshot`` worker RPC) that
+verify the replay; :class:`WorkerKillPlan` injects a deterministic
+kill for the chaos harness (``repro pdes-chaos``).
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 import traceback
+import warnings
 from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
 import numpy as np
 
 from repro.config import MachineConfig
-from repro.errors import ConfigurationError, SimulationError
+from repro.errors import (
+    ConfigurationError,
+    PartitionWorkerLost,
+    SimulationError,
+)
 from repro.faults.transport import _AckPacket, _DataPacket
 from repro.gpu.kernel import KernelStrategy
 from repro.graph.csr import CSRGraph
@@ -86,6 +105,7 @@ __all__ = [
     "PartitionBridge",
     "PartitionReplica",
     "PartitionFinal",
+    "WorkerKillPlan",
     "LocalPartitionedEngine",
     "PooledPartitionedEngine",
     "PARTITION_DRIVERS",
@@ -205,9 +225,19 @@ class PartitionReplica(AtosExecutor):
             raise ConfigurationError("a partition must own at least one rank")
         super().__init__(machine, app, config)
         if self.fault_plan is not None and self.fault_plan.crashes:
-            raise ConfigurationError(
-                "crash plans run single-partition (recovery barriers are "
-                "globally synchronous); the driver collapses them"
+            # The engines downgrade crash plans to one partition before
+            # any replica is built (recovery barriers are globally
+            # synchronous — a per-partition quiesce would be unsound),
+            # so this only fires on direct construction.  Warn rather
+            # than raise: the replica still runs, but rank recovery
+            # inside one partition of many is unsupported territory.
+            warnings.warn(
+                "crash plans are meant to run single-partition "
+                "(recovery barriers are globally synchronous); the "
+                "partitioned engines downgrade them — a directly-built "
+                "multi-partition replica with a crash plan is unsound",
+                RuntimeWarning,
+                stacklevel=2,
             )
         self.bridge = PartitionBridge(self.owned)
         self.fabric.partition_bridge = self.bridge
@@ -258,6 +288,42 @@ class PartitionReplica(AtosExecutor):
             timeline=self.fabric.timeline,
             telemetry=self.telemetry,
             idle_polls=self.idle_polls,
+        )
+
+    def snapshot_state(self, epoch: int) -> Any:
+        """A read-only replica snapshot for a window-barrier checkpoint.
+
+        Reuses the recovery layer's :class:`Checkpoint` value: the
+        app's global arrays, the owned ranks' queue frontiers (foreign
+        ranks snapshot empty — their state lives in other replicas),
+        and the windowed tracker's counts.  Unlike a recovery-epoch
+        snapshot this is *not* a quiesced cut (the environment holds
+        live in-flight events no snapshot can capture), so it is used
+        to **verify** respawn-and-replay, never to restore from — see
+        :mod:`repro.sim.partition`.  Every source is copied, so taking
+        a snapshot cannot perturb the run.
+        """
+        # Lazy import: repro.recovery sits beside repro.runtime in the
+        # layering, and this module must stay importable without it.
+        from repro.recovery.checkpoint import Checkpoint
+
+        app_state = (
+            self.app.checkpoint_state()
+            if getattr(self.app, "supports_recovery", False)
+            else {}
+        )
+        empty = (np.empty(0, dtype=np.int64), None)
+        frontier = tuple(
+            self.queues[pe].snapshot() if pe in self.owned else empty
+            for pe in range(self.machine.n_gpus)
+        )
+        return Checkpoint(
+            epoch=epoch,
+            sim_time=self.env.now,
+            app_state=app_state,
+            frontier=frontier,
+            tracker=self.tracker.snapshot(),
+            owned_ranks=tuple(sorted(self.owned)),
         )
 
     # ----------------------------------------------------------- plumbing
@@ -399,18 +465,54 @@ def _merge_telemetry(
 
 
 # ------------------------------------------------------------------ drivers
+def _downgrade_crash_plan(spec: PartitionedRunSpec, n_partitions: int) -> int:
+    """Crash plans collapse to one partition, loudly (see module doc)."""
+    plan = spec.config.faults
+    if (
+        n_partitions > 1
+        and plan is not None
+        and plan.active
+        and plan.crashes
+    ):
+        warnings.warn(
+            "crash plans run single-partition (recovery barriers are "
+            f"globally synchronous); downgrading {n_partitions} "
+            "partitions to 1 — digests are unchanged by construction",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return 1
+    return n_partitions
+
+
 class LocalPartitionedEngine:
     """In-process windowed execution — the correctness spine."""
 
     name = "local"
 
-    def __init__(self, spec: PartitionedRunSpec, n_partitions: int):
+    def __init__(
+        self,
+        spec: PartitionedRunSpec,
+        n_partitions: int,
+        *,
+        checkpoint_every: Optional[int] = None,
+        kill_plan: Optional[WorkerKillPlan] = None,
+        max_respawns: int = 3,
+    ):
+        if kill_plan is not None:
+            raise ConfigurationError(
+                "kill plans need real worker processes; use the "
+                "'pooled' driver"
+            )
         self.spec = spec
         self.n_partitions = n_partitions
+        self.checkpoint_every = checkpoint_every
+        self.max_respawns = max_respawns
         self.stats = WindowStats()
 
     def run(self) -> RunResult:
         spec = self.spec
+        self.n_partitions = _downgrade_crash_plan(spec, self.n_partitions)
         if self.n_partitions == 1:
             return _run_serial(spec)
         parts = partition_ranks(spec.machine.n_gpus, self.n_partitions)
@@ -431,7 +533,8 @@ class LocalPartitionedEngine:
                 horizon_history.append(list(horizons))
 
         coordinator = WindowCoordinator(
-            replicas, lookahead, on_window=on_window
+            replicas, lookahead, on_window=on_window,
+            checkpoint_every=self.checkpoint_every,
         )
         coordinator.set_rank_owners(parts)
         t_done = coordinator.run()
@@ -472,23 +575,62 @@ def _mp_context() -> multiprocessing.context.BaseContext:
         return multiprocessing.get_context()
 
 
-def _partition_worker(spec, owned, serial, conn) -> None:
-    """Worker main: build the replica, serve coordinator RPCs."""
+@dataclass(frozen=True)
+class WorkerKillPlan:
+    """Deterministic fail-stop injection for the pooled driver.
+
+    The worker spawned for ``partition`` counts the ``step`` requests
+    it receives and hard-exits (``os._exit`` — no cleanup, no
+    good-bye, a faithful SIGKILL stand-in) immediately before
+    executing its ``window``-th one (0-based).  ``P=1`` serial workers
+    exit before running at all.  Replacement workers never inherit the
+    plan, so a killed run terminates after exactly one injected loss.
+    Used by the ``repro pdes-chaos`` harness to pin digest equality
+    under real process death.
+    """
+
+    partition: int
+    window: int
+
+
+#: Exit code of an injected kill — distinguishable from a genuine
+#: crash in post-mortems (anything nonzero surfaces the same way).
+_KILL_EXITCODE = 17
+
+
+def _partition_worker(spec, owned, serial, conn, kill_at_step=None) -> None:
+    """Worker main: build the replica, serve coordinator RPCs.
+
+    ``kill_at_step`` (from a :class:`WorkerKillPlan`) hard-exits the
+    process when the ``kill_at_step``-th ``step`` request arrives —
+    before executing it, so the coordinator observes a worker that
+    accepted a window and never reported.
+    """
     try:
         if serial:
+            if kill_at_step is not None:
+                conn.close()
+                os._exit(_KILL_EXITCODE)
             result = _run_serial(spec)
             conn.send(("ok", result))
             conn.close()
             return
         replica = PartitionReplica(spec.machine, _build_app(spec),
                                    spec.config, owned)
+        steps = 0
         while True:
             request = conn.recv()
             op = request[0]
             if op == "start":
                 conn.send(("ok", replica.start()))
             elif op == "step":
+                steps += 1
+                if kill_at_step is not None and steps >= kill_at_step:
+                    conn.close()
+                    os._exit(_KILL_EXITCODE)
                 conn.send(("ok", replica.step_window(request[1], request[2])))
+            elif op == "snapshot":
+                conn.send(("ok", replica.snapshot_state(request[1])))
             elif op == "finalize":
                 conn.send(("ok", replica.finalize(request[1])))
             elif op == "exit":
@@ -521,11 +663,9 @@ class _WorkerHost:
         try:
             self.conn.send(request)
             reply = self.conn.recv()
-        except (EOFError, BrokenPipeError) as exc:
-            code = self.process.exitcode
-            raise SimulationError(
-                f"partition worker {self.index} died mid-window "
-                f"(exitcode {code})"
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            raise PartitionWorkerLost(
+                self.index, exitcode=self.process.exitcode
             ) from exc
         if reply[0] == "error":
             raise SimulationError(
@@ -540,6 +680,9 @@ class _WorkerHost:
     def step_window(self, horizon, imports) -> WindowReport:
         return self._call("step", horizon, list(imports))
 
+    def snapshot_state(self, epoch: int) -> Any:
+        return self._call("snapshot", epoch)
+
     # Split-phase stepping: the coordinator issues every partition's
     # begin before gathering any end, so the worker processes execute
     # their windows concurrently — this pair is the entire speedup.
@@ -547,18 +690,16 @@ class _WorkerHost:
         try:
             self.conn.send(("step", horizon, list(imports)))
         except (BrokenPipeError, OSError) as exc:
-            raise SimulationError(
-                f"partition worker {self.index} died before window "
-                f"dispatch (exitcode {self.process.exitcode})"
+            raise PartitionWorkerLost(
+                self.index, exitcode=self.process.exitcode
             ) from exc
 
     def end_window(self) -> WindowReport:
         try:
             reply = self.conn.recv()
-        except (EOFError, BrokenPipeError) as exc:
-            raise SimulationError(
-                f"partition worker {self.index} died mid-window "
-                f"(exitcode {self.process.exitcode})"
+        except (EOFError, BrokenPipeError, OSError) as exc:
+            raise PartitionWorkerLost(
+                self.index, exitcode=self.process.exitcode
             ) from exc
         if reply[0] == "error":
             raise SimulationError(
@@ -569,6 +710,20 @@ class _WorkerHost:
 
     def finalize(self, t_done) -> PartitionFinal:
         return self._call("finalize", t_done)
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Best-effort shutdown: polite exit, close, join, terminate."""
+        try:
+            self.conn.send(("exit",))
+        except (BrokenPipeError, OSError):
+            pass
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        self.process.join(timeout=timeout)
+        if self.process.is_alive():  # pragma: no cover - hung worker
+            self.process.terminate()
 
 
 class PooledPartitionedEngine:
@@ -583,35 +738,62 @@ class PooledPartitionedEngine:
 
     name = "pooled"
 
-    def __init__(self, spec: PartitionedRunSpec, n_partitions: int):
+    def __init__(
+        self,
+        spec: PartitionedRunSpec,
+        n_partitions: int,
+        *,
+        checkpoint_every: Optional[int] = None,
+        kill_plan: Optional[WorkerKillPlan] = None,
+        max_respawns: int = 3,
+    ):
         self.spec = spec
         self.n_partitions = n_partitions
+        self.checkpoint_every = checkpoint_every
+        self.kill_plan = kill_plan
+        self.max_respawns = max_respawns
         self.stats = WindowStats()
 
-    def run(self) -> RunResult:
-        spec = self.spec
-        ctx = _mp_context()
-        if self.n_partitions == 1:
-            # Still one worker process: the serial path, but through
-            # the full pickle/process lifecycle (exercises the same
-            # plumbing grids rely on for crash-plan collapses).
-            parent, child = ctx.Pipe()
-            proc = ctx.Process(
-                target=_partition_worker,
-                args=(spec, [0], True, child),
-                daemon=True,
+    def _spawn(
+        self, ctx, index: int, owned: Sequence[int],
+        serial: bool = False, kill_at_step: Optional[int] = None,
+    ) -> _WorkerHost:
+        parent, child = ctx.Pipe()
+        proc = ctx.Process(
+            target=_partition_worker,
+            args=(self.spec, list(owned), serial, child, kill_at_step),
+            daemon=True,
+        )
+        proc.start()
+        child.close()
+        return _WorkerHost(index, proc, parent)
+
+    def _run_one_worker(self, ctx) -> RunResult:
+        """P=1: the serial path through a real worker process.
+
+        A lost worker is survivable here too — the whole run is its
+        own journal, so recovery is simply a respawn (sans kill plan)
+        and rerun, bounded by the respawn budget.
+        """
+        kill = self.kill_plan
+        attempt = 0
+        while True:
+            host = self._spawn(
+                ctx, 0, [0], serial=True,
+                kill_at_step=1 if kill is not None else None,
             )
-            proc.start()
-            child.close()
-            host = _WorkerHost(0, proc, parent)
             try:
                 try:
-                    result = parent.recv()
-                except (EOFError, BrokenPipeError) as exc:
-                    raise SimulationError(
-                        f"serial partition worker died "
-                        f"(exitcode {proc.exitcode})"
-                    ) from exc
+                    result = host.conn.recv()
+                except (EOFError, BrokenPipeError, OSError) as exc:
+                    if attempt >= self.max_respawns:
+                        raise PartitionWorkerLost(
+                            0, exitcode=host.process.exitcode
+                        ) from exc
+                    attempt += 1
+                    kill = None
+                    self.stats.workers_respawned += 1
+                    continue
                 if result[0] == "error":
                     raise SimulationError(
                         f"serial partition worker failed: {result[1]}\n"
@@ -619,10 +801,23 @@ class PooledPartitionedEngine:
                     )
                 return result[1]
             finally:
-                parent.close()
-                proc.join(timeout=30)
-                if proc.is_alive():  # pragma: no cover - hung worker
-                    proc.terminate()
+                try:
+                    host.conn.close()
+                except OSError:  # pragma: no cover - already closed
+                    pass
+                host.process.join(timeout=30)
+                if host.process.is_alive():  # pragma: no cover
+                    host.process.terminate()
+
+    def run(self) -> RunResult:
+        spec = self.spec
+        ctx = _mp_context()
+        self.n_partitions = _downgrade_crash_plan(spec, self.n_partitions)
+        if self.n_partitions == 1:
+            # Still one worker process: the serial path, but through
+            # the full pickle/process lifecycle (exercises the same
+            # plumbing grids rely on for crash-plan collapses).
+            return self._run_one_worker(ctx)
 
         parts = partition_ranks(spec.machine.n_gpus, self.n_partitions)
         # Topology/lookahead derived parent-side from a throwaway
@@ -636,15 +831,24 @@ class PooledPartitionedEngine:
         hosts: list[_WorkerHost] = []
         try:
             for index, owned in enumerate(parts):
-                parent, child = ctx.Pipe()
-                proc = ctx.Process(
-                    target=_partition_worker,
-                    args=(spec, owned, False, child),
-                    daemon=True,
+                kill_at = None
+                if (
+                    self.kill_plan is not None
+                    and self.kill_plan.partition == index
+                ):
+                    kill_at = self.kill_plan.window + 1
+                hosts.append(
+                    self._spawn(ctx, index, owned, kill_at_step=kill_at)
                 )
-                proc.start()
-                child.close()
-                hosts.append(_WorkerHost(index, proc, parent))
+
+            def recover_host(p: int) -> _WorkerHost:
+                # The dead worker's pipe may still be open parent-side;
+                # reap it before spawning the replacement (which never
+                # inherits a kill plan — one injected loss per run).
+                hosts[p].close(timeout=5.0)
+                fresh = self._spawn(ctx, p, parts[p])
+                hosts[p] = fresh
+                return fresh
 
             horizon_history: list[list[float]] = []
 
@@ -652,12 +856,23 @@ class PooledPartitionedEngine:
                 horizon_history.append(list(horizons))
 
             coordinator = WindowCoordinator(
-                hosts, lookahead, on_window=on_window
+                hosts, lookahead, on_window=on_window,
+                checkpoint_every=self.checkpoint_every,
+                recover_host=recover_host,
+                max_respawns=self.max_respawns,
             )
             coordinator.set_rank_owners(parts)
             t_done = coordinator.run()
             self.stats = coordinator.stats
-            finals = [host.finalize(t_done) for host in hosts]
+            finals = []
+            for p in range(len(hosts)):
+                try:
+                    finals.append(hosts[p].finalize(t_done))
+                except PartitionWorkerLost as lost:
+                    # Lost between its last window and finalize; the
+                    # coordinator replays it to the end and retries.
+                    host = coordinator.revive(p, lost)
+                    finals.append(host.finalize(t_done))
             keep_history = (
                 horizon_history
                 if any(f.telemetry is not None for f in finals)
@@ -669,14 +884,7 @@ class PooledPartitionedEngine:
             )
         finally:
             for host in hosts:
-                try:
-                    host.conn.send(("exit",))
-                except (BrokenPipeError, OSError):
-                    pass
-                host.conn.close()
-                host.process.join(timeout=30)
-                if host.process.is_alive():  # pragma: no cover
-                    host.process.terminate()
+                host.close()
 
 
 PARTITION_DRIVERS = {
@@ -703,14 +911,22 @@ def run_partitioned(
     variant_name: Optional[str] = None,
     base_config: Optional[AtosConfig] = None,
     stats: Optional[WindowStats] = None,
+    checkpoint_every: Optional[int] = None,
+    kill_plan: Optional[WorkerKillPlan] = None,
+    max_respawns: int = 3,
 ) -> RunResult:
     """Run one application partitioned across ``n_partitions`` loops.
 
     Mirrors :class:`repro.frameworks.atos.AtosDriver` field-for-field
     (framework name, per-app config derivation), so the result digest
     is directly comparable to a serial run of the same cell.  Crash
-    plans collapse to one partition (see module docstring); ``stats``
-    (when passed) receives the coordinator's window accounting.
+    plans downgrade to one partition with a RuntimeWarning (the
+    engines own that decision — see module docstring); ``stats`` (when
+    passed) receives the coordinator's window accounting, including
+    the resilience counts.  ``checkpoint_every`` enables window-barrier
+    checkpoints, ``kill_plan`` injects one deterministic worker kill
+    (pooled driver only), and ``max_respawns`` bounds replacement
+    workers per partition.
     """
     from repro.frameworks.atos import AtosDriver
 
@@ -726,9 +942,6 @@ def run_partitioned(
         base_config=base_config or AtosConfig(),
     )
     config = atos._config(app, machine)
-    plan = config.faults
-    if plan is not None and plan.active and plan.crashes:
-        n_partitions = 1
     n_partitions = min(n_partitions, machine.n_gpus)
     spec = PartitionedRunSpec(
         app_name=app,
@@ -742,7 +955,12 @@ def run_partitioned(
         alpha=alpha,
         epsilon=epsilon,
     )
-    engine = PARTITION_DRIVERS[driver](spec, n_partitions)
+    engine = PARTITION_DRIVERS[driver](
+        spec, n_partitions,
+        checkpoint_every=checkpoint_every,
+        kill_plan=kill_plan,
+        max_respawns=max_respawns,
+    )
     result = engine.run()
     if stats is not None:
         stats.windows = engine.stats.windows
@@ -751,4 +969,7 @@ def run_partitioned(
         stats.idle_partition_windows = engine.stats.idle_partition_windows
         stats.critical_wall_s = engine.stats.critical_wall_s
         stats.busy_wall_s = engine.stats.busy_wall_s
+        stats.checkpoints_taken = engine.stats.checkpoints_taken
+        stats.windows_replayed = engine.stats.windows_replayed
+        stats.workers_respawned = engine.stats.workers_respawned
     return result

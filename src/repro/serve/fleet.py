@@ -28,6 +28,7 @@ from dataclasses import dataclass, replace
 from multiprocessing.connection import wait as _wait_connections
 from typing import Any, Callable, Optional
 
+from repro.errors import WorkerCrashed
 from repro.harness.pool import CellResult, RunSpec, _mp_context
 
 __all__ = ["FleetResult", "WorkerFleet", "execute_serve_cell"]
@@ -151,6 +152,11 @@ class FleetResult:
     trace: Optional[dict] = None
     #: Index of the worker that ran (or was killed for) this cell.
     worker: int = -1
+    #: Set when the worker *process* died under the job (pipe EOF) —
+    #: the typed signal the service's retry/quarantine policy keys on,
+    #: as opposed to an in-worker exception (``cell.status ==
+    #: "error"``, deterministic, never retried).
+    failure: Optional[WorkerCrashed] = None
 
 
 class _Worker:
@@ -301,6 +307,7 @@ class WorkerFleet:
         """Pipe EOF: the worker died.  Fail its job and respawn."""
         with self._lock:
             job = worker.job
+            worker.job = None  # the death path owns it from here
             self._workers.pop(worker.index, None)
             closing = self._closing
         worker.process.join(timeout=5.0)
@@ -309,7 +316,10 @@ class WorkerFleet:
         except OSError:  # pragma: no cover - already closed
             pass
         if job is not None:
-            _, spec, future, _ = job
+            tag, spec, future, _ = job
+            crashed = WorkerCrashed(
+                tag, f"{spec.framework}:{spec.app}:{spec.dataset}"
+            )
             future.set_result(
                 FleetResult(
                     cell=CellResult(
@@ -318,6 +328,7 @@ class WorkerFleet:
                         error="fleet worker died without reporting a result",
                     ),
                     worker=worker.index,
+                    failure=crashed,
                 )
             )
         if not closing:

@@ -8,13 +8,17 @@ share — one source of truth for the queueing discipline.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Iterable
 
 from repro.harness.pool import RunSpec
 
 __all__ = [
     "DEFAULT_PRIORITY",
+    "DEFAULT_RETRY_POLICIES",
     "PRIORITY_CLASSES",
+    "RetryPolicy",
+    "backoff_s",
     "expand_sweep",
     "spec_from_json",
     "spec_to_json",
@@ -33,6 +37,53 @@ PRIORITY_CLASSES: dict[str, int] = {
 
 #: Priority assumed when a submit request names none.
 DEFAULT_PRIORITY = "batch"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retry for cells whose *worker* failed under them.
+
+    Applies to worker crashes (pipe EOF) and — when ``retry_timeouts``
+    — deadline kills; never to in-worker exceptions, which are
+    deterministic and would fail identically on every attempt.
+    Retrying is safe because cell execution is idempotent: the
+    single-flight identity is the run-cache key, so a retry either
+    recomputes the same pure result or serves it from cache.
+
+    ``max_attempts`` counts *total* attempts including the first;
+    retry ``k`` (1-based) waits ``backoff_base_s * backoff_factor**(k-1)``
+    seconds before re-entering the scheduler at the cell's priority.
+    """
+
+    max_attempts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    retry_timeouts: bool = True
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "max_attempts": self.max_attempts,
+            "backoff_base_s": self.backoff_base_s,
+            "backoff_factor": self.backoff_factor,
+            "retry_timeouts": self.retry_timeouts,
+        }
+
+
+#: Per-priority retry policies: interactive fails fast (a human is
+#: waiting — one quick retry, tiny backoff), bulk absorbs more flake
+#: (nobody is watching; throughput wins).
+DEFAULT_RETRY_POLICIES: dict[str, RetryPolicy] = {
+    "interactive": RetryPolicy(max_attempts=2, backoff_base_s=0.02),
+    "batch": RetryPolicy(max_attempts=3, backoff_base_s=0.05),
+    "bulk": RetryPolicy(max_attempts=4, backoff_base_s=0.1),
+}
+
+
+def backoff_s(policy: RetryPolicy, attempt: int) -> float:
+    """Delay before retry ``attempt`` (1-based)."""
+    return policy.backoff_base_s * policy.backoff_factor ** max(
+        0, attempt - 1
+    )
 
 
 def validate_priority(priority: str) -> str:

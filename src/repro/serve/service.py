@@ -29,6 +29,17 @@ key: one execution, every requester attached as a follower.  Large
 sweeps self-limit via a per-request in-flight window, so one bulk
 request cannot monopolize the bounded queue (backpressure without
 rejection).
+
+Fault tolerance: an attempt whose *worker* failed under it (process
+crash, deadline kill) is retried under the priority class's
+:class:`~repro.serve.protocol.RetryPolicy` — bounded attempts,
+exponential backoff, idempotent by the run-cache key.  The cell stays
+single-flighted through its whole retry loop, so followers ride the
+retry instead of inheriting a crash.  A spec whose workers crash
+``quarantine_after`` times (service-wide) is poisoned: further submits
+are refused with ``422`` and the quarantine list survives into the
+drained stats document.  In-worker exceptions are deterministic and
+fail immediately, exactly as before.
 """
 
 from __future__ import annotations
@@ -44,7 +55,10 @@ from repro.harness.pool import RunSpec
 from repro.serve.fleet import FleetResult, WorkerFleet, execute_serve_cell
 from repro.serve.protocol import (
     DEFAULT_PRIORITY,
+    DEFAULT_RETRY_POLICIES,
     PRIORITY_CLASSES,
+    RetryPolicy,
+    backoff_s,
     expand_sweep,
     spec_to_json,
     validate_priority,
@@ -74,6 +88,15 @@ class ServeConfig:
     drain_grace_s: float = 30.0
     #: Where the drained service writes its stats document.
     stats_path: Optional[str] = None
+    #: Per-priority retry policies for worker-crash / deadline failures
+    #: (in-worker exceptions are deterministic and never retried).
+    retry: dict[str, RetryPolicy] = field(
+        default_factory=lambda: dict(DEFAULT_RETRY_POLICIES)
+    )
+    #: Quarantine a spec after its workers crashed this many times
+    #: (counted service-wide, across submits): further submits of the
+    #: same run-cache key are refused with 422.
+    quarantine_after: int = 3
 
     def to_json(self) -> dict[str, Any]:
         return {
@@ -82,6 +105,8 @@ class ServeConfig:
             "weights": dict(self.weights),
             "max_inflight_per_request": self.max_inflight_per_request,
             "cell_timeout_s": self.cell_timeout_s,
+            "retry": {p: r.to_json() for p, r in self.retry.items()},
+            "quarantine_after": self.quarantine_after,
         }
 
 
@@ -96,6 +121,7 @@ class _Cell:
         "followers",
         "t_arrive",
         "state",
+        "attempts",
     )
 
     def __init__(self, key: str, spec: RunSpec, priority: str, trace: bool):
@@ -104,9 +130,15 @@ class _Cell:
         self.priority = priority
         self.trace = trace
         #: ``(request, cell_index)`` pairs to fan the outcome out to.
+        #: The cell stays registered in ``service._cells`` through its
+        #: whole retry loop, so followers attached mid-retry (and the
+        #: original ones) all ride the retries — a crashed *attempt*
+        #: is never fanned out, only the terminal outcome is.
         self.followers: list[tuple["_Request", int]] = []
         self.t_arrive = 0.0
         self.state = "queued"
+        #: Executions dispatched so far (the first is attempt 1).
+        self.attempts = 0
 
 
 class _Request:
@@ -185,6 +217,12 @@ class ReproService:
         self._requests: dict[str, _Request] = {}
         self._active: set[str] = set()
         self._cells: dict[str, _Cell] = {}
+        #: Worker crashes per base run key (service-wide, across
+        #: submits) — the quarantine trigger.
+        self._crash_counts: dict[str, int] = {}
+        #: Poisoned base run keys -> reason; submits touching one are
+        #: refused with 422 before admission.
+        self._quarantine: dict[str, str] = {}
         self._job_counter = 0
         self._work = asyncio.Event()
         self._space = asyncio.Condition()
@@ -321,14 +359,109 @@ class ReproService:
                     # Lost the idle worker to a respawn race; requeue.
                     self.scheduler.offer(cell.priority, cell)
                     break
+                cell.attempts += 1
                 asyncio.create_task(
                     self._await_cell(cell, t_start, future),
                     name=f"cell-{cell.key[:8]}",
                 )
 
+    # -- retry / quarantine ----------------------------------------------
+    @staticmethod
+    def _base_key(key: str) -> str:
+        """The quarantine identity: the run key sans the trace bit."""
+        return key[:-7] if key.endswith(":traced") else key
+
+    def _record_crash(self, cell: _Cell) -> bool:
+        """Count one worker crash against the spec; True = quarantined."""
+        base = self._base_key(cell.key)
+        count = self._crash_counts.get(base, 0) + 1
+        self._crash_counts[base] = count
+        if count >= self.config.quarantine_after and base not in (
+            self._quarantine
+        ):
+            reason = (
+                f"crashed its worker {count} time(s) "
+                f"(threshold {self.config.quarantine_after})"
+            )
+            self._quarantine[base] = reason
+            self.stats.quarantine[base[:16]] = reason
+            self.stats.counters["service_quarantined"] += 1
+            self.stats.counters["resilience_specs_quarantined"] += 1
+        return base in self._quarantine
+
+    def _maybe_retry(self, cell: _Cell, outcome: FleetResult) -> bool:
+        """Decide (and schedule) a retry for a failed attempt.
+
+        Worker crashes and deadline kills are the worker's fault, not
+        the spec's — retry under the priority class's policy, unless
+        the crash count just tripped quarantine.  In-worker exceptions
+        are deterministic: never retried.
+        """
+        policy = self.config.retry.get(cell.priority)
+        if policy is None or self.draining:
+            return False
+        status = outcome.cell.status
+        if status == "crashed" or outcome.failure is not None:
+            if self._record_crash(cell):
+                return False  # poisoned: fail followers now
+            self.stats.counters["service_respawn_retries"] += 1
+        elif status == "timeout":
+            if not policy.retry_timeouts:
+                return False
+        else:
+            return False
+        if cell.attempts >= policy.max_attempts:
+            return False
+        self.stats.counters["service_retries"] += 1
+        self.stats.counters["resilience_jobs_retried"] += 1
+        delay = backoff_s(policy, cell.attempts)
+        cell.state = "retrying"
+        asyncio.create_task(
+            self._requeue_after(cell, delay),
+            name=f"retry-{cell.key[:8]}",
+        )
+        return True
+
+    async def _requeue_after(self, cell: _Cell, delay: float) -> None:
+        await asyncio.sleep(delay)
+        if self.draining:
+            # Drained out from under the backoff: same terminal shape
+            # as a queued cell dropped by _cancel_queued.
+            self._cells.pop(cell.key, None)
+            self.stats.record_cell(
+                ArrivalRecord(
+                    cell.t_arrive,
+                    cell.priority,
+                    "cancelled",
+                    key=cell.key[:16],
+                )
+            )
+            for request, index in cell.followers:
+                await self._finish_follower(
+                    request,
+                    index,
+                    {
+                        "cell": index,
+                        "status": "cancelled",
+                        "spec": spec_to_json(cell.spec),
+                    },
+                    failed=True,
+                )
+            return
+        cell.state = "queued"
+        while not self.scheduler.offer(cell.priority, cell):
+            async with self._space:
+                await self._space.wait()
+        self._work.set()
+
     async def _await_cell(self, cell: _Cell, t_start: float, future) -> None:
         outcome: FleetResult = await asyncio.wrap_future(future)
         t_done = self.stats.now()
+        if not outcome.cell.ok and self._maybe_retry(cell, outcome):
+            # The attempt failed but the cell lives on; nothing is
+            # fanned out and the single-flight entry stays registered.
+            self._work.set()
+            return
         self._cells.pop(cell.key, None)
         cell.state = "done"
         result = outcome.cell
@@ -351,6 +484,7 @@ class ReproService:
         summary_base = {
             "status": result.status,
             "wall_clock_s": round(result.wall_clock_s, 6),
+            "attempts": cell.attempts,
         }
         if result.ok:
             run = result.result
@@ -363,6 +497,8 @@ class ReproService:
             )
         else:
             summary_base["error"] = result.error.strip().splitlines()[-1:]
+            if self._base_key(cell.key) in self._quarantine:
+                summary_base["quarantined"] = True
         for request, index in cell.followers:
             summary = dict(summary_base)
             summary["cell"] = index
@@ -412,6 +548,21 @@ class ReproService:
         specs = expand_sweep(body)
         keys = [self._cell_key(spec, trace) for spec in specs]
         self.stats.counters["service_requests"] += 1
+        for spec, key in zip(specs, keys):
+            reason = self._quarantine.get(self._base_key(key))
+            if reason is not None:
+                # 422, not 429: the request is well-formed and there
+                # is capacity — this *spec* is poisoned, and retrying
+                # the submit will not help.
+                return (
+                    422,
+                    {
+                        "error": "spec is quarantined",
+                        "reason": reason,
+                        "spec": spec_to_json(spec),
+                    },
+                    {},
+                )
         if self.scheduler.full:
             self.stats.record_rejected(priority)
             retry = self.scheduler.retry_after_s(
@@ -645,6 +796,7 @@ class ReproService:
                 self.fleet.respawns if self.fleet is not None else 0
             ),
             "inflight_cells": len(self._cells),
+            "quarantined_specs": len(self._quarantine),
         }
         # The arrival log can grow large; /stats trims it to a tail.
         doc["arrivals"] = doc["arrivals"][-50:]
@@ -668,6 +820,7 @@ async def _respond_json(
         202: "Accepted",
         400: "Bad Request",
         404: "Not Found",
+        422: "Unprocessable Entity",
         429: "Too Many Requests",
         500: "Internal Server Error",
         503: "Service Unavailable",

@@ -156,6 +156,10 @@ class ServiceStats:
     arrivals: list[ArrivalRecord] = field(default_factory=list)
     started_monotonic: float = field(default_factory=time.monotonic)
     config: dict[str, Any] = field(default_factory=dict)
+    #: Specs poisoned out of admission (truncated run key -> reason).
+    #: Persists through drain so the stats document records *which*
+    #: specs were quarantined, not just how many.
+    quarantine: dict[str, str] = field(default_factory=dict)
 
     # -- recording --------------------------------------------------------
     def now(self) -> float:
@@ -204,6 +208,7 @@ class ServiceStats:
                 p: h.to_json() for p, h in self.service_time.items()
             },
             "arrivals": [r.to_json() for r in self.arrivals],
+            "quarantine": dict(self.quarantine),
         }
 
     @classmethod
@@ -227,6 +232,9 @@ class ServiceStats:
         stats.arrivals = [
             ArrivalRecord.from_json(r) for r in doc.get("arrivals", [])
         ]
+        stats.quarantine = {
+            str(k): str(v) for k, v in doc.get("quarantine", {}).items()
+        }
         return stats
 
     def write(self, path: str) -> None:
@@ -271,4 +279,11 @@ class ServiceStats:
             )
         lines.append("")
         lines.append(f"arrival log: {len(self.arrivals)} records")
+        if self.quarantine:
+            lines.append("")
+            lines.append(f"quarantined specs: {len(self.quarantine)}")
+            lines += [
+                f"  {key}  {reason}"
+                for key, reason in sorted(self.quarantine.items())
+            ]
         return "\n".join(lines)

@@ -32,14 +32,49 @@ in-process replica and the multiprocessing worker proxy both implement
 it, so the :class:`WindowCoordinator` is *identical code* for the
 local and pooled drivers — local/pooled digest equality holds by
 construction.
+
+Fault tolerance (fail-stop worker loss)
+---------------------------------------
+A window is a pure function of its inputs: given the seeded spec, a
+partition's state after window ``w`` is fully determined by the
+sequence of ``(horizon, imports)`` pairs it executed.  The coordinator
+therefore keeps a **window journal** of exactly those inputs, and when
+a host raises :class:`~repro.errors.PartitionWorkerLost` (the pooled
+driver's typed pipe-EOF), it asks the driver for a replacement host and
+**replays** the lost partition's journal into it — deterministically
+regenerating the partition's state *and* the report the dead worker
+never delivered.  Live partitions are untouched: all cross-partition
+state (frontiers, pending exports) lives in the coordinator, so the
+replayed exports of past windows are discarded as already-routed
+duplicates.
+
+Every K completed windows (``checkpoint_every``) the coordinator takes
+a :class:`WindowCheckpoint` — the barrier's coordinator state plus a
+per-partition replica snapshot (app arrays, queue frontiers, windowed
+tracker counts, via :class:`repro.recovery.checkpoint.Checkpoint`).
+Replica state mid-run contains live generator processes (in-flight
+intra-partition messages, mid-round timers), which no snapshot can
+capture, so checkpoints are not restore *sources* — replay is — but
+they are restore **verifiers**: a replayed partition must pass through
+bit-identical checkpoint digests at every barrier it crosses, and
+window-by-window its replayed reports must match the journal.  Any
+divergence raises :class:`~repro.errors.RecoveryError` instead of
+silently producing a different answer.  Snapshots are read-only, so a
+zero-kill run with checkpointing enabled is digest-identical to a
+checkpoint-free run (pinned by ``repro pdes-chaos --verify-inert``).
 """
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Any, Optional, Protocol, Sequence
+from typing import Any, Callable, Optional, Protocol, Sequence
 
-from repro.errors import SimulationError
+from repro.errors import (
+    PartitionWorkerLost,
+    RecoveryError,
+    SimulationError,
+)
 
 __all__ = [
     "partition_ranks",
@@ -49,6 +84,7 @@ __all__ = [
     "WindowReport",
     "PartitionHost",
     "WindowStats",
+    "WindowCheckpoint",
     "WindowCoordinator",
 ]
 
@@ -225,6 +261,12 @@ class WindowStats:
     #: Σ over windows and partitions of execution time: the total
     #: compute the run performed (the serial engine's equivalent work).
     busy_wall_s: float = 0.0
+    #: Barrier checkpoints taken (``checkpoint_every`` enabled).
+    checkpoints_taken: int = 0
+    #: Journal windows re-executed into respawned workers.
+    windows_replayed: int = 0
+    #: Replacement workers spawned after a fail-stop loss.
+    workers_respawned: int = 0
 
     def as_dict(self) -> dict[str, float]:
         return {
@@ -234,7 +276,62 @@ class WindowStats:
             "idle_partition_windows": self.idle_partition_windows,
             "critical_wall_s": self.critical_wall_s,
             "busy_wall_s": self.busy_wall_s,
+            "checkpoints_taken": self.checkpoints_taken,
+            "windows_replayed": self.windows_replayed,
+            "workers_respawned": self.workers_respawned,
         }
+
+    def resilience(self) -> dict[str, float]:
+        """The run's :data:`repro.metrics.RESILIENCE_COUNTERS` slice.
+
+        Kept out of :class:`repro.metrics.RunResult.counters` on
+        purpose: a recovered run must digest bit-identical to an
+        undisturbed one, so chaos tables pull these from the stats.
+        """
+        return {
+            "resilience_checkpoints_taken": float(self.checkpoints_taken),
+            "resilience_windows_replayed": float(self.windows_replayed),
+            "resilience_workers_respawned": float(self.workers_respawned),
+        }
+
+
+@dataclass(frozen=True)
+class WindowCheckpoint:
+    """A consistency anchor at a window barrier.
+
+    The coordinator-side barrier state (frontiers, token balances,
+    pending-import counts) plus one replica snapshot per partition
+    (duck-typed; the pooled driver supplies
+    :class:`repro.recovery.checkpoint.Checkpoint` objects, each with a
+    ``digest()``).  Used to *verify* respawn-and-replay — a replayed
+    partition must reproduce ``parts[p].digest()`` exactly at this
+    barrier — and as a post-mortem record of where the run provably
+    still agreed with itself.
+    """
+
+    #: Completed-window count at the barrier (checkpoint taken *after*
+    #: window ``window - 1``).
+    window: int
+    #: Journal length at the barrier — the replay position the digest
+    #: verification keys on.
+    journal_len: int
+    frontiers: tuple[float, ...]
+    nets: tuple[int, ...]
+    last_delta: tuple[float, ...]
+    #: Pending (routed, not yet injected) import counts per partition.
+    pending: tuple[int, ...]
+    #: Per-partition replica snapshots (``.digest()`` duck-typed).
+    parts: tuple[Any, ...]
+
+    def digest(self) -> str:
+        h = hashlib.sha256()
+        h.update(
+            f"w={self.window}|f={self.frontiers!r}|n={self.nets!r}"
+            f"|d={self.last_delta!r}|p={self.pending!r}\n".encode()
+        )
+        for part in self.parts:
+            h.update(part.digest().encode())
+        return h.hexdigest()
 
 
 class WindowCoordinator:
@@ -267,9 +364,14 @@ class WindowCoordinator:
         hosts: Sequence[PartitionHost],
         lookahead: dict[tuple[int, int], float],
         on_window: Optional[Any] = None,
+        checkpoint_every: Optional[int] = None,
+        recover_host: Optional[Callable[[int], PartitionHost]] = None,
+        max_respawns: int = 3,
     ):
         if not hosts:
             raise ValueError("need at least one partition host")
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
         self.hosts = list(hosts)
         self.lookahead = lookahead
         self.stats = WindowStats()
@@ -280,13 +382,43 @@ class WindowCoordinator:
         self.t_done: Optional[float] = None
         #: Lazily detected: all hosts offer begin/end split stepping.
         self._split_phase: Optional[bool] = None
+        #: Take a :class:`WindowCheckpoint` every this many completed
+        #: windows (None disables checkpointing; replay still works —
+        #: the journal, not the checkpoint, is the restore source).
+        self.checkpoint_every = checkpoint_every
+        #: Driver callback ``partition -> fresh PartitionHost`` invoked
+        #: on fail-stop loss.  None means losses are fatal (the
+        #: in-process local driver has nothing to respawn).
+        self.recover_host = recover_host
+        #: Per-partition budget of replacement workers.
+        self.max_respawns = max_respawns
+        #: Barrier checkpoints, oldest first.
+        self.checkpoints: list[WindowCheckpoint] = []
+        #: Window journal: ``_journal[w][p]`` is the ``(horizon,
+        #: imports)`` pair partition ``p`` executed in window ``w``
+        #: (None when it was skipped) — everything needed to replay
+        #: ``p`` from scratch.
+        self._journal: list[list[Optional[tuple[float, list[Export]]]]] = []
+        #: Report log mirroring the journal: the scalar summary
+        #: ``(frontier, net_tokens, last_delta_time, n_exports)`` each
+        #: stepped partition produced, verified against on replay.
+        self._report_log: list[
+            list[Optional[tuple[float, int, float, int]]]
+        ] = []
+        self._respawns = [0] * len(self.hosts)
 
     def run(self) -> float:
         """Drive all hosts to global quiescence; returns the serial
         termination time (the global last token-delta time)."""
         hosts = self.hosts
         n = len(hosts)
-        seeded = [host.start() for host in hosts]
+        seeded = []
+        for p in range(n):
+            try:
+                seeded.append(hosts[p].start())
+            except PartitionWorkerLost as lost:
+                count, _report = self._revive(p, lost)
+                seeded.append(count)
         if not any(seeded):
             raise SimulationError("no seed work on any partition")
 
@@ -354,27 +486,73 @@ class WindowCoordinator:
             skipped = WindowReport(
                 frontier=0.0, net_tokens=0, last_delta_time=0.0
             )
+            # Journal the window's inputs *before* dispatching them:
+            # a worker lost mid-window is replayed from exactly this
+            # record, current window included.
+            entry: list[Optional[tuple[float, list[Export]]]] = [None] * n
+            for p in range(n):
+                if step[p]:
+                    imports, pending[p] = pending[p], []
+                    entry[p] = (horizons[p], imports)
+            self._journal.append(entry)
+            lost_parts: dict[int, PartitionWorkerLost] = {}
             if self._split_phase:
                 # Fan out every window before gathering any report —
                 # this is where pooled partitions actually overlap.
                 for p, host in enumerate(hosts):
-                    if step[p]:
-                        imports, pending[p] = pending[p], []
-                        host.begin_window(horizons[p], imports)
-                reports = [
-                    host.end_window() if step[p] else skipped
-                    for p, host in enumerate(hosts)
-                ]
+                    if entry[p] is not None:
+                        try:
+                            host.begin_window(entry[p][0], entry[p][1])
+                        except PartitionWorkerLost as exc:
+                            exc.window = self.stats.windows
+                            lost_parts[p] = exc
+                reports = []
+                for p, host in enumerate(hosts):
+                    if entry[p] is None:
+                        reports.append(skipped)
+                    elif p in lost_parts:
+                        reports.append(skipped)
+                    else:
+                        try:
+                            reports.append(host.end_window())
+                        except PartitionWorkerLost as exc:
+                            exc.window = self.stats.windows
+                            lost_parts[p] = exc
+                            reports.append(skipped)
             else:
                 reports = []
                 for p, host in enumerate(hosts):
-                    if step[p]:
-                        imports, pending[p] = pending[p], []
-                        reports.append(
-                            host.step_window(horizons[p], imports)
-                        )
-                    else:
+                    if entry[p] is None:
                         reports.append(skipped)
+                    else:
+                        try:
+                            reports.append(
+                                host.step_window(entry[p][0], entry[p][1])
+                            )
+                        except PartitionWorkerLost as exc:
+                            exc.window = self.stats.windows
+                            lost_parts[p] = exc
+                            reports.append(skipped)
+            for p, exc in sorted(lost_parts.items()):
+                # The replay regenerates the current window's report
+                # (exports intact — the dead worker never delivered
+                # them, so nothing was routed twice).
+                _count, report = self._revive(p, exc)
+                assert report is not None
+                reports[p] = report
+            self._report_log.append(
+                [
+                    None
+                    if entry[p] is None
+                    else (
+                        reports[p].frontier,
+                        reports[p].net_tokens,
+                        reports[p].last_delta_time,
+                        len(reports[p].exports),
+                    )
+                    for p in range(n)
+                ]
+            )
             window_max_wall = 0.0
             for p, report in enumerate(reports):
                 if report is skipped:
@@ -397,9 +575,127 @@ class WindowCoordinator:
             self.stats.windows += 1
             if self.on_window is not None:
                 self.on_window(self.stats.windows - 1, horizons, reports)
+            if (
+                self.checkpoint_every
+                and self.stats.windows % self.checkpoint_every == 0
+            ):
+                self._take_checkpoint(frontiers, nets, last_delta, pending)
 
         self.t_done = max(last_delta)
         return self.t_done
+
+    # ------------------------------------------------- fault tolerance
+    def revive(self, p: int, cause: PartitionWorkerLost) -> PartitionHost:
+        """Respawn-and-replay partition ``p`` after a loss surfaced
+        outside the window loop (e.g. during finalize); returns the
+        replacement host, fully caught up to the last barrier."""
+        self._revive(p, cause)
+        return self.hosts[p]
+
+    def _revive(
+        self, p: int, cause: PartitionWorkerLost
+    ) -> tuple[int, Optional[WindowReport]]:
+        """Spawn a replacement host for ``p`` and replay its journal.
+
+        Returns ``(seed_count, last_report)`` where ``last_report`` is
+        the report of the most recent journaled window in which ``p``
+        stepped (None when it never stepped) — when called from the
+        window loop that is exactly the report the dead worker owed.
+        Replay is verified window-by-window against the report log and
+        digest-checked at every checkpoint barrier it crosses.
+        """
+        if self.recover_host is None:
+            raise cause
+        barriers = {
+            ckpt.journal_len: (i, ckpt)
+            for i, ckpt in enumerate(self.checkpoints)
+        }
+        last_error: Exception = cause
+        while self._respawns[p] < self.max_respawns:
+            self._respawns[p] += 1
+            self.stats.workers_respawned += 1
+            host = self.recover_host(p)
+            self.hosts[p] = host
+            try:
+                seed_count = host.start()
+                report: Optional[WindowReport] = None
+                replayed = 0
+                for w, entry in enumerate(self._journal):
+                    inp = entry[p]
+                    if inp is None:
+                        continue
+                    report = host.step_window(inp[0], inp[1])
+                    replayed += 1
+                    if w < len(self._report_log):
+                        logged = self._report_log[w][p]
+                        got = (
+                            report.frontier,
+                            report.net_tokens,
+                            report.last_delta_time,
+                            len(report.exports),
+                        )
+                        if logged != got:
+                            raise RecoveryError(
+                                f"replay of partition {p} diverged at "
+                                f"window {w}: journal recorded {logged}, "
+                                f"replay produced {got}"
+                            )
+                    at_barrier = barriers.get(w + 1)
+                    if at_barrier is not None:
+                        epoch, ckpt = at_barrier
+                        snap = getattr(host, "snapshot_state", None)
+                        if snap is not None:
+                            fresh = snap(epoch)
+                            want = ckpt.parts[p]
+                            if fresh.digest() != want.digest():
+                                raise RecoveryError(
+                                    f"replay of partition {p} diverged "
+                                    f"at checkpoint barrier (window "
+                                    f"{w + 1}): snapshot digest mismatch"
+                                )
+                self.stats.windows_replayed += replayed
+                return seed_count, report
+            except PartitionWorkerLost as exc:
+                # The replacement died too; loop while budget remains.
+                last_error = exc
+        raise SimulationError(
+            f"partition {p} lost its worker and every replacement; "
+            f"respawn budget ({self.max_respawns}) exhausted"
+        ) from last_error
+
+    def _take_checkpoint(
+        self,
+        frontiers: Sequence[float],
+        nets: Sequence[int],
+        last_delta: Sequence[float],
+        pending: Sequence[Sequence[Export]],
+    ) -> None:
+        epoch = len(self.checkpoints)
+        parts: list[Any] = []
+        for p in range(len(self.hosts)):
+            snap = getattr(self.hosts[p], "snapshot_state", None)
+            if snap is None:
+                # Hosts that cannot snapshot (bare protocol
+                # implementations) simply run checkpoint-free.
+                return
+            try:
+                parts.append(snap(epoch))
+            except PartitionWorkerLost as exc:
+                exc.window = self.stats.windows - 1
+                self._revive(p, exc)
+                parts.append(self.hosts[p].snapshot_state(epoch))
+        self.checkpoints.append(
+            WindowCheckpoint(
+                window=self.stats.windows,
+                journal_len=len(self._journal),
+                frontiers=tuple(frontiers),
+                nets=tuple(nets),
+                last_delta=tuple(last_delta),
+                pending=tuple(len(x) for x in pending),
+                parts=tuple(parts),
+            )
+        )
+        self.stats.checkpoints_taken += 1
 
     # ------------------------------------------------------------ routing
     def set_rank_owners(self, parts: Sequence[Sequence[int]]) -> None:

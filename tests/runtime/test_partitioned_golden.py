@@ -91,7 +91,10 @@ def test_crash_plan_collapses_to_one_partition(cell, engine):
     # still match the serial digest exactly.
     serial = _serial(cell, "bfs", plan=CRASH)
     stats = WindowStats()
-    result = _partitioned(cell, "bfs", 4, engine, plan=CRASH, stats=stats)
+    with pytest.warns(RuntimeWarning, match="downgrading"):
+        result = _partitioned(
+            cell, "bfs", 4, engine, plan=CRASH, stats=stats
+        )
     assert result.digest() == serial.digest()
     assert stats.windows == 0  # never entered windowed coordination
 

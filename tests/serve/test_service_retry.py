@@ -1,0 +1,187 @@
+"""Service-level retry and quarantine, end to end.
+
+A worker *crash* (pipe EOF — ``os._exit``, OOM-kill, segfault) is the
+one failure the service retries: execution is idempotent under the
+run-cache key, so a respawned worker either recomputes the same pure
+result or serves it from cache.  These tests drive a real forked fleet
+with a stub executor whose crash budget is encoded in ``spec.seed``
+(``seed - 9000`` crashes before succeeding), and pin:
+
+* a crash-once spec succeeds on the retry, same digest, followers ride;
+* a spec that keeps crashing is quarantined — the cell fails with the
+  quarantine marker, further submits get 422, and the drained stats
+  document names the spec;
+* in-worker exceptions are deterministic and never retried.
+"""
+
+import hashlib
+import os
+import tempfile
+import time
+
+import pytest
+
+from repro.serve.client import ServeError
+from repro.serve.protocol import RetryPolicy, spec_from_json
+
+from tests.serve.test_service_e2e import (
+    _MARK_ENV,
+    SPEC,
+    FakeResult,
+    ServiceThread,
+    _config,
+)
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+#: Fast backoff so retries land in test time.
+FAST_RETRY = {
+    "interactive": RetryPolicy(max_attempts=2, backoff_base_s=0.01),
+    "batch": RetryPolicy(max_attempts=3, backoff_base_s=0.01),
+    "bulk": RetryPolicy(max_attempts=4, backoff_base_s=0.01),
+}
+
+
+def crashy_run(spec, trace=False):
+    """Stub executor with a seed-encoded crash budget.
+
+    ``seed >= 9000`` crashes ``seed - 9000`` times before succeeding
+    (hard exit: no traceback, pipe EOF — exactly what the fleet reports
+    as ``crashed``).  Attempts are counted via marker files so the
+    budget survives the respawned process.  ``seed == 8999`` raises an
+    ordinary exception instead (the never-retried control).
+    """
+    mark_dir = os.environ[_MARK_ENV]
+    label = spec.label().replace("/", "_")
+    prior = len(
+        [f for f in os.listdir(mark_dir) if f.startswith(label + ".")]
+    )
+    with open(
+        os.path.join(mark_dir, f"{label}.{prior}.{time.time_ns()}"), "w"
+    ):
+        pass
+    if spec.seed == 8999:
+        raise RuntimeError("deterministic in-worker failure")
+    budget = spec.seed - 9000 if spec.seed >= 9000 else 0
+    if prior < budget:
+        os._exit(13)
+    return FakeResult(value=spec.label()), None
+
+
+def _expected_digest(spec_doc: dict) -> str:
+    label = spec_from_json(spec_doc).label()
+    return hashlib.sha256(label.encode()).hexdigest()
+
+
+def test_crash_once_spec_succeeds_on_retry():
+    spec = dict(SPEC, seed=9001)  # one crash, then clean
+    with tempfile.TemporaryDirectory() as marks:
+        os.environ[_MARK_ENV] = marks
+        try:
+            config = _config(workers=2, retry=dict(FAST_RETRY))
+            with ServiceThread(config, run_fn=crashy_run) as live:
+                client = live.client()
+                final = client.wait(client.submit({"spec": spec})["job_id"])
+                assert final["state"] == "done"
+                result = final["results"][0]
+                assert result["status"] == "ok"
+                assert result["attempts"] == 2
+                assert result["digest"] == _expected_digest(spec)
+                counters = client.stats()["counters"]
+                assert counters["service_retries"] == 1
+                assert counters["service_respawn_retries"] == 1
+                assert counters["resilience_jobs_retried"] == 1
+                assert counters.get("service_quarantined", 0) == 0
+        finally:
+            del os.environ[_MARK_ENV]
+        assert len(os.listdir(marks)) == 2  # crash + clean rerun
+
+
+def test_followers_ride_the_retry():
+    # Three concurrent submits of the same crash-once spec: single
+    # flight keeps the cell registered across the retry, so all three
+    # jobs resolve from the (successful) second attempt — and the
+    # marker count proves only two executions ever happened.
+    spec = dict(SPEC, seed=9001)
+    with tempfile.TemporaryDirectory() as marks:
+        os.environ[_MARK_ENV] = marks
+        try:
+            config = _config(workers=2, retry=dict(FAST_RETRY))
+            with ServiceThread(config, run_fn=crashy_run) as live:
+                client = live.client()
+                jobs = [
+                    client.submit({"spec": spec})["job_id"]
+                    for _ in range(3)
+                ]
+                digests = set()
+                for job_id in jobs:
+                    final = client.wait(job_id)
+                    assert final["state"] == "done"
+                    digests.add(final["results"][0]["digest"])
+                assert digests == {_expected_digest(spec)}
+                counters = client.stats()["counters"]
+                assert counters["service_deduped"] == 2
+        finally:
+            del os.environ[_MARK_ENV]
+        assert len(os.listdir(marks)) == 2
+
+
+def test_always_crashing_spec_is_quarantined():
+    spec = dict(SPEC, seed=9999)  # crashes forever
+    stats_path = os.path.join(tempfile.mkdtemp(), "stats.json")
+    with tempfile.TemporaryDirectory() as marks:
+        os.environ[_MARK_ENV] = marks
+        try:
+            config = _config(
+                workers=1,
+                retry=dict(FAST_RETRY),
+                quarantine_after=2,
+                stats_path=stats_path,
+            )
+            with ServiceThread(config, run_fn=crashy_run) as live:
+                client = live.client()
+                final = client.wait(client.submit({"spec": spec})["job_id"])
+                assert final["state"] == "failed"
+                result = final["results"][0]
+                assert result["status"] == "crashed"
+                assert result["quarantined"] is True
+                assert result["attempts"] == 2  # stopped by quarantine
+                with pytest.raises(ServeError) as excinfo:
+                    client.submit({"spec": spec})
+                assert excinfo.value.status == 422
+                counters = client.stats()["counters"]
+                assert counters["service_quarantined"] == 1
+                assert counters["resilience_specs_quarantined"] == 1
+                assert client.stats()["live"]["quarantined_specs"] == 1
+                # A *different* spec is unaffected.
+                clean = client.wait(
+                    client.submit({"spec": dict(SPEC, seed=1)})["job_id"]
+                )
+                assert clean["state"] == "done"
+        finally:
+            del os.environ[_MARK_ENV]
+    from repro.serve.stats import ServiceStats
+
+    stats = ServiceStats.read(stats_path)
+    assert stats.quarantine  # the drained document names the spec
+    assert stats.counters["service_quarantined"] == 1
+
+
+def test_in_worker_exception_is_never_retried():
+    spec = dict(SPEC, seed=8999)  # raises deterministically
+    with tempfile.TemporaryDirectory() as marks:
+        os.environ[_MARK_ENV] = marks
+        try:
+            config = _config(workers=1, retry=dict(FAST_RETRY))
+            with ServiceThread(config, run_fn=crashy_run) as live:
+                client = live.client()
+                final = client.wait(client.submit({"spec": spec})["job_id"])
+                assert final["state"] == "failed"
+                result = final["results"][0]
+                assert result["status"] == "error"
+                assert result["attempts"] == 1
+                counters = client.stats()["counters"]
+                assert counters.get("service_retries", 0) == 0
+        finally:
+            del os.environ[_MARK_ENV]
+        assert len(os.listdir(marks)) == 1  # exactly one execution
