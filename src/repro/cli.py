@@ -296,25 +296,42 @@ def _cmd_report(args: argparse.Namespace) -> int:
         return 0
 
     datasets, gpus = _grid_args(args.quick)
+    grids = [
+        table2_bfs_nvlink(
+            datasets, gpus or (1, 2, 3, 4), **_pool_kwargs(args)
+        ),
+        table4_pagerank_nvlink(
+            datasets, gpus or (1, 2, 3, 4), **_pool_kwargs(args)
+        ),
+    ]
     reports = [
         compare_grid(
             "Table II (BFS, NVLink)",
-            table2_bfs_nvlink(
-                datasets, gpus or (1, 2, 3, 4), **_pool_kwargs(args)
-            ),
+            grids[0],
             PAPER_TABLE2_BFS_NVLINK,
             (1, 2, 3, 4),
         ),
         compare_grid(
             "Table IV (PageRank, NVLink)",
-            table4_pagerank_nvlink(
-                datasets, gpus or (1, 2, 3, 4), **_pool_kwargs(args)
-            ),
+            grids[1],
             PAPER_TABLE4_PR_NVLINK,
             (1, 2, 3, 4),
         ),
     ]
     print("\n\n".join(r.render() for r in reports))
+    # Cache economics live here, NOT in the table renders — those must
+    # stay byte-identical between cold and warm runs (CI diffs them).
+    from repro.harness import get_cache
+    from repro.metrics.tables import format_cache_line
+
+    print()
+    print(
+        format_cache_line(
+            sum(g.cache_hits for g in grids),
+            sum(g.cache_misses for g in grids),
+            waits=get_cache().single_flight_waits,
+        )
+    )
     return 0
 
 
@@ -426,6 +443,63 @@ def _cmd_pdes_bench(args: argparse.Namespace) -> int:
                 f"--fail-below {args.fail_below:.2f}x"
             )
             return 1
+    return 0
+
+
+def _cmd_tune(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.tune import (
+        render_tune_bench,
+        run_fig4_study,
+        run_study,
+        validate_tune_bench,
+    )
+    from repro.tune.space import Space
+    from repro.tune.study import write_bench
+
+    if args.validate:
+        import json
+
+        with open(args.validate) as fh:
+            doc = json.load(fh)
+        n_trials = validate_tune_bench(doc)
+        print(f"{args.validate}: valid ({n_trials} trials)")
+        return 0
+
+    journal = args.journal
+    if journal is None and args.out:
+        journal = os.path.splitext(args.out)[0] + ".ndjson"
+
+    if args.preset == "fig4":
+        doc = run_fig4_study(
+            quick=args.quick,
+            seed=args.seed,
+            jobs=args.jobs,
+            timeout_s=args.timeout,
+            journal_path=journal,
+        )
+    else:
+        if not args.space:
+            print("tune: need --preset fig4 or --space FILE")
+            return 2
+        with open(args.space) as fh:
+            space = Space.from_json(fh.read())
+        doc = run_study(
+            space,
+            searcher=args.searcher,
+            budget=args.budget,
+            objective=args.objective,
+            seed=args.seed,
+            jobs=args.jobs,
+            timeout_s=args.timeout,
+            journal_path=journal,
+            quick=args.quick,
+        )
+    print(render_tune_bench(doc))
+    if args.out:
+        write_bench(doc, args.out)
+        print(f"\nwrote {args.out} (journal: {journal})")
     return 0
 
 
@@ -903,6 +977,76 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_seed_flag(pdes_bench)
     pdes_bench.set_defaults(func=_cmd_pdes_bench)
+
+    tune = sub.add_parser(
+        "tune",
+        help="design-space exploration: searchers over the cached "
+        "simulator (headline: the Fig-4 sensitivity study)",
+    )
+    tune.add_argument(
+        "--preset",
+        choices=("fig4",),
+        default=None,
+        help="run a named study preset instead of --space",
+    )
+    tune.add_argument(
+        "--space",
+        default=None,
+        metavar="FILE",
+        help="JSON parameter-space definition (see repro.tune.space)",
+    )
+    tune.add_argument(
+        "--searcher",
+        default="random",
+        metavar="NAME",
+        help="random | grid | evolutionary | sha (--space mode only)",
+    )
+    tune.add_argument(
+        "--budget",
+        type=int,
+        default=16,
+        metavar="N",
+        help="evaluation-unit budget (--space mode only)",
+    )
+    tune.add_argument(
+        "--objective",
+        default="makespan",
+        metavar="NAME",
+        help="makespan | critical_path | msg_throughput | composite "
+        "(--space mode only)",
+    )
+    tune.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller preset grids (fig4: BFS only)",
+    )
+    tune.add_argument("--jobs", type=int, default=None, metavar="N")
+    tune.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS"
+    )
+    tune.add_argument(
+        "--out",
+        default="BENCH_tune.json",
+        metavar="PATH",
+        help="write the study document as JSON (default: "
+        "BENCH_tune.json)",
+    )
+    tune.add_argument(
+        "--journal",
+        default=None,
+        metavar="PATH",
+        help="resumable NDJSON trial journal (default: --out path "
+        "with .ndjson suffix)",
+    )
+    tune.add_argument(
+        "--validate",
+        default=None,
+        metavar="PATH",
+        help="schema-check an existing BENCH_tune.json and exit "
+        "(no study run)",
+    )
+    add_seed_flag(tune)
+    tune.set_defaults(func=_cmd_tune)
 
     chaos = sub.add_parser(
         "chaos",

@@ -10,10 +10,10 @@ ablation benchmarks can sweep them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Literal
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Literal
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigError, ConfigurationError
 
 __all__ = [
     "GB_PER_S",
@@ -21,7 +21,11 @@ __all__ = [
     "BFS_WAIT_TIME",
     "PAGERANK_WAIT_TIME",
     "DEFAULT_WAIT_TIME",
+    "ENGINE_QUEUES",
+    "PDES_DRIVERS",
     "wait_time_for",
+    "validate_tuning",
+    "ConfigOverlay",
     "GPUSpec",
     "LinkSpec",
     "CostModel",
@@ -59,6 +63,138 @@ _WAIT_TIMES = {"bfs": BFS_WAIT_TIME, "pagerank": PAGERANK_WAIT_TIME}
 def wait_time_for(app: str) -> int:
     """The paper's per-application aggregator WAIT_TIME tuning."""
     return _WAIT_TIMES.get(app, DEFAULT_WAIT_TIME)
+
+
+#: The pluggable DES event-queue variants (:mod:`repro.sim.equeue`
+#: reads its registry keys from here, keeping one source of truth for
+#: overlay validation and the engine selector).
+ENGINE_QUEUES = ("heap", "calendar")
+
+#: The partitioned-engine drivers (:mod:`repro.runtime.partitioned`).
+PDES_DRIVERS = ("local", "pooled")
+
+
+def validate_tuning(
+    *,
+    batch_size: "int | None" = None,
+    wait_time: "int | None" = None,
+    fetch_size: "int | None" = None,
+    engine_queue: "str | None" = None,
+    partitions: "int | None" = None,
+    pdes_driver: "str | None" = None,
+) -> None:
+    """Central bounds validation for every tunable knob.
+
+    The one place the legal ranges live — executor configs, the
+    aggregator, and design-space overlays all call through here, so a
+    malformed tune point raises one typed :class:`ConfigError` in the
+    parent process instead of a scattered assert deep inside a forked
+    worker.  ``None`` means "not being set" and is always accepted.
+    """
+    if batch_size is not None and (
+        not isinstance(batch_size, int) or batch_size < 1
+    ):
+        raise ConfigError(f"BATCH_SIZE must be an int >= 1, got {batch_size!r}")
+    if wait_time is not None and (
+        not isinstance(wait_time, int) or wait_time < 0
+    ):
+        raise ConfigError(f"WAIT_TIME must be an int >= 0, got {wait_time!r}")
+    if fetch_size is not None and (
+        not isinstance(fetch_size, int) or fetch_size < 1
+    ):
+        raise ConfigError(f"fetch_size must be an int >= 1, got {fetch_size!r}")
+    if engine_queue is not None and engine_queue not in ENGINE_QUEUES:
+        raise ConfigError(
+            f"unknown engine_queue {engine_queue!r}; known: {ENGINE_QUEUES}"
+        )
+    if partitions is not None and (
+        not isinstance(partitions, int) or partitions < 1
+    ):
+        raise ConfigError(f"partitions must be an int >= 1, got {partitions!r}")
+    if pdes_driver is not None and pdes_driver not in PDES_DRIVERS:
+        raise ConfigError(
+            f"unknown pdes_driver {pdes_driver!r}; known: {PDES_DRIVERS}"
+        )
+
+
+@dataclass(frozen=True)
+class ConfigOverlay:
+    """A validated, hashable bundle of tuning-knob overrides.
+
+    The unit of configuration a design-space point compiles into: every
+    field is optional (``None`` = keep the default), bounds are checked
+    centrally in ``__post_init__`` via :func:`validate_tuning` so a
+    malformed overlay raises :class:`repro.errors.ConfigError` before
+    any worker forks, and the frozen dataclass is hashable so it can
+    ride inside a :class:`repro.harness.pool.RunSpec` and participate
+    in run-cache keys.
+    """
+
+    #: Aggregator flush threshold in bytes (``AtosConfig.batch_size``).
+    batch_size: "int | None" = None
+    #: Aggregator poll visits before a timeout flush.
+    wait_time: "int | None" = None
+    #: Tasks popped per worker per scheduling round.
+    fetch_size: "int | None" = None
+    #: DES event-queue variant (``heap`` | ``calendar``).
+    engine_queue: "str | None" = None
+    #: Partition the simulation across N event loops (>= 2 engages the
+    #: windowed PDES engine; results stay digest-identical to serial).
+    partitions: "int | None" = None
+    #: Partitioned-engine driver (``local`` | ``pooled``).
+    pdes_driver: "str | None" = None
+
+    def __post_init__(self) -> None:
+        validate_tuning(
+            batch_size=self.batch_size,
+            wait_time=self.wait_time,
+            fetch_size=self.fetch_size,
+            engine_queue=self.engine_queue,
+            partitions=self.partitions,
+            pdes_driver=self.pdes_driver,
+        )
+        if self.pdes_driver is not None and (
+            self.partitions is None or self.partitions < 2
+        ):
+            raise ConfigError(
+                "pdes_driver requires partitions >= 2 "
+                f"(got partitions={self.partitions!r})"
+            )
+
+    def __bool__(self) -> bool:
+        """True when at least one knob is actually overridden."""
+        return any(
+            getattr(self, f.name) is not None for f in fields(self)
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        """The overridden knobs only — the overlay's cache identity."""
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if getattr(self, f.name) is not None
+        }
+
+    def executor_overrides(self) -> dict[str, Any]:
+        """The subset applied to :class:`repro.runtime.AtosConfig`."""
+        out: dict[str, Any] = {}
+        for name in ("batch_size", "wait_time", "fetch_size"):
+            value = getattr(self, name)
+            if value is not None:
+                out[name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ConfigOverlay":
+        """Rebuild an overlay from :meth:`as_dict` output (validated)."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown overlay knob(s) {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        return cls(**data)
 
 
 @dataclass(frozen=True, slots=True)

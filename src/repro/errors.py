@@ -118,6 +118,18 @@ class ConfigurationError(ReproError):
     """A system/machine configuration was inconsistent."""
 
 
+class ConfigError(ConfigurationError):
+    """A tuning knob or config-overlay value is out of bounds.
+
+    The typed form of "this point is malformed": raised by the central
+    bounds validation in :mod:`repro.config` (BATCH_SIZE >= 1,
+    WAIT_TIME >= 0, partitions >= 1, known queue/driver names), so a
+    bad design-space point fails loudly in the parent process before
+    any worker is forked for it.  Subclasses
+    :class:`ConfigurationError` so existing handlers keep working.
+    """
+
+
 class PGASError(ReproError):
     """An invalid one-sided memory operation (bad PE, bad offset, ...)."""
 

@@ -17,6 +17,7 @@ WAIT_TIME = 4 for BFS (eager/latency-bound), 32 for PageRank
 from __future__ import annotations
 
 from dataclasses import replace
+from typing import Any
 
 from repro.config import MachineConfig, wait_time_for
 from repro.gpu.kernel import KernelStrategy
@@ -42,10 +43,15 @@ class AtosDriver(FrameworkDriver):
         priority: bool = False,
         variant_name: str | None = None,
         base_config: AtosConfig | None = None,
+        overrides: "dict[str, Any] | None" = None,
     ):
         self.kernel = kernel
         self.priority = priority
         self.base_config = base_config or AtosConfig()
+        #: Knob overrides (batch_size / wait_time / fetch_size) applied
+        #: *after* the per-app defaults in :meth:`_config`, so a tuner
+        #: overlay wins over the analytic wait_time_for derivation.
+        self.overrides = dict(overrides) if overrides else {}
         if variant_name:
             self.name = variant_name
         else:
@@ -57,13 +63,16 @@ class AtosDriver(FrameworkDriver):
         # interleaving that drives the paper's speculation numbers;
         # PageRank has abundant parallelism and uses deeper fetches.
         fetch = 1 if app == "bfs" else 8
-        return replace(
+        cfg = replace(
             self.base_config,
             kernel=self.kernel,
             priority=self.priority and app == "bfs",
             fetch_size=fetch,
             wait_time=wait_time_for(app),
         )
+        if self.overrides:
+            cfg = replace(cfg, **self.overrides)
+        return cfg
 
     def run_bfs(
         self,

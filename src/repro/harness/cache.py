@@ -166,6 +166,9 @@ class RunCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: single_flight callers who waited on a contemporary's compute
+        #: and then read its fresh entry instead of recomputing.
+        self.single_flight_waits = 0
         self._locks_guard = threading.Lock()
         self._key_locks: dict[str, threading.RLock] = {}
 
@@ -273,6 +276,7 @@ class RunCache:
         with self._key_lock(key):
             cached = self.load(key)  # a contemporary may have won the lock
             if cached is not None:
+                self.single_flight_waits += 1
                 return cached
             value = compute()
             self.store(key, value)
@@ -303,6 +307,7 @@ class RunCache:
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
+            "single_flight_waits": self.single_flight_waits,
             "enabled": cache_enabled(),
         }
 

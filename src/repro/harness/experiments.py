@@ -21,6 +21,7 @@ from repro.graph.stats import UNREACHED, bfs_levels
 from repro.graph.datasets import bfs_source
 from repro.harness.pool import RunSpec, grid_specs, run_cells
 from repro.metrics.tables import (
+    format_cache_line,
     format_generic_table,
     format_runtime_table,
     format_scaling_series,
@@ -54,9 +55,20 @@ class GridResult:
     machine: str
     gpu_counts: tuple[int, ...]
     times: dict[str, dict[str, list[float]]] = field(default_factory=dict)
+    #: Persistent-cache accounting summed over the grid's cells.  Kept
+    #: out of :meth:`render` on purpose — table output must stay
+    #: byte-identical between a cold (all-miss) and warm (all-hit)
+    #: regeneration; ``report``-style summaries print
+    #: :meth:`cache_line` separately.
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def series(self, framework: str, dataset: str) -> list[float]:
         return self.times[framework][dataset]
+
+    def cache_line(self) -> str:
+        """One-line cache-effectiveness summary for this grid."""
+        return format_cache_line(self.cache_hits, self.cache_misses)
 
     def render(self, baseline: str | None = None) -> str:
         blocks = []
@@ -97,6 +109,9 @@ def runtime_grid(
         timeout_s=timeout_s,
     )
     grid = GridResult(app=app, machine=machine, gpu_counts=gpu_counts)
+    for result in results.values():
+        grid.cache_hits += result.cache_hits
+        grid.cache_misses += result.cache_misses
     for framework in frameworks:
         rows: dict[str, list[float]] = {}
         for dataset in datasets:

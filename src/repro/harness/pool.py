@@ -70,9 +70,19 @@ class RunSpec:
     #: values re-partition the graph, giving independent repetitions of
     #: a cell (``--seed`` on the grid CLIs).
     seed: int = 0
+    #: Optional :class:`repro.config.ConfigOverlay` of tuning-knob
+    #: overrides (batch/wait/fetch, engine queue, partitioned
+    #: execution).  Frozen and hashable, so an overlaid spec still
+    #: works as a dict key; ``None`` is the plain evaluation cell.
+    overlay: Any = None
 
     def label(self) -> str:
         suffix = f"/seed{self.seed}" if self.seed else ""
+        if self.overlay:
+            knobs = ",".join(
+                f"{k}={v}" for k, v in sorted(self.overlay.as_dict().items())
+            )
+            suffix += f"[{knobs}]"
         return (
             f"{self.framework}/{self.app}/{self.dataset}/"
             f"{self.machine}/{self.n_gpus}gpu{suffix}"
@@ -176,6 +186,7 @@ def execute_spec(spec: RunSpec) -> Any:
         spec.n_gpus,
         validate=spec.validate,
         seed=spec.seed,
+        overlay=spec.overlay,
     )
 
 

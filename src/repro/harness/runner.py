@@ -24,14 +24,16 @@ old ``lru_cache``-on-arguments scheme, which keyed only on the machine
 
 from __future__ import annotations
 
+import contextlib
+import os
 import time
 from functools import lru_cache
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING, Callable, Iterator, Optional
 
 import numpy as np
 
-from repro.config import MachineConfig, daisy, summit_ib, summit_node
-from repro.errors import ConfigurationError
+from repro.config import ConfigOverlay, MachineConfig, daisy, summit_ib, summit_node
+from repro.errors import ConfigError, ConfigurationError
 from repro.harness.cache import (
     RunCache,
     cache_enabled,
@@ -154,9 +156,14 @@ def _spec_dict(
     validate: bool,
     machine: MachineConfig,
     seed: int = 0,
+    overlay: Optional[ConfigOverlay] = None,
 ) -> dict:
-    """The full cache identity of one run: call args + config + code."""
-    return {
+    """The full cache identity of one run: call args + config + code.
+
+    An empty/None overlay adds nothing to the dict, so every
+    pre-overlay cache key (and golden trace) is unchanged.
+    """
+    spec = {
         "framework": framework,
         "app": app,
         "dataset": dataset,
@@ -167,6 +174,9 @@ def _spec_dict(
         "machine_config": machine_fingerprint(machine),
         "code_version": code_fingerprint(),
     }
+    if overlay:
+        spec["overlay"] = overlay.as_dict()
+    return spec
 
 
 def run_key(
@@ -177,13 +187,14 @@ def run_key(
     n_gpus: int,
     validate: bool = True,
     seed: int = 0,
+    overlay: Optional[ConfigOverlay] = None,
 ) -> str:
     """The content-addressed cache key one ``run()`` call resolves to."""
     machine = get_machine(machine_name, n_gpus)
     return RunCache.key(
         _spec_dict(
             framework, app, dataset, machine_name, n_gpus, validate, machine,
-            seed=seed,
+            seed=seed, overlay=overlay,
         )
     )
 
@@ -202,6 +213,7 @@ def seed_memo(spec: "RunSpec", result: RunResult) -> RunResult:
         spec.n_gpus,
         spec.validate,
         seed=spec.seed,
+        overlay=getattr(spec, "overlay", None),
     )
     return _memo.setdefault(key, result)
 
@@ -209,6 +221,30 @@ def seed_memo(spec: "RunSpec", result: RunResult) -> RunResult:
 def clear_memory_cache() -> None:
     """Drop the in-process memo (persistent entries are untouched)."""
     _memo.clear()
+
+
+@contextlib.contextmanager
+def _engine_queue_env(name: Optional[str]) -> Iterator[None]:
+    """Temporarily pin ``REPRO_ENGINE_QUEUE`` for one computation.
+
+    The engine reads the variable per Environment construction, so
+    setting it around the compute (and restoring afterwards) is the
+    process-safe way to select the queue for exactly one run.
+    """
+    if name is None:
+        yield
+        return
+    from repro.sim.equeue import ENGINE_QUEUE_ENV
+
+    prev = os.environ.get(ENGINE_QUEUE_ENV)
+    os.environ[ENGINE_QUEUE_ENV] = name
+    try:
+        yield
+    finally:
+        if prev is None:
+            os.environ.pop(ENGINE_QUEUE_ENV, None)
+        else:
+            os.environ[ENGINE_QUEUE_ENV] = prev
 
 
 def run(
@@ -219,19 +255,28 @@ def run(
     n_gpus: int,
     validate: bool = True,
     seed: int = 0,
+    overlay: Optional[ConfigOverlay] = None,
 ) -> RunResult:
     """Run (cached) one cell of an evaluation grid.
 
     Consults the in-process memo, then the persistent on-disk cache,
     and only then simulates.  Fresh results record their wall-clock
     cost and are validated before being admitted to either cache, so a
-    cache hit never needs (or does) re-validation.
+    cache hit never needs (or does) re-validation.  ``overlay``
+    (a :class:`repro.config.ConfigOverlay`) applies tuning-knob
+    overrides — executor knobs, engine queue, partitioned execution —
+    and extends the cache identity so overlaid runs never alias plain
+    ones.
     """
+    if overlay is not None and not isinstance(overlay, ConfigOverlay):
+        overlay = ConfigOverlay.from_dict(dict(overlay))
+    if not overlay:
+        overlay = None
     machine = get_machine(machine_name, n_gpus)
     key = RunCache.key(
         _spec_dict(
             framework, app, dataset, machine_name, n_gpus, validate, machine,
-            seed=seed,
+            seed=seed, overlay=overlay,
         )
     )
     memoized = _memo.get(key)
@@ -246,7 +291,8 @@ def run(
             return cached
     start = time.perf_counter()
     result = _compute(
-        framework, app, dataset, n_gpus, validate, machine, seed=seed
+        framework, app, dataset, n_gpus, validate, machine, seed=seed,
+        overlay=overlay,
     )
     result.wall_clock_s = time.perf_counter() - start
     result.cache_hits = 0
@@ -277,31 +323,79 @@ def _compute(
     validate: bool,
     machine: MachineConfig,
     seed: int = 0,
+    overlay: Optional[ConfigOverlay] = None,
 ) -> RunResult:
-    """Simulate one cell and validate it against the serial reference."""
+    """Simulate one cell and validate it against the serial reference.
+
+    Overlay routing: executor knobs become driver overrides (Atos
+    frameworks only — the baselines do not expose them, and silently
+    ignoring a knob would poison a tuning study); ``engine_queue`` is
+    pinned via the environment for exactly this computation;
+    ``partitions >= 2`` routes the cell through the windowed PDES
+    coordinator and attaches its :class:`WindowStats` as
+    ``host_stats`` so critical-path objectives can read it.
+    """
+    if app not in ("bfs", "pagerank"):
+        raise ConfigurationError(f"unknown app {app!r}")
     graph = load(dataset)
     partition = get_partition(dataset, n_gpus, seed)
     driver = get_driver(framework)
-    if app == "bfs":
-        result = driver.run_bfs(
-            graph, partition, bfs_source(dataset), machine, dataset=dataset
+    exec_overrides = overlay.executor_overrides() if overlay else {}
+    partitions = overlay.partitions if overlay else None
+    partitioned = partitions is not None and partitions >= 2
+    if (exec_overrides or partitioned) and not isinstance(driver, AtosDriver):
+        raise ConfigError(
+            f"overlay {overlay.as_dict()} requires an atos framework "
+            f"(got {framework!r}): baseline drivers expose no "
+            f"batch/wait/fetch knobs and no partitioned execution"
         )
-        if validate and not np.array_equal(
-            np.asarray(result.output), _reference_depth(dataset)
-        ):
-            raise AssertionError(
-                f"BFS output mismatch: {framework}/{dataset}/{n_gpus}"
+    if exec_overrides and not partitioned:
+        driver.overrides.update(exec_overrides)
+    with _engine_queue_env(overlay.engine_queue if overlay else None):
+        if partitioned:
+            from repro.runtime.partitioned import run_partitioned
+            from repro.sim.partition import WindowStats
+
+            stats = WindowStats()
+            result = run_partitioned(
+                app,
+                graph,
+                partition,
+                machine,
+                n_partitions=partitions,
+                driver=overlay.pdes_driver or "local",
+                source=bfs_source(dataset) if app == "bfs" else 0,
+                epsilon=PR_EPSILON,
+                dataset=dataset,
+                kernel=driver.kernel,
+                priority=driver.priority,
+                variant_name=driver.name,
+                config_overrides=exec_overrides or None,
+                stats=stats,
             )
-    elif app == "pagerank":
-        result = driver.run_pagerank(
-            graph, partition, machine, epsilon=PR_EPSILON, dataset=dataset
-        )
-        if validate and not pagerank_close(
+            result.host_stats = stats.as_dict()
+        elif app == "bfs":
+            result = driver.run_bfs(
+                graph, partition, bfs_source(dataset), machine,
+                dataset=dataset,
+            )
+        else:
+            result = driver.run_pagerank(
+                graph, partition, machine, epsilon=PR_EPSILON,
+                dataset=dataset,
+            )
+    if validate:
+        if app == "bfs":
+            if not np.array_equal(
+                np.asarray(result.output), _reference_depth(dataset)
+            ):
+                raise AssertionError(
+                    f"BFS output mismatch: {framework}/{dataset}/{n_gpus}"
+                )
+        elif not pagerank_close(
             np.asarray(result.output), _reference_rank(dataset), PR_EPSILON
         ):
             raise AssertionError(
                 f"PageRank output mismatch: {framework}/{dataset}/{n_gpus}"
             )
-    else:
-        raise ConfigurationError(f"unknown app {app!r}")
     return result

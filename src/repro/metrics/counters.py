@@ -167,6 +167,12 @@ class RunResult:
     #: disk, (0, 1) computed with caching on, (0, 0) caching off.
     cache_hits: int = 0
     cache_misses: int = 0
+    #: Host-side observation of how the run was executed (e.g. the
+    #: partitioned coordinator's ``WindowStats.as_dict()``).  Excluded
+    #: from :meth:`digest` like the other host metadata, but — unlike
+    #: ``telemetry`` — *kept* through persistent-cache storage so
+    #: critical-path objectives survive a cache-hit replay.
+    host_stats: Any = None
 
     def speedup_over(self, other: "RunResult") -> float:
         """other.time / self.time — how much faster self is."""

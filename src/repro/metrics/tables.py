@@ -9,7 +9,7 @@ from __future__ import annotations
 from typing import Iterable, Mapping, Sequence
 
 __all__ = ["format_runtime_table", "format_scaling_series",
-           "format_generic_table"]
+           "format_generic_table", "format_cache_line"]
 
 
 def _fmt_ms(value: float) -> str:
@@ -93,3 +93,23 @@ def format_generic_table(
     lines = [title, fmt(header), "-" * sum(widths)]
     lines.extend(fmt(r) for r in rows)
     return "\n".join(lines)
+
+
+def format_cache_line(
+    hits: int, misses: int, waits: int = 0, label: str = "run cache"
+) -> str:
+    """One-line persistent-cache effectiveness summary.
+
+    Rendered by ``report``-style summaries and the tune study output —
+    never inside the runtime tables themselves, whose bytes must not
+    depend on cache temperature.
+    """
+    total = hits + misses
+    rate = (100.0 * hits / total) if total else 0.0
+    line = (
+        f"{label}: {hits} hit{'s' if hits != 1 else ''} / "
+        f"{total} run{'s' if total != 1 else ''} ({rate:.0f}% hit rate)"
+    )
+    if waits:
+        line += f", {waits} single-flight wait{'s' if waits != 1 else ''}"
+    return line

@@ -38,8 +38,8 @@ from typing import Any, Callable, Optional
 import numpy as np
 
 from repro.batchpath import batch_path_enabled
-from repro.config import DEFAULT_BATCH_SIZE, DEFAULT_WAIT_TIME
-from repro.errors import ConfigurationError
+from repro.config import DEFAULT_BATCH_SIZE, DEFAULT_WAIT_TIME, validate_tuning
+from repro.errors import ConfigError, ConfigurationError
 
 __all__ = ["MergedBatch", "AggregationBuffer", "Aggregator"]
 
@@ -285,10 +285,13 @@ class Aggregator:
         telemetry: Optional[Any] = None,
         clock: Optional[Callable[[], float]] = None,
     ):
-        if batch_size < 1:
-            raise ConfigurationError("batch_size must be positive")
+        validate_tuning(batch_size=batch_size, wait_time=wait_time)
         if wait_time < 1:
-            raise ConfigurationError("wait_time must be positive")
+            # The overlay-level bound is WAIT_TIME >= 0, but the
+            # aggregator counts poll *visits* before a timeout flush:
+            # a zero count would flush unconditionally on every poll,
+            # which is expressed as batch_size=1 instead.
+            raise ConfigError("wait_time must be positive")
         if telemetry is not None and clock is None:
             raise ConfigurationError("telemetry requires a clock")
         self.my_pe = my_pe

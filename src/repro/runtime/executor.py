@@ -29,6 +29,7 @@ from repro.config import (
     DEFAULT_BATCH_SIZE,
     DEFAULT_WAIT_TIME,
     MachineConfig,
+    validate_tuning,
 )
 from repro.errors import ConfigurationError
 from repro.faults.injectors import DeviceFaultInjector, LinkFaultInjector
@@ -199,6 +200,11 @@ class AtosConfig:
     max_sim_time: float = 5e8
 
     def __post_init__(self) -> None:
+        validate_tuning(
+            batch_size=self.batch_size,
+            wait_time=self.wait_time,
+            fetch_size=self.fetch_size,
+        )
         if self.control_path not in ("gpu", "cpu"):
             raise ConfigurationError("control_path must be 'gpu' or 'cpu'")
         if self.segment_rounds < 1:

@@ -914,6 +914,7 @@ def run_partitioned(
     checkpoint_every: Optional[int] = None,
     kill_plan: Optional[WorkerKillPlan] = None,
     max_respawns: int = 3,
+    config_overrides: Optional[dict] = None,
 ) -> RunResult:
     """Run one application partitioned across ``n_partitions`` loops.
 
@@ -940,6 +941,7 @@ def run_partitioned(
     atos = AtosDriver(
         kernel=kernel, priority=priority, variant_name=variant_name,
         base_config=base_config or AtosConfig(),
+        overrides=config_overrides,
     )
     config = atos._config(app, machine)
     n_partitions = min(n_partitions, machine.n_gpus)

@@ -39,6 +39,8 @@ import os
 from bisect import bisect_right
 from typing import Any, Optional
 
+from repro.config import ENGINE_QUEUES as _ENGINE_QUEUES
+
 __all__ = [
     "ENGINE_QUEUE_ENV",
     "ENGINE_QUEUES",
@@ -52,8 +54,10 @@ __all__ = [
 #: Environment variable selecting the engine's event queue.
 ENGINE_QUEUE_ENV = "REPRO_ENGINE_QUEUE"
 
-#: Known variants, in (reference, optimized) order.
-ENGINE_QUEUES = ("heap", "calendar")
+#: Known variants, in (reference, optimized) order.  The canonical
+#: tuple lives in :mod:`repro.config` next to the other tuning-knob
+#: bounds; re-exported here for backward compatibility.
+ENGINE_QUEUES = _ENGINE_QUEUES
 
 #: Entry shape shared with the environment: (time, priority, seq, event).
 Entry = tuple  # (float, int, int, Any)

@@ -1,0 +1,90 @@
+"""Design-space exploration over the simulated GPU runtime.
+
+``repro.tune`` turns the repo's deterministic simulator + persistent
+run cache into a tuning harness, the ArchGym observation applied to
+this codebase: once the evaluation backend is cheap, reproducible, and
+memoized, *any* search algorithm can be bolted on and compared
+fairly.
+
+The subsystem has four layers:
+
+* :mod:`repro.tune.space` — a typed, serializable parameter space
+  (int/float/log/categorical/conditional dims) whose points compile
+  into :class:`repro.harness.pool.RunSpec` +
+  :class:`repro.config.ConfigOverlay`;
+* :mod:`repro.tune.objective` — pluggable scalar objectives over
+  :class:`repro.metrics.counters.RunResult`;
+* :mod:`repro.tune.search` — seeded random, grid, evolutionary, and
+  successive-halving searchers behind one ``ask()``/``tell()``
+  protocol, deterministic under a study seed;
+* :mod:`repro.tune.evaluate` / :mod:`repro.tune.study` — the pooled,
+  cached evaluation engine and the journaled (resumable) study
+  runner, including the headline Fig-4 sensitivity preset
+  (``python -m repro tune --preset fig4``).
+"""
+
+from repro.tune.evaluate import EvaluationEngine, TrialOutcome, derive_rep_seed
+from repro.tune.objective import OBJECTIVES, Objective, get_objective
+from repro.tune.search import (
+    SEARCHERS,
+    EvolutionarySearcher,
+    GridSearcher,
+    RandomSearcher,
+    Searcher,
+    SuccessiveHalvingSearcher,
+    Trial,
+    make_searcher,
+)
+from repro.tune.space import (
+    CategoricalDim,
+    ConditionalDim,
+    Dim,
+    FloatDim,
+    IntDim,
+    Space,
+    canonical_point,
+    hash_uniform,
+)
+from repro.tune.study import (
+    SCHEMA,
+    StudyJournal,
+    fig4_space,
+    render_tune_bench,
+    run_fig4_study,
+    run_search_phase,
+    run_study,
+    validate_tune_bench,
+)
+
+__all__ = [
+    "SCHEMA",
+    "Dim",
+    "IntDim",
+    "FloatDim",
+    "CategoricalDim",
+    "ConditionalDim",
+    "Space",
+    "canonical_point",
+    "hash_uniform",
+    "Objective",
+    "OBJECTIVES",
+    "get_objective",
+    "Trial",
+    "Searcher",
+    "RandomSearcher",
+    "GridSearcher",
+    "EvolutionarySearcher",
+    "SuccessiveHalvingSearcher",
+    "SEARCHERS",
+    "make_searcher",
+    "derive_rep_seed",
+    "TrialOutcome",
+    "EvaluationEngine",
+    "StudyJournal",
+    "run_search_phase",
+    "run_study",
+    "fig4_space",
+    "run_fig4_study",
+    "render_tune_bench",
+    "validate_tune_bench",
+]

@@ -1,0 +1,221 @@
+"""Evaluation engine: candidate points -> objectives, cached + pooled.
+
+The tuner composes the two ingredients the harness already owns:
+
+* the **process pool** (:mod:`repro.harness.pool`) — a batch of
+  candidate trials fans out over crash-isolated workers, so one
+  diverging configuration cannot take the study down;
+* the **persistent run cache** (:mod:`repro.harness.cache`) — a
+  revisited point (same spec + overlay + seed + code version) is
+  served from disk, so searchers that re-propose known points (grid
+  refinement, evolutionary convergence, successive-halving
+  promotions) pay nothing.
+
+Per-trial repetition seeds are **counter-based** off the study seed
+(`derive_rep_seed`), never drawn from a shared RNG: rep *k* of every
+trial uses the same seed, so (a) parallel evaluation order cannot
+perturb the sequence, (b) repetitions are paired across points
+(variance reduction), and (c) a successive-halving promotion to
+higher fidelity re-uses its lower-rung reps straight from the cache.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+from repro.tune.objective import Objective
+from repro.tune.search import Trial
+from repro.tune.space import Space, hash_uniform
+
+__all__ = [
+    "derive_rep_seed",
+    "TrialOutcome",
+    "EvaluationEngine",
+]
+
+
+def derive_rep_seed(study_seed: int, rep: int) -> int:
+    """Partition seed for repetition ``rep`` of any trial.
+
+    Rep 0 is seed 0 — the evaluation default, so single-rep studies
+    share cache entries with the main tables.  Higher reps hash
+    ``(study_seed, rep)`` into a 31-bit seed: a pure function of the
+    coordinates, like :func:`repro.faults.plan.uniform`.
+    """
+    if rep == 0:
+        return 0
+    return int(hash_uniform(study_seed, "rep-seed", rep) * (2**31 - 1)) + 1
+
+
+@dataclass
+class TrialOutcome:
+    """One evaluated trial: the score plus full cost accounting."""
+
+    trial: Trial
+    status: str  # "ok" | "error"
+    objective: float  # +inf when status != ok
+    per_rep: list = field(default_factory=list)
+    #: RunResults in rep order (ok trials only; not journaled).
+    results: list = field(default_factory=list)
+    #: Journaled raw metrics (mean over reps) so the study doc can
+    #: report e.g. the raw-makespan optimum next to a composite one.
+    aux: dict = field(default_factory=dict)
+    wall_s: float = 0.0
+    simulations: int = 0  # fresh DES runs this trial actually cost
+    disk_hits: int = 0  # reps served from the persistent cache
+    repeat_hits: int = 0  # reps served from this study's own memory
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+
+class EvaluationEngine:
+    """Routes trials through the pool + cache and scores them.
+
+    One engine per study phase: it remembers every spec it has
+    resolved, so a point re-proposed within the study is a free
+    ``repeat_hit`` without even touching the disk cache.
+    """
+
+    def __init__(
+        self,
+        space: Space,
+        objective: Objective,
+        study_seed: int = 0,
+        jobs: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+    ):
+        self.space = space
+        self.objective = objective
+        self.study_seed = int(study_seed)
+        self.jobs = jobs
+        self.timeout_s = timeout_s
+        self._results: dict[Any, Any] = {}  # RunSpec -> RunResult
+        self._failures: dict[Any, str] = {}  # RunSpec -> error text
+        # Study-level accounting.
+        self.simulations = 0
+        self.disk_hits = 0
+        self.repeat_hits = 0
+        self.errors = 0
+
+    # -- spec derivation ----------------------------------------------
+    def specs_for(self, trial: Trial) -> list:
+        """The per-rep RunSpecs of one trial, in rep order."""
+        base = self.space.compile(trial.point)
+        specs = []
+        for rep in range(max(trial.reps, 1)):
+            seed = derive_rep_seed(self.study_seed, rep)
+            specs.append(base if rep == 0 and base.seed == seed
+                         else replace(base, seed=seed))
+        return specs
+
+    # -- evaluation ----------------------------------------------------
+    def evaluate(self, trials: list) -> list:
+        """Evaluate a batch of trials; returns TrialOutcomes in order.
+
+        Specs are deduplicated across the batch *and* against every
+        earlier batch of this study, then fanned out over the pool;
+        failures are isolated per trial (status ``error``,
+        objective +inf) so a crashing configuration is just a bad
+        point, not a dead study.
+        """
+        from repro.harness import runner
+        from repro.harness.pool import run_grid
+
+        per_trial_specs = {t.index: self.specs_for(t) for t in trials}
+        fresh: list = []
+        seen: set = set()
+        for trial in trials:
+            for spec in per_trial_specs[trial.index]:
+                if (
+                    spec not in self._results
+                    and spec not in self._failures
+                    and spec not in seen
+                ):
+                    seen.add(spec)
+                    fresh.append(spec)
+        if fresh:
+            for cell in run_grid(
+                fresh, jobs=self.jobs, timeout_s=self.timeout_s
+            ):
+                if cell.ok:
+                    result = runner.seed_memo(cell.spec, cell.result)
+                    self._results[cell.spec] = result
+                    self.simulations += result.cache_misses
+                    self.disk_hits += result.cache_hits
+                else:
+                    self._failures[cell.spec] = (
+                        f"{cell.status}: {cell.error.strip()}"
+                    )
+                    self.errors += 1
+
+        outcomes = []
+        for trial in trials:
+            outcomes.append(
+                self._score(trial, per_trial_specs[trial.index], seen)
+            )
+        return outcomes
+
+    def _score(self, trial: Trial, specs: list, fresh_specs: set):
+        failures = [
+            self._failures[s] for s in specs if s in self._failures
+        ]
+        if failures or any(s not in self._results for s in specs):
+            missing = [s.label() for s in specs if s not in self._results]
+            return TrialOutcome(
+                trial=trial,
+                status="error",
+                objective=math.inf,
+                error="; ".join(failures) or f"missing cells: {missing}",
+            )
+        results = [self._results[s] for s in specs]
+        try:
+            per_rep = [float(self.objective(r)) for r in results]
+        except Exception as exc:
+            self.errors += 1
+            return TrialOutcome(
+                trial=trial,
+                status="error",
+                objective=math.inf,
+                error=f"objective extraction failed: {exc}",
+            )
+        repeat = sum(1 for s in specs if s not in fresh_specs)
+        self.repeat_hits += repeat
+        n = len(results)
+        aux = {
+            "time_ms": sum(r.time_ms for r in results) / n,
+            "fabric_messages": sum(
+                r.counters.get("fabric_messages", 0) for r in results
+            ) / n,
+        }
+        return TrialOutcome(
+            trial=trial,
+            status="ok",
+            objective=sum(per_rep) / len(per_rep),
+            per_rep=per_rep,
+            results=results,
+            aux=aux,
+            wall_s=sum(r.wall_clock_s for r in results),
+            simulations=sum(
+                r.cache_misses for s, r in zip(specs, results)
+                if s in fresh_specs
+            ),
+            disk_hits=sum(
+                r.cache_hits for s, r in zip(specs, results)
+                if s in fresh_specs
+            ),
+            repeat_hits=repeat,
+        )
+
+    def accounting(self) -> dict:
+        """Study-level cost summary (what the cache saved us)."""
+        return {
+            "simulations": self.simulations,
+            "disk_cache_hits": self.disk_hits,
+            "repeat_hits": self.repeat_hits,
+            "errors": self.errors,
+        }

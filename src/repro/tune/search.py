@@ -1,0 +1,377 @@
+"""Pluggable searchers behind one ``ask()``/``tell()`` interface.
+
+Every searcher proposes :class:`Trial`\\ s (a point plus a fidelity —
+how many repetition seeds to average over) and consumes told
+objectives (lower = better).  The protocol is batch-oriented so the
+evaluation engine can fan a whole generation/rung out over the
+process pool:
+
+* ``ask()`` returns the next untold trial of the current batch, or
+  ``None`` when the searcher needs tells (or is done) — drain with
+  ``while (t := s.ask()) is not None``;
+* ``tell(trial, objective)`` reports one result; once the current
+  batch is fully told, the next ``ask()`` opens the next batch;
+* ``done`` is True when the searcher will never propose again.
+
+Determinism: searchers draw **only** through
+:func:`repro.tune.space.hash_uniform` keyed on ``(seed, trial index /
+generation, dim, purpose)`` — no stateful RNG anywhere — so the same
+seed replays the identical trial sequence no matter how evaluations
+were scheduled.  The shared contract suite pins this for every
+registered searcher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Optional
+
+from repro.errors import ConfigError
+from repro.tune.space import Space, canonical_point, hash_uniform
+
+__all__ = [
+    "Trial",
+    "Searcher",
+    "RandomSearcher",
+    "GridSearcher",
+    "EvolutionarySearcher",
+    "SuccessiveHalvingSearcher",
+    "SEARCHERS",
+    "make_searcher",
+]
+
+
+@dataclass(frozen=True)
+class Trial:
+    """One proposed evaluation: a point at a repetition fidelity."""
+
+    index: int
+    point: Any  # mapping name -> value; kept generic for journaling
+    #: Repetition seeds to average the objective over (fidelity axis:
+    #: successive halving promotes survivors to higher ``reps``).
+    reps: int = 1
+
+    def key(self) -> str:
+        """Identity of the evaluation: point content + fidelity."""
+        return f"{canonical_point(self.point)}@{self.reps}"
+
+
+class Searcher:
+    """Base class: owns the space, the budget, and the ask/tell state.
+
+    ``budget`` counts **evaluation units** — one unit is one repetition
+    of one point — so fidelity-aware searchers (successive halving)
+    conserve exactly the same currency as flat ones.
+    """
+
+    def __init__(self, space: Space, budget: int, seed: int = 0):
+        if budget < 1:
+            raise ConfigError(f"budget must be >= 1, got {budget}")
+        self.space = space
+        self.budget = int(budget)
+        self.seed = int(seed)
+        self.spent = 0  # evaluation units consumed by told trials
+        self._asked: dict[int, Trial] = {}  # outstanding (asked, untold)
+        self._told: list[tuple[Trial, float]] = []
+        self._next_index = 0
+
+    # -- protocol ------------------------------------------------------
+    def ask(self) -> Optional[Trial]:
+        """Next trial of the current batch, or None (need tells / done)."""
+        if self.done:
+            return None
+        trial = self._propose()
+        if trial is None:
+            return None
+        self._asked[trial.index] = trial
+        return trial
+
+    def tell(self, trial: Trial, objective: float) -> None:
+        """Report one evaluated trial's objective (lower = better)."""
+        if trial.index not in self._asked:
+            raise ConfigError(
+                f"tell for unknown/already-told trial #{trial.index}"
+            )
+        del self._asked[trial.index]
+        self.spent += trial.reps
+        self._told.append((trial, float(objective)))
+        self._observe(trial, float(objective))
+
+    @property
+    def done(self) -> bool:
+        """No further proposals will ever come."""
+        return not self._asked and self._exhausted()
+
+    def best(self) -> Optional[tuple[Trial, float]]:
+        """The best told (trial, objective) so far, stable under ties."""
+        if not self._told:
+            return None
+        return min(self._told, key=lambda pair: (pair[1], pair[0].index))
+
+    def trials_told(self) -> list[tuple[Trial, float]]:
+        """Every told (trial, objective), in tell order."""
+        return list(self._told)
+
+    # -- subclass hooks ------------------------------------------------
+    def _propose(self) -> Optional[Trial]:
+        raise NotImplementedError
+
+    def _observe(self, trial: Trial, objective: float) -> None:
+        pass
+
+    def _exhausted(self) -> bool:
+        raise NotImplementedError
+
+    def _claim(self, point, reps: int = 1) -> Optional[Trial]:
+        """Mint the next trial if ``reps`` units still fit the budget."""
+        if self.spent + self._outstanding_units() + reps > self.budget:
+            return None
+        trial = Trial(index=self._next_index, point=point, reps=reps)
+        self._next_index += 1
+        return trial
+
+    def _outstanding_units(self) -> int:
+        return sum(t.reps for t in self._asked.values())
+
+
+class RandomSearcher(Searcher):
+    """Seeded random sampling: trial i is ``space.sample(seed, i)``."""
+
+    name = "random"
+
+    def _propose(self) -> Optional[Trial]:
+        return self._claim(self.space.sample(self.seed, self._next_index))
+
+    def _exhausted(self) -> bool:
+        return self.spent + self._outstanding_units() >= self.budget
+
+
+class GridSearcher(Searcher):
+    """Exhaustive sweep of ``space.grid()`` in deterministic order."""
+
+    name = "grid"
+
+    def __init__(self, space: Space, budget: int, seed: int = 0):
+        super().__init__(space, budget, seed)
+        self._points = space.grid()
+
+    def _propose(self) -> Optional[Trial]:
+        if self._next_index >= len(self._points):
+            return None
+        return self._claim(self._points[self._next_index])
+
+    def _exhausted(self) -> bool:
+        return (
+            self._next_index >= len(self._points)
+            or self.spent + self._outstanding_units() >= self.budget
+        )
+
+
+class EvolutionarySearcher(Searcher):
+    """(mu + lambda) evolution with per-dim mutation.
+
+    Generation 0 is ``mu + lam`` random samples; each later generation
+    keeps the best ``mu`` individuals seen so far (parents + children —
+    the "+" strategy) and asks ``lam`` children, each a per-dim
+    mutation of a parent chosen round-robin by rank.  All draws are
+    counter-based on (seed, generation, child, dim), so the sequence
+    is a pure function of the seed and the told objectives.
+    """
+
+    name = "evolutionary"
+
+    def __init__(
+        self,
+        space: Space,
+        budget: int,
+        seed: int = 0,
+        mu: int = 4,
+        lam: int = 8,
+    ):
+        super().__init__(space, budget, seed)
+        if mu < 1 or lam < 1:
+            raise ConfigError(f"mu/lam must be >= 1, got {mu}/{lam}")
+        self.mu = mu
+        self.lam = lam
+        self._generation = 0
+        self._queue: list = [
+            self.space.sample(self.seed, i) for i in range(mu + lam)
+        ]
+        self._queued = 0  # how many of _queue have been asked
+
+    def _propose(self) -> Optional[Trial]:
+        if self._queued >= len(self._queue):
+            if self._asked:
+                return None  # generation still in flight
+            self._breed()
+            if self._queued >= len(self._queue):
+                return None
+        trial = self._claim(self._queue[self._queued])
+        if trial is not None:
+            self._queued += 1
+        return trial
+
+    def _breed(self) -> None:
+        """Select the best mu overall and queue lam mutated children."""
+        if not self._told:
+            return
+        self._generation += 1
+        ranked = sorted(self._told, key=lambda pair: (pair[1], pair[0].index))
+        parents = [trial.point for trial, _ in ranked[: self.mu]]
+        self._queue = [
+            self.space.mutate(
+                parents[child % len(parents)],
+                self.seed,
+                self._generation,
+                child,
+            )
+            for child in range(self.lam)
+        ]
+        self._queued = 0
+
+    def _exhausted(self) -> bool:
+        return self.spent + self._outstanding_units() >= self.budget
+
+    def _observe(self, trial: Trial, objective: float) -> None:
+        # Breeding happens lazily in _propose once the batch drains.
+        pass
+
+
+class SuccessiveHalvingSearcher(Searcher):
+    """Successive halving over repetition-seed fidelity rungs.
+
+    Rung 0 evaluates ``n0`` random configs at 1 rep; each next rung
+    keeps the top ``1/eta`` (at least one) and re-evaluates them at
+    ``eta``x the reps.  Promotion is strictly by rung rank — the
+    contract suite pins both that monotonicity and exact budget
+    conservation (a promoted trial's *new* units are ``reps_hi -
+    reps_lo``, because the evaluation engine's per-rep seeds are
+    counter-based and already-cached lower-rung reps are free).
+    """
+
+    name = "sha"
+
+    def __init__(
+        self,
+        space: Space,
+        budget: int,
+        seed: int = 0,
+        eta: int = 2,
+        n0: Optional[int] = None,
+    ):
+        super().__init__(space, budget, seed)
+        if eta < 2:
+            raise ConfigError(f"eta must be >= 2, got {eta}")
+        self.eta = eta
+        if n0 is None:
+            # Spend roughly half the budget on rung 0.
+            n0 = max(self.eta, budget // 2)
+        self.n0 = min(n0, budget)
+        self._rung = 0
+        self._queue = [
+            (self.space.sample(self.seed, i), 1) for i in range(self.n0)
+        ]
+        self._queued = 0
+        self._rung_results: list[tuple[Trial, float]] = []
+        self._promotions: list[dict] = []  # audit: one entry per promotion
+        self._charged: dict[int, int] = {}  # trial index -> charged units
+
+    def _propose(self) -> Optional[Trial]:
+        if self._queued >= len(self._queue):
+            if self._asked:
+                return None
+            self._promote()
+            if self._queued >= len(self._queue):
+                return None
+        point, reps = self._queue[self._queued]
+        prior = reps // self.eta if reps > 1 else 0
+        trial = self._claim(point, reps=reps - prior)
+        if trial is not None:
+            # The engine must evaluate the full fidelity; only the
+            # *new* reps were charged, so re-mint at full reps with
+            # the charged units recorded via the claim above.
+            trial = replace(trial, reps=reps)
+            self._charged[trial.index] = reps - prior
+            self._queued += 1
+        return trial
+
+    def tell(self, trial: Trial, objective: float) -> None:
+        if trial.index not in self._asked:
+            raise ConfigError(
+                f"tell for unknown/already-told trial #{trial.index}"
+            )
+        del self._asked[trial.index]
+        charged = self._charged.pop(trial.index, trial.reps)
+        self.spent += charged
+        self._told.append((trial, float(objective)))
+        self._rung_results.append((trial, float(objective)))
+
+    def _promote(self) -> None:
+        if not self._rung_results:
+            return
+        ranked = sorted(
+            self._rung_results, key=lambda pair: (pair[1], pair[0].index)
+        )
+        keep = max(1, len(ranked) // self.eta)
+        if len(ranked) <= 1:
+            self._queue, self._queued = [], 0
+            self._rung_results = []
+            return
+        survivors = ranked[:keep]
+        self._promotions.append(
+            {
+                "rung": self._rung,
+                "evaluated": len(ranked),
+                "promoted": keep,
+                "objectives": [obj for _, obj in ranked],
+                "cut": ranked[keep - 1][1],
+            }
+        )
+        self._rung += 1
+        next_reps = survivors[0][0].reps * self.eta
+        self._queue = [
+            (trial.point, next_reps) for trial, _ in survivors
+        ]
+        self._queued = 0
+        self._rung_results = []
+
+    def _outstanding_units(self) -> int:
+        return sum(
+            self._charged.get(i, t.reps) for i, t in self._asked.items()
+        )
+
+    def _exhausted(self) -> bool:
+        if self._queued < len(self._queue):
+            # Still queued work; only exhausted if nothing fits.
+            point, reps = self._queue[self._queued]
+            prior = reps // self.eta if reps > 1 else 0
+            return self.spent + self._outstanding_units() + (
+                reps - prior
+            ) > self.budget
+        return not self._asked and not self._rung_results
+
+    def promotions(self) -> list[dict]:
+        """Audit log: per-rung evaluation counts and promotion cuts."""
+        return list(self._promotions)
+
+
+#: Registry for ``--searcher``.
+SEARCHERS = {
+    "random": RandomSearcher,
+    "grid": GridSearcher,
+    "evolutionary": EvolutionarySearcher,
+    "sha": SuccessiveHalvingSearcher,
+}
+
+
+def make_searcher(
+    name: str, space: Space, budget: int, seed: int = 0, **kwargs
+) -> Searcher:
+    """Instantiate a registered searcher by name; ConfigError if unknown."""
+    try:
+        cls = SEARCHERS[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown searcher {name!r}; known: {sorted(SEARCHERS)}"
+        ) from None
+    return cls(space, budget, seed=seed, **kwargs)

@@ -1,0 +1,598 @@
+"""Typed, serializable parameter spaces for design-space exploration.
+
+A :class:`Space` is an ordered list of typed dimensions
+(:class:`IntDim`, :class:`FloatDim`, :class:`CategoricalDim`, and
+:class:`ConditionalDim` wrappers) plus a ``base`` of fixed run
+parameters.  A sampled **point** is a plain ``{name: value}`` dict —
+JSON-serializable, journal-friendly — and :meth:`Space.compile` turns
+a point into the concrete execution request: a
+:class:`repro.harness.pool.RunSpec` carrying a
+:class:`repro.config.ConfigOverlay` of tuning-knob overrides.
+
+Dimension names split into two vocabularies, both validated loudly:
+
+* **spec fields** — ``framework``, ``app``, ``dataset``, ``machine``,
+  ``n_gpus`` (which cell of the evaluation grid to run);
+* **overlay knobs** — ``batch_size``, ``wait_time``, ``fetch_size``,
+  ``engine_queue``, ``partitions``, ``pdes_driver`` (how to run it).
+
+Randomness is **counter-based** throughout (the :mod:`repro.faults`
+idiom): every draw is a pure function of ``(seed, *coordinates)``, so
+a sampled point depends only on its trial index — never on how many
+draws other trials made, and never on evaluation order under a
+parallel pool.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Optional
+
+from repro.config import ConfigOverlay
+from repro.errors import ConfigError
+
+__all__ = [
+    "SPEC_FIELDS",
+    "OVERLAY_FIELDS",
+    "hash_uniform",
+    "Dim",
+    "IntDim",
+    "FloatDim",
+    "CategoricalDim",
+    "ConditionalDim",
+    "Space",
+    "canonical_point",
+]
+
+#: Point keys that select *which* evaluation cell runs.
+SPEC_FIELDS = ("framework", "app", "dataset", "machine", "n_gpus")
+
+#: Point keys that become :class:`repro.config.ConfigOverlay` knobs.
+OVERLAY_FIELDS = (
+    "batch_size",
+    "wait_time",
+    "fetch_size",
+    "engine_queue",
+    "partitions",
+    "pdes_driver",
+)
+
+#: Default grid resolution for numeric dims without an explicit grid.
+_DEFAULT_LEVELS = 8
+
+
+def hash_uniform(seed: int, *key: object) -> float:
+    """Deterministic uniform in [0, 1) for a mixed seed/key tuple.
+
+    Counter-based (blake2b of the canonical key repr) rather than a
+    stateful RNG: the value depends only on the coordinates.  Unlike
+    :func:`repro.faults.plan.uniform` the key may contain strings
+    (dimension names), so searchers can coordinate draws per
+    ``(trial, dim, purpose)`` without maintaining an index mapping.
+    """
+    blob = repr((int(seed),) + tuple(key)).encode("utf-8")
+    digest = hashlib.blake2b(blob, digest_size=8).digest()
+    return int.from_bytes(digest, "little") / 2.0**64
+
+
+def canonical_point(point: Mapping[str, Any]) -> str:
+    """Stable JSON identity of a point (sorted keys, exact floats)."""
+    return json.dumps(
+        {k: point[k] for k in sorted(point)}, sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+# ---------------------------------------------------------------- dims
+@dataclass(frozen=True)
+class Dim:
+    """Base class: one named, sampleable, enumerable dimension."""
+
+    name: str
+
+    kind = "dim"
+
+    # Subclasses implement sample/grid_values/mutate/contains.
+    def sample(self, u: float) -> Any:
+        raise NotImplementedError
+
+    def grid_values(self) -> tuple:
+        raise NotImplementedError
+
+    def mutate(self, value: Any, u: float) -> Any:
+        raise NotImplementedError
+
+    def contains(self, value: Any) -> bool:
+        raise NotImplementedError
+
+    def to_dict(self) -> dict:
+        raise NotImplementedError
+
+
+def _nearest_index(levels: tuple, value: Any) -> int:
+    best, best_d = 0, None
+    for i, level in enumerate(levels):
+        try:
+            d = abs(float(level) - float(value))
+        except (TypeError, ValueError):
+            d = 0.0 if level == value else math.inf
+        if best_d is None or d < best_d:
+            best, best_d = i, d
+    return best
+
+
+def _step_mutate(levels: tuple, value: Any, u: float) -> Any:
+    """Move one or two grid steps from ``value``, never off the ends.
+
+    The workhorse for ordered dims: half the probability mass on the
+    +/-1 neighbours, the rest split between +/-2 jumps, reflected at
+    the boundaries so edge values still mutate.
+    """
+    if len(levels) <= 1:
+        return value
+    i = _nearest_index(levels, value)
+    step = (-2, -1, 1, 2)[min(int(u * 4), 3)]
+    j = i + step
+    if j < 0 or j >= len(levels):
+        j = i - step
+    j = min(max(j, 0), len(levels) - 1)
+    if j == i:
+        j = i + (1 if i == 0 else -1)
+    return levels[j]
+
+
+@dataclass(frozen=True)
+class IntDim(Dim):
+    """Integer range [low, high], optionally sampled on a log scale."""
+
+    low: int = 0
+    high: int = 0
+    log: bool = False
+    #: Explicit grid levels; empty = derive ~:data:`_DEFAULT_LEVELS`
+    #: evenly (or geometrically, when ``log``) spaced unique values.
+    grid: tuple = ()
+
+    kind = "int"
+
+    def __post_init__(self):
+        if self.low > self.high:
+            raise ConfigError(f"dim {self.name!r}: low > high")
+        if self.log and self.low < 1:
+            raise ConfigError(f"dim {self.name!r}: log scale needs low >= 1")
+        for v in self.grid:
+            if not self.contains(v):
+                raise ConfigError(
+                    f"dim {self.name!r}: grid value {v!r} out of range"
+                )
+
+    def sample(self, u: float) -> int:
+        if self.log:
+            lo, hi = math.log(self.low), math.log(self.high)
+            value = int(round(math.exp(lo + u * (hi - lo))))
+        else:
+            value = self.low + int(u * (self.high - self.low + 1))
+        return min(max(value, self.low), self.high)
+
+    def grid_values(self) -> tuple:
+        if self.grid:
+            return tuple(self.grid)
+        n = min(_DEFAULT_LEVELS, self.high - self.low + 1)
+        if n <= 1:
+            return (self.low,)
+        out: list[int] = []
+        for i in range(n):
+            u = i / (n - 1)
+            if self.log:
+                lo, hi = math.log(self.low), math.log(self.high)
+                v = int(round(math.exp(lo + u * (hi - lo))))
+            else:
+                v = int(round(self.low + u * (self.high - self.low)))
+            if not out or v != out[-1]:
+                out.append(min(max(v, self.low), self.high))
+        return tuple(out)
+
+    def mutate(self, value: int, u: float) -> int:
+        return _step_mutate(self.grid_values(), value, u)
+
+    def contains(self, value: Any) -> bool:
+        return (
+            isinstance(value, int)
+            and not isinstance(value, bool)
+            and self.low <= value <= self.high
+        )
+
+    def to_dict(self) -> dict:
+        out = {"kind": self.kind, "name": self.name, "low": self.low,
+               "high": self.high}
+        if self.log:
+            out["log"] = True
+        if self.grid:
+            out["grid"] = list(self.grid)
+        return out
+
+
+@dataclass(frozen=True)
+class FloatDim(Dim):
+    """Float range [low, high], optionally sampled on a log scale."""
+
+    low: float = 0.0
+    high: float = 0.0
+    log: bool = False
+    grid: tuple = ()
+
+    kind = "float"
+
+    def __post_init__(self):
+        if self.low > self.high:
+            raise ConfigError(f"dim {self.name!r}: low > high")
+        if self.log and self.low <= 0:
+            raise ConfigError(f"dim {self.name!r}: log scale needs low > 0")
+        for v in self.grid:
+            if not self.contains(v):
+                raise ConfigError(
+                    f"dim {self.name!r}: grid value {v!r} out of range"
+                )
+
+    def sample(self, u: float) -> float:
+        if self.log:
+            lo, hi = math.log(self.low), math.log(self.high)
+            return min(max(math.exp(lo + u * (hi - lo)), self.low), self.high)
+        return self.low + u * (self.high - self.low)
+
+    def grid_values(self) -> tuple:
+        if self.grid:
+            return tuple(self.grid)
+        n = _DEFAULT_LEVELS
+        out = []
+        for i in range(n):
+            u = i / (n - 1)
+            out.append(self.sample(u))
+        return tuple(out)
+
+    def mutate(self, value: float, u: float) -> float:
+        # Local perturbation: +/- up to one grid-step's worth of span,
+        # multiplicative on log scales, reflected into range.
+        if self.log:
+            spread = (math.log(self.high) - math.log(self.low)) / (
+                _DEFAULT_LEVELS - 1
+            )
+            moved = value * math.exp((2 * u - 1) * 2 * spread)
+        else:
+            spread = (self.high - self.low) / (_DEFAULT_LEVELS - 1)
+            moved = value + (2 * u - 1) * 2 * spread
+        return min(max(moved, self.low), self.high)
+
+    def contains(self, value: Any) -> bool:
+        return (
+            isinstance(value, (int, float))
+            and not isinstance(value, bool)
+            and self.low <= float(value) <= self.high
+        )
+
+    def to_dict(self) -> dict:
+        out = {"kind": self.kind, "name": self.name, "low": self.low,
+               "high": self.high}
+        if self.log:
+            out["log"] = True
+        if self.grid:
+            out["grid"] = list(self.grid)
+        return out
+
+
+@dataclass(frozen=True)
+class CategoricalDim(Dim):
+    """A finite set of choices; ``ordered`` makes mutation step-local."""
+
+    choices: tuple = ()
+    #: Ordered categories mutate to neighbours (like a numeric grid);
+    #: unordered ones mutate to any *other* choice.
+    ordered: bool = False
+
+    kind = "categorical"
+
+    def __post_init__(self):
+        if not self.choices:
+            raise ConfigError(f"dim {self.name!r}: no choices")
+        if len(set(self.choices)) != len(self.choices):
+            raise ConfigError(f"dim {self.name!r}: duplicate choices")
+
+    def sample(self, u: float) -> Any:
+        return self.choices[min(int(u * len(self.choices)),
+                                len(self.choices) - 1)]
+
+    def grid_values(self) -> tuple:
+        return tuple(self.choices)
+
+    def mutate(self, value: Any, u: float) -> Any:
+        if len(self.choices) <= 1:
+            return value
+        if self.ordered:
+            return _step_mutate(self.choices, value, u)
+        others = [c for c in self.choices if c != value]
+        return others[min(int(u * len(others)), len(others) - 1)]
+
+    def contains(self, value: Any) -> bool:
+        return value in self.choices
+
+    def to_dict(self) -> dict:
+        out = {"kind": self.kind, "name": self.name,
+               "choices": list(self.choices)}
+        if self.ordered:
+            out["ordered"] = True
+        return out
+
+
+@dataclass(frozen=True)
+class ConditionalDim(Dim):
+    """A dimension active only when another parameter takes a value.
+
+    ``when_param`` must name an *earlier* dim (or a base field); the
+    wrapped dim participates in a point only when that parameter's
+    value is in ``when_in`` — e.g. ``pdes_driver`` only when
+    ``partitions >= 2`` (spelled as the activating values).
+    """
+
+    dim: Optional[Dim] = None
+    when_param: str = ""
+    when_in: tuple = ()
+
+    kind = "conditional"
+
+    def __post_init__(self):
+        if self.dim is None or not self.when_param or not self.when_in:
+            raise ConfigError(
+                f"conditional dim {self.name!r} needs dim/when_param/when_in"
+            )
+        if self.dim.name != self.name:
+            raise ConfigError(
+                f"conditional dim name {self.name!r} != inner "
+                f"{self.dim.name!r}"
+            )
+
+    def active(self, partial_point: Mapping[str, Any]) -> bool:
+        """Whether this dim participates given the values so far."""
+        return partial_point.get(self.when_param) in self.when_in
+
+    def sample(self, u: float) -> Any:
+        return self.dim.sample(u)
+
+    def grid_values(self) -> tuple:
+        return self.dim.grid_values()
+
+    def mutate(self, value: Any, u: float) -> Any:
+        return self.dim.mutate(value, u)
+
+    def contains(self, value: Any) -> bool:
+        return self.dim.contains(value)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "dim": self.dim.to_dict(),
+            "when_param": self.when_param,
+            "when_in": list(self.when_in),
+        }
+
+
+_DIM_KINDS = {"int": IntDim, "float": FloatDim, "categorical": CategoricalDim}
+
+
+def _dim_from_dict(data: Mapping[str, Any]) -> Dim:
+    kind = data.get("kind")
+    if kind == "conditional":
+        return ConditionalDim(
+            name=data["name"],
+            dim=_dim_from_dict(data["dim"]),
+            when_param=data["when_param"],
+            when_in=tuple(data["when_in"]),
+        )
+    if kind not in _DIM_KINDS:
+        raise ConfigError(f"unknown dim kind {kind!r}")
+    cls = _DIM_KINDS[kind]
+    kwargs = dict(data)
+    kwargs.pop("kind")
+    for tup in ("grid", "choices"):
+        if tup in kwargs:
+            kwargs[tup] = tuple(kwargs[tup])
+    try:
+        return cls(**kwargs)
+    except TypeError as exc:
+        raise ConfigError(f"bad dim spec {data!r}: {exc}") from None
+
+
+# --------------------------------------------------------------- space
+@dataclass
+class Space:
+    """An ordered set of dims plus the fixed ``base`` run parameters.
+
+    ``base`` must cover every spec field a point leaves unspecified
+    (``app`` and ``dataset`` have no defaults — a study that does not
+    pin them must search them).  Conditional dims may only reference
+    parameters defined before them (earlier dims or base fields).
+    """
+
+    dims: tuple = ()
+    base: dict = field(default_factory=dict)
+
+    _SPEC_DEFAULTS = {
+        "framework": "atos-standard-persistent",
+        "machine": "summit-ib",
+        "n_gpus": 4,
+    }
+
+    def __post_init__(self):
+        self.dims = tuple(self.dims)
+        seen: set[str] = set(self.base)
+        for dim in self.dims:
+            if not isinstance(dim, Dim):
+                raise ConfigError(f"not a Dim: {dim!r}")
+            if dim.name in seen and dim.name not in self.base:
+                raise ConfigError(f"duplicate dim {dim.name!r}")
+            known = SPEC_FIELDS + OVERLAY_FIELDS
+            if dim.name not in known:
+                raise ConfigError(
+                    f"unknown dim name {dim.name!r}; known: {known}"
+                )
+            if isinstance(dim, ConditionalDim) and dim.when_param not in seen:
+                raise ConfigError(
+                    f"conditional dim {dim.name!r} references "
+                    f"{dim.when_param!r} before it is defined"
+                )
+            seen.add(dim.name)
+        for key in self.base:
+            if key not in SPEC_FIELDS + OVERLAY_FIELDS + ("validate", "seed"):
+                raise ConfigError(f"unknown base field {key!r}")
+
+    # -- sampling ------------------------------------------------------
+    def sample(self, seed: int, index: int) -> dict:
+        """The ``index``-th random point of stream ``seed``.
+
+        Pure function of (seed, index): each dim draws
+        ``hash_uniform(seed, index, dim.name)``, so points are
+        reproducible regardless of evaluation order or parallelism.
+        """
+        point: dict[str, Any] = {}
+        context = dict(self.base)
+        for dim in self.dims:
+            if isinstance(dim, ConditionalDim) and not dim.active(context):
+                continue
+            value = dim.sample(hash_uniform(seed, index, dim.name))
+            point[dim.name] = value
+            context[dim.name] = value
+        return point
+
+    def mutate(self, point: Mapping[str, Any], seed: int, *key: object) -> dict:
+        """Mutate a point: each dim flips with prob 1/n_dims, >= 1 flips.
+
+        Counter-based on ``(seed, *key, dim.name, purpose)``.  After
+        mutation, conditional dims are re-resolved: a newly activated
+        dim samples fresh, a deactivated one drops out.
+        """
+        n = max(len(self.dims), 1)
+        mutated: dict[str, Any] = {}
+        context = dict(self.base)
+        forced = None
+        if self.dims:
+            # Pre-pick one dim that must mutate so a child never
+            # degenerates to its parent.
+            forced_u = hash_uniform(seed, *key, "__forced__")
+            forced = self.dims[min(int(forced_u * n), n - 1)].name
+        for dim in self.dims:
+            if isinstance(dim, ConditionalDim) and not dim.active(context):
+                continue
+            old = point.get(dim.name)
+            flip = hash_uniform(seed, *key, dim.name, "flip") < 1.0 / n
+            draw = hash_uniform(seed, *key, dim.name, "value")
+            if old is None or not dim.contains(old):
+                value = dim.sample(draw)
+            elif flip or dim.name == forced:
+                value = dim.mutate(old, draw)
+            else:
+                value = old
+            mutated[dim.name] = value
+            context[dim.name] = value
+        return mutated
+
+    def grid(self) -> list[dict]:
+        """Every grid point, in deterministic nested-loop order."""
+        points: list[tuple[dict, dict]] = [({}, dict(self.base))]
+        for dim in self.dims:
+            next_points = []
+            for point, context in points:
+                if isinstance(dim, ConditionalDim) and not dim.active(context):
+                    next_points.append((point, context))
+                    continue
+                for value in dim.grid_values():
+                    p2 = dict(point)
+                    c2 = dict(context)
+                    p2[dim.name] = value
+                    c2[dim.name] = value
+                    next_points.append((p2, c2))
+            points = next_points
+        return [p for p, _ in points]
+
+    # -- validation / compilation -------------------------------------
+    def validate_point(self, point: Mapping[str, Any]) -> None:
+        """Check a point is well-formed for this space; ConfigError if not."""
+        by_name = {d.name: d for d in self.dims}
+        for key in point:
+            if key not in by_name:
+                raise ConfigError(f"point key {key!r} is not a dim")
+        context = dict(self.base)
+        for dim in self.dims:
+            active = not isinstance(dim, ConditionalDim) or dim.active(context)
+            present = dim.name in point
+            if active and not present:
+                raise ConfigError(f"point missing dim {dim.name!r}")
+            if not active and present:
+                raise ConfigError(
+                    f"point sets inactive conditional dim {dim.name!r}"
+                )
+            if present:
+                if not dim.contains(point[dim.name]):
+                    raise ConfigError(
+                        f"point value {dim.name}={point[dim.name]!r} "
+                        f"out of range"
+                    )
+                context[dim.name] = point[dim.name]
+
+    def compile(self, point: Mapping[str, Any]) -> "RunSpec":
+        """A point -> the concrete RunSpec (+overlay) that evaluates it."""
+        from repro.harness.pool import RunSpec
+
+        self.validate_point(point)
+        merged = dict(self._SPEC_DEFAULTS)
+        merged.update(self.base)
+        merged.update(point)
+        for required in ("app", "dataset"):
+            if required not in merged:
+                raise ConfigError(
+                    f"space fixes no {required!r} and no dim samples it"
+                )
+        overlay_kwargs = {
+            k: merged[k] for k in OVERLAY_FIELDS if k in merged
+        }
+        overlay = ConfigOverlay(**overlay_kwargs) if overlay_kwargs else None
+        if overlay is not None and not overlay:
+            overlay = None
+        return RunSpec(
+            framework=merged["framework"],
+            app=merged["app"],
+            dataset=merged["dataset"],
+            machine=merged["machine"],
+            n_gpus=int(merged["n_gpus"]),
+            validate=bool(merged.get("validate", True)),
+            seed=int(merged.get("seed", 0)),
+            overlay=overlay,
+        )
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "base": dict(self.base),
+            "dims": [d.to_dict() for d in self.dims],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Space":
+        """Inverse of :meth:`to_dict`; raises ConfigError on bad input."""
+        if not isinstance(data, Mapping):
+            raise ConfigError(f"space spec must be a mapping, got {data!r}")
+        dims = [_dim_from_dict(d) for d in data.get("dims", [])]
+        return cls(dims=tuple(dims), base=dict(data.get("base", {})))
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Space":
+        """Parse a space from its JSON form."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigError(f"bad space JSON: {exc}") from None
+        return cls.from_dict(data)

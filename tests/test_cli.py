@@ -274,3 +274,90 @@ def test_profile_parser_flags():
     assert args.export == "out.json" and args.top == 5
     assert args.seed == 3
     assert "profile" in parser.format_help()
+
+
+def test_tune_parser_flags():
+    parser = build_parser()
+    args = parser.parse_args(
+        ["tune", "--preset", "fig4", "--quick", "--seed", "3",
+         "--jobs", "2", "--out", "B.json", "--journal", "J.ndjson"]
+    )
+    assert args.preset == "fig4" and args.quick
+    assert args.seed == 3 and args.jobs == 2
+    assert args.out == "B.json" and args.journal == "J.ndjson"
+    # The acceptance command's default artifact name.
+    assert parser.parse_args(["tune"]).out == "BENCH_tune.json"
+    assert "tune" in parser.format_help()
+
+
+def test_tune_space_mode_runs_and_validates(capsys, tmp_path, monkeypatch):
+    import json
+
+    from repro.harness import clear_memory_cache
+    from repro.tune.space import CategoricalDim, Space
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    clear_memory_cache()
+    space = Space(
+        dims=(CategoricalDim("wait_time", choices=(1, 4), ordered=True),),
+        base={"app": "bfs", "dataset": "hollywood-2009",
+              "machine": "daisy", "n_gpus": 1},
+    )
+    space_file = tmp_path / "space.json"
+    space_file.write_text(space.to_json())
+    out = tmp_path / "BENCH_tune.json"
+    code = main(["tune", "--space", str(space_file), "--searcher", "grid",
+                 "--budget", "2", "--jobs", "1",
+                 "--out", str(out)])
+    assert code == 0
+    text = capsys.readouterr().out
+    assert "best:" in text and "evaluations saved" in text
+    assert out.exists()
+    doc = json.loads(out.read_text())
+    assert doc["schema"] == "repro-tune/1"
+    # The journal landed next to the artifact and enables a free re-run.
+    assert (tmp_path / "BENCH_tune.ndjson").exists()
+    clear_memory_cache()
+    assert main(["tune", "--space", str(space_file), "--searcher", "grid",
+                 "--budget", "2", "--jobs", "1",
+                 "--out", str(out)]) == 0
+    resumed = json.loads(out.read_text())
+    assert resumed["accounting"]["simulations"] == 0
+    assert resumed["accounting"]["journal_replays"] == 2
+    capsys.readouterr()
+    assert main(["tune", "--validate", str(out)]) == 0
+    assert "valid (2 trials)" in capsys.readouterr().out
+
+
+def test_tune_requires_preset_or_space(capsys):
+    assert main(["tune", "--out", ""]) == 2
+    assert "--preset fig4 or --space" in capsys.readouterr().out
+
+
+def test_report_renders_cache_line(capsys, tmp_path, monkeypatch):
+    from repro.harness import clear_memory_cache
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    clear_memory_cache()
+    assert main(["report", "--quick"]) == 0
+    cold = capsys.readouterr().out
+    assert "run cache:" in cold
+    # Tables themselves stay cache-temperature-independent: only the
+    # trailing cache line may differ between cold and warm runs.
+    clear_memory_cache()
+    assert main(["report", "--quick"]) == 0
+    warm = capsys.readouterr().out
+    strip = lambda s: [l for l in s.splitlines()
+                       if not l.startswith("run cache:")]  # noqa: E731
+    assert strip(warm) == strip(cold)
+    assert "hit rate" in warm
+
+
+def test_tune_validate_committed_document(capsys):
+    # The committed BENCH_tune.json must satisfy the schema the CI
+    # tune-smoke job enforces.
+    from pathlib import Path
+
+    doc = Path(__file__).resolve().parents[1] / "BENCH_tune.json"
+    assert main(["tune", "--validate", str(doc)]) == 0
+    assert "valid" in capsys.readouterr().out

@@ -127,3 +127,53 @@ def test_executor_defaults_track_config():
     config = AtosConfig()
     assert config.batch_size == DEFAULT_BATCH_SIZE
     assert config.wait_time == DEFAULT_WAIT_TIME
+
+
+def test_validate_tuning_central_bounds():
+    # Satellite of the tune PR: overlay-level knob bounds live in ONE
+    # place (repro.config.validate_tuning) instead of being duplicated
+    # per layer.
+    from repro.config import validate_tuning
+    from repro.errors import ConfigError
+
+    validate_tuning()  # all-None is fine
+    validate_tuning(batch_size=1, wait_time=0, fetch_size=1,
+                    engine_queue="calendar", partitions=1)
+    for bad in (
+        dict(batch_size=0),
+        dict(batch_size=2.5),
+        dict(wait_time=-1),
+        dict(fetch_size=0),
+        dict(engine_queue="splay"),
+        dict(partitions=0),
+        dict(pdes_driver="mpi"),
+    ):
+        with pytest.raises(ConfigError):
+            validate_tuning(**bad)
+
+
+def test_config_overlay_validates_and_serializes():
+    from repro.config import ConfigOverlay
+    from repro.errors import ConfigError
+
+    overlay = ConfigOverlay(batch_size=1 << 18, wait_time=8)
+    assert overlay  # truthy when any knob is set
+    assert not ConfigOverlay()  # empty overlay is falsy
+    assert overlay.as_dict() == {"batch_size": 1 << 18, "wait_time": 8}
+    assert overlay.executor_overrides() == {
+        "batch_size": 1 << 18, "wait_time": 8,
+    }
+    assert ConfigOverlay.from_dict(overlay.as_dict()) == overlay
+    with pytest.raises(ConfigError):
+        ConfigOverlay(batch_size=0)
+    with pytest.raises(ConfigError):
+        ConfigOverlay(pdes_driver="pooled")  # needs partitions >= 2
+
+
+def test_engine_queue_names_are_canonical_in_config():
+    # repro.sim.equeue re-exports the tuple; repro.config owns it.
+    from repro.config import ENGINE_QUEUES
+    from repro.sim import equeue
+
+    assert ENGINE_QUEUES == ("heap", "calendar")
+    assert equeue.ENGINE_QUEUES is ENGINE_QUEUES

@@ -28,6 +28,7 @@ SUBPACKAGES = [
     "repro.faults",
     "repro.recovery",
     "repro.telemetry",
+    "repro.tune",
 ]
 
 

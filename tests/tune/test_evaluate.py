@@ -1,0 +1,109 @@
+"""Evaluation-engine tests: seeds, dedup accounting, error isolation."""
+
+import pytest
+
+from repro.harness import clear_memory_cache
+from repro.tune.evaluate import EvaluationEngine, derive_rep_seed
+from repro.tune.objective import get_objective
+from repro.tune.search import Trial
+from repro.tune.space import CategoricalDim, Space
+
+
+@pytest.fixture()
+def isolated_caches(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+    monkeypatch.delenv("REPRO_CACHE", raising=False)
+    clear_memory_cache()
+    yield
+    clear_memory_cache()
+
+
+def small_space(datasets=("hollywood-2009",)):
+    return Space(
+        dims=(
+            CategoricalDim("wait_time", choices=(1, 4), ordered=True),
+            CategoricalDim("dataset", choices=datasets),
+        ),
+        base={"app": "bfs", "machine": "daisy", "n_gpus": 1},
+    )
+
+
+def test_rep_seed_zero_matches_default_and_is_stable():
+    # Rep 0 must be seed 0 so single-rep studies share cache entries
+    # with the main tables.
+    assert derive_rep_seed(123, 0) == 0
+    assert derive_rep_seed(123, 1) == derive_rep_seed(123, 1)
+    seeds = {derive_rep_seed(9, rep) for rep in range(6)}
+    assert len(seeds) == 6  # distinct per rep
+    assert all(0 <= s < 2**31 for s in seeds)
+    # Counter-based: independent of any other draws.
+    assert derive_rep_seed(9, 3) != derive_rep_seed(10, 3)
+
+
+def test_specs_for_orders_reps_and_varies_seed():
+    engine = EvaluationEngine(
+        small_space(), get_objective("makespan"), study_seed=5
+    )
+    trial = Trial(0, {"wait_time": 1, "dataset": "hollywood-2009"}, reps=3)
+    specs = engine.specs_for(trial)
+    assert len(specs) == 3
+    assert specs[0].seed == 0
+    assert len({s.seed for s in specs}) == 3
+    without_seed = {
+        (s.framework, s.app, s.dataset, s.machine, s.n_gpus) for s in specs
+    }
+    assert len(without_seed) == 1  # same cell, different seeds
+
+
+def test_duplicate_points_become_repeat_hits(isolated_caches):
+    engine = EvaluationEngine(
+        small_space(), get_objective("makespan"), jobs=1
+    )
+    point = {"wait_time": 1, "dataset": "hollywood-2009"}
+    first = engine.evaluate([Trial(0, point)])[0]
+    assert first.ok and first.simulations == 1
+    second = engine.evaluate([Trial(1, dict(point))])[0]
+    assert second.ok
+    assert second.objective == first.objective
+    assert second.simulations == 0
+    assert second.repeat_hits == 1
+    assert engine.accounting()["repeat_hits"] == 1
+    assert engine.accounting()["simulations"] == 1
+
+
+def test_failing_point_is_isolated_not_fatal(isolated_caches):
+    space = small_space(datasets=("hollywood-2009", "no-such-dataset"))
+    engine = EvaluationEngine(space, get_objective("makespan"), jobs=1)
+    good = Trial(0, {"wait_time": 1, "dataset": "hollywood-2009"})
+    bad = Trial(1, {"wait_time": 1, "dataset": "no-such-dataset"})
+    outcomes = engine.evaluate([good, bad])
+    assert outcomes[0].ok
+    assert not outcomes[1].ok
+    assert outcomes[1].objective == float("inf")
+    assert outcomes[1].error
+    assert engine.accounting()["errors"] == 1
+
+
+def test_objective_extraction_failure_is_an_error_outcome(isolated_caches):
+    # critical_path needs a partitioned run; a plain run must fail
+    # the trial, not the study.
+    engine = EvaluationEngine(
+        small_space(), get_objective("critical_path"), jobs=1
+    )
+    outcome = engine.evaluate(
+        [Trial(0, {"wait_time": 1, "dataset": "hollywood-2009"})]
+    )[0]
+    assert not outcome.ok
+    assert "critical_path" in outcome.error or "WindowStats" in outcome.error
+
+
+def test_ok_outcome_carries_aux_metrics(isolated_caches):
+    engine = EvaluationEngine(
+        small_space(), get_objective("makespan"), jobs=1
+    )
+    outcome = engine.evaluate(
+        [Trial(0, {"wait_time": 1, "dataset": "hollywood-2009"})]
+    )[0]
+    assert outcome.ok
+    assert outcome.aux["time_ms"] == pytest.approx(outcome.objective)
+    assert outcome.aux["fabric_messages"] >= 0

@@ -1,0 +1,229 @@
+"""Parameter-space unit tests: dims, sampling, grids, compile."""
+
+import pytest
+
+from repro.config import ConfigOverlay
+from repro.errors import ConfigError
+from repro.harness.pool import RunSpec
+from repro.tune.space import (
+    CategoricalDim,
+    ConditionalDim,
+    FloatDim,
+    IntDim,
+    Space,
+    canonical_point,
+    hash_uniform,
+)
+
+
+def test_hash_uniform_is_pure_and_keyed():
+    a = hash_uniform(7, 3, "wait_time")
+    assert a == hash_uniform(7, 3, "wait_time")
+    assert 0.0 <= a < 1.0
+    assert a != hash_uniform(7, 3, "batch_size")
+    assert a != hash_uniform(8, 3, "wait_time")
+
+
+def test_canonical_point_is_order_insensitive():
+    assert canonical_point({"b": 1, "a": 2}) == canonical_point(
+        {"a": 2, "b": 1}
+    )
+
+
+def test_int_dim_sampling_and_grid():
+    dim = IntDim("wait_time", low=1, high=64, log=True)
+    values = {dim.sample(i / 99) for i in range(100)}
+    assert all(1 <= v <= 64 for v in values)
+    assert len(values) > 4  # log sweep actually spreads
+    grid = dim.grid_values()
+    assert grid[0] == 1 and grid[-1] == 64
+    assert list(grid) == sorted(set(grid))
+
+
+def test_int_dim_rejects_bad_bounds():
+    with pytest.raises(ConfigError):
+        IntDim("wait_time", low=5, high=1)
+    with pytest.raises(ConfigError):
+        IntDim("wait_time", low=0, high=8, log=True)
+    with pytest.raises(ConfigError):
+        IntDim("wait_time", low=1, high=8, grid=(9,))
+
+
+def test_float_dim_mutation_stays_in_range():
+    dim = FloatDim("wait_time", low=0.5, high=32.0, log=True)
+    value = 1.0
+    for i in range(50):
+        value = dim.mutate(value, hash_uniform(0, i))
+        assert 0.5 <= value <= 32.0
+
+
+def test_ordered_categorical_mutates_to_neighbours():
+    dim = CategoricalDim(
+        "batch_size", choices=(1, 2, 4, 8, 16), ordered=True
+    )
+    for i in range(40):
+        moved = dim.mutate(4, hash_uniform(1, i))
+        assert moved in (1, 2, 8, 16) and moved != 4
+    # Edges reflect instead of falling off.
+    for i in range(40):
+        assert dim.mutate(1, hash_uniform(2, i)) in (2, 4)
+
+
+def test_unordered_categorical_mutates_to_any_other():
+    dim = CategoricalDim("engine_queue", choices=("heap", "calendar"))
+    assert dim.mutate("heap", 0.3) == "calendar"
+    assert dim.mutate("calendar", 0.9) == "heap"
+
+
+def _conditional_space():
+    return Space(
+        dims=(
+            CategoricalDim("partitions", choices=(1, 2, 4), ordered=True),
+            ConditionalDim(
+                "pdes_driver",
+                dim=CategoricalDim(
+                    "pdes_driver", choices=("local", "pooled")
+                ),
+                when_param="partitions",
+                when_in=(2, 4),
+            ),
+        ),
+        base={"app": "bfs", "dataset": "hollywood-2009"},
+    )
+
+
+def test_conditional_dim_activation_in_sampling():
+    space = _conditional_space()
+    saw_active = saw_inactive = False
+    for i in range(40):
+        point = space.sample(5, i)
+        if point["partitions"] == 1:
+            assert "pdes_driver" not in point
+            saw_inactive = True
+        else:
+            assert point["pdes_driver"] in ("local", "pooled")
+            saw_active = True
+        space.validate_point(point)
+    assert saw_active and saw_inactive
+
+
+def test_conditional_grid_honours_activation():
+    grid = _conditional_space().grid()
+    # partitions=1 contributes one point; 2 and 4 contribute two each.
+    assert len(grid) == 1 + 2 * 2
+    for point in grid:
+        if point["partitions"] == 1:
+            assert "pdes_driver" not in point
+
+
+def test_conditional_must_reference_earlier_param():
+    with pytest.raises(ConfigError):
+        Space(
+            dims=(
+                ConditionalDim(
+                    "pdes_driver",
+                    dim=CategoricalDim("pdes_driver", choices=("local",)),
+                    when_param="partitions",
+                    when_in=(2,),
+                ),
+            ),
+            base={"app": "bfs", "dataset": "hollywood-2009"},
+        )
+
+
+def test_validate_point_errors():
+    space = _conditional_space()
+    with pytest.raises(ConfigError):  # unknown key
+        space.validate_point({"partitions": 2, "nope": 1, "pdes_driver": "local"})
+    with pytest.raises(ConfigError):  # missing active dim
+        space.validate_point({"partitions": 2})
+    with pytest.raises(ConfigError):  # inactive conditional set
+        space.validate_point({"partitions": 1, "pdes_driver": "local"})
+    with pytest.raises(ConfigError):  # out of range
+        space.validate_point({"partitions": 3})
+
+
+def test_sample_is_pure_function_of_seed_and_index():
+    space = _conditional_space()
+    assert [space.sample(9, i) for i in range(10)] == [
+        space.sample(9, i) for i in range(10)
+    ]
+    assert space.sample(9, 0) != space.sample(10, 0) or space.sample(
+        9, 1
+    ) != space.sample(10, 1)
+
+
+def test_mutate_changes_at_least_one_dim_and_stays_valid():
+    space = Space(
+        dims=(
+            CategoricalDim("batch_size", choices=(1, 2, 4), ordered=True),
+            CategoricalDim("wait_time", choices=(1, 4, 16), ordered=True),
+        ),
+        base={"app": "bfs", "dataset": "hollywood-2009"},
+    )
+    parent = {"batch_size": 2, "wait_time": 4}
+    for i in range(30):
+        child = space.mutate(parent, 3, "gen", i)
+        space.validate_point(child)
+        assert child != parent
+
+
+def test_json_round_trip():
+    space = _conditional_space()
+    again = Space.from_json(space.to_json())
+    assert again.to_dict() == space.to_dict()
+    assert [again.sample(4, i) for i in range(8)] == [
+        space.sample(4, i) for i in range(8)
+    ]
+
+
+def test_from_json_rejects_garbage():
+    with pytest.raises(ConfigError):
+        Space.from_json("{not json")
+    with pytest.raises(ConfigError):
+        Space.from_dict({"dims": [{"kind": "mystery", "name": "x"}]})
+
+
+def test_compile_builds_runspec_with_overlay():
+    space = Space(
+        dims=(
+            CategoricalDim("wait_time", choices=(1, 4), ordered=True),
+        ),
+        base={
+            "app": "bfs",
+            "dataset": "hollywood-2009",
+            "machine": "daisy",
+            "n_gpus": 2,
+        },
+    )
+    spec = space.compile({"wait_time": 4})
+    assert isinstance(spec, RunSpec)
+    assert spec.app == "bfs" and spec.machine == "daisy"
+    assert isinstance(spec.overlay, ConfigOverlay)
+    assert spec.overlay.wait_time == 4
+    # Hashable: usable as a cache/dedup key.
+    assert hash(spec) == hash(space.compile({"wait_time": 4}))
+
+
+def test_compile_without_overlay_dims_has_no_overlay():
+    space = Space(
+        dims=(CategoricalDim("n_gpus", choices=(1, 2), ordered=True),),
+        base={"app": "bfs", "dataset": "hollywood-2009"},
+    )
+    assert space.compile({"n_gpus": 2}).overlay is None
+
+
+def test_compile_requires_app_and_dataset():
+    space = Space(
+        dims=(CategoricalDim("wait_time", choices=(1,), ordered=True),),
+        base={"dataset": "hollywood-2009"},
+    )
+    with pytest.raises(ConfigError):
+        space.compile({"wait_time": 1})
+
+
+def test_space_rejects_unknown_names():
+    with pytest.raises(ConfigError):
+        Space(dims=(CategoricalDim("warp_width", choices=(32,)),))
+    with pytest.raises(ConfigError):
+        Space(base={"app": "bfs", "dataset": "x", "warp_width": 32})
